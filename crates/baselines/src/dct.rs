@@ -1,0 +1,257 @@
+//! Orthonormal DCT-II/III with largest-coefficient thresholding — the
+//! `mpeg`-style transform baseline of the paper (Ahmed, Natarajan, Rao
+//! 1974).
+//!
+//! The forward/inverse pair uses the FFT kernel (radix-2 or Bluestein), so
+//! every chunk size in the evaluation gets `O(n log n)`. A naive `O(n²)`
+//! reference implementation is kept for cross-checking.
+
+use sbr_core::MultiSeries;
+
+use crate::fft::{dft, Complex};
+use crate::{allocate, Allocation, Compressor};
+
+/// Forward orthonormal DCT-II:
+/// `C_k = α_k Σ_i x_i cos(π (2i+1) k / 2n)`, `α_0 = √(1/n)`, `α_k = √(2/n)`.
+pub fn forward(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Makhoul's reordering: v[i] = x[2i], v[n-1-i] = x[2i+1]; then
+    // C_k = Re( e^{-iπk/2n} · DFT(v)_k ).
+    let mut v = vec![Complex::default(); n];
+    for i in 0..n.div_ceil(2) {
+        v[i] = Complex::new(x[2 * i], 0.0);
+    }
+    for i in 0..n / 2 {
+        v[n - 1 - i] = Complex::new(x[2 * i + 1], 0.0);
+    }
+    let spec = dft(&v);
+    let mut out = Vec::with_capacity(n);
+    let norm0 = (1.0 / n as f64).sqrt();
+    let norm = (2.0 / n as f64).sqrt();
+    for (k, s) in spec.iter().enumerate() {
+        let tw = Complex::cis(-std::f64::consts::PI * k as f64 / (2.0 * n as f64));
+        let c = (*s * tw).re;
+        out.push(c * if k == 0 { norm0 } else { norm });
+    }
+    out
+}
+
+/// Inverse orthonormal DCT (DCT-III):
+/// `x_i = Σ_k α_k C_k cos(π (2i+1) k / 2n)`.
+///
+/// Computed by inverting Makhoul's mapping with one inverse DFT.
+pub fn inverse(c: &[f64]) -> Vec<f64> {
+    let n = c.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![c[0]];
+    }
+    // Undo the normalization, then rebuild the DFT spectrum of Makhoul's
+    // reordered sequence. Writing T_k = e^{-iπk/2n}·DFT(v)_k, the forward
+    // pass kept C_k = Re(T_k); the conjugate symmetry of a real input gives
+    // Im(T_k) = -C_{n-k}, hence DFT(v)_k = e^{iπk/2n}(C_k - i·C_{n-k}).
+    let norm0 = (n as f64).sqrt();
+    let norm = (n as f64 / 2.0).sqrt();
+    let cu: Vec<f64> = c
+        .iter()
+        .enumerate()
+        .map(|(k, &v)| v * if k == 0 { norm0 } else { norm })
+        .collect();
+    let mut spec = vec![Complex::default(); n];
+    spec[0] = Complex::new(cu[0], 0.0);
+    for k in 1..n {
+        let t = Complex::new(cu[k], -cu[n - k]);
+        let tw = Complex::cis(std::f64::consts::PI * k as f64 / (2.0 * n as f64));
+        spec[k] = tw * t;
+    }
+    let v = crate::fft::idft(&spec);
+    let mut x = vec![0.0f64; n];
+    for i in 0..n.div_ceil(2) {
+        x[2 * i] = v[i].re;
+    }
+    for i in 0..n / 2 {
+        x[2 * i + 1] = v[n - 1 - i].re;
+    }
+    x
+}
+
+/// Naive `O(n²)` DCT-II, for cross-checking the fast path.
+pub fn forward_naive(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let norm0 = (1.0 / n as f64).sqrt();
+    let norm = (2.0 / n as f64).sqrt();
+    (0..n)
+        .map(|k| {
+            let s: f64 = x
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    v * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64
+                        / (2.0 * n as f64))
+                        .cos()
+                })
+                .sum();
+            s * if k == 0 { norm0 } else { norm }
+        })
+        .collect()
+}
+
+/// Naive `O(n²)` inverse (DCT-III), for cross-checking.
+pub fn inverse_naive(c: &[f64]) -> Vec<f64> {
+    let n = c.len();
+    let norm0 = (1.0 / n as f64).sqrt();
+    let norm = (2.0 / n as f64).sqrt();
+    (0..n)
+        .map(|i| {
+            c.iter()
+                .enumerate()
+                .map(|(k, &v)| {
+                    let alpha = if k == 0 { norm0 } else { norm };
+                    alpha
+                        * v
+                        * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64
+                            / (2.0 * n as f64))
+                            .cos()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// End-to-end synopsis: transform, keep the `k` largest coefficients,
+/// reconstruct (SSE-optimal — the basis is orthonormal).
+pub fn approximate(values: &[f64], k: usize) -> Vec<f64> {
+    let coeffs = forward(values);
+    let keep = crate::wavelet::top_k(&coeffs, k);
+    inverse(&crate::wavelet::densify(&keep, values.len()))
+}
+
+/// The DCT baseline: a retained coefficient costs two values
+/// (index + coefficient).
+#[derive(Debug, Clone, Copy)]
+pub struct DctCompressor {
+    /// Budget split strategy.
+    pub allocation: Allocation,
+}
+
+impl Default for DctCompressor {
+    fn default() -> Self {
+        DctCompressor {
+            allocation: Allocation::PerSignal,
+        }
+    }
+}
+
+impl Compressor for DctCompressor {
+    fn name(&self) -> &'static str {
+        match self.allocation {
+            Allocation::Concatenated => "DCT",
+            Allocation::PerSignal => "DCT (per-signal)",
+        }
+    }
+
+    fn compress_reconstruct(&self, data: &MultiSeries, budget_values: usize) -> Vec<f64> {
+        allocate(self.allocation, data, budget_values, |row, budget| {
+            approximate(row, budget / 2)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.21).sin() * 3.0 + (i as f64 * 0.011).cos() * 7.0)
+            .collect()
+    }
+
+    #[test]
+    fn fast_matches_naive_forward() {
+        for n in [1usize, 2, 3, 8, 15, 32, 100] {
+            let x = signal(n);
+            let fast = forward(&x);
+            let naive = forward_naive(&x);
+            for (a, b) in fast.iter().zip(&naive) {
+                assert!((a - b).abs() < 1e-8, "n = {n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_matches_naive_inverse() {
+        for n in [2usize, 3, 8, 15, 32] {
+            let c = signal(n);
+            let fast = inverse(&c);
+            let naive = inverse_naive(&c);
+            for (a, b) in fast.iter().zip(&naive) {
+                assert!((a - b).abs() < 1e-8, "n = {n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for n in [1usize, 2, 5, 16, 33, 128] {
+            let x = signal(n);
+            let back = inverse(&forward(&x));
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-8, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn orthonormal_energy_preservation() {
+        let x = signal(200);
+        let c = forward(&x);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ec: f64 = c.iter().map(|v| v * v).sum();
+        assert!((ex - ec).abs() < 1e-7 * ex);
+    }
+
+    #[test]
+    fn single_cosine_concentrates() {
+        // x = cos(π(2i+1)·3/2n): exactly DCT bin 3.
+        let n = 64;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::PI * (2 * i + 1) as f64 * 3.0 / (2.0 * n as f64)).cos())
+            .collect();
+        let c = forward(&x);
+        for (k, v) in c.iter().enumerate() {
+            if k == 3 {
+                assert!(v.abs() > 1.0);
+            } else {
+                assert!(v.abs() < 1e-8, "bin {k} leaked {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_signal_compresses_well() {
+        // Off-bin sinusoids leak, but 32 of 256 bins must still capture
+        // almost all the energy of a two-tone signal.
+        let x = signal(256);
+        let rec = approximate(&x, 32);
+        let err: f64 = x.iter().zip(&rec).map(|(a, b)| (a - b).powi(2)).sum();
+        let energy: f64 = x.iter().map(|v| v * v).sum();
+        assert!(
+            err < 1e-2 * energy,
+            "relative error {:.3e} too large",
+            err / energy
+        );
+    }
+
+    #[test]
+    fn compressor_reconstruction_shape() {
+        let data = MultiSeries::from_rows(&[signal(50), signal(50)]).unwrap();
+        let rec = DctCompressor::default().compress_reconstruct(&data, 24);
+        assert_eq!(rec.len(), 100);
+    }
+}

@@ -1,0 +1,254 @@
+//! Piecewise-constant ("histogram") approximations of a sequence, the
+//! third comparator of the evaluation. A bucket stores its end boundary and
+//! its mean — two values under the equal-space convention.
+//!
+//! Three bucketing policies:
+//!
+//! * **equi-depth** — boundaries chosen so each bucket carries (about) the
+//!   same Σ|value| mass, the variant named in the paper (after Poosala et
+//!   al.),
+//! * **equi-width** — equal-length buckets,
+//! * **max-diff** — boundaries at the largest adjacent differences.
+
+use sbr_core::MultiSeries;
+
+use crate::{allocate, Allocation, Compressor};
+
+/// A bucketing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bucketing {
+    /// Equal Σ|value| mass per bucket (the paper's choice).
+    EquiDepth,
+    /// Equal-length buckets.
+    EquiWidth,
+    /// Boundaries at the largest adjacent value jumps.
+    MaxDiff,
+}
+
+/// One histogram bucket over positions `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// First position covered.
+    pub start: usize,
+    /// One past the last position covered.
+    pub end: usize,
+    /// Stored representative (the bucket mean — SSE-optimal for a fixed
+    /// partition).
+    pub value: f64,
+}
+
+/// Partition `values` into at most `n_buckets` buckets under `policy`.
+///
+/// ```
+/// use sbr_baselines::histogram::{build, Bucketing};
+/// let v = [1.0, 1.0, 9.0, 9.0];
+/// let b = build(&v, 2, Bucketing::MaxDiff);
+/// assert_eq!(b.len(), 2);
+/// assert_eq!((b[0].value, b[1].value), (1.0, 9.0));
+/// ```
+pub fn build(values: &[f64], n_buckets: usize, policy: Bucketing) -> Vec<Bucket> {
+    let n = values.len();
+    if n == 0 || n_buckets == 0 {
+        return Vec::new();
+    }
+    let n_buckets = n_buckets.min(n);
+    let boundaries = match policy {
+        Bucketing::EquiWidth => (0..=n_buckets)
+            .map(|b| b * n / n_buckets)
+            .collect::<Vec<_>>(),
+        Bucketing::EquiDepth => {
+            let total: f64 = values.iter().map(|v| v.abs()).sum();
+            if total == 0.0 {
+                (0..=n_buckets).map(|b| b * n / n_buckets).collect()
+            } else {
+                let mut bounds = vec![0usize];
+                let per = total / n_buckets as f64;
+                let mut acc = 0.0;
+                let mut next_target = per;
+                for (i, v) in values.iter().enumerate() {
+                    acc += v.abs();
+                    // A huge value can jump several targets at once; emit
+                    // one boundary per crossing but never duplicate
+                    // positions.
+                    while acc >= next_target && bounds.len() < n_buckets {
+                        if i + 1 > *bounds.last().expect("bounds never empty") {
+                            bounds.push(i + 1);
+                        }
+                        next_target += per;
+                    }
+                }
+                while *bounds.last().expect("non-empty") < n {
+                    bounds.push(n);
+                }
+                bounds.dedup();
+                bounds
+            }
+        }
+        Bucketing::MaxDiff => {
+            let mut jumps: Vec<usize> = (1..n).collect();
+            jumps.sort_by(|&a, &b| {
+                let da = (values[a] - values[a - 1]).abs();
+                let db = (values[b] - values[b - 1]).abs();
+                db.total_cmp(&da)
+            });
+            let mut bounds: Vec<usize> = jumps.into_iter().take(n_buckets - 1).collect();
+            bounds.push(0);
+            bounds.push(n);
+            bounds.sort_unstable();
+            bounds.dedup();
+            bounds
+        }
+    };
+    boundaries
+        .windows(2)
+        .filter(|w| w[1] > w[0])
+        .map(|w| {
+            let (s, e) = (w[0], w[1]);
+            let mean = values[s..e].iter().sum::<f64>() / (e - s) as f64;
+            Bucket {
+                start: s,
+                end: e,
+                value: mean,
+            }
+        })
+        .collect()
+}
+
+/// Expand buckets back into a dense sequence of length `n`.
+pub fn reconstruct(buckets: &[Bucket], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0f64; n];
+    for b in buckets {
+        for slot in &mut out[b.start..b.end.min(n)] {
+            *slot = b.value;
+        }
+    }
+    out
+}
+
+/// End-to-end: bucketize and expand.
+pub fn approximate(values: &[f64], n_buckets: usize, policy: Bucketing) -> Vec<f64> {
+    reconstruct(&build(values, n_buckets, policy), values.len())
+}
+
+/// The histogram baseline (2 values per bucket).
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramCompressor {
+    /// Bucketing policy.
+    pub policy: Bucketing,
+    /// Budget split strategy.
+    pub allocation: Allocation,
+}
+
+impl Default for HistogramCompressor {
+    fn default() -> Self {
+        HistogramCompressor {
+            policy: Bucketing::EquiDepth,
+            allocation: Allocation::PerSignal,
+        }
+    }
+}
+
+impl Compressor for HistogramCompressor {
+    fn name(&self) -> &'static str {
+        match self.policy {
+            Bucketing::EquiDepth => "Histograms",
+            Bucketing::EquiWidth => "Histograms (equi-width)",
+            Bucketing::MaxDiff => "Histograms (max-diff)",
+        }
+    }
+
+    fn compress_reconstruct(&self, data: &MultiSeries, budget_values: usize) -> Vec<f64> {
+        allocate(self.allocation, data, budget_values, |row, budget| {
+            approximate(row, budget / 2, self.policy)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_domain() {
+        let v: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        for policy in [Bucketing::EquiDepth, Bucketing::EquiWidth, Bucketing::MaxDiff] {
+            let bs = build(&v, 7, policy);
+            assert!(!bs.is_empty());
+            assert_eq!(bs[0].start, 0);
+            assert_eq!(bs.last().unwrap().end, 100);
+            for w in bs.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "{policy:?} left a gap");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_count_respected() {
+        let v: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        for policy in [Bucketing::EquiDepth, Bucketing::EquiWidth, Bucketing::MaxDiff] {
+            assert!(build(&v, 5, policy).len() <= 5);
+        }
+    }
+
+    #[test]
+    fn piecewise_constant_data_is_exact() {
+        let mut v = vec![2.0; 20];
+        v.extend(vec![-3.0; 20]);
+        v.extend(vec![7.0; 20]);
+        let rec = approximate(&v, 3, Bucketing::MaxDiff);
+        for (a, b) in v.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn equi_depth_concentrates_buckets_on_mass() {
+        // First half is tiny, second half is huge: equi-depth must spend
+        // most boundaries on the second half.
+        let mut v = vec![0.01; 50];
+        v.extend((0..50).map(|i| 100.0 + i as f64));
+        let bs = build(&v, 10, Bucketing::EquiDepth);
+        let in_heavy = bs.iter().filter(|b| b.start >= 50).count();
+        assert!(in_heavy >= 7, "only {in_heavy} buckets in the heavy half");
+    }
+
+    #[test]
+    fn zero_signal_handled() {
+        let v = vec![0.0; 16];
+        let rec = approximate(&v, 4, Bucketing::EquiDepth);
+        assert_eq!(rec, v);
+    }
+
+    #[test]
+    fn single_bucket_is_global_mean() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        let bs = build(&v, 1, Bucketing::EquiWidth);
+        assert_eq!(bs.len(), 1);
+        assert!((bs[0].value - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_buckets_never_hurt_on_equiwidth() {
+        let v: Vec<f64> = (0..128).map(|i| ((i * 13) % 29) as f64).collect();
+        let mut prev = f64::INFINITY;
+        for k in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+            let rec = approximate(&v, k, Bucketing::EquiWidth);
+            let err: f64 = v.iter().zip(&rec).map(|(a, b)| (a - b).powi(2)).sum();
+            assert!(err <= prev + 1e-9);
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn compressor_budget_convention() {
+        let data =
+            MultiSeries::from_rows(&[(0..50).map(|i| i as f64).collect::<Vec<_>>()]).unwrap();
+        let rec = HistogramCompressor::default().compress_reconstruct(&data, 10);
+        assert_eq!(rec.len(), 50);
+        // 10 values → 5 buckets → at most 5 distinct reconstruction levels.
+        let mut levels: Vec<u64> = rec.iter().map(|v| v.to_bits()).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        assert!(levels.len() <= 5);
+    }
+}

@@ -1,0 +1,126 @@
+//! Plain piecewise linear regression: SBR's recursive splitting without a
+//! base signal. This is both the "Linear Regression" column of Table 5 and
+//! SBR's internal fall-back made into a standalone method.
+//!
+//! With no base signal there is no `shift` pointer, so an interval costs
+//! **3** values (`start, a, b`) and a budget of `TotalBand` buys
+//! `TotalBand / 3` intervals (§5.2).
+
+use sbr_core::config::SbrConfig;
+use sbr_core::get_intervals::{get_intervals, reconstruct_flat};
+use sbr_core::interval::IntervalRecord;
+use sbr_core::{ErrorMetric, MultiSeries};
+
+use crate::Compressor;
+
+/// Number of transmitted values per plain-regression interval.
+pub const INTERVAL_COST: usize = 3;
+
+/// Approximate a batch with at most `budget_values / 3` linear-regression
+/// intervals chosen by recursive worst-first splitting.
+pub fn approximate(
+    data: &MultiSeries,
+    budget_values: usize,
+    metric: ErrorMetric,
+) -> Vec<IntervalRecord> {
+    let n_intervals = budget_values / INTERVAL_COST;
+    // Reuse GetIntervals with an empty base signal: every interval then uses
+    // the fall-back. GetIntervals charges 4 per interval, so scale the
+    // budget to buy the same count.
+    let mut config = SbrConfig::new(n_intervals * 4, 0).with_metric(metric);
+    config.update_base = false;
+    let w = config.w_for(data.len());
+    match get_intervals(&[], data, n_intervals * 4, w, &config) {
+        Ok(approx) => approx.intervals.iter().map(|iv| iv.record()).collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Reconstruct from plain-regression records.
+pub fn reconstruct(records: &[IntervalRecord], n: usize) -> Vec<f64> {
+    reconstruct_flat(&[], records, n).unwrap_or_else(|_| vec![0.0; n])
+}
+
+/// The linear-regression baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinRegCompressor {
+    /// Metric the splits optimize.
+    pub metric: ErrorMetric,
+}
+
+impl Compressor for LinRegCompressor {
+    fn name(&self) -> &'static str {
+        "Linear Regression"
+    }
+
+    fn compress_reconstruct(&self, data: &MultiSeries, budget_values: usize) -> Vec<f64> {
+        let recs = approximate(data, budget_values, self.metric);
+        if recs.is_empty() {
+            return vec![0.0; data.len()];
+        }
+        reconstruct(&recs, data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sse(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+    }
+
+    #[test]
+    fn piecewise_linear_data_is_exact() {
+        // Two linear pieces per row → 4 intervals ⇒ 12 values suffice.
+        let mut row = Vec::new();
+        row.extend((0..32).map(|i| 2.0 * i as f64));
+        row.extend((0..32).map(|i| 100.0 - 3.0 * i as f64));
+        let data = MultiSeries::from_rows(std::slice::from_ref(&row)).unwrap();
+        let rec = LinRegCompressor::default().compress_reconstruct(&data, 12);
+        assert!(sse(&row, &rec) < 1e-9);
+    }
+
+    #[test]
+    fn all_records_are_fallback() {
+        let data = MultiSeries::from_rows(&[(0..64)
+            .map(|i| (i as f64 * 0.4).sin())
+            .collect::<Vec<_>>()])
+        .unwrap();
+        let recs = approximate(&data, 30, ErrorMetric::Sse);
+        assert!(!recs.is_empty());
+        assert!(recs.iter().all(|r| r.shift < 0));
+    }
+
+    #[test]
+    fn budget_buys_band_over_three_intervals() {
+        let data = MultiSeries::from_rows(&[(0..128)
+            .map(|i| ((i * 17) % 23) as f64)
+            .collect::<Vec<_>>()])
+        .unwrap();
+        let recs = approximate(&data, 33, ErrorMetric::Sse);
+        assert!(recs.len() <= 11);
+        assert!(recs.len() >= 8, "splitting should use the budget");
+    }
+
+    #[test]
+    fn error_improves_with_budget() {
+        let row: Vec<f64> = (0..256).map(|i| (i as f64 * 0.13).sin() * 10.0).collect();
+        let data = MultiSeries::from_rows(std::slice::from_ref(&row)).unwrap();
+        let mut prev = f64::INFINITY;
+        for budget in [6usize, 12, 24, 48, 96] {
+            let rec = LinRegCompressor::default().compress_reconstruct(&data, budget);
+            let e = sse(&row, &rec);
+            assert!(e <= prev + 1e-9);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn impossible_budget_yields_zero_fill() {
+        let data = MultiSeries::from_rows(&[vec![1.0; 8], vec![2.0; 8]]).unwrap();
+        // 3 values < 2 signals × 3 → no valid approximation.
+        let rec = LinRegCompressor::default().compress_reconstruct(&data, 3);
+        assert_eq!(rec, vec![0.0; 16]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Piecewise *quadratic* regression over time: the simplest instance of the
+//! non-linear encodings the paper's conclusions propose, packaged as a
+//! standalone compressor so the ablation bench can measure whether the
+//! extra coefficient earns its bandwidth.
+//!
+//! An interval costs **4** values (`start, a, b, c`); the recursive
+//! worst-first splitting mirrors `GetIntervals`.
+
+use std::collections::BinaryHeap;
+
+use sbr_core::quadratic::{fit_quadratic_index, QuadFit};
+use sbr_core::MultiSeries;
+
+use crate::Compressor;
+
+/// One fitted quadratic interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadInterval {
+    /// Offset into the concatenated series.
+    pub start: usize,
+    /// Samples covered.
+    pub length: usize,
+    /// The fitted parabola (over the local index `0..length`).
+    pub fit: QuadFit,
+}
+
+/// Number of transmitted values per quadratic interval.
+pub const INTERVAL_COST: usize = 4;
+
+struct HeapItem(QuadInterval);
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.fit.err == other.0.fit.err
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.fit.err.total_cmp(&other.0.fit.err)
+    }
+}
+
+/// Split the batch into at most `budget_values / 4` quadratic intervals,
+/// worst interval first.
+pub fn approximate(data: &MultiSeries, budget_values: usize) -> Vec<QuadInterval> {
+    let n_signals = data.n_signals();
+    let m = data.samples_per_signal();
+    let y = data.flat();
+    let max_intervals = budget_values / INTERVAL_COST;
+    if max_intervals < n_signals {
+        return Vec::new();
+    }
+
+    let fit_at = |start: usize, length: usize| -> QuadInterval {
+        QuadInterval {
+            start,
+            length,
+            fit: fit_quadratic_index(&y[start..start + length]),
+        }
+    };
+
+    let mut heap = BinaryHeap::with_capacity(max_intervals);
+    let mut frozen = Vec::new();
+    for i in 0..n_signals {
+        heap.push(HeapItem(fit_at(i * m, m)));
+    }
+    let mut count = n_signals;
+    while count < max_intervals {
+        let worst = loop {
+            match heap.pop() {
+                Some(HeapItem(iv)) if iv.length >= 2 => break Some(iv),
+                Some(HeapItem(iv)) => frozen.push(iv),
+                None => break None,
+            }
+        };
+        let Some(worst) = worst else { break };
+        if worst.fit.err == 0.0 {
+            heap.push(HeapItem(worst));
+            break;
+        }
+        let left = worst.length / 2;
+        heap.push(HeapItem(fit_at(worst.start, left)));
+        heap.push(HeapItem(fit_at(worst.start + left, worst.length - left)));
+        count += 1;
+    }
+    let mut out: Vec<QuadInterval> = frozen;
+    out.extend(heap.into_iter().map(|h| h.0));
+    out.sort_by_key(|iv| iv.start);
+    out
+}
+
+/// Expand quadratic intervals back into a dense sequence.
+pub fn reconstruct(intervals: &[QuadInterval], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0f64; n];
+    for iv in intervals {
+        for i in 0..iv.length.min(n.saturating_sub(iv.start)) {
+            out[iv.start + i] = iv.fit.eval(i as f64);
+        }
+    }
+    out
+}
+
+/// The piecewise-quadratic baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuadRegCompressor;
+
+impl Compressor for QuadRegCompressor {
+    fn name(&self) -> &'static str {
+        "Quadratic Regression"
+    }
+
+    fn compress_reconstruct(&self, data: &MultiSeries, budget_values: usize) -> Vec<f64> {
+        let ivs = approximate(data, budget_values);
+        if ivs.is_empty() {
+            return vec![0.0; data.len()];
+        }
+        reconstruct(&ivs, data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sse(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+    }
+
+    #[test]
+    fn exact_on_piecewise_parabolas() {
+        let mut row = Vec::new();
+        row.extend((0..32).map(|i| 0.5 * (i * i) as f64));
+        row.extend((0..32).map(|i| -(i as f64) * (i as f64) + 40.0 * i as f64));
+        let data = MultiSeries::from_rows(std::slice::from_ref(&row)).unwrap();
+        let rec = QuadRegCompressor.compress_reconstruct(&data, 16); // 4 intervals
+        assert!(sse(&row, &rec) < 1e-6, "sse {}", sse(&row, &rec));
+    }
+
+    #[test]
+    fn intervals_partition_batch() {
+        let row: Vec<f64> = (0..100).map(|i| ((i * 31) % 17) as f64).collect();
+        let data = MultiSeries::from_rows(&[row]).unwrap();
+        let ivs = approximate(&data, 40);
+        let mut cursor = 0;
+        for iv in &ivs {
+            assert_eq!(iv.start, cursor);
+            cursor += iv.length;
+        }
+        assert_eq!(cursor, 100);
+        assert!(ivs.len() <= 10);
+    }
+
+    #[test]
+    fn beats_linear_on_curvy_data_same_budget() {
+        // Smooth curvature: each quadratic interval tracks what a line
+        // cannot, even though quadratics get fewer intervals per value.
+        let row: Vec<f64> = (0..256)
+            .map(|i| {
+                let t = i as f64 / 256.0;
+                (t * std::f64::consts::PI * 2.0).sin() * 100.0
+            })
+            .collect();
+        let data = MultiSeries::from_rows(std::slice::from_ref(&row)).unwrap();
+        let budget = 24;
+        let quad = QuadRegCompressor.compress_reconstruct(&data, budget);
+        let lin = crate::linreg::LinRegCompressor::default().compress_reconstruct(&data, budget);
+        assert!(
+            sse(&row, &quad) < sse(&row, &lin),
+            "quad {} vs lin {}",
+            sse(&row, &quad),
+            sse(&row, &lin)
+        );
+    }
+
+    #[test]
+    fn budget_too_small_yields_zero_fill() {
+        let data = MultiSeries::from_rows(&[vec![1.0; 8], vec![2.0; 8]]).unwrap();
+        let rec = QuadRegCompressor.compress_reconstruct(&data, 4);
+        assert_eq!(rec, vec![0.0; 16]);
+    }
+}

@@ -1,0 +1,252 @@
+//! The Swing filter: *online* piecewise-linear approximation with a strict
+//! per-sample error bound (Elmeleegy et al., VLDB 2009 lineage) — the
+//! natural streaming competitor to SBR's batch pipeline.
+//!
+//! The filter maintains a cone of admissible slopes through the current
+//! segment's origin; each new sample narrows the cone by the `±ε` window
+//! around it, and a segment is emitted when the cone empties. Every
+//! reconstructed value is then within `ε` of the original — the same
+//! guarantee SBR's max-abs mode provides, but decided greedily sample by
+//! sample with O(1) state, as a mote could run between SBR batches.
+//!
+//! Wire cost: segments are connected, so each costs **2** values (end
+//! index + end value) after an initial anchor of 2.
+
+/// One connected segment: the line runs from the previous knot to
+/// `(end_index, end_value)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Knot {
+    /// Sample index of this knot.
+    pub index: usize,
+    /// Reconstructed value at the knot.
+    pub value: f64,
+}
+
+/// Compress `values` under the L∞ bound `epsilon`; returns the knot list
+/// (first knot at index 0).
+pub fn compress(values: &[f64], epsilon: f64) -> Vec<Knot> {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut knots = vec![Knot {
+        index: 0,
+        value: values[0],
+    }];
+    if n == 1 {
+        return knots;
+    }
+
+    let mut origin = Knot {
+        index: 0,
+        value: values[0],
+    };
+    // Slope cone [lo, hi] through the origin.
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    let mut last_inside = origin; // reconstruction at the last sample kept
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        let dx = (i - origin.index) as f64;
+        let s_lo = (v - epsilon - origin.value) / dx;
+        let s_hi = (v + epsilon - origin.value) / dx;
+        let new_lo = lo.max(s_lo);
+        let new_hi = hi.min(s_hi);
+        if new_lo <= new_hi {
+            lo = new_lo;
+            hi = new_hi;
+            // Track a representative reconstruction (mid-cone).
+            let mid = if lo.is_infinite() || hi.is_infinite() {
+                (s_lo + s_hi) / 2.0
+            } else {
+                (lo + hi) / 2.0
+            };
+            last_inside = Knot {
+                index: i,
+                value: origin.value + mid * dx,
+            };
+        } else {
+            // Cone emptied: close the segment at the previous sample using
+            // the mid-cone slope, then restart from that knot.
+            knots.push(last_inside);
+            origin = last_inside;
+            let dx = (i - origin.index) as f64;
+            lo = (v - epsilon - origin.value) / dx;
+            hi = (v + epsilon - origin.value) / dx;
+            let mid = (lo + hi) / 2.0;
+            last_inside = Knot {
+                index: i,
+                value: origin.value + mid * dx,
+            };
+        }
+    }
+    knots.push(last_inside);
+    knots
+}
+
+/// Expand knots back into a dense sequence of length `n` (linear
+/// interpolation between knots; the tail after the last knot holds).
+pub fn reconstruct(knots: &[Knot], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0f64; n];
+    if knots.is_empty() {
+        return out;
+    }
+    // Before the first knot (index 0 by construction) and between knots.
+    for w in knots.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let dx = (b.index - a.index) as f64;
+        let end = b.index.min(n.saturating_sub(1));
+        for (i, slot) in out.iter_mut().enumerate().take(end + 1).skip(a.index) {
+            let t = (i - a.index) as f64 / dx;
+            *slot = a.value * (1.0 - t) + b.value * t;
+        }
+    }
+    let last = knots[knots.len() - 1];
+    for slot in out.iter_mut().skip(last.index).take(n - last.index.min(n)) {
+        *slot = last.value;
+    }
+    out
+}
+
+/// Find the largest `epsilon`-free compression for a target knot budget by
+/// bisection on `epsilon` (the swing filter is monotone: larger ε ⇒ fewer
+/// knots). Used to make the online filter comparable under the paper's
+/// space-budget convention.
+pub fn compress_to_budget(values: &[f64], max_knots: usize) -> Vec<Knot> {
+    if values.is_empty() || max_knots == 0 {
+        return Vec::new();
+    }
+    let span = values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        - values.iter().copied().fold(f64::INFINITY, f64::min);
+    if span == 0.0 {
+        return compress(values, 0.0);
+    }
+    let mut lo_eps = 0.0f64;
+    let mut hi_eps = span;
+    let mut best = compress(values, hi_eps);
+    for _ in 0..40 {
+        let mid = (lo_eps + hi_eps) / 2.0;
+        let k = compress(values, mid);
+        if k.len() <= max_knots {
+            best = k;
+            hi_eps = mid;
+        } else {
+            lo_eps = mid;
+        }
+    }
+    best
+}
+
+use sbr_core::MultiSeries;
+
+use crate::{allocate, Allocation, Compressor};
+
+/// The Swing-filter baseline (2 values per knot).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwingCompressor;
+
+impl Compressor for SwingCompressor {
+    fn name(&self) -> &'static str {
+        "Swing filter"
+    }
+
+    fn compress_reconstruct(&self, data: &MultiSeries, budget_values: usize) -> Vec<f64> {
+        allocate(Allocation::PerSignal, data, budget_values, |row, budget| {
+            reconstruct(&compress_to_budget(row, budget / 2), row.len())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(values: &[f64], knots: &[Knot]) -> f64 {
+        let rec = reconstruct(knots, values.len());
+        values
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn straight_line_needs_two_knots() {
+        let v: Vec<f64> = (0..100).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let k = compress(&v, 0.01);
+        assert_eq!(k.len(), 2);
+        assert!(max_err(&v, &k) <= 0.01 + 1e-9);
+    }
+
+    #[test]
+    fn error_bound_holds_on_rough_data() {
+        let v: Vec<f64> = (0..500).map(|i| ((i * 37) % 23) as f64).collect();
+        for eps in [0.5f64, 2.0, 10.0] {
+            let k = compress(&v, eps);
+            assert!(
+                max_err(&v, &k) <= eps + 1e-9,
+                "eps {eps}: err {}",
+                max_err(&v, &k)
+            );
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_never_needs_more_knots() {
+        let v: Vec<f64> = (0..300).map(|i| (i as f64 * 0.1).sin() * 20.0).collect();
+        let mut prev = usize::MAX;
+        for eps in [0.1f64, 0.5, 2.0, 8.0] {
+            let k = compress(&v, eps).len();
+            assert!(k <= prev, "eps {eps}: {k} knots after {prev}");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn budget_bisection_respects_budget() {
+        let v: Vec<f64> = (0..400).map(|i| ((i * i) % 71) as f64).collect();
+        for budget in [4usize, 10, 40] {
+            let k = compress_to_budget(&v, budget);
+            assert!(k.len() <= budget, "budget {budget}: got {} knots", k.len());
+            assert!(k.len() >= 2.min(budget));
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(compress(&[], 1.0).is_empty());
+        let one = compress(&[7.0], 1.0);
+        assert_eq!(one.len(), 1);
+        assert_eq!(reconstruct(&one, 1), vec![7.0]);
+        let flat = compress(&[3.0; 50], 0.0);
+        assert_eq!(flat.len(), 2);
+    }
+
+    #[test]
+    fn compressor_respects_value_budget() {
+        let data = MultiSeries::from_rows(&[(0..200)
+            .map(|i| (i as f64 * 0.23).sin() * 9.0)
+            .collect::<Vec<_>>()])
+        .unwrap();
+        let rec = SwingCompressor.compress_reconstruct(&data, 20); // ≤ 10 knots
+        assert_eq!(rec.len(), 200);
+        let sse: f64 = data
+            .flat()
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum();
+        assert!(sse.is_finite());
+    }
+
+    #[test]
+    fn online_matches_offline_zero_epsilon() {
+        // ε = 0 forces a knot at every slope change; reconstruction exact.
+        let v = [0.0, 1.0, 2.0, 1.0, 0.0, 5.0];
+        let k = compress(&v, 0.0);
+        let rec = reconstruct(&k, v.len());
+        for (a, b) in v.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

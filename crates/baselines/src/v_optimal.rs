@@ -1,0 +1,331 @@
+//! V-optimal histograms: the strongest piecewise-constant partition under
+//! SSE (Jagadish et al.), included as an upper bound on what any histogram
+//! baseline could achieve in Tables 2–4.
+//!
+//! Two constructions:
+//!
+//! * [`build_exact`] — the classic `O(n² · B)` dynamic program. Exact, for
+//!   modest inputs and for validating the approximation.
+//! * [`build_greedy`] — bottom-up merging of adjacent buckets by least SSE
+//!   increase, `O(n log n)`; near-optimal in practice and fast enough for
+//!   the evaluation's chunk sizes.
+
+use std::collections::BinaryHeap;
+
+use sbr_core::MultiSeries;
+
+use crate::histogram::{reconstruct, Bucket};
+use crate::{allocate, Allocation, Compressor};
+
+/// Prefix sums supporting O(1) bucket SSE queries:
+/// `sse(s, e) = Σ v² − (Σ v)² / len` over `[s, e)`.
+struct Pre {
+    sum: Vec<f64>,
+    sq: Vec<f64>,
+}
+
+impl Pre {
+    fn new(v: &[f64]) -> Self {
+        let mut sum = Vec::with_capacity(v.len() + 1);
+        let mut sq = Vec::with_capacity(v.len() + 1);
+        sum.push(0.0);
+        sq.push(0.0);
+        let (mut s, mut s2) = (0.0, 0.0);
+        for &x in v {
+            s += x;
+            s2 += x * x;
+            sum.push(s);
+            sq.push(s2);
+        }
+        Pre { sum, sq }
+    }
+
+    #[inline]
+    fn sse(&self, s: usize, e: usize) -> f64 {
+        let n = (e - s) as f64;
+        let sum = self.sum[e] - self.sum[s];
+        let sq = self.sq[e] - self.sq[s];
+        (sq - sum * sum / n).max(0.0)
+    }
+
+    #[inline]
+    fn mean(&self, s: usize, e: usize) -> f64 {
+        (self.sum[e] - self.sum[s]) / (e - s) as f64
+    }
+}
+
+/// Exact V-optimal partition into at most `k` buckets (`O(n²k)` time,
+/// `O(nk)` space).
+pub fn build_exact(values: &[f64], k: usize) -> Vec<Bucket> {
+    let n = values.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let pre = Pre::new(values);
+    // dp[b][i]: min SSE of covering [0, i) with b+1 buckets.
+    let mut dp = vec![vec![f64::INFINITY; n + 1]; k];
+    let mut cut = vec![vec![0usize; n + 1]; k];
+    for (i, slot) in dp[0].iter_mut().enumerate().skip(1) {
+        *slot = pre.sse(0, i);
+    }
+    for b in 1..k {
+        for i in (b + 1)..=n {
+            for j in b..i {
+                let cand = dp[b - 1][j] + pre.sse(j, i);
+                if cand < dp[b][i] {
+                    dp[b][i] = cand;
+                    cut[b][i] = j;
+                }
+            }
+        }
+    }
+    // Pick the best bucket count ≤ k (more buckets never hurt, but guard
+    // against n < k degeneracies), then walk the cuts back.
+    let mut best_b = 0;
+    for b in 0..k {
+        if dp[b][n] < dp[best_b][n] - 1e-15 {
+            best_b = b;
+        }
+    }
+    let mut bounds = vec![n];
+    let mut b = best_b;
+    let mut i = n;
+    while b > 0 {
+        i = cut[b][i];
+        bounds.push(i);
+        b -= 1;
+    }
+    bounds.push(0);
+    bounds.reverse();
+    bounds.dedup();
+    bounds
+        .windows(2)
+        .map(|w| Bucket {
+            start: w[0],
+            end: w[1],
+            value: pre.mean(w[0], w[1]),
+        })
+        .collect()
+}
+
+/// Greedy bottom-up merge: start from singleton buckets, repeatedly merge
+/// the adjacent pair whose union increases SSE least.
+pub fn build_greedy(values: &[f64], k: usize) -> Vec<Bucket> {
+    let n = values.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let pre = Pre::new(values);
+
+    // Doubly linked list of bucket boundaries + lazy-deletion heap of merge
+    // candidates, keyed by -cost (min-heap behaviour on a max-heap).
+    #[derive(PartialEq)]
+    struct Cand {
+        cost: f64,
+        left: usize,
+        stamp: (u64, u64),
+    }
+    impl Eq for Cand {}
+    impl PartialOrd for Cand {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Cand {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other.cost.total_cmp(&self.cost)
+        }
+    }
+
+    // Buckets as (start, end) addressed by their start; versioned to
+    // invalidate stale heap entries.
+    let mut end = vec![0usize; n + 1]; // end[s] = bucket end for bucket starting at s
+    let mut prev = vec![usize::MAX; n + 1];
+    let mut next = vec![usize::MAX; n + 1];
+    let mut version = vec![0u64; n + 1];
+    for s in 0..n {
+        end[s] = s + 1;
+        prev[s] = if s == 0 { usize::MAX } else { s - 1 };
+        next[s] = if s + 1 < n { s + 1 } else { usize::MAX };
+    }
+
+    let merge_cost = |pre: &Pre, s: usize, mid_end: usize, e: usize| -> f64 {
+        pre.sse(s, e) - pre.sse(s, mid_end) - pre.sse(mid_end, e)
+    };
+
+    let mut heap: BinaryHeap<Cand> = BinaryHeap::new();
+    for s in 0..n {
+        if next[s] != usize::MAX {
+            let r = next[s];
+            heap.push(Cand {
+                cost: merge_cost(&pre, s, end[s], end[r]),
+                left: s,
+                stamp: (version[s], version[r]),
+            });
+        }
+    }
+
+    let mut buckets = n;
+    while buckets > k {
+        let c = heap.pop().expect("candidates exist while buckets > k");
+        let l = c.left;
+        let r = next[l];
+        if r == usize::MAX || (version[l], version[r]) != c.stamp {
+            continue; // stale
+        }
+        // Merge r into l.
+        end[l] = end[r];
+        next[l] = next[r];
+        if next[l] != usize::MAX {
+            prev[next[l]] = l;
+        }
+        version[l] += 1;
+        version[r] += 1;
+        buckets -= 1;
+        if prev[l] != usize::MAX {
+            let p = prev[l];
+            heap.push(Cand {
+                cost: merge_cost(&pre, p, end[p], end[l]),
+                left: p,
+                stamp: (version[p], version[l]),
+            });
+        }
+        if next[l] != usize::MAX {
+            let q = next[l];
+            heap.push(Cand {
+                cost: merge_cost(&pre, l, end[l], end[q]),
+                left: l,
+                stamp: (version[l], version[q]),
+            });
+        }
+    }
+
+    let mut out = Vec::with_capacity(buckets);
+    let mut s = 0usize;
+    while s != usize::MAX {
+        out.push(Bucket {
+            start: s,
+            end: end[s],
+            value: pre.mean(s, end[s]),
+        });
+        s = next[s];
+    }
+    out
+}
+
+/// The V-optimal (greedy-merge) histogram baseline, 2 values per bucket.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VOptimalCompressor;
+
+impl Compressor for VOptimalCompressor {
+    fn name(&self) -> &'static str {
+        "Histograms (v-optimal)"
+    }
+
+    fn compress_reconstruct(&self, data: &MultiSeries, budget_values: usize) -> Vec<f64> {
+        allocate(Allocation::PerSignal, data, budget_values, |row, budget| {
+            reconstruct(&build_greedy(row, budget / 2), row.len())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sse_of(values: &[f64], buckets: &[Bucket]) -> f64 {
+        let rec = reconstruct(buckets, values.len());
+        values.iter().zip(&rec).map(|(a, b)| (a - b).powi(2)).sum()
+    }
+
+    #[test]
+    fn exact_beats_every_other_partition_small() {
+        // Brute-force all 2-bucket partitions of a short series.
+        let v = [1.0, 1.5, 8.0, 8.2, 8.4, 2.0];
+        let opt = build_exact(&v, 2);
+        let opt_sse = sse_of(&v, &opt);
+        for cut in 1..v.len() {
+            let manual = [
+                Bucket {
+                    start: 0,
+                    end: cut,
+                    value: v[..cut].iter().sum::<f64>() / cut as f64,
+                },
+                Bucket {
+                    start: cut,
+                    end: v.len(),
+                    value: v[cut..].iter().sum::<f64>() / (v.len() - cut) as f64,
+                },
+            ];
+            assert!(opt_sse <= sse_of(&v, &manual) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_is_zero_on_piecewise_constant() {
+        let mut v = vec![4.0; 10];
+        v.extend(vec![-1.0; 7]);
+        v.extend(vec![9.0; 5]);
+        let b = build_exact(&v, 3);
+        assert!(sse_of(&v, &b) < 1e-12);
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_clean_steps() {
+        let mut v = vec![2.0; 8];
+        v.extend(vec![10.0; 8]);
+        v.extend(vec![-3.0; 8]);
+        let g = build_greedy(&v, 3);
+        assert!(sse_of(&v, &g) < 1e-12);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn greedy_close_to_exact_on_noisy_data() {
+        let v: Vec<f64> = (0..64)
+            .map(|i| ((i * 37) % 11) as f64 + if i > 30 { 50.0 } else { 0.0 })
+            .collect();
+        for k in [2usize, 4, 8] {
+            let e = sse_of(&v, &build_exact(&v, k));
+            let g = sse_of(&v, &build_greedy(&v, k));
+            assert!(g <= e * 1.6 + 1e-9, "k={k}: greedy {g} vs exact {e}");
+        }
+    }
+
+    #[test]
+    fn partitions_are_well_formed() {
+        let v: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin()).collect();
+        for k in [1usize, 3, 10, 50] {
+            for b in [build_exact(&v, k), build_greedy(&v, k)] {
+                assert!(b.len() <= k);
+                assert_eq!(b[0].start, 0);
+                assert_eq!(b.last().unwrap().end, 50);
+                for w in b.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn voptimal_beats_equidepth() {
+        let v: Vec<f64> = (0..128)
+            .map(|i| if (i / 16) % 2 == 0 { 1.0 } else { 20.0 } + (i % 3) as f64 * 0.1)
+            .collect();
+        let vo = sse_of(&v, &build_greedy(&v, 8));
+        let ed = sse_of(
+            &v,
+            &crate::histogram::build(&v, 8, crate::histogram::Bucketing::EquiDepth),
+        );
+        assert!(vo <= ed, "v-optimal {vo} vs equi-depth {ed}");
+    }
+
+    #[test]
+    fn compressor_shape() {
+        let data = MultiSeries::from_rows(&[(0..40).map(|i| i as f64).collect::<Vec<_>>()]).unwrap();
+        let rec = VOptimalCompressor.compress_reconstruct(&data, 12);
+        assert_eq!(rec.len(), 40);
+    }
+}

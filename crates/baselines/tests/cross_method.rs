@@ -1,0 +1,157 @@
+//! Cross-method invariants: every compressor in the crate, driven over the
+//! same inputs through the common [`Compressor`] trait.
+
+use sbr_baselines::dct::DctCompressor;
+use sbr_baselines::fourier::FourierCompressor;
+use sbr_baselines::histogram::{Bucketing, HistogramCompressor};
+use sbr_baselines::linreg::LinRegCompressor;
+use sbr_baselines::quadreg::QuadRegCompressor;
+use sbr_baselines::swing::SwingCompressor;
+use sbr_baselines::v_optimal::VOptimalCompressor;
+use sbr_baselines::wavelet::WaveletCompressor;
+use sbr_baselines::wavelet2d::Wavelet2dCompressor;
+use sbr_baselines::{Allocation, Compressor};
+use sbr_core::MultiSeries;
+
+fn all_methods() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(WaveletCompressor {
+            allocation: Allocation::Concatenated,
+        }),
+        Box::new(WaveletCompressor {
+            allocation: Allocation::PerSignal,
+        }),
+        Box::new(Wavelet2dCompressor),
+        Box::new(DctCompressor {
+            allocation: Allocation::Concatenated,
+        }),
+        Box::new(DctCompressor {
+            allocation: Allocation::PerSignal,
+        }),
+        Box::new(FourierCompressor {
+            allocation: Allocation::PerSignal,
+        }),
+        Box::new(HistogramCompressor {
+            policy: Bucketing::EquiDepth,
+            allocation: Allocation::PerSignal,
+        }),
+        Box::new(HistogramCompressor {
+            policy: Bucketing::EquiWidth,
+            allocation: Allocation::PerSignal,
+        }),
+        Box::new(HistogramCompressor {
+            policy: Bucketing::MaxDiff,
+            allocation: Allocation::PerSignal,
+        }),
+        Box::new(VOptimalCompressor),
+        Box::new(LinRegCompressor::default()),
+        Box::new(QuadRegCompressor),
+        Box::new(SwingCompressor),
+    ]
+}
+
+fn batch(n: usize, m: usize, seed: u64) -> MultiSeries {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|r| {
+            (0..m)
+                .map(|i| {
+                    let t = (i as u64 + seed * 31 + r as u64 * 7) as f64;
+                    (t * 0.17).sin() * 6.0 + (t * 0.011).cos() * 3.0 + ((i * 13) % 5) as f64
+                })
+                .collect()
+        })
+        .collect();
+    MultiSeries::from_rows(&rows).unwrap()
+}
+
+fn sse(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+#[test]
+fn every_method_returns_finite_full_shape() {
+    let data = batch(3, 96, 1);
+    for m in all_methods() {
+        for budget in [12usize, 36, 96] {
+            let rec = m.compress_reconstruct(&data, budget);
+            assert_eq!(rec.len(), data.len(), "{} at {budget}", m.name());
+            assert!(
+                rec.iter().all(|v| v.is_finite()),
+                "{} produced non-finite output",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_method_error_is_weakly_monotone_in_budget() {
+    let data = batch(2, 128, 2);
+    for m in all_methods() {
+        let mut prev = f64::INFINITY;
+        for budget in [16usize, 32, 64, 128, 256] {
+            let rec = m.compress_reconstruct(&data, budget);
+            let e = sse(data.flat(), &rec);
+            assert!(
+                e <= prev * 1.05 + 1e-9,
+                "{}: error rose {prev} → {e} at budget {budget}",
+                m.name()
+            );
+            prev = e;
+        }
+    }
+}
+
+#[test]
+fn transforms_beat_histograms_on_smooth_data() {
+    // A smooth two-tone signal: any frequency-domain method must beat
+    // piecewise-constant buckets at equal space.
+    let rows = vec![(0..256)
+        .map(|i| {
+            (2.0 * std::f64::consts::PI * 3.0 * i as f64 / 256.0).sin() * 10.0
+                + (2.0 * std::f64::consts::PI * 7.0 * i as f64 / 256.0).cos() * 4.0
+        })
+        .collect::<Vec<f64>>()];
+    let data = MultiSeries::from_rows(&rows).unwrap();
+    let budget = 24;
+    let dct = DctCompressor {
+        allocation: Allocation::PerSignal,
+    }
+    .compress_reconstruct(&data, budget);
+    let hist = HistogramCompressor::default().compress_reconstruct(&data, budget);
+    assert!(sse(data.flat(), &dct) < sse(data.flat(), &hist) / 10.0);
+}
+
+#[test]
+fn names_are_unique() {
+    let methods = all_methods();
+    let mut names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+    let before = names.len();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), before, "duplicate compressor names confuse reports");
+}
+
+#[test]
+fn zero_budget_degrades_gracefully() {
+    let data = batch(2, 32, 3);
+    for m in all_methods() {
+        let rec = m.compress_reconstruct(&data, 0);
+        assert_eq!(rec.len(), data.len(), "{}", m.name());
+        assert!(rec.iter().all(|v| v.is_finite()), "{}", m.name());
+    }
+}
+
+#[test]
+fn constant_data_is_cheap_for_everyone() {
+    let data = MultiSeries::from_rows(&[vec![7.0; 64]]).unwrap();
+    for m in all_methods() {
+        let rec = m.compress_reconstruct(&data, 8);
+        let e = sse(data.flat(), &rec);
+        assert!(
+            e < 1e-9,
+            "{} cannot represent a constant in 8 values (sse {e})",
+            m.name()
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end benchmarks: one full SBR transmission (GetBase + Search +
+//! GetIntervals + encode) at growing batch sizes and budgets — the
+//! Criterion-grade counterpart of Figure 5 — plus the wire codec and the
+//! decoder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sbr_core::query::ChunkView;
+use sbr_core::{codec, Decoder, SbrConfig, SbrEncoder};
+
+fn files(n_signals: usize, m: usize) -> Vec<Vec<f64>> {
+    (0..n_signals)
+        .map(|s| {
+            (0..m)
+                .map(|i| ((i as f64 * 0.11) + s as f64).sin() * 5.0 + (i % 29) as f64 * 0.3)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sbr_encode");
+    g.sample_size(10);
+    for n in [2048usize, 5120, 10240] {
+        let rows = files(10, n / 10);
+        g.bench_with_input(BenchmarkId::new("ratio_10", n), &n, |b, _| {
+            b.iter(|| {
+                let mut enc =
+                    SbrEncoder::new(10, n / 10, SbrConfig::new(n / 10, 1024)).unwrap();
+                enc.encode(black_box(&rows)).unwrap().cost()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_encode_frozen_base(c: &mut Criterion) {
+    // The §4.4 shortcut: GetIntervals only. Should be dramatically cheaper
+    // than the full pipeline above.
+    let mut g = c.benchmark_group("sbr_encode_frozen");
+    g.sample_size(10);
+    for n in [2048usize, 5120, 10240] {
+        let rows = files(10, n / 10);
+        let mut enc = SbrEncoder::new(
+            10,
+            n / 10,
+            SbrConfig::new(n / 10, 1024).frozen_base(),
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("ratio_10", n), &n, |b, _| {
+            b.iter(|| enc.encode(black_box(&rows)).unwrap().cost())
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec_and_decode(c: &mut Criterion) {
+    let rows = files(10, 512);
+    let mut enc = SbrEncoder::new(10, 512, SbrConfig::new(512, 1024)).unwrap();
+    let tx = enc.encode(&rows).unwrap();
+    let frame = codec::encode(&tx);
+
+    let mut g = c.benchmark_group("wire");
+    g.bench_function("codec_encode", |b| b.iter(|| codec::encode(black_box(&tx)).len()));
+    g.bench_function("codec_decode", |b| {
+        b.iter(|| codec::decode(&mut black_box(frame.clone())).unwrap().seq)
+    });
+    g.bench_function("decoder_reconstruct", |b| {
+        b.iter(|| {
+            let mut d = Decoder::new();
+            d.decode(black_box(&tx)).unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    // Aggregate directly on the compressed records vs reconstruct + scan.
+    let rows = files(10, 1024);
+    let n = 10 * 1024;
+    let mut enc = SbrEncoder::new(10, 1024, SbrConfig::new(n / 10, 1024)).unwrap();
+    let tx = enc.encode(&rows).unwrap();
+    let mut base = Vec::new();
+    for u in &tx.base_updates {
+        base.extend_from_slice(&u.values);
+    }
+    let view = ChunkView::new(&tx.intervals, &base, n).unwrap();
+    let mut g = c.benchmark_group("range_sum_10240");
+    g.bench_function("chunk_view", |b| {
+        b.iter(|| view.range_sum(black_box(100), black_box(9000)).unwrap())
+    });
+    g.bench_function("reconstruct_scan", |b| {
+        b.iter(|| {
+            let rec = sbr_core::get_intervals::reconstruct_flat(
+                black_box(&base),
+                &tx.intervals,
+                n,
+            )
+            .unwrap();
+            rec[100..9000].iter().sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_encode_frozen_base,
+    bench_codec_and_decode,
+    bench_query
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Microbenchmarks of the SBR kernels: the regression fits, `BestMap`'s
+//! shift scan, `GetIntervals` and `GetBase`. These back the complexity
+//! claims of §4.2–§4.4 (regression linear in the window, BestMap linear in
+//! `|X| × len`, GetBase `O(n^1.5)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sbr_core::best_map::MapContext;
+use sbr_core::get_base::get_base;
+use sbr_core::get_intervals::get_intervals;
+use sbr_core::regression::{fit_maxabs, fit_relative, fit_sse};
+use sbr_core::{ErrorMetric, Interval, MultiSeries, SbrConfig};
+
+fn signal(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as f64) * 0.17 + seed as f64).sin() * 5.0 + ((i * 7 + 3) % 13) as f64)
+        .collect()
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regression");
+    for len in [64usize, 256, 1024] {
+        let x = signal(len, 1);
+        let y = signal(len, 2);
+        g.bench_with_input(BenchmarkId::new("sse", len), &len, |b, _| {
+            b.iter(|| fit_sse(black_box(&x), black_box(&y)))
+        });
+        g.bench_with_input(BenchmarkId::new("relative", len), &len, |b, _| {
+            b.iter(|| fit_relative(black_box(&x), black_box(&y), 1.0))
+        });
+        g.bench_with_input(BenchmarkId::new("maxabs", len), &len, |b, _| {
+            b.iter(|| fit_maxabs(black_box(&x), black_box(&y)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_best_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("best_map");
+    g.sample_size(20);
+    for x_len in [512usize, 1024, 2048] {
+        let x = signal(x_len, 3);
+        let y = signal(4096, 4);
+        let config = SbrConfig::new(1 << 20, 1 << 20).with_w(64);
+        let ctx = MapContext::new(&x, &y, &config, 64);
+        g.bench_with_input(BenchmarkId::new("shift_scan", x_len), &x_len, |b, _| {
+            b.iter(|| {
+                let mut iv = Interval::unfitted(100, 128);
+                ctx.best_map(black_box(&mut iv));
+                iv.err
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_get_intervals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("get_intervals");
+    g.sample_size(10);
+    for n in [2048usize, 8192] {
+        let rows: Vec<Vec<f64>> = (0..4).map(|s| signal(n / 4, s as u64)).collect();
+        let data = MultiSeries::from_rows(&rows).unwrap();
+        let w = data.default_w();
+        let x = signal(8 * w, 9);
+        let config = SbrConfig::new(n / 10, n / 10);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                get_intervals(black_box(&x), &data, n / 10, w, &config)
+                    .unwrap()
+                    .total_err
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_get_base(c: &mut Criterion) {
+    let mut g = c.benchmark_group("get_base");
+    g.sample_size(10);
+    for n in [2048usize, 8192] {
+        let rows: Vec<Vec<f64>> = (0..4).map(|s| signal(n / 4, s as u64)).collect();
+        let data = MultiSeries::from_rows(&rows).unwrap();
+        let w = data.default_w();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| get_base(black_box(&data), w, 8, ErrorMetric::Sse).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_regression,
+    bench_best_map,
+    bench_get_intervals,
+    bench_get_base
+);
+criterion_main!(benches);

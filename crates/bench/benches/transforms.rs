@@ -1,0 +1,132 @@
+//! Microbenchmarks of the baseline transforms (Haar, DCT, DFT, histograms)
+//! at the chunk sizes the evaluation uses — including the non-power-of-two
+//! ones that exercise the Bluestein path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sbr_baselines::{dct, fourier, histogram, v_optimal, wavelet, wavelet2d};
+use sbr_core::quadratic;
+use sbr_core::MultiSeries;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.13).sin() * 4.0 + ((i * 11) % 17) as f64)
+        .collect()
+}
+
+fn bench_wavelet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("haar");
+    for n in [2048usize, 2560, 4096] {
+        let x = signal(n);
+        g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| wavelet::forward(black_box(&x)))
+        });
+        let coeffs = wavelet::forward(&x);
+        g.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
+            b.iter(|| wavelet::inverse(black_box(&coeffs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dct");
+    g.sample_size(20);
+    for n in [2048usize, 2560, 4096] {
+        let x = signal(n);
+        g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| dct::forward(black_box(&x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fourier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fourier");
+    g.sample_size(20);
+    for n in [2048usize, 2560] {
+        let x = signal(n);
+        g.bench_with_input(BenchmarkId::new("approximate_64", n), &n, |b, _| {
+            b.iter(|| fourier::approximate(black_box(&x), 64))
+        });
+    }
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    for n in [2048usize, 8192] {
+        let x = signal(n);
+        for policy in [
+            histogram::Bucketing::EquiDepth,
+            histogram::Bucketing::EquiWidth,
+            histogram::Bucketing::MaxDiff,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), n),
+                &n,
+                |b, _| b.iter(|| histogram::build(black_box(&x), 64, policy)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_voptimal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("v_optimal");
+    g.sample_size(10);
+    for n in [512usize, 2048] {
+        let x = signal(n);
+        g.bench_with_input(BenchmarkId::new("greedy_64", n), &n, |b, _| {
+            b.iter(|| v_optimal::build_greedy(black_box(&x), 64).len())
+        });
+    }
+    // The exact DP only at a size it can afford.
+    let x = signal(256);
+    g.bench_function("exact_16_n256", |b| {
+        b.iter(|| v_optimal::build_exact(black_box(&x), 16).len())
+    });
+    g.finish();
+}
+
+fn bench_wavelet2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("haar2d");
+    for (rows, cols) in [(6usize, 512usize), (10, 1024)] {
+        let data = MultiSeries::from_rows(
+            &(0..rows).map(|_| signal(cols)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let m = wavelet2d::Matrix::from_series(&data);
+        g.bench_with_input(
+            BenchmarkId::new("forward", rows * cols),
+            &(rows, cols),
+            |b, _| b.iter(|| wavelet2d::forward(black_box(&m))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_quadratic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quadratic_fit");
+    for n in [64usize, 512] {
+        let x = signal(n);
+        let y = signal(n + 1)[1..].to_vec();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| quadratic::fit_quadratic(black_box(&x), black_box(&y)).err)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wavelet,
+    bench_dct,
+    bench_fourier,
+    bench_histogram,
+    bench_voptimal,
+    bench_wavelet2d,
+    bench_quadratic
+);
+criterion_main!(benches);

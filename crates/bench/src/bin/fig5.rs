@@ -1,0 +1,44 @@
+//! Figure 5: average per-transmission SBR running time vs. `TotalBand`
+//! (compression ratios 5–30 %), for n ∈ {5,120, 10,240, 20,480} values
+//! (10 stocks, M varied) with a 1,024-value base signal.
+//!
+//! The reproduction target is the *shape*: running time linear in the
+//! transmitted-data size, larger n strictly slower. Absolute seconds
+//! depend on the host (the paper used a 300 MHz Irix box).
+//!
+//! Run with `--quick` to measure only two ratios.
+
+use sbr_bench::{quick_mode, row, run_sbr_stream, RATIOS};
+use sbr_core::SbrConfig;
+
+fn main() {
+    let quick = quick_mode();
+    let ratios: &[f64] = if quick { &RATIOS[..2] } else { &RATIOS };
+    println!("=== Figure 5 — avg per-transmission time (seconds) vs TotalBand ===");
+    println!(
+        "{}",
+        row(
+            "ratio",
+            [5120usize, 10240, 20480]
+                .map(|n| format!("n={n}")).as_ref()
+        )
+    );
+    // One row per ratio, one column per n.
+    let sizes = [512usize, 1024, 2048]; // M per stock; N = 10
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for &m in &sizes {
+        let d = sbr_datasets::stock(42, 10, m * 10);
+        let files = d.chunk(m);
+        let mut col = Vec::new();
+        for &ratio in ratios {
+            let band = (10 * m) as f64 * ratio;
+            let stream = run_sbr_stream(&files, SbrConfig::new(band as usize, 1024));
+            col.push(stream.avg_encode_time().as_secs_f64());
+        }
+        columns.push(col);
+    }
+    for (ri, &ratio) in ratios.iter().enumerate() {
+        let cells: Vec<String> = columns.iter().map(|c| format!("{:.3}", c[ri])).collect();
+        println!("{}", row(&format!("{:.0}%", ratio * 100.0), &cells));
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 6: SSE of the *first* transmission as the number of inserted
+//! base intervals is forced from 1 to 30, normalized by the 1-interval
+//! error, plus the insertion count SBR picks on its own.
+//!
+//! The reproduction target: a U-shaped curve (base features first help,
+//! then crowd out approximation intervals) with the optimum at a small
+//! number of intervals (7–9 in the paper, ≈3 % of the batch), and SBR's
+//! automatic choice at or near the optimum.
+//!
+//! Run with `--quick` for a 4×-smaller sanity pass.
+
+use sbr_bench::{quick_mode, row, run_sbr_stream};
+use sbr_core::get_base::get_base;
+use sbr_core::get_intervals::get_intervals;
+use sbr_core::{ErrorMetric, MultiSeries, SbrConfig};
+
+const MAX_FORCED: usize = 30;
+
+fn main() {
+    let (setups, band) = sbr_bench::fig6_setups(quick_mode());
+    println!("=== Figure 6 — normalized first-transmission SSE vs base-signal size ===");
+    println!(
+        "{}",
+        row(
+            "intervals",
+            &setups.iter().map(|s| s.name.to_string()).collect::<Vec<_>>()
+        )
+    );
+
+    let mut curves: Vec<Vec<Option<f64>>> = Vec::new();
+    let mut picks: Vec<usize> = Vec::new();
+    for setup in &setups {
+        let rows = &setup.files[0];
+        let data = MultiSeries::from_rows(rows).expect("uniform chunk");
+        let cfg = SbrConfig::new(band, setup.m_base);
+        let w = cfg.w_for(data.len());
+
+        // Rank 30 candidates once; forcing k means inserting the first k.
+        let candidates = get_base(&data, w, MAX_FORCED, ErrorMetric::Sse);
+        let mut curve = Vec::with_capacity(MAX_FORCED);
+        for k in 1..=MAX_FORCED {
+            if k > candidates.len() || band < k * (w + 1) + 4 * data.n_signals() {
+                curve.push(None);
+                continue;
+            }
+            let mut x = Vec::with_capacity(k * w);
+            for c in &candidates[..k] {
+                x.extend_from_slice(c);
+            }
+            let budget = band - k * (w + 1);
+            let err = get_intervals(&x, &data, budget, w, &cfg)
+                .expect("forced-base approximation")
+                .total_err;
+            curve.push(Some(err));
+        }
+        let base = curve[0].expect("k = 1 always feasible");
+        curves.push(
+            curve
+                .into_iter()
+                .map(|e| e.map(|v| v / base))
+                .collect::<Vec<_>>(),
+        );
+
+        // SBR's own choice on the first transmission.
+        let stream = run_sbr_stream(&setup.files[..1], cfg);
+        picks.push(stream.inserted()[0]);
+    }
+
+    for k in 1..=MAX_FORCED {
+        let cells: Vec<String> = curves
+            .iter()
+            .map(|c| c[k - 1].map_or("-".into(), |v| format!("{v:.4}")))
+            .collect();
+        println!("{}", row(&k.to_string(), &cells));
+    }
+    println!();
+    for (setup, pick) in setups.iter().zip(&picks) {
+        let best = curves[setups.iter().position(|s| s.name == setup.name).unwrap()]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (i + 1, v)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(k, _)| k)
+            .unwrap_or(0);
+        println!(
+            "{:<10} SBR inserted {pick} base intervals (forced-sweep optimum: {best})",
+            setup.name
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Network-lifetime experiment (beyond the paper's tables, but its §3.1
+//! motivation): first-node-death lifetime of a 20-sensor multi-hop network
+//! under raw forwarding, per-window aggregation, and SBR at several
+//! compression ratios, using the MICA-mote energy constants and broadcast
+//! overhearing.
+//!
+//! Expected shape: lifetime scales roughly with the inverse of the data
+//! volume each node relays, so SBR at ratio r buys ≈ 1/r the raw lifetime
+//! while keeping full-resolution history (aggregation matches the energy
+//! but destroys the detail — its SSE column is the price).
+//!
+//! Run with `--quick` for a smaller network.
+
+use sbr_bench::quick_mode;
+use sbr_core::SbrConfig;
+use sensor_net::{Battery, EnergyModel, Network, Strategy, Topology};
+
+fn main() {
+    let quick = quick_mode();
+    let n_nodes = if quick { 9 } else { 21 };
+    let n_signals = 3;
+    let file_len = if quick { 256 } else { 512 };
+    let batches = 4;
+
+    let feeds: Vec<Vec<Vec<f64>>> = (0..n_nodes - 1)
+        .map(|i| {
+            let d = sbr_datasets::weather(300 + i as u64, file_len * batches);
+            d.signals[..n_signals].to_vec()
+        })
+        .collect();
+
+    let battery = Battery { capacity: 2e12 };
+    println!("=== Network lifetime (first node death, {} sensors, multi-hop) ===", n_nodes - 1);
+    println!(
+        "{:<18} {:>12} {:>14} {:>16} {:>12}",
+        "strategy", "values", "energy", "lifetime(x raw)", "sse"
+    );
+
+    let mut raw_lifetime = None;
+    let mut run = |label: String, strategy: Strategy| {
+        let topo = Topology::random(n_nodes, 10.0, 2.5, 9);
+        let mut net = Network::new(topo, EnergyModel::default());
+        let report = net.simulate(&feeds, file_len, &strategy).expect("simulate");
+        let life = battery.network_lifetime(&report.ledgers);
+        let base = *raw_lifetime.get_or_insert(life);
+        println!(
+            "{label:<18} {:>12} {:>14.3e} {:>16.2} {:>12.1}",
+            report.values_sent,
+            report.total_energy(),
+            life / base,
+            report.sse
+        );
+    };
+
+    run("raw".into(), Strategy::Raw);
+    run("aggregate/32".into(), Strategy::Aggregate { window: 32 });
+    for ratio in [0.05f64, 0.10, 0.20, 0.30] {
+        let band = (n_signals as f64 * file_len as f64 * ratio) as usize;
+        run(
+            format!("sbr {:>3.0}%", ratio * 100.0),
+            Strategy::Sbr(SbrConfig::new(band, 256)),
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Wire-profile experiment (beyond the paper): bytes on the air and
+//! reconstruction error for the F64 / F32 / Q16 framings over a full
+//! 10-transmission weather stream. The paper counts abstract *values*;
+//! this binary shows what an actual mote radio would ship.
+//!
+//! Expected shape: F32 halves the bytes at negligible error cost; Q16
+//! roughly quarters them with a bounded, data-scaled error increase.
+//!
+//! Run with `--quick` for a 4×-smaller pass.
+
+use sbr_bench::{quick_mode, row};
+use sbr_core::wire_profile::{decode, encode, Profile};
+use sbr_core::{Decoder, ErrorMetric, SbrConfig, SbrEncoder};
+
+fn main() {
+    let setup = sbr_bench::weather_setup(quick_mode());
+    let n = setup.n();
+    let band = n / 10;
+    let n_signals = setup.files[0].len();
+    let m = setup.files[0][0].len();
+
+    println!("=== Wire profiles — weather stream, 10% value budget ===");
+    println!(
+        "{}",
+        row(
+            "profile",
+            ["bytes/tx", "bytes/value", "avg sse", "vs F64"]
+                .map(str::to_string)
+                .as_ref()
+        )
+    );
+
+    let mut f64_sse = None;
+    for profile in [Profile::F64, Profile::F32, Profile::Q16] {
+        let mut enc = SbrEncoder::new(n_signals, m, SbrConfig::new(band, setup.m_base))
+            .expect("valid config");
+        let mut dec = Decoder::new();
+        let mut bytes = 0usize;
+        let mut values = 0usize;
+        let mut sse = 0.0f64;
+        for rows in &setup.files {
+            let tx = enc.encode(rows).expect("encode");
+            let frame = encode(&tx, profile);
+            bytes += frame.len();
+            values += tx.cost();
+            let received = decode(&mut frame.clone()).expect("decode frame");
+            let rec = dec.decode(&received).expect("decode tx");
+            for (o, r) in rows.iter().zip(&rec) {
+                sse += ErrorMetric::Sse.score(o, r);
+            }
+        }
+        let avg_sse = sse / setup.files.len() as f64;
+        let base = *f64_sse.get_or_insert(avg_sse);
+        println!(
+            "{}",
+            row(
+                &format!("{profile:?}"),
+                &[
+                    format!("{}", bytes / setup.files.len()),
+                    format!("{:.2}", bytes as f64 / values as f64),
+                    format!("{avg_sse:.2}"),
+                    format!("{:+.2}%", 100.0 * (avg_sse - base) / base),
+                ]
+            )
+        );
+    }
+}

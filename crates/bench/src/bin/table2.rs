@@ -1,0 +1,48 @@
+//! Table 2: average SSE per transmission vs. compression ratio (5–30 %)
+//! for the Weather and Stock datasets — SBR vs. Wavelets, DCT, Histograms.
+//!
+//! Run with `--quick` for a 4×-smaller sanity pass.
+
+use sbr_baselines::dct::DctCompressor;
+use sbr_baselines::histogram::HistogramCompressor;
+use sbr_baselines::wavelet::WaveletCompressor;
+use sbr_baselines::Allocation;
+use sbr_bench::{fmt, quick_mode, row, run_baseline_stream, run_sbr_stream, Setup, RATIOS};
+use sbr_core::SbrConfig;
+
+fn main() {
+    let quick = quick_mode();
+    for setup in [sbr_bench::weather_setup(quick), sbr_bench::stock_setup(quick)] {
+        run_dataset(&setup);
+    }
+}
+
+fn run_dataset(setup: &Setup) {
+    println!("\n=== Table 2 — {} dataset (n = {}) ===", setup.name, setup.n());
+    println!(
+        "{}",
+        row(
+            "ratio",
+            ["SBR", "Wavelets", "DCT", "Histograms"]
+                .map(str::to_string).as_ref()
+        )
+    );
+    let wavelets = WaveletCompressor {
+        allocation: Allocation::Concatenated,
+    };
+    let dct = DctCompressor {
+        allocation: Allocation::Concatenated,
+    };
+    let hist = HistogramCompressor::default();
+    for ratio in RATIOS {
+        let band = (setup.n() as f64 * ratio) as usize;
+        let sbr = run_sbr_stream(&setup.files, SbrConfig::new(band, setup.m_base));
+        let cells = vec![
+            fmt(sbr.avg_sse()),
+            fmt(run_baseline_stream(&setup.files, &wavelets, band).avg_sse()),
+            fmt(run_baseline_stream(&setup.files, &dct, band).avg_sse()),
+            fmt(run_baseline_stream(&setup.files, &hist, band).avg_sse()),
+        ];
+        println!("{}", row(&format!("{:.0}%", ratio * 100.0), &cells));
+    }
+}

@@ -1,0 +1,76 @@
+//! Table 3: Phone dataset — average SSE *and* total sum squared relative
+//! error vs. compression ratio. The relative-error columns re-run SBR with
+//! the weighted-regression variant (§4.5 / the companion TR).
+//!
+//! Run with `--quick` for a 4×-smaller sanity pass.
+
+use sbr_baselines::dct::DctCompressor;
+use sbr_baselines::histogram::HistogramCompressor;
+use sbr_baselines::wavelet::WaveletCompressor;
+use sbr_baselines::Allocation;
+use sbr_bench::{fmt, quick_mode, row, run_baseline_stream, run_sbr_stream, RATIOS};
+use sbr_core::{ErrorMetric, SbrConfig};
+
+fn main() {
+    let setup = sbr_bench::phone_setup(quick_mode());
+    println!("=== Table 3 — Phone dataset (n = {}) ===", setup.n());
+
+    let wavelets = WaveletCompressor {
+        allocation: Allocation::Concatenated,
+    };
+    let dct = DctCompressor {
+        allocation: Allocation::Concatenated,
+    };
+    let hist = HistogramCompressor::default();
+
+    println!("\n-- Average SSE error --");
+    println!(
+        "{}",
+        row(
+            "ratio",
+            ["SBR", "Wavelets", "DCT", "Histograms"]
+                .map(str::to_string).as_ref()
+        )
+    );
+    let mut rel_rows = Vec::new();
+    for ratio in RATIOS {
+        let band = (setup.n() as f64 * ratio) as usize;
+        let sbr_sse = run_sbr_stream(&setup.files, SbrConfig::new(band, setup.m_base));
+        let sbr_rel = run_sbr_stream(
+            &setup.files,
+            SbrConfig::new(band, setup.m_base).with_metric(ErrorMetric::relative()),
+        );
+        let w = run_baseline_stream(&setup.files, &wavelets, band);
+        let d = run_baseline_stream(&setup.files, &dct, band);
+        let h = run_baseline_stream(&setup.files, &hist, band);
+        println!(
+            "{}",
+            row(
+                &format!("{:.0}%", ratio * 100.0),
+                &[fmt(sbr_sse.avg_sse()), fmt(w.avg_sse()), fmt(d.avg_sse()), fmt(h.avg_sse())]
+            )
+        );
+        rel_rows.push((
+            ratio,
+            [
+                fmt(sbr_rel.total_rel()),
+                fmt(w.total_rel()),
+                fmt(d.total_rel()),
+                fmt(h.total_rel()),
+            ],
+        ));
+    }
+
+    println!("\n-- Total sum squared relative error --");
+    println!(
+        "{}",
+        row(
+            "ratio",
+            ["SBR", "Wavelets", "DCT", "Histograms"]
+                .map(str::to_string).as_ref()
+        )
+    );
+    for (ratio, cells) in rel_rows {
+        println!("{}", row(&format!("{:.0}%", ratio * 100.0), &cells));
+    }
+}

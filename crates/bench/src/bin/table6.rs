@@ -1,0 +1,29 @@
+//! Table 6: number of base intervals inserted at each of the 10
+//! transmissions, per dataset (§5.3 setup: equal batch sizes of 30,720
+//! values, `TotalBand = 5,012`). The expected shape: most insertions land
+//! in the first transmissions, Weather inserts the most features, Stock
+//! the fewest.
+//!
+//! Run with `--quick` for a 4×-smaller sanity pass.
+
+use sbr_bench::{quick_mode, row, run_sbr_stream};
+use sbr_core::SbrConfig;
+
+fn main() {
+    let (setups, band) = sbr_bench::fig6_setups(quick_mode());
+    println!("=== Table 6 — inserted base intervals per transmission (TotalBand = {band}) ===");
+    println!(
+        "{}",
+        row(
+            "dataset",
+            &(1..=10).map(|t| format!("tx{t}")).collect::<Vec<_>>()
+        )
+    );
+    for setup in &setups {
+        let stream = run_sbr_stream(&setup.files, SbrConfig::new(band, setup.m_base));
+        let cells: Vec<String> = stream.inserted().iter().map(ToString::to_string).collect();
+        println!("{}", row(setup.name, &cells));
+        let total: usize = stream.inserted().iter().sum();
+        println!("{:<12}  total inserted: {total}", "");
+    }
+}

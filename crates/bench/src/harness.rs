@@ -1,0 +1,210 @@
+//! Streaming drivers and scoring shared by all experiment binaries.
+
+use std::time::{Duration, Instant};
+
+use sbr_baselines::Compressor;
+use sbr_core::{Decoder, ErrorMetric, MultiSeries, SbrConfig, SbrEncoder};
+
+/// Per-transmission statistics of an SBR stream.
+#[derive(Debug, Clone)]
+pub struct TxStats {
+    /// SSE of the decoded chunk against the truth.
+    pub sse: f64,
+    /// Sum squared relative error (sanity bound 1).
+    pub rel: f64,
+    /// Values actually transmitted.
+    pub cost: usize,
+    /// Base intervals inserted this transmission.
+    pub inserted: usize,
+    /// Wall-clock encode time.
+    pub encode_time: Duration,
+}
+
+/// Result of streaming a chunked dataset through one SBR encoder.
+#[derive(Debug, Clone)]
+pub struct SbrStream {
+    /// Stats per transmission, in order.
+    pub per_tx: Vec<TxStats>,
+}
+
+impl SbrStream {
+    /// Mean SSE per transmission.
+    pub fn avg_sse(&self) -> f64 {
+        self.per_tx.iter().map(|t| t.sse).sum::<f64>() / self.per_tx.len() as f64
+    }
+
+    /// Total sum squared relative error across the stream.
+    pub fn total_rel(&self) -> f64 {
+        self.per_tx.iter().map(|t| t.rel).sum()
+    }
+
+    /// Mean encode wall time.
+    pub fn avg_encode_time(&self) -> Duration {
+        let total: Duration = self.per_tx.iter().map(|t| t.encode_time).sum();
+        total / self.per_tx.len() as u32
+    }
+
+    /// Inserted base intervals per transmission.
+    pub fn inserted(&self) -> Vec<usize> {
+        self.per_tx.iter().map(|t| t.inserted).collect()
+    }
+}
+
+/// Stream `files` (each `files[t][signal][sample]`) through a fresh
+/// [`SbrEncoder`] under `config`, decoding and scoring every transmission.
+///
+/// Panics on encoder/decoder errors: the harness runs under configurations
+/// it constructs itself, so any error is a bug worth a loud failure.
+pub fn run_sbr_stream(files: &[Vec<Vec<f64>>], config: SbrConfig) -> SbrStream {
+    run_sbr_stream_with(files, config, None)
+}
+
+/// As [`run_sbr_stream`] but with an optional custom base construction.
+pub fn run_sbr_stream_with(
+    files: &[Vec<Vec<f64>>],
+    config: SbrConfig,
+    builder: Option<Box<dyn sbr_core::BaseBuilder + Send>>,
+) -> SbrStream {
+    let n = files[0].len();
+    let m = files[0][0].len();
+    let mut encoder = match builder {
+        Some(b) => SbrEncoder::with_builder(n, m, config, b),
+        None => SbrEncoder::new(n, m, config),
+    }
+    .expect("harness config must be valid");
+    let mut decoder = Decoder::new();
+    let mut per_tx = Vec::with_capacity(files.len());
+    for rows in files {
+        let start = Instant::now();
+        let tx = encoder.encode(rows).expect("encode");
+        let encode_time = start.elapsed();
+        let stats = encoder.last_stats().expect("stats after encode");
+        let rec = decoder.decode(&tx).expect("decode");
+        let (mut sse, mut rel) = (0.0, 0.0);
+        for (orig, r) in rows.iter().zip(&rec) {
+            sse += ErrorMetric::Sse.score(orig, r);
+            rel += ErrorMetric::relative().score(orig, r);
+        }
+        per_tx.push(TxStats {
+            sse,
+            rel,
+            cost: tx.cost(),
+            inserted: stats.inserted,
+            encode_time,
+        });
+    }
+    SbrStream { per_tx }
+}
+
+/// Result of streaming a chunked dataset through a stateless baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineStream {
+    /// SSE per file.
+    pub sse: Vec<f64>,
+    /// Relative error per file.
+    pub rel: Vec<f64>,
+}
+
+impl BaselineStream {
+    /// Mean SSE per file.
+    pub fn avg_sse(&self) -> f64 {
+        self.sse.iter().sum::<f64>() / self.sse.len() as f64
+    }
+
+    /// Total relative error.
+    pub fn total_rel(&self) -> f64 {
+        self.rel.iter().sum()
+    }
+}
+
+/// Compress every file independently with `method` under `budget_values`
+/// per file and score the reconstructions.
+pub fn run_baseline_stream(
+    files: &[Vec<Vec<f64>>],
+    method: &dyn Compressor,
+    budget_values: usize,
+) -> BaselineStream {
+    let mut sse = Vec::with_capacity(files.len());
+    let mut rel = Vec::with_capacity(files.len());
+    for rows in files {
+        let data = MultiSeries::from_rows(rows).expect("chunk shapes are uniform");
+        let rec = method.compress_reconstruct(&data, budget_values);
+        sse.push(ErrorMetric::Sse.score(data.flat(), &rec));
+        rel.push(ErrorMetric::relative().score(data.flat(), &rec));
+    }
+    BaselineStream { sse, rel }
+}
+
+/// Render one formatted table row (used by every binary so outputs align).
+pub fn row(label: &str, cells: &[String]) -> String {
+    let mut s = format!("{label:<12}");
+    for c in cells {
+        s.push_str(&format!("{c:>14}"));
+    }
+    s
+}
+
+/// Format a float compactly for table cells.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+/// True when `--quick` was passed: shrink the experiment for fast
+/// iteration (documented in each binary's header).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files() -> Vec<Vec<Vec<f64>>> {
+        (0..3)
+            .map(|f| {
+                (0..2)
+                    .map(|s| {
+                        (0..64)
+                            .map(|i| ((i + f * 64) as f64 * 0.2 + s as f64).sin() * 3.0)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sbr_stream_scores_every_file() {
+        let r = run_sbr_stream(&files(), SbrConfig::new(40, 32));
+        assert_eq!(r.per_tx.len(), 3);
+        assert!(r.avg_sse().is_finite());
+        assert!(r.total_rel().is_finite());
+        for t in &r.per_tx {
+            assert!(t.cost <= 40);
+        }
+    }
+
+    #[test]
+    fn baseline_stream_scores_every_file() {
+        let w = sbr_baselines::wavelet::WaveletCompressor::default();
+        let r = run_baseline_stream(&files(), &w, 40);
+        assert_eq!(r.sse.len(), 3);
+        assert!(r.avg_sse() > 0.0);
+    }
+
+    #[test]
+    fn fmt_is_stable() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.5), "1234");
+        assert_eq!(fmt(12.3456), "12.346");
+        assert_eq!(fmt(0.12345), "0.12345");
+    }
+}

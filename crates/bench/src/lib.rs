@@ -1,0 +1,17 @@
+//! Benchmark harness: everything shared by the per-table/per-figure
+//! binaries that regenerate the SIGMOD 2004 evaluation.
+//!
+//! Each binary prints the same rows/series the paper reports (see
+//! `EXPERIMENTS.md` at the workspace root for the paper-vs-measured
+//! record). Absolute numbers differ — the datasets are synthetic stand-ins
+//! — but the comparisons (who wins, by what factor, where the optimum
+//! falls) are the reproduction target.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod harness;
+pub mod setups;
+
+pub use harness::*;
+pub use setups::*;

@@ -1,0 +1,150 @@
+//! Experiment setups: the dataset shapes and budgets of §5, plus the
+//! `--quick` downscaling used while iterating.
+
+use sbr_datasets::Dataset;
+
+/// One dataset prepared for streaming: its chunk files plus the paper's
+/// buffer sizes for it.
+#[derive(Debug, Clone)]
+pub struct Setup {
+    /// Dataset name.
+    pub name: &'static str,
+    /// `files[t][signal][sample]`.
+    pub files: Vec<Vec<Vec<f64>>>,
+    /// Base-signal buffer size `M_base` (values), per §5.1.1.
+    pub m_base: usize,
+}
+
+impl Setup {
+    /// Values per transmission batch (`n = N × M`).
+    pub fn n(&self) -> usize {
+        self.files[0].len() * self.files[0][0].len()
+    }
+}
+
+fn chunked(d: &Dataset, file_len: usize, n_files: usize) -> Vec<Vec<Vec<f64>>> {
+    let mut files = d.chunk(file_len);
+    files.truncate(n_files);
+    assert_eq!(files.len(), n_files, "dataset too short for requested files");
+    files
+}
+
+/// §5.1 Stock setup: 10 tickers × 2,048 values per file × 10 files,
+/// `M_base` 2,048. `quick` divides the file length by 4.
+pub fn stock_setup(quick: bool) -> Setup {
+    let file_len = if quick { 512 } else { 2048 };
+    let d = sbr_datasets::stock(42, 10, file_len * 10);
+    Setup {
+        name: "Stock",
+        files: chunked(&d, file_len, 10),
+        m_base: if quick { 512 } else { 2048 },
+    }
+}
+
+/// §5.1 Weather setup: 6 quantities × 4,096 values per file × 10 files,
+/// `M_base` 3,456.
+pub fn weather_setup(quick: bool) -> Setup {
+    let file_len = if quick { 1024 } else { 4096 };
+    let d = sbr_datasets::weather(42, file_len * 10);
+    Setup {
+        name: "Weather",
+        files: chunked(&d, file_len, 10),
+        m_base: if quick { 864 } else { 3456 },
+    }
+}
+
+/// §5.1 Phone setup: 15 states × 2,560 values per file × 10 files,
+/// `M_base` 2,048.
+pub fn phone_setup(quick: bool) -> Setup {
+    let file_len = if quick { 640 } else { 2560 };
+    let d = sbr_datasets::phone(42, file_len * 10, 256);
+    Setup {
+        name: "Phone",
+        files: chunked(&d, file_len, 10),
+        m_base: if quick { 512 } else { 2048 },
+    }
+}
+
+/// §5.1.2 Mixed setup: 9 series × 2,048 values per file × 10 files,
+/// `M_base` 2,048.
+pub fn mixed_setup(quick: bool) -> Setup {
+    let file_len = if quick { 512 } else { 2048 };
+    let d = sbr_datasets::mixed(42, file_len * 10);
+    Setup {
+        name: "Mixed",
+        files: chunked(&d, file_len, 10),
+        m_base: if quick { 512 } else { 2048 },
+    }
+}
+
+/// §5.3 equal-size setups for Figure 6 / Table 6: stock 3,072, phone
+/// 2,048, weather 5,120 values per file (all `n = 30,720`), with
+/// `TotalBand = 5,012` (≈16%).
+pub fn fig6_setups(quick: bool) -> (Vec<Setup>, usize) {
+    let div = if quick { 4 } else { 1 };
+    let stock_len = 3072 / div;
+    let phone_len = 2048 / div;
+    let weather_len = 5120 / div;
+    let total_band = 5012 / div;
+    let stock = sbr_datasets::stock(42, 10, stock_len * 10);
+    let phone = sbr_datasets::phone(42, phone_len * 10, 256);
+    let weather = sbr_datasets::weather(42, weather_len * 10);
+    let m_base = 2048 / div;
+    (
+        vec![
+            Setup {
+                name: "Weather",
+                files: chunked(&weather, weather_len, 10),
+                m_base,
+            },
+            Setup {
+                name: "Phone",
+                files: chunked(&phone, phone_len, 10),
+                m_base,
+            },
+            Setup {
+                name: "Stock",
+                files: chunked(&stock, stock_len, 10),
+                m_base,
+            },
+        ],
+        total_band,
+    )
+}
+
+/// The compression-ratio sweep of §5.1.1.
+pub const RATIOS: [f64; 6] = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setups_have_paper_shapes() {
+        let s = stock_setup(false);
+        assert_eq!(s.files.len(), 10);
+        assert_eq!(s.files[0].len(), 10);
+        assert_eq!(s.files[0][0].len(), 2048);
+        assert_eq!(s.n(), 20480);
+        let w = weather_setup(false);
+        assert_eq!(w.n(), 6 * 4096);
+        let p = phone_setup(false);
+        assert_eq!(p.n(), 15 * 2560);
+        let m = mixed_setup(false);
+        assert_eq!(m.n(), 9 * 2048);
+    }
+
+    #[test]
+    fn fig6_setups_share_batch_size() {
+        let (setups, band) = fig6_setups(false);
+        assert_eq!(band, 5012);
+        for s in &setups {
+            assert_eq!(s.n(), 30720, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn quick_mode_shrinks() {
+        assert!(stock_setup(true).n() < stock_setup(false).n());
+    }
+}

@@ -1,0 +1,301 @@
+//! Hand-rolled argument parsing (no CLI crates offline; the grammar is
+//! small enough to own).
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to execute.
+    pub command: Command,
+}
+
+/// The `sbr` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `sbr compress`: CSV → framed SBR stream.
+    Compress {
+        /// Input CSV (columns = signals).
+        input: String,
+        /// Output stream file.
+        output: String,
+        /// Bandwidth budget per transmission, in values.
+        band: usize,
+        /// Base-signal buffer size, in values.
+        m_base: usize,
+        /// Samples per signal per transmission (default: the whole file
+        /// as one batch).
+        batch: Option<usize>,
+        /// Error metric: "sse", "relative" or "maxabs".
+        metric: String,
+    },
+    /// `sbr decompress`: framed SBR stream → CSV.
+    Decompress {
+        /// Input stream file.
+        input: String,
+        /// Output CSV.
+        output: String,
+    },
+    /// `sbr info`: per-transmission statistics of a stream file.
+    Info {
+        /// Input stream file.
+        input: String,
+    },
+    /// `sbr compare`: run SBR and every baseline on a CSV at one budget.
+    Compare {
+        /// Input CSV.
+        input: String,
+        /// Bandwidth budget per batch, in values.
+        band: usize,
+    },
+    /// `sbr aggregate`: SUM/AVG/MIN/MAX of a signal range, answered
+    /// directly on a compressed stream file.
+    Aggregate {
+        /// Input stream file.
+        input: String,
+        /// Signal (column) index.
+        signal: usize,
+        /// First sample (inclusive).
+        from: usize,
+        /// Last sample (exclusive).
+        to: usize,
+    },
+    /// `sbr generate`: write one of the synthetic evaluation datasets as
+    /// CSV (so the whole pipeline is drivable from the shell).
+    Generate {
+        /// Dataset name: "phone", "weather", "stock", "mixed", "indexes" or
+        /// "netflow".
+        dataset: String,
+        /// Output CSV.
+        output: String,
+        /// Samples per signal.
+        len: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `sbr help`.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+sbr — Self-Based Regression compression for multi-signal time series
+
+USAGE:
+  sbr compress   --input <csv> --output <file> --band <values>
+                 [--mbase <values>] [--batch <samples>]
+                 [--metric sse|relative|maxabs]
+  sbr decompress --input <file> --output <csv>
+  sbr info       --input <file>
+  sbr compare    --input <csv> --band <values>
+  sbr aggregate  --input <file> --signal <idx> --from <t0> --to <t1>
+  sbr generate   --dataset phone|weather|stock|mixed|indexes|netflow
+                 --output <csv> [--len <samples>] [--seed <n>]
+  sbr help
+
+The CSV has one column per signal and one row per sample; an optional
+header row names the signals.";
+
+fn take_value(args: &mut std::collections::HashMap<String, String>, key: &str) -> Option<String> {
+    args.remove(key)
+}
+
+/// Parse a full argument vector (excluding the program name).
+pub fn parse(argv: &[String]) -> Result<Cli, String> {
+    let Some(sub) = argv.first() else {
+        return Ok(Cli {
+            command: Command::Help,
+        });
+    };
+    let mut flags = std::collections::HashMap::new();
+    let mut i = 1;
+    while i < argv.len() {
+        let key = argv[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, found '{}'", argv[i]))?;
+        let val = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} requires a value"))?;
+        flags.insert(key.to_string(), val.clone());
+        i += 2;
+    }
+    let required = |flags: &mut std::collections::HashMap<String, String>, k: &str| {
+        take_value(flags, k).ok_or_else(|| format!("missing required --{k}"))
+    };
+    let parse_usize = |v: String, k: &str| {
+        v.parse::<usize>()
+            .map_err(|_| format!("--{k} must be a positive integer, got '{v}'"))
+    };
+
+    let command = match sub.as_str() {
+        "compress" => {
+            let input = required(&mut flags, "input")?;
+            let output = required(&mut flags, "output")?;
+            let band = parse_usize(required(&mut flags, "band")?, "band")?;
+            let m_base = match take_value(&mut flags, "mbase") {
+                Some(v) => parse_usize(v, "mbase")?,
+                None => band,
+            };
+            let batch = match take_value(&mut flags, "batch") {
+                Some(v) => Some(parse_usize(v, "batch")?),
+                None => None,
+            };
+            let metric = take_value(&mut flags, "metric").unwrap_or_else(|| "sse".into());
+            if !["sse", "relative", "maxabs"].contains(&metric.as_str()) {
+                return Err(format!("unknown metric '{metric}'"));
+            }
+            Command::Compress {
+                input,
+                output,
+                band,
+                m_base,
+                batch,
+                metric,
+            }
+        }
+        "decompress" => Command::Decompress {
+            input: required(&mut flags, "input")?,
+            output: required(&mut flags, "output")?,
+        },
+        "info" => Command::Info {
+            input: required(&mut flags, "input")?,
+        },
+        "compare" => Command::Compare {
+            input: required(&mut flags, "input")?,
+            band: parse_usize(required(&mut flags, "band")?, "band")?,
+        },
+        "aggregate" => Command::Aggregate {
+            input: required(&mut flags, "input")?,
+            signal: parse_usize(required(&mut flags, "signal")?, "signal")?,
+            from: parse_usize(required(&mut flags, "from")?, "from")?,
+            to: parse_usize(required(&mut flags, "to")?, "to")?,
+        },
+        "generate" => {
+            let dataset = required(&mut flags, "dataset")?;
+            if !["phone", "weather", "stock", "mixed", "indexes", "netflow"].contains(&dataset.as_str()) {
+                return Err(format!("unknown dataset '{dataset}'"));
+            }
+            let output = required(&mut flags, "output")?;
+            let len = match take_value(&mut flags, "len") {
+                Some(v) => parse_usize(v, "len")?,
+                None => 2048,
+            };
+            let seed = match take_value(&mut flags, "seed") {
+                Some(v) => v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed must be an integer, got '{v}'"))?,
+                None => 42,
+            };
+            Command::Generate {
+                dataset,
+                output,
+                len,
+                seed,
+            }
+        }
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    if let Some(k) = flags.keys().next() {
+        return Err(format!("unrecognized flag --{k}"));
+    }
+    Ok(Cli { command })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_compress_with_defaults() {
+        let cli = parse(&argv("compress --input a.csv --output b.sbr --band 100")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Compress {
+                input: "a.csv".into(),
+                output: "b.sbr".into(),
+                band: 100,
+                m_base: 100,
+                batch: None,
+                metric: "sse".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_all_compress_flags() {
+        let cli = parse(&argv(
+            "compress --input a --output b --band 64 --mbase 32 --batch 256 --metric maxabs",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Compress {
+                m_base,
+                batch,
+                metric,
+                ..
+            } => {
+                assert_eq!(m_base, 32);
+                assert_eq!(batch, Some(256));
+                assert_eq!(metric, "maxabs");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flag_is_an_error() {
+        assert!(parse(&argv("compress --input a --band 10")).is_err());
+        assert!(parse(&argv("decompress --input a")).is_err());
+    }
+
+    #[test]
+    fn bad_values_are_errors() {
+        assert!(parse(&argv("compress --input a --output b --band ten")).is_err());
+        assert!(parse(&argv("compress --input a --output b --band 10 --metric l7")).is_err());
+        assert!(parse(&argv("compress --input a --output b --band 10 --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn parses_aggregate() {
+        let cli = parse(&argv("aggregate --input s.sbr --signal 2 --from 10 --to 99")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Aggregate {
+                input: "s.sbr".into(),
+                signal: 2,
+                from: 10,
+                to: 99,
+            }
+        );
+        assert!(parse(&argv("aggregate --input s.sbr --signal 2 --from 10")).is_err());
+    }
+
+    #[test]
+    fn parses_generate_with_defaults() {
+        let cli = parse(&argv("generate --dataset weather --output w.csv")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Generate {
+                dataset: "weather".into(),
+                output: "w.csv".into(),
+                len: 2048,
+                seed: 42,
+            }
+        );
+        assert!(parse(&argv("generate --dataset nope --output x")).is_err());
+    }
+
+    #[test]
+    fn no_args_means_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn unknown_subcommand_rejected() {
+        assert!(parse(&argv("explode --input x")).is_err());
+    }
+}

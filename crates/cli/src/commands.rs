@@ -1,0 +1,466 @@
+//! The subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+use sbr_baselines::Compressor;
+use sbr_core::query::aggregate_stream;
+use sbr_core::{codec, Decoder, ErrorMetric, MultiSeries, SbrConfig, SbrEncoder};
+use sensor_net::storage::{recover, LogWriter};
+
+use crate::args::{Cli, Command, USAGE};
+use crate::csv::{self, Table};
+
+/// Run a parsed command line; returns the text to print.
+pub fn run(cli: &Cli) -> Result<String, String> {
+    match &cli.command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Compress {
+            input,
+            output,
+            band,
+            m_base,
+            batch,
+            metric,
+        } => compress(input, output, *band, *m_base, *batch, metric),
+        Command::Decompress { input, output } => decompress(input, output),
+        Command::Info { input } => info(input),
+        Command::Compare { input, band } => compare(input, *band),
+        Command::Aggregate {
+            input,
+            signal,
+            from,
+            to,
+        } => aggregate(input, *signal, *from, *to),
+        Command::Generate {
+            dataset,
+            output,
+            len,
+            seed,
+        } => generate(dataset, output, *len, *seed),
+    }
+}
+
+fn generate(dataset: &str, output: &str, len: usize, seed: u64) -> Result<String, String> {
+    if len == 0 {
+        return Err("--len must be positive".into());
+    }
+    let d = match dataset {
+        "phone" => sbr_datasets::phone(seed, len, 256),
+        "weather" => sbr_datasets::weather(seed, len),
+        "stock" => sbr_datasets::stock(seed, 10, len),
+        "mixed" => sbr_datasets::mixed(seed, len),
+        "indexes" => sbr_datasets::indexes(seed, len),
+        "netflow" => sbr_datasets::netflow(seed, 8, len),
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    let table = Table {
+        names: d.signal_names.clone(),
+        columns: d.signals,
+    };
+    let f = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    csv::write(&table, BufWriter::new(f)).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "generated {dataset} (seed {seed}): {} signals × {len} samples → {output}",
+        table.columns.len()
+    ))
+}
+
+fn read_csv(path: &str) -> Result<Table, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    csv::read(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn metric_of(name: &str) -> ErrorMetric {
+    match name {
+        "relative" => ErrorMetric::relative(),
+        "maxabs" => ErrorMetric::MaxAbs,
+        _ => ErrorMetric::Sse,
+    }
+}
+
+fn compress(
+    input: &str,
+    output: &str,
+    band: usize,
+    m_base: usize,
+    batch: Option<usize>,
+    metric: &str,
+) -> Result<String, String> {
+    let table = read_csv(input)?;
+    let n_signals = table.columns.len();
+    let total_rows = table.rows();
+    let batch = match batch {
+        Some(b) if b > total_rows => {
+            return Err(format!("--batch {b} exceeds the {total_rows} rows available"));
+        }
+        Some(0) => return Err("--batch must be positive".into()),
+        Some(b) => b,
+        None => total_rows,
+    };
+    let n_batches = total_rows / batch;
+
+    let config = SbrConfig::new(band, m_base).with_metric(metric_of(metric));
+    let mut encoder = SbrEncoder::new(n_signals, batch, config).map_err(|e| e.to_string())?;
+
+    let out_path = Path::new(output);
+    let dir = out_path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(d) = dir {
+        std::fs::create_dir_all(d).map_err(|e| e.to_string())?;
+    }
+    // LogWriter names files itself; for the CLI we write the frames
+    // directly in the same length-prefixed format.
+    let f = File::create(out_path).map_err(|e| format!("cannot create {output}: {e}"))?;
+    let mut w = BufWriter::new(f);
+
+    let mut total_cost = 0usize;
+    let mut total_err = 0.0f64;
+    for b in 0..n_batches {
+        let rows: Vec<Vec<f64>> = table
+            .columns
+            .iter()
+            .map(|c| c[b * batch..(b + 1) * batch].to_vec())
+            .collect();
+        let tx = encoder.encode(&rows).map_err(|e| e.to_string())?;
+        total_cost += tx.cost();
+        total_err += encoder.last_stats().expect("stats").total_err;
+        let frame = codec::encode(&tx);
+        w.write_all(&(frame.len() as u32).to_le_bytes())
+            .and_then(|()| w.write_all(&frame))
+            .map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())?;
+
+    let raw = n_signals * batch * n_batches;
+    Ok(format!(
+        "compressed {input}: {n_signals} signals × {batch} samples × {n_batches} batches\n\
+         {raw} values → {total_cost} values ({:.1}%), metric {metric}, total error {:.4e}\n\
+         wrote {output}",
+        100.0 * total_cost as f64 / raw as f64,
+        total_err
+    ))
+}
+
+fn decompress(input: &str, output: &str) -> Result<String, String> {
+    let log = recover(Path::new(input)).map_err(|e| e.to_string())?;
+    if log.transmissions.is_empty() {
+        return Err(format!("{input}: no complete transmissions"));
+    }
+    let mut decoder = Decoder::new();
+    let n_signals = log.transmissions[0].n_signals as usize;
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n_signals];
+    for tx in &log.transmissions {
+        let rec = decoder.decode(tx).map_err(|e| e.to_string())?;
+        for (c, r) in columns.iter_mut().zip(&rec) {
+            c.extend_from_slice(r);
+        }
+    }
+    let table = Table {
+        names: Vec::new(),
+        columns,
+    };
+    let f = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    csv::write(&table, BufWriter::new(f)).map_err(|e| e.to_string())?;
+    let note = if log.truncated_tail > 0 {
+        format!(" (discarded {} truncated tail bytes)", log.truncated_tail)
+    } else {
+        String::new()
+    };
+    Ok(format!(
+        "decompressed {} transmissions → {} samples × {} signals → {output}{note}",
+        log.transmissions.len(),
+        table.rows(),
+        n_signals
+    ))
+}
+
+fn info(input: &str) -> Result<String, String> {
+    let log = recover(Path::new(input)).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    out.push_str("seq   signals  samples    w   base-ins  intervals   cost   ratio\n");
+    for tx in &log.transmissions {
+        out.push_str(&format!(
+            "{:>3}   {:>7}  {:>7}  {:>3}   {:>8}  {:>9}  {:>5}  {:>5.1}%\n",
+            tx.seq,
+            tx.n_signals,
+            tx.samples_per_signal,
+            tx.w,
+            tx.base_updates.len(),
+            tx.intervals.len(),
+            tx.cost(),
+            100.0 * tx.compression_ratio()
+        ));
+    }
+    if log.truncated_tail > 0 {
+        out.push_str(&format!("truncated tail: {} bytes\n", log.truncated_tail));
+    }
+    Ok(out)
+}
+
+fn compare(input: &str, band: usize) -> Result<String, String> {
+    let table = read_csv(input)?;
+    let data = MultiSeries::from_rows(&table.columns).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "method                          sse      relative-sse   (budget {band} values)\n"
+    );
+
+    // SBR through the full pipeline.
+    let config = SbrConfig::new(band, band);
+    let mut enc = SbrEncoder::new(data.n_signals(), data.samples_per_signal(), config)
+        .map_err(|e| e.to_string())?;
+    let tx = enc.encode(&table.columns).map_err(|e| e.to_string())?;
+    let rec = Decoder::new().decode(&tx).map_err(|e| e.to_string())?;
+    let flat: Vec<f64> = rec.into_iter().flatten().collect();
+    out.push_str(&row("SBR", data.flat(), &flat));
+
+    let methods: Vec<Box<dyn Compressor>> = vec![
+        Box::new(sbr_baselines::wavelet::WaveletCompressor::default()),
+        Box::new(sbr_baselines::wavelet2d::Wavelet2dCompressor),
+        Box::new(sbr_baselines::dct::DctCompressor::default()),
+        Box::new(sbr_baselines::fourier::FourierCompressor::default()),
+        Box::new(sbr_baselines::histogram::HistogramCompressor::default()),
+        Box::new(sbr_baselines::v_optimal::VOptimalCompressor),
+        Box::new(sbr_baselines::linreg::LinRegCompressor::default()),
+        Box::new(sbr_baselines::quadreg::QuadRegCompressor),
+        Box::new(sbr_baselines::swing::SwingCompressor),
+    ];
+    for m in &methods {
+        let approx = m.compress_reconstruct(&data, band);
+        out.push_str(&row(m.name(), data.flat(), &approx));
+    }
+    Ok(out)
+}
+
+/// Range aggregates straight off the compressed stream: no per-sample
+/// reconstruction (see `sbr_core::query`).
+fn aggregate(input: &str, signal: usize, from: usize, to: usize) -> Result<String, String> {
+    if to <= from {
+        return Err(format!("empty range [{from}, {to})"));
+    }
+    let log = recover(Path::new(input)).map_err(|e| e.to_string())?;
+    if log.transmissions.is_empty() {
+        return Err(format!("{input}: no complete transmissions"));
+    }
+    let mut decoder = Decoder::new();
+    let agg = aggregate_stream(&mut decoder, &log.transmissions, signal, from, to)
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "signal {signal}, samples [{from}, {to}) — {} values
+\
+         sum {:.6}
+avg {:.6}
+min {:.6}
+max {:.6}",
+        agg.count, agg.sum, agg.avg, agg.min, agg.max
+    ))
+}
+
+fn row(name: &str, exact: &[f64], approx: &[f64]) -> String {
+    format!(
+        "{name:<24} {:>14.4e} {:>15.4e}\n",
+        ErrorMetric::Sse.score(exact, approx),
+        ErrorMetric::relative().score(exact, approx),
+    )
+}
+
+/// Shared with `sensor-net`'s on-disk format: expose the writer for tests.
+pub fn open_log_writer(dir: &Path, node: usize) -> std::io::Result<LogWriter> {
+    LogWriter::open(dir, node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("sbr-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write_sample_csv(path: &Path, rows: usize) {
+        let mut s = String::from("a,b\n");
+        for i in 0..rows {
+            let t = i as f64;
+            s.push_str(&format!("{},{}\n", (t * 0.2).sin() * 5.0, (t * 0.2).sin() * 10.0 + 1.0));
+        }
+        std::fs::write(path, s).unwrap();
+    }
+
+    fn run_argv(args: &str) -> Result<String, String> {
+        let argv: Vec<String> = args.split_whitespace().map(str::to_string).collect();
+        run(&parse(&argv)?)
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        let dir = tempdir("roundtrip");
+        let csv_in = dir.join("in.csv");
+        let stream = dir.join("out.sbr");
+        let csv_out = dir.join("rec.csv");
+        write_sample_csv(&csv_in, 256);
+
+        let msg = run_argv(&format!(
+            "compress --input {} --output {} --band 96 --batch 128",
+            csv_in.display(),
+            stream.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("2 batches"), "{msg}");
+
+        let msg = run_argv(&format!(
+            "decompress --input {} --output {}",
+            stream.display(),
+            csv_out.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("256 samples × 2 signals"), "{msg}");
+
+        // Reconstruction is close: the two columns are affine images of one
+        // sine, SBR eats this for breakfast.
+        let orig = csv::read(std::io::BufReader::new(File::open(&csv_in).unwrap())).unwrap();
+        let rec = csv::read(std::io::BufReader::new(File::open(&csv_out).unwrap())).unwrap();
+        let mut sse = 0.0;
+        for (a, b) in orig.columns.iter().zip(&rec.columns) {
+            sse += ErrorMetric::Sse.score(a, b);
+        }
+        let energy: f64 = orig.columns.iter().flatten().map(|v| v * v).sum();
+        assert!(sse < 0.05 * energy, "sse {sse} vs energy {energy}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn info_lists_transmissions() {
+        let dir = tempdir("info");
+        let csv_in = dir.join("in.csv");
+        let stream = dir.join("out.sbr");
+        write_sample_csv(&csv_in, 192);
+        run_argv(&format!(
+            "compress --input {} --output {} --band 48 --batch 64",
+            csv_in.display(),
+            stream.display()
+        ))
+        .unwrap();
+        let out = run_argv(&format!("info --input {}", stream.display())).unwrap();
+        assert_eq!(out.lines().count(), 4, "{out}"); // header + 3 rows
+        assert!(out.contains("  0 "), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compare_prints_all_methods() {
+        let dir = tempdir("compare");
+        let csv_in = dir.join("in.csv");
+        write_sample_csv(&csv_in, 128);
+        let out = run_argv(&format!("compare --input {} --band 32", csv_in.display())).unwrap();
+        for name in ["SBR", "Wavelets", "DCT", "Fourier", "Histograms", "Quadratic"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn aggregate_matches_decompressed_csv() {
+        let dir = tempdir("agg");
+        let csv_in = dir.join("in.csv");
+        let stream = dir.join("out.sbr");
+        write_sample_csv(&csv_in, 256);
+        run_argv(&format!(
+            "compress --input {} --output {} --band 96 --batch 128",
+            csv_in.display(),
+            stream.display()
+        ))
+        .unwrap();
+        let out = run_argv(&format!(
+            "aggregate --input {} --signal 1 --from 50 --to 200",
+            stream.display()
+        ))
+        .unwrap();
+        // Cross-check against full decompression.
+        let csv_out = dir.join("rec.csv");
+        run_argv(&format!(
+            "decompress --input {} --output {}",
+            stream.display(),
+            csv_out.display()
+        ))
+        .unwrap();
+        let rec = csv::read(std::io::BufReader::new(File::open(&csv_out).unwrap())).unwrap();
+        let slice = &rec.columns[1][50..200];
+        let sum: f64 = slice.iter().sum();
+        let sum_line = out.lines().find(|l| l.starts_with("sum")).unwrap();
+        let got: f64 = sum_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((got - sum).abs() < 1e-4 * (1.0 + sum.abs()), "{got} vs {sum}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn aggregate_rejects_bad_ranges() {
+        let dir = tempdir("aggbad");
+        let csv_in = dir.join("in.csv");
+        let stream = dir.join("out.sbr");
+        write_sample_csv(&csv_in, 128);
+        run_argv(&format!(
+            "compress --input {} --output {} --band 64",
+            csv_in.display(),
+            stream.display()
+        ))
+        .unwrap();
+        let s = stream.display();
+        assert!(run_argv(&format!("aggregate --input {s} --signal 0 --from 9 --to 9")).is_err());
+        assert!(run_argv(&format!("aggregate --input {s} --signal 7 --from 0 --to 9")).is_err());
+        assert!(run_argv(&format!("aggregate --input {s} --signal 0 --from 0 --to 999")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(run_argv("compress --input /nonexistent.csv --output /tmp/x --band 10").is_err());
+        assert!(run_argv("decompress --input /nonexistent.sbr --output /tmp/x").is_err());
+        let dir = tempdir("badbatch");
+        let csv_in = dir.join("in.csv");
+        write_sample_csv(&csv_in, 16);
+        assert!(run_argv(&format!(
+            "compress --input {} --output {} --band 64 --batch 999",
+            csv_in.display(),
+            dir.join("o").display()
+        ))
+        .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generate_then_compress_pipeline() {
+        let dir = tempdir("gen");
+        let csv_path = dir.join("weather.csv");
+        let out = run_argv(&format!(
+            "generate --dataset weather --output {} --len 512 --seed 7",
+            csv_path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("6 signals × 512"), "{out}");
+        // Header row names the quantities.
+        let t = csv::read(std::io::BufReader::new(File::open(&csv_path).unwrap())).unwrap();
+        assert_eq!(t.names[0], "air_temperature");
+        assert_eq!(t.rows(), 512);
+        // The generated CSV feeds straight into compress.
+        let stream = dir.join("w.sbr");
+        run_argv(&format!(
+            "compress --input {} --output {} --band 300 --batch 256",
+            csv_path.display(),
+            stream.display()
+        ))
+        .unwrap();
+        let info = run_argv(&format!("info --input {}", stream.display())).unwrap();
+        assert!(info.lines().count() >= 3, "{info}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn help_shows_usage() {
+        let out = run_argv("help").unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

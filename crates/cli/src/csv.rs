@@ -1,0 +1,134 @@
+//! Minimal CSV reader/writer for numeric time series.
+//!
+//! Layout convention: one column per signal, one row per sample, optional
+//! header row (detected when the first row fails to parse as numbers).
+
+use std::io::{BufRead, Write};
+
+/// A parsed CSV: optional column names + column-major data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Column names (empty when the file had no header).
+    pub names: Vec<String>,
+    /// One `Vec` per column, all the same length.
+    pub columns: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Number of samples per column.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+}
+
+/// Parse a CSV from any reader.
+pub fn read(reader: impl BufRead) -> Result<Table, String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("I/O error at line {}: {e}", lineno + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let parsed: Result<Vec<f64>, _> = fields.iter().map(|f| f.parse::<f64>()).collect();
+        match parsed {
+            Ok(values) => {
+                if columns.is_empty() {
+                    columns = vec![Vec::new(); values.len()];
+                }
+                if values.len() != columns.len() {
+                    return Err(format!(
+                        "line {}: expected {} fields, found {}",
+                        lineno + 1,
+                        columns.len(),
+                        values.len()
+                    ));
+                }
+                for (c, v) in columns.iter_mut().zip(values) {
+                    c.push(v);
+                }
+            }
+            Err(_) if columns.is_empty() && names.is_empty() => {
+                // First non-numeric row: treat as header.
+                names = fields.iter().map(|s| (*s).to_string()).collect();
+            }
+            Err(e) => {
+                return Err(format!("line {}: unparsable number: {e}", lineno + 1));
+            }
+        }
+    }
+    if columns.is_empty() {
+        return Err("no data rows found".into());
+    }
+    if !names.is_empty() && names.len() != columns.len() {
+        return Err(format!(
+            "header has {} names but rows have {} fields",
+            names.len(),
+            columns.len()
+        ));
+    }
+    Ok(Table { names, columns })
+}
+
+/// Write a table as CSV.
+pub fn write(table: &Table, mut w: impl Write) -> std::io::Result<()> {
+    if !table.names.is_empty() {
+        writeln!(w, "{}", table.names.join(","))?;
+    }
+    for r in 0..table.rows() {
+        let row: Vec<String> = table.columns.iter().map(|c| format!("{}", c[r])).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_headerless() {
+        let t = read(Cursor::new("1,2\n3,4\n5,6\n")).unwrap();
+        assert!(t.names.is_empty());
+        assert_eq!(t.columns, vec![vec![1.0, 3.0, 5.0], vec![2.0, 4.0, 6.0]]);
+    }
+
+    #[test]
+    fn parses_header_and_skips_comments() {
+        let t = read(Cursor::new("temp,humidity\n# comment\n20.5,80\n21.0,79\n\n")).unwrap();
+        assert_eq!(t.names, vec!["temp", "humidity"]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.columns[1], vec![80.0, 79.0]);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert!(read(Cursor::new("1,2\n3\n")).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_mid_file() {
+        assert!(read(Cursor::new("1,2\nfoo,bar\n")).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(read(Cursor::new("")).is_err());
+        assert!(read(Cursor::new("# only comments\n")).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = Table {
+            names: vec!["a".into(), "b".into()],
+            columns: vec![vec![1.5, -2.0], vec![0.25, 1e6]],
+        };
+        let mut buf = Vec::new();
+        write(&t, &mut buf).unwrap();
+        let back = read(Cursor::new(buf)).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,15 @@
+//! Library backing the `sbr` command-line tool: CSV I/O, argument
+//! parsing, and the compress / decompress / info / compare drivers.
+//!
+//! Kept as a library so every code path is unit-testable; `main.rs` is a
+//! thin shim.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;
+pub mod csv;
+
+pub use args::{Cli, Command};
+pub use commands::run;

@@ -1,0 +1,20 @@
+//! `sbr` — compress/decompress multi-signal CSV time series with
+//! Self-Based Regression. See `sbr help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match sbr_cli::args::parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match sbr_cli::run(&cli) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

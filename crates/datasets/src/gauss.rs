@@ -1,0 +1,88 @@
+//! Seeded Gaussian sampling (Box–Muller) — kept local so the workspace
+//! needs only the `rand` core crate, not `rand_distr`.
+
+use rand::Rng;
+
+/// Draw one standard-normal sample.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller; reject u1 = 0 to keep ln finite.
+    loop {
+        let u1: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.random();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Draw `N(mu, sigma²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * standard_normal(rng)
+}
+
+/// A first-order autoregressive process: smooth, mean-reverting noise used
+/// by several generators.
+#[derive(Debug, Clone)]
+pub struct Ar1 {
+    /// Persistence coefficient in `[0, 1)`.
+    pub phi: f64,
+    /// Innovation standard deviation.
+    pub sigma: f64,
+    state: f64,
+}
+
+impl Ar1 {
+    /// Start an AR(1) at zero.
+    pub fn new(phi: f64, sigma: f64) -> Self {
+        Ar1 {
+            phi,
+            sigma,
+            state: 0.0,
+        }
+    }
+
+    /// Advance one step and return the new state.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.state = self.phi * self.state + standard_normal(rng) * self.sigma;
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.08, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn ar1_is_mean_reverting() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = Ar1::new(0.9, 1.0);
+        let vals: Vec<f64> = (0..50_000).map(|_| p.step(&mut rng)).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 0.25, "long-run mean {mean} should be ~0");
+        // Stationary variance σ²/(1-φ²) ≈ 5.26.
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        assert!((var - 5.26).abs() < 0.8, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! The motivating example of Figures 2–3: two strongly correlated market
+//! indexes ("Industrial" and "Insurance") over 128 consecutive days.
+//!
+//! The Insurance series is an affine image of the Industrial series plus a
+//! small idiosyncratic term, so an XY scatter of the pair hugs a straight
+//! line — exactly the picture the paper opens with.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gauss::{normal, standard_normal};
+use crate::Dataset;
+
+/// Generate `days` daily closes of the two indexes.
+pub fn indexes(seed: u64, days: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1d1d_1d1d_abcd_ef01);
+    let mut industrial: f64 = 10_500.0;
+    let mut ind = Vec::with_capacity(days);
+    let mut ins = Vec::with_capacity(days);
+    for t in 0..days {
+        // A trending random walk with a mid-window regime change, so the
+        // series is visibly non-linear in time (Figure 2's point: the
+        // series themselves are poor fits for a single line over *time*).
+        let drift = if t < days / 2 { 26.0 } else { -18.0 };
+        industrial += drift + standard_normal(&mut rng) * 35.0;
+        ind.push(industrial);
+        // Insurance ≈ a·Industrial + b with small idiosyncratic noise.
+        ins.push(0.62 * industrial + 1_150.0 + normal(&mut rng, 0.0, 28.0));
+    }
+    Dataset {
+        name: "Indexes",
+        signal_names: vec!["Industrial".into(), "Insurance".into()],
+        signals: vec![ind, ins],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_is_strongly_correlated() {
+        let d = indexes(0, 128);
+        let (a, b) = (&d.signals[0], &d.signals[1]);
+        let n = a.len() as f64;
+        let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            num += (x - ma) * (y - mb);
+            da += (x - ma).powi(2);
+            db += (y - mb).powi(2);
+        }
+        let rho = num / (da * db).sqrt();
+        assert!(rho > 0.97, "index correlation {rho}");
+    }
+
+    #[test]
+    fn neither_series_is_linear_in_time() {
+        // Fit each against its index and check the residual is substantial
+        // relative to a two-piece fit — the regime change guarantees it.
+        let d = indexes(1, 128);
+        let y = &d.signals[0];
+        let f = sse_line_fit(y);
+        let half = y.len() / 2;
+        let two_piece = sse_line_fit(&y[..half]) + sse_line_fit(&y[half..]);
+        assert!(f > 2.0 * two_piece, "single line {f} vs two-piece {two_piece}");
+    }
+
+    fn sse_line_fit(y: &[f64]) -> f64 {
+        let n = y.len() as f64;
+        let sx = n * (n - 1.0) / 2.0;
+        let sxx = n * (n - 1.0) * (2.0 * n - 1.0) / 6.0;
+        let sy: f64 = y.iter().sum();
+        let sxy: f64 = y.iter().enumerate().map(|(i, v)| i as f64 * v).sum();
+        let a = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let b = (sy - a * sx) / n;
+        y.iter()
+            .enumerate()
+            .map(|(i, v)| (v - (a * i as f64 + b)).powi(2))
+            .sum()
+    }
+
+    #[test]
+    fn shape_is_as_requested() {
+        let d = indexes(2, 128);
+        assert_eq!(d.n_signals(), 2);
+        assert_eq!(d.len(), 128);
+    }
+}

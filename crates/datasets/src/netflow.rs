@@ -1,0 +1,108 @@
+//! Synthetic network-measurement feed — the paper's §1 closes by noting
+//! the framework "may have applications in other areas where historical
+//! information is being collected in a distributed fashion, like network
+//! measurements". This generator produces SNMP-style link utilization
+//! series: a shared diurnal load, per-link capacity scaling, long-range
+//! bursts (flash events) and heavy-tailed noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gauss::{standard_normal, Ar1};
+use crate::Dataset;
+
+/// Link capacities in Mbit/s for the generated interfaces.
+const LINKS: [(&str, f64); 8] = [
+    ("core-1", 10_000.0),
+    ("core-2", 10_000.0),
+    ("agg-1", 1_000.0),
+    ("agg-2", 1_000.0),
+    ("edge-1", 100.0),
+    ("edge-2", 100.0),
+    ("edge-3", 100.0),
+    ("peering", 2_500.0),
+];
+
+/// Generate `len` utilization samples (Mbit/s) for `n ≤ 8` links.
+pub fn netflow(seed: u64, n: usize, len: usize) -> Dataset {
+    assert!(n <= LINKS.len(), "at most {} links", LINKS.len());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed_face_cafe_0001);
+    let day = (len / 6).clamp(16, 288) as f64; // 5-min SNMP polls
+    let mut regional = Ar1::new(0.99, 0.01);
+    let mut per_link: Vec<Ar1> = (0..n).map(|_| Ar1::new(0.97, 0.02)).collect();
+    // Flash events: occasional multiplicative bursts that decay.
+    let mut burst = vec![0.0f64; n];
+
+    let mut signals: Vec<Vec<f64>> = vec![Vec::with_capacity(len); n];
+    for t in 0..len {
+        let phase = 2.0 * std::f64::consts::PI * (t as f64 / day);
+        let diurnal = 0.45 - 0.25 * phase.cos() - 0.08 * (2.0 * phase).cos();
+        let shared = regional.step(&mut rng);
+        for (l, (sig, (_, cap))) in signals.iter_mut().zip(&LINKS).enumerate() {
+            if rng.random::<f64>() < 0.002 {
+                burst[l] = 0.3 + rng.random::<f64>() * 0.5; // flash event
+            }
+            burst[l] *= 0.97; // exponential decay
+            let local = per_link[l].step(&mut rng);
+            // Heavy-tail noise: square a normal for occasional spikes.
+            let tail = standard_normal(&mut rng);
+            let noise = 0.01 * tail * tail.abs();
+            let util = (diurnal + shared + local + burst[l] + noise).clamp(0.005, 0.98);
+            sig.push(util * cap);
+        }
+    }
+    Dataset {
+        name: "Netflow",
+        signal_names: LINKS[..n].iter().map(|(l, _)| (*l).to_string()).collect(),
+        signals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn utilization_within_capacity() {
+        let d = netflow(0, 8, 2048);
+        for (s, (_, cap)) in d.signals.iter().zip(&LINKS) {
+            assert!(s.iter().all(|&v| v > 0.0 && v < *cap), "bounds on {cap}");
+        }
+    }
+
+    #[test]
+    fn diurnal_cycle_present() {
+        let len = 2048 * 4;
+        let day = (len / 6).clamp(16, 288); // the generator's own period
+        let d = netflow(1, 4, len);
+        let rho = stats::autocorrelation(&d.signals[0], day);
+        assert!(rho > 0.3, "day-lag autocorrelation {rho}");
+    }
+
+    #[test]
+    fn links_share_load_pattern() {
+        let d = netflow(2, 8, 4096);
+        let rho = stats::correlation(&d.signals[0], &d.signals[2]);
+        assert!(rho > 0.4, "core/agg correlation {rho}");
+    }
+
+    #[test]
+    fn deterministic_and_shaped() {
+        assert_eq!(netflow(7, 3, 512), netflow(7, 3, 512));
+        let d = netflow(7, 3, 512);
+        assert_eq!(d.n_signals(), 3);
+        assert_eq!(d.len(), 512);
+    }
+
+    #[test]
+    fn flash_events_create_heavy_bursts() {
+        // Over a long run, the max should substantially exceed the median.
+        let d = netflow(3, 1, 16_384);
+        let mut v = d.signals[0].clone();
+        v.sort_by(f64::total_cmp);
+        let median = v[v.len() / 2];
+        let max = v[v.len() - 1];
+        assert!(max > 1.8 * median, "max {max} vs median {median}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Multi-rate sampling schedules.
+//!
+//! §3.2 of the paper assumes, for notation only, that all quantities share
+//! one sampling frequency, noting that *"our framework also applies when
+//! each quantity is recorded on a different schedule"*. This module makes
+//! that concrete: align signals recorded at different periods onto the
+//! common (finest) clock so they can form the `N × M` matrix the encoder
+//! consumes, and thin them back out after reconstruction.
+
+/// How an alignment fills the gaps of a slow signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// Repeat the last recorded value (zero-order hold) — what a real
+    /// sensor register does between reads.
+    Hold,
+    /// Linearly interpolate between consecutive readings.
+    Linear,
+}
+
+/// A signal together with its sampling period (in base ticks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledSignal {
+    /// The recorded values, one per `period` ticks.
+    pub values: Vec<f64>,
+    /// Ticks between consecutive samples (≥ 1).
+    pub period: usize,
+}
+
+impl ScheduledSignal {
+    /// Construct; panics on a zero period.
+    pub fn new(values: Vec<f64>, period: usize) -> Self {
+        assert!(period >= 1, "period must be at least 1 tick");
+        ScheduledSignal { values, period }
+    }
+
+    /// Ticks covered by this signal (`len × period`).
+    pub fn ticks(&self) -> usize {
+        self.values.len() * self.period
+    }
+}
+
+/// Expand one scheduled signal onto the tick clock over `[0, ticks)`.
+pub fn expand(signal: &ScheduledSignal, ticks: usize, fill: Fill) -> Vec<f64> {
+    assert!(!signal.values.is_empty(), "cannot expand an empty signal");
+    let p = signal.period;
+    (0..ticks)
+        .map(|t| {
+            let idx = t / p;
+            let last = signal.values.len() - 1;
+            match fill {
+                Fill::Hold => signal.values[idx.min(last)],
+                Fill::Linear => {
+                    if idx >= last {
+                        signal.values[last]
+                    } else {
+                        let frac = (t % p) as f64 / p as f64;
+                        signal.values[idx] * (1.0 - frac) + signal.values[idx + 1] * frac
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Align differently-scheduled signals into the encoder's `N × M` matrix:
+/// all rows expanded onto the finest common clock, truncated to the
+/// shortest coverage.
+///
+/// Returns the rows plus the tick count `M`.
+///
+/// ```
+/// use sbr_datasets::schedule::{align, Fill, ScheduledSignal};
+/// let fast = ScheduledSignal::new(vec![0.0, 1.0, 2.0, 3.0], 1);
+/// let slow = ScheduledSignal::new(vec![10.0, 30.0], 2);
+/// let (rows, m) = align(&[fast, slow], Fill::Linear);
+/// assert_eq!(m, 4);
+/// assert_eq!(rows[1], vec![10.0, 20.0, 30.0, 30.0]);
+/// ```
+pub fn align(signals: &[ScheduledSignal], fill: Fill) -> (Vec<Vec<f64>>, usize) {
+    assert!(!signals.is_empty(), "need at least one signal");
+    let ticks = signals.iter().map(ScheduledSignal::ticks).min().expect("non-empty");
+    let rows = signals.iter().map(|s| expand(s, ticks, fill)).collect();
+    (rows, ticks)
+}
+
+/// Thin an expanded (or reconstructed) row back to its native schedule:
+/// take every `period`-th tick.
+pub fn thin(expanded: &[f64], period: usize) -> Vec<f64> {
+    assert!(period >= 1);
+    expanded.iter().step_by(period).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hold_repeats_values() {
+        let s = ScheduledSignal::new(vec![1.0, 5.0, 9.0], 3);
+        let e = expand(&s, 9, Fill::Hold);
+        assert_eq!(e, vec![1.0, 1.0, 1.0, 5.0, 5.0, 5.0, 9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn linear_interpolates_between_readings() {
+        let s = ScheduledSignal::new(vec![0.0, 3.0], 3);
+        let e = expand(&s, 6, Fill::Linear);
+        assert_eq!(e[..4], [0.0, 1.0, 2.0, 3.0]);
+        // Past the last reading: hold.
+        assert_eq!(e[4], 3.0);
+    }
+
+    #[test]
+    fn period_one_is_identity() {
+        let v = vec![2.0, -1.0, 4.0];
+        let s = ScheduledSignal::new(v.clone(), 1);
+        assert_eq!(expand(&s, 3, Fill::Hold), v);
+        assert_eq!(expand(&s, 3, Fill::Linear), v);
+    }
+
+    #[test]
+    fn align_truncates_to_shortest_coverage() {
+        let fast = ScheduledSignal::new((0..10).map(|i| i as f64).collect(), 1); // 10 ticks
+        let slow = ScheduledSignal::new(vec![100.0, 200.0], 4); // 8 ticks
+        let (rows, m) = align(&[fast, slow], Fill::Hold);
+        assert_eq!(m, 8);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 8);
+        assert_eq!(rows[1], vec![100.0; 4].into_iter().chain(vec![200.0; 4]).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thin_inverts_hold_expansion() {
+        let s = ScheduledSignal::new(vec![3.0, 1.0, 4.0, 1.0], 5);
+        let e = expand(&s, 20, Fill::Hold);
+        assert_eq!(thin(&e, 5), s.values);
+    }
+
+    #[test]
+    fn aligned_rows_feed_the_encoder() {
+        // End-to-end shape check with two schedules: the matrix is valid
+        // SBR input.
+        let fast = ScheduledSignal::new((0..64).map(|i| (i as f64 * 0.3).sin()).collect(), 1);
+        let slow = ScheduledSignal::new((0..16).map(|i| i as f64).collect(), 4);
+        let (rows, m) = align(&[fast, slow], Fill::Linear);
+        assert_eq!(m, 64);
+        assert!(rows.iter().all(|r| r.len() == 64));
+    }
+}

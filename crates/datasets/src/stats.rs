@@ -1,0 +1,145 @@
+//! Descriptive statistics used to validate the generators (and handy for
+//! anyone inspecting their own feeds before choosing SBR parameters):
+//! means/variances, Pearson correlation, lag autocorrelation and a compact
+//! per-signal summary.
+
+/// Arithmetic mean.
+pub fn mean(v: &[f64]) -> f64 {
+    assert!(!v.is_empty(), "mean of an empty slice");
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Population variance.
+pub fn variance(v: &[f64]) -> f64 {
+    let m = mean(v);
+    v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+}
+
+/// Pearson correlation of two equal-length signals; 0 when either side is
+/// constant.
+pub fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "correlation needs equal lengths");
+    let (ma, mb) = (mean(a), mean(b));
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        num += (x - ma) * (y - mb);
+        da += (x - ma) * (x - ma);
+        db += (y - mb) * (y - mb);
+    }
+    if da == 0.0 || db == 0.0 {
+        0.0
+    } else {
+        num / (da * db).sqrt()
+    }
+}
+
+/// Autocorrelation of `v` at `lag` samples; 0 when the signal is constant
+/// or shorter than the lag.
+pub fn autocorrelation(v: &[f64], lag: usize) -> f64 {
+    if v.len() <= lag || lag == 0 {
+        return 0.0;
+    }
+    correlation(&v[..v.len() - lag], &v[lag..])
+}
+
+/// A compact per-signal summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Roughness: variance of first differences over the signal variance
+    /// (≈ 0 for smooth series, ≈ 2 for white noise).
+    pub roughness: f64,
+}
+
+/// Summarize one signal.
+pub fn summarize(v: &[f64]) -> Summary {
+    assert!(v.len() >= 2, "summary needs at least two samples");
+    let var = variance(v);
+    let diffs: Vec<f64> = v.windows(2).map(|w| w[1] - w[0]).collect();
+    Summary {
+        mean: mean(v),
+        std: var.sqrt(),
+        min: v.iter().copied().fold(f64::INFINITY, f64::min),
+        max: v.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        roughness: if var == 0.0 { 0.0 } else { variance(&diffs) / var },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&v), 2.5);
+        assert_eq!(variance(&v), 1.25);
+    }
+
+    #[test]
+    fn perfect_and_anti_correlation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        let c = [3.0, 2.0, 1.0];
+        assert!((correlation(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((correlation(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_signal_has_zero_correlation() {
+        let a = [5.0; 4];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(correlation(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_detects_periodicity() {
+        let v: Vec<f64> = (0..256)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 16.0).sin())
+            .collect();
+        assert!(autocorrelation(&v, 16) > 0.99);
+        assert!(autocorrelation(&v, 8) < -0.99);
+        assert_eq!(autocorrelation(&v, 0), 0.0);
+        assert_eq!(autocorrelation(&v, 500), 0.0);
+    }
+
+    #[test]
+    fn roughness_separates_smooth_from_noise() {
+        let smooth: Vec<f64> = (0..512).map(|i| (i as f64 * 0.05).sin()).collect();
+        // A deterministic "white-ish" sequence.
+        let rough: Vec<f64> = (0..512).map(|i| (((i as u64 * 2654435761) % 1000) as f64) / 500.0).collect();
+        let s = summarize(&smooth);
+        let r = summarize(&rough);
+        assert!(s.roughness < 0.05, "{}", s.roughness);
+        assert!(r.roughness > 1.0, "{}", r.roughness);
+    }
+
+    #[test]
+    fn summary_extremes() {
+        let s = summarize(&[3.0, -1.0, 4.0, 1.0]);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn generator_structure_checks() {
+        // The generators' signature properties, via the shared stats.
+        let w = crate::weather(11, 4096);
+        assert!(correlation(&w.signals[0], &w.signals[1]) > 0.85, "temp/dewpoint");
+        let p = crate::phone(11, 2048, 128);
+        assert!(autocorrelation(&p.signals[1], 128) > 0.5, "diurnal phone cycle");
+        let s = crate::stock(11, 4, 2048);
+        let sm = summarize(&s.signals[0]);
+        let wm = summarize(&w.signals[0]);
+        assert!(sm.roughness > wm.roughness, "trades rougher than temperature");
+    }
+}

@@ -1,0 +1,139 @@
+//! Synthetic per-minute trade values: correlated geometric random walks
+//! with volatility clustering plus heavy sampling noise — the paper drew a
+//! *random sample* of each stock's trades, which destroys smoothness and
+//! leaves few reusable shape features (Table 6 shows the Stock dataset
+//! inserting the fewest base intervals).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gauss::{normal, standard_normal, Ar1};
+use crate::Dataset;
+
+/// The ten tickers of §5.1 with 2000-04 price scales.
+const TICKERS: [(&str, f64); 10] = [
+    ("MSFT", 90.0),
+    ("ORCL", 78.0),
+    ("INTC", 130.0),
+    ("DELL", 54.0),
+    ("YHOO", 170.0),
+    ("NOK", 55.0),
+    ("CSCO", 75.0),
+    ("WCOM", 45.0),
+    ("ARBA", 110.0),
+    ("LGTO", 40.0),
+];
+
+/// Generate `len` sampled trade values for `n` tickers (`n ≤ 10`).
+pub fn stock(seed: u64, n: usize, len: usize) -> Dataset {
+    assert!(n <= TICKERS.len(), "at most {} tickers", TICKERS.len());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bad_cafe_f00d_d00d);
+    let mut market = Ar1::new(0.98, 0.0016); // shared market factor
+    let mut vol = Ar1::new(0.995, 0.05); // log-volatility (clustering)
+    let mut log_prices: Vec<f64> = TICKERS[..n].iter().map(|(_, p)| p.ln()).collect();
+    // Per-ticker beta to the market factor.
+    let betas: Vec<f64> = (0..n).map(|i| 0.6 + 0.9 * ((i * 7 % 10) as f64 / 10.0)).collect();
+
+    // Trading-day length in samples: per-minute trades over a 6.5 h
+    // session ≈ 390; scale with the series so short test series still see
+    // whole sessions.
+    let day = (len / 8).clamp(16, 390) as f64;
+    let mut signals: Vec<Vec<f64>> = vec![Vec::with_capacity(len); n];
+    for t in 0..len {
+        let m = market.step(&mut rng);
+        let sigma = 0.0012 * (1.0 + vol.step(&mut rng)).exp();
+        // The intraday U-shape of trade activity/price pressure: busy and
+        // volatile at open/close, quiet midday — the reusable per-day
+        // feature real trade feeds exhibit.
+        let phase = 2.0 * std::f64::consts::PI * (t as f64 / day);
+        let intraday = 1.0 + 0.012 * phase.cos() + 0.004 * (2.0 * phase).cos();
+        for (i, lp) in log_prices.iter_mut().enumerate() {
+            *lp += betas[i] * m * 0.02 + standard_normal(&mut rng) * sigma;
+            // Random-sampled trades around the mid price: bid/ask bounce +
+            // odd-lot outliers.
+            let mid = lp.exp() * intraday;
+            let bounce = normal(&mut rng, 0.0, mid * 0.0009);
+            let outlier = if rng_uniform(&mut rng) < 0.004 {
+                normal(&mut rng, 0.0, mid * 0.01)
+            } else {
+                0.0
+            };
+            signals[i].push((mid + bounce + outlier).max(0.01));
+        }
+    }
+    Dataset {
+        name: "Stock",
+        signal_names: TICKERS[..n].iter().map(|(t, _)| (*t).to_string()).collect(),
+        signals,
+    }
+}
+
+fn rng_uniform(rng: &mut StdRng) -> f64 {
+    use rand::Rng;
+    rng.random()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prices_stay_positive_and_near_scale() {
+        let d = stock(0, 10, 4096);
+        for (s, (_, base)) in d.signals.iter().zip(&TICKERS) {
+            assert!(s.iter().all(|&v| v > 0.0));
+            let mean = s.iter().sum::<f64>() / s.len() as f64;
+            assert!(
+                mean > base * 0.3 && mean < base * 3.0,
+                "mean {mean} drifted too far from {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn returns_are_rougher_than_weather() {
+        // First-difference energy relative to signal variance should be
+        // high: sampled trades have little short-range smoothness.
+        let d = stock(1, 3, 4096);
+        let s = &d.signals[0];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let var: f64 = s.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / s.len() as f64;
+        let diff_var: f64 =
+            s.windows(2).map(|w| (w[1] - w[0]).powi(2)).sum::<f64>() / (s.len() - 1) as f64;
+        // A smooth diurnal signal has diff_var ≪ var; a random walk with
+        // bounce noise keeps the ratio visible.
+        assert!(diff_var / var > 1e-4, "ratio {:.2e}", diff_var / var);
+    }
+
+    #[test]
+    fn tickers_share_market_moves() {
+        let d = stock(2, 10, 8192);
+        // Correlate daily-scale moving averages, not raw bounce noise.
+        let smooth = |s: &[f64]| -> Vec<f64> {
+            s.chunks(64).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
+        };
+        let a = smooth(&d.signals[0]);
+        let b = smooth(&d.signals[6]);
+        let n = a.len() as f64;
+        let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for (x, y) in a.iter().zip(&b) {
+            num += (x - ma) * (y - mb);
+            da += (x - ma).powi(2);
+            db += (y - mb).powi(2);
+        }
+        let rho = num / (da * db).sqrt();
+        assert!(rho.abs() > 0.2, "smoothed co-movement {rho} too weak");
+    }
+
+    #[test]
+    fn subset_matches_prefix_of_full_run() {
+        // Shape contract: n controls how many tickers, not the randomness
+        // layout guarantee — just check shapes and determinism.
+        let d3 = stock(5, 3, 256);
+        assert_eq!(d3.n_signals(), 3);
+        assert_eq!(d3.signal_names, vec!["MSFT", "ORCL", "INTC"]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Synthetic weather-station feed: the six quantities of the University of
+//! Washington station used in the paper (air temperature, dew point, wind
+//! speed, wind peak, solar irradiance, relative humidity), sampled over a
+//! year with physically plausible couplings:
+//!
+//! * dew point tracks temperature minus a humidity-dependent spread,
+//! * relative humidity is anti-correlated with the diurnal temperature
+//!   swing,
+//! * wind peak is a gusty envelope over wind speed,
+//! * solar irradiance is a day-clipped bell modulated by cloud cover,
+//!   and clouds simultaneously damp the temperature swing.
+//!
+//! These couplings are exactly the cross-signal linear correlations SBR's
+//! base signal exploits (the paper's Table 5 shows `GetBase` helping most
+//! on this dataset).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gauss::{normal, Ar1};
+use crate::Dataset;
+
+/// Samples per synthetic day (the station reports every ~10 minutes; we
+/// default to 144/day scaled into the requested length).
+const SAMPLES_PER_DAY: f64 = 144.0;
+
+/// Generate `len` samples of the six quantities.
+pub fn weather(seed: u64, len: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5151_5151_dead_beef);
+    let mut cloud = Ar1::new(0.995, 0.02); // slow synoptic cloud systems
+    let mut wind_base = Ar1::new(0.99, 0.12);
+    let mut temp_noise = Ar1::new(0.97, 0.05);
+
+    let mut temperature = Vec::with_capacity(len);
+    let mut dewpoint = Vec::with_capacity(len);
+    let mut wind_speed = Vec::with_capacity(len);
+    let mut wind_peak = Vec::with_capacity(len);
+    let mut solar = Vec::with_capacity(len);
+    let mut humidity = Vec::with_capacity(len);
+
+    for t in 0..len {
+        let day_frac = (t as f64 / SAMPLES_PER_DAY).fract();
+        let season = 2.0 * std::f64::consts::PI * (t as f64 / (SAMPLES_PER_DAY * 365.0));
+        let cloudiness = (0.5 + cloud.step(&mut rng)).clamp(0.0, 1.0);
+
+        // Solar elevation proxy: positive half of a sine centred at noon.
+        let sun = (std::f64::consts::PI * (day_frac - 0.25) * 2.0).sin().max(0.0);
+        let irradiance = 900.0 * sun * (1.0 - 0.8 * cloudiness);
+
+        // Temperature: seasonal base + diurnal swing damped by clouds.
+        let seasonal = 11.0 - 7.0 * season.cos(); // °C, Seattle-ish
+        let swing = 5.5 * (1.0 - 0.6 * cloudiness);
+        let temp = seasonal + swing * (2.0 * std::f64::consts::PI * (day_frac - 0.417)).sin()
+            + temp_noise.step(&mut rng);
+
+        // Humidity: high at night/clouds, low mid-afternoon.
+        let rh = (78.0 - 18.0 * sun * (1.0 - cloudiness) + normal(&mut rng, 0.0, 1.5))
+            .clamp(15.0, 100.0);
+
+        // Dew point from temperature and humidity (Magnus-style spread).
+        let dp = temp - (100.0 - rh) / 5.0 + normal(&mut rng, 0.0, 0.3);
+
+        // Wind: mean-reverting base, stronger when fronts (clouds) pass.
+        let ws = (3.0 + 4.0 * cloudiness + wind_base.step(&mut rng)).max(0.0);
+        let gust = ws * (1.25 + 0.35 * rng_abs(&mut rng));
+        temperature.push(temp);
+        dewpoint.push(dp);
+        wind_speed.push(ws);
+        wind_peak.push(gust);
+        solar.push(irradiance.max(0.0));
+        humidity.push(rh);
+    }
+
+    Dataset {
+        name: "Weather",
+        signal_names: [
+            "air_temperature",
+            "dewpoint",
+            "wind_speed",
+            "wind_peak",
+            "solar_irradiance",
+            "relative_humidity",
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect(),
+        signals: vec![temperature, dewpoint, wind_speed, wind_peak, solar, humidity],
+    }
+}
+
+fn rng_abs(rng: &mut StdRng) -> f64 {
+    normal(rng, 0.0, 1.0).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corr(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            num += (x - ma) * (y - mb);
+            da += (x - ma).powi(2);
+            db += (y - mb).powi(2);
+        }
+        num / (da * db).sqrt()
+    }
+
+    #[test]
+    fn dewpoint_tracks_temperature() {
+        let d = weather(0, 8192);
+        let rho = corr(&d.signals[0], &d.signals[1]);
+        assert!(rho > 0.85, "temp/dewpoint correlation {rho}");
+    }
+
+    #[test]
+    fn wind_peak_bounds_wind_speed() {
+        let d = weather(1, 4096);
+        for (s, p) in d.signals[2].iter().zip(&d.signals[3]) {
+            assert!(p >= s, "gust {p} below sustained wind {s}");
+        }
+    }
+
+    #[test]
+    fn solar_is_nonnegative_and_dark_at_night() {
+        let d = weather(2, 4096);
+        let s = &d.signals[4];
+        assert!(s.iter().all(|&v| v >= 0.0));
+        let zeros = s.iter().filter(|&&v| v == 0.0).count();
+        assert!(
+            zeros as f64 > 0.3 * s.len() as f64,
+            "nights must be dark ({zeros} zero samples)"
+        );
+    }
+
+    #[test]
+    fn humidity_within_physical_bounds() {
+        let d = weather(3, 4096);
+        assert!(d.signals[5].iter().all(|&v| (15.0..=100.0).contains(&v)));
+    }
+
+    #[test]
+    fn humidity_anticorrelates_with_solar() {
+        let d = weather(4, 8192);
+        let rho = corr(&d.signals[4], &d.signals[5]);
+        assert!(rho < -0.3, "solar/humidity correlation {rho} should be negative");
+    }
+}

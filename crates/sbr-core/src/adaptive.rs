@@ -1,0 +1,220 @@
+//! The §4.4 constrained-deployment policy, made executable: run the full
+//! SBR pipeline only while the dictionary is still learning, then fall back
+//! to the fast `GetIntervals`-only path, re-enabling dictionary updates
+//! when approximation quality degrades.
+//!
+//! The paper: *"decide not to update the base signal … perform their
+//! execution only periodically (i.e., when we notice a degradation in the
+//! quality of the approximation)"*. [`QualityMonitor`] is the degradation
+//! detector; [`AdaptiveEncoder`] wires it to an [`SbrEncoder`].
+
+use std::collections::VecDeque;
+
+use crate::error::Result;
+use crate::sbr::{EncodeStats, SbrEncoder};
+use crate::transmission::Transmission;
+
+/// Rolling-median degradation detector over per-transmission errors.
+///
+/// ```
+/// use sbr_core::{Quality, QualityMonitor};
+/// let mut m = QualityMonitor::new(4, 2.0);
+/// m.observe(10.0);
+/// m.observe(11.0);
+/// assert_eq!(m.observe(10.5), Quality::Stable);
+/// assert_eq!(m.observe(42.0), Quality::Degraded);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QualityMonitor {
+    window: usize,
+    degrade_factor: f64,
+    history: VecDeque<f64>,
+}
+
+/// Verdict of one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quality {
+    /// Error is in line with recent history.
+    Stable,
+    /// Error exceeds `degrade_factor ×` the rolling median — the dictionary
+    /// no longer matches the data.
+    Degraded,
+    /// Not enough history yet to judge.
+    Warmup,
+}
+
+impl QualityMonitor {
+    /// A monitor comparing each error against `degrade_factor ×` the median
+    /// of the last `window` errors.
+    pub fn new(window: usize, degrade_factor: f64) -> Self {
+        assert!(window >= 2, "need at least two observations to compare");
+        assert!(degrade_factor > 1.0, "factor must exceed 1");
+        QualityMonitor {
+            window,
+            degrade_factor,
+            history: VecDeque::with_capacity(window + 1),
+        }
+    }
+
+    /// Record one per-transmission error and classify it.
+    pub fn observe(&mut self, err: f64) -> Quality {
+        let verdict = if self.history.len() < 2 {
+            Quality::Warmup
+        } else {
+            let mut sorted: Vec<f64> = self.history.iter().copied().collect();
+            sorted.sort_by(f64::total_cmp);
+            let median = sorted[sorted.len() / 2];
+            if err > self.degrade_factor * median.max(f64::MIN_POSITIVE) {
+                Quality::Degraded
+            } else {
+                Quality::Stable
+            }
+        };
+        self.history.push_back(err);
+        if self.history.len() > self.window {
+            self.history.pop_front();
+        }
+        verdict
+    }
+
+    /// Forget history (e.g. after the dictionary was rebuilt).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+/// An [`SbrEncoder`] governed by a [`QualityMonitor`]:
+///
+/// * dictionary updates stay on until `converged_after` consecutive
+///   transmissions insert nothing, then turn off (cheap path),
+/// * a `Degraded` verdict turns them back on and resets the detector.
+#[derive(Debug)]
+pub struct AdaptiveEncoder {
+    encoder: SbrEncoder,
+    monitor: QualityMonitor,
+    converged_after: usize,
+    quiet_streak: usize,
+    updates_on: bool,
+}
+
+impl AdaptiveEncoder {
+    /// Wrap an encoder. `converged_after` is the number of consecutive
+    /// zero-insertion transmissions after which updates are switched off.
+    pub fn new(encoder: SbrEncoder, monitor: QualityMonitor, converged_after: usize) -> Self {
+        AdaptiveEncoder {
+            encoder,
+            monitor,
+            converged_after: converged_after.max(1),
+            quiet_streak: 0,
+            updates_on: true,
+        }
+    }
+
+    /// Whether the expensive dictionary-update path is currently active.
+    pub fn updates_on(&self) -> bool {
+        self.updates_on
+    }
+
+    /// Access the wrapped encoder.
+    pub fn encoder(&self) -> &SbrEncoder {
+        &self.encoder
+    }
+
+    /// Encode a batch under the adaptive policy.
+    pub fn encode(&mut self, rows: &[Vec<f64>]) -> Result<(Transmission, EncodeStats)> {
+        self.encoder.set_update_base(self.updates_on);
+        let tx = self.encoder.encode(rows)?;
+        let stats = self.encoder.last_stats().expect("stats after encode");
+
+        if self.updates_on {
+            if stats.inserted == 0 {
+                self.quiet_streak += 1;
+                if self.quiet_streak >= self.converged_after {
+                    self.updates_on = false;
+                }
+            } else {
+                self.quiet_streak = 0;
+            }
+        }
+        if self.monitor.observe(stats.total_err) == Quality::Degraded && !self.updates_on {
+            self.updates_on = true;
+            self.quiet_streak = 0;
+            self.monitor.reset();
+        }
+        Ok((tx, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SbrConfig;
+
+    #[test]
+    fn monitor_warms_up_then_judges() {
+        let mut m = QualityMonitor::new(4, 2.0);
+        assert_eq!(m.observe(10.0), Quality::Warmup);
+        assert_eq!(m.observe(11.0), Quality::Warmup);
+        assert_eq!(m.observe(10.5), Quality::Stable);
+        assert_eq!(m.observe(50.0), Quality::Degraded);
+    }
+
+    #[test]
+    fn monitor_window_slides() {
+        let mut m = QualityMonitor::new(3, 2.0);
+        for e in [1.0, 1.0, 1.0, 100.0, 100.0, 100.0] {
+            m.observe(e);
+        }
+        // History is now all 100s; another 100 is stable.
+        assert_eq!(m.observe(100.0), Quality::Stable);
+    }
+
+    #[test]
+    fn monitor_handles_zero_errors() {
+        let mut m = QualityMonitor::new(3, 2.0);
+        m.observe(0.0);
+        m.observe(0.0);
+        assert_eq!(m.observe(1.0), Quality::Degraded);
+    }
+
+    fn rows(seed: u64, pattern: f64) -> Vec<Vec<f64>> {
+        vec![(0..128)
+            .map(|i| ((i as f64 * pattern) + seed as f64).sin() * 5.0 + (i % 9) as f64)
+            .collect()]
+    }
+
+    #[test]
+    fn adaptive_turns_updates_off_after_convergence() {
+        let enc = SbrEncoder::new(1, 128, SbrConfig::new(64, 64)).unwrap();
+        let mut adaptive = AdaptiveEncoder::new(enc, QualityMonitor::new(4, 3.0), 2);
+        // Same-regime data: insertions stop, updates eventually switch off.
+        let mut switched_off = false;
+        for t in 0..8 {
+            adaptive.encode(&rows(t % 2, 0.37)).unwrap();
+            if !adaptive.updates_on() {
+                switched_off = true;
+            }
+        }
+        assert!(switched_off, "stationary data must trigger the cheap path");
+    }
+
+    #[test]
+    fn adaptive_reenables_on_regime_change() {
+        let enc = SbrEncoder::new(1, 128, SbrConfig::new(64, 64)).unwrap();
+        let mut adaptive = AdaptiveEncoder::new(enc, QualityMonitor::new(4, 2.0), 2);
+        for t in 0..6 {
+            adaptive.encode(&rows(t, 0.37)).unwrap();
+        }
+        let was_off = !adaptive.updates_on();
+        // Regime change: different frequency and scale.
+        let shock: Vec<Vec<f64>> = vec![(0..128)
+            .map(|i| ((i as f64 * 1.9).sin() * 80.0) + ((i * i) % 23) as f64)
+            .collect()];
+        adaptive.encode(&shock).unwrap();
+        adaptive.encode(&shock).unwrap();
+        assert!(
+            adaptive.updates_on(),
+            "degradation must re-enable updates (was_off = {was_off})"
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! `BestMap` (Algorithm 2): find the best approximation for one data
+//! interval — either a shifted base-signal segment or the linear fall-back.
+
+use crate::config::SbrConfig;
+use crate::interval::{Interval, LINEAR_FALLBACK_SHIFT};
+use crate::metric::ErrorMetric;
+use crate::regression::{self, PrefixStats};
+
+/// Shared read-only context for repeated `BestMap` calls against one base
+/// signal and one data batch: the prefix statistics that make the SSE shift
+/// loop cost a single `Σ x·y` pass per position.
+pub struct MapContext<'a> {
+    /// Flat base signal `X`.
+    pub x: &'a [f64],
+    /// Prefix sums over `X`.
+    pub x_stats: PrefixStats,
+    /// Concatenated data `Y`.
+    pub y: &'a [f64],
+    /// Prefix sums over `Y`.
+    pub y_stats: PrefixStats,
+    /// Effective configuration.
+    pub metric: ErrorMetric,
+    /// Whether the linear-regression fall-back competes with base mappings.
+    pub allow_linear_fallback: bool,
+    /// Intervals longer than `max_shift_len` are never shifted over `X`
+    /// (the paper uses `2 × W`).
+    pub max_shift_len: usize,
+}
+
+impl<'a> MapContext<'a> {
+    /// Build a context from the configuration and the derived width `w`.
+    pub fn new(x: &'a [f64], y: &'a [f64], config: &SbrConfig, w: usize) -> Self {
+        MapContext {
+            x,
+            x_stats: PrefixStats::new(x),
+            y,
+            y_stats: PrefixStats::new(y),
+            metric: config.metric,
+            allow_linear_fallback: config.allow_linear_fallback,
+            max_shift_len: config.max_shift_len_factor.saturating_mul(w),
+        }
+    }
+
+    /// Fit `interval` (its `start`/`length` must already be set): try the
+    /// linear fall-back (if enabled) and every admissible shift over `X`,
+    /// keeping whichever minimizes the metric error. Ties favour the
+    /// earliest shift, matching the strict `<` of Algorithm 2.
+    pub fn best_map(&self, interval: &mut Interval) {
+        let start = interval.start;
+        let len = interval.length;
+        debug_assert!(len > 0 && start + len <= self.y.len());
+        let yw = &self.y[start..start + len];
+
+        let shiftable = len <= self.max_shift_len && len <= self.x.len();
+
+        // Fall-back fit. Also used unconditionally when no base segment is
+        // admissible, so every interval always gets *some* finite fit.
+        if self.allow_linear_fallback || !shiftable {
+            let f = regression::fit_linear(self.metric, yw);
+            interval.shift = LINEAR_FALLBACK_SHIFT;
+            interval.a = f.a;
+            interval.b = f.b;
+            interval.err = f.err;
+        } else {
+            interval.err = f64::INFINITY;
+        }
+
+        if !shiftable {
+            return;
+        }
+
+        match self.metric {
+            ErrorMetric::Sse => self.shift_loop_sse(interval, yw),
+            _ => self.shift_loop_general(interval, yw),
+        }
+    }
+
+    /// SSE fast path: window sums of `X` and `Y` come from prefix stats;
+    /// only `Σ x·y` is recomputed per shift.
+    fn shift_loop_sse(&self, interval: &mut Interval, yw: &[f64]) {
+        let len = interval.length;
+        let sum_y = self.y_stats.window_sum(interval.start, len);
+        let sum_y2 = self.y_stats.window_sum_sq(interval.start, len);
+        for shift in 0..=(self.x.len() - len) {
+            let xw = &self.x[shift..shift + len];
+            let mut sum_xy = 0.0;
+            for (xi, yi) in xw.iter().zip(yw) {
+                sum_xy += xi * yi;
+            }
+            let f = regression::fit_sse_with_stats(
+                len,
+                self.x_stats.window_sum(shift, len),
+                self.x_stats.window_sum_sq(shift, len),
+                sum_y,
+                sum_y2,
+                sum_xy,
+            );
+            if f.err < interval.err {
+                interval.shift = shift as i64;
+                interval.a = f.a;
+                interval.b = f.b;
+                interval.err = f.err;
+            }
+        }
+    }
+
+    /// General path for the relative-SSE and max-abs metrics: full refit per
+    /// shift (still `O(len)` each).
+    fn shift_loop_general(&self, interval: &mut Interval, yw: &[f64]) {
+        let len = interval.length;
+        for shift in 0..=(self.x.len() - len) {
+            let xw = &self.x[shift..shift + len];
+            let f = regression::fit(self.metric, xw, yw);
+            if f.err < interval.err {
+                interval.shift = shift as i64;
+                interval.a = f.a;
+                interval.b = f.b;
+                interval.err = f.err;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(x: &'a [f64], y: &'a [f64], w: usize) -> MapContext<'a> {
+        let config = SbrConfig::new(1_000, 1_000);
+        MapContext::new(x, y, &config, w)
+    }
+
+    #[test]
+    fn finds_exact_projection() {
+        // Y is an affine image of X[4..12].
+        let x: Vec<f64> = (0..16).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let y: Vec<f64> = x[4..12].iter().map(|v| 2.0 * v - 1.0).collect();
+        let c = ctx(&x, &y, 8);
+        let mut i = Interval::unfitted(0, 8);
+        c.best_map(&mut i);
+        assert_eq!(i.shift, 4);
+        assert!((i.a - 2.0).abs() < 1e-9);
+        assert!((i.b + 1.0).abs() < 1e-9);
+        assert!(i.err < 1e-12);
+    }
+
+    #[test]
+    fn falls_back_when_base_uncorrelated() {
+        // Y is a perfect line over its index; X is hostile noise-free but
+        // uncorrelated (constant), so the fall-back must win.
+        let x = vec![5.0; 16];
+        let y: Vec<f64> = (0..8).map(|i| 3.0 * i as f64 + 1.0).collect();
+        let c = ctx(&x, &y, 8);
+        let mut i = Interval::unfitted(0, 8);
+        c.best_map(&mut i);
+        assert!(i.is_fallback());
+        assert!(i.err < 1e-9);
+    }
+
+    #[test]
+    fn long_intervals_are_not_shifted() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..50).map(|i| (i as f64).cos()).collect();
+        let config = SbrConfig::new(1_000, 1_000);
+        let mut c = MapContext::new(&x, &y, &config, 8);
+        c.max_shift_len = 16; // 2 × W
+        let mut i = Interval::unfitted(0, 50);
+        c.best_map(&mut i);
+        assert!(i.is_fallback(), "len 50 > 2W = 16 must use the fall-back");
+    }
+
+    #[test]
+    fn empty_base_signal_uses_fallback_even_when_disabled() {
+        let x: Vec<f64> = vec![];
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let config = SbrConfig::new(1_000, 1_000).without_fallback();
+        let c = MapContext::new(&x, &y, &config, 2);
+        let mut i = Interval::unfitted(0, 4);
+        c.best_map(&mut i);
+        assert!(i.is_fallback());
+        assert!(i.err.is_finite());
+    }
+
+    #[test]
+    fn disabled_fallback_forces_base_mapping() {
+        let x = vec![5.0; 16]; // constant base: poor but usable
+        let y: Vec<f64> = (0..8).map(|i| 3.0 * i as f64 + 1.0).collect();
+        let config = SbrConfig::new(1_000, 1_000).without_fallback();
+        let c = MapContext::new(&x, &y, &config, 8);
+        let mut i = Interval::unfitted(0, 8);
+        c.best_map(&mut i);
+        assert!(!i.is_fallback());
+        assert!(i.err > 1.0, "constant base cannot capture a ramp");
+    }
+
+    #[test]
+    fn sse_path_agrees_with_general_path() {
+        let x: Vec<f64> = (0..32).map(|i| ((i * i % 17) as f64) - 8.0).collect();
+        let y: Vec<f64> = (0..10).map(|i| ((i * 3 % 11) as f64) * 1.5).collect();
+        let c = ctx(&x, &y, 8);
+        let mut fast = Interval::unfitted(0, 10);
+        c.best_map(&mut fast);
+        // Re-run with the general loop by pretending the metric is exotic.
+        let mut slow = Interval::unfitted(0, 10);
+        let f = regression::fit_linear(ErrorMetric::Sse, &y);
+        slow.a = f.a;
+        slow.b = f.b;
+        slow.err = f.err;
+        for shift in 0..=(x.len() - 10) {
+            let f = regression::fit_sse(&x[shift..shift + 10], &y);
+            if f.err < slow.err {
+                slow.shift = shift as i64;
+                slow.a = f.a;
+                slow.b = f.b;
+                slow.err = f.err;
+            }
+        }
+        assert_eq!(fast.shift, slow.shift);
+        assert!((fast.err - slow.err).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxabs_metric_shift_loop() {
+        let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = x[5..13].iter().map(|v| -v + 0.5).collect();
+        let config = SbrConfig::new(1_000, 1_000).with_metric(ErrorMetric::MaxAbs);
+        let c = MapContext::new(&x, &y, &config, 8);
+        let mut i = Interval::unfitted(0, 8);
+        c.best_map(&mut i);
+        assert_eq!(i.shift, 5);
+        assert!(i.err < 1e-9);
+    }
+}

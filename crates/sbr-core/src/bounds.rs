@@ -1,0 +1,176 @@
+//! §4.5: strict error bounds and combined error/space targets.
+//!
+//! Two application contracts beyond the plain bandwidth-budget mode:
+//!
+//! * **Guaranteed maximum error** — encode under the max-abs metric and ship
+//!   the achieved bound with the approximation; every reconstructed value is
+//!   then within that bound of the truth.
+//! * **Error target with a space cap** — the application is happy with any
+//!   approximation at most `target_band` values large whose error meets a
+//!   target; `GetIntervals`' recursive splitting simply stops early once the
+//!   target is met (implemented via [`SbrConfig::error_target`]).
+
+use crate::config::SbrConfig;
+use crate::error::Result;
+use crate::metric::ErrorMetric;
+use crate::sbr::SbrEncoder;
+use crate::transmission::Transmission;
+
+/// An error-target/space-cap contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBoundSpec {
+    /// Upper bound on the transmission size, in values (`TargetBand`).
+    pub target_band: usize,
+    /// Error the application is satisfied with, under the encoder's metric.
+    pub error_target: f64,
+}
+
+/// Outcome of a bounded encoding.
+#[derive(Debug, Clone)]
+pub struct BoundedEncoding {
+    /// The transmission (already as small as the target allows).
+    pub transmission: Transmission,
+    /// The error actually achieved, under the encoder's metric. When the
+    /// metric is [`ErrorMetric::MaxAbs`] this is a *guarantee*: no
+    /// reconstructed value deviates more.
+    pub achieved_error: f64,
+    /// Whether the error target was met within the space cap.
+    pub met_target: bool,
+}
+
+impl SbrEncoder {
+    /// Encode a batch under an [`ErrorBoundSpec`]: the result uses at most
+    /// `spec.target_band` values and stops spending budget as soon as the
+    /// error target is met. If the target is unreachable within the cap,
+    /// the full cap is spent and `met_target` is `false`.
+    pub fn encode_bounded(
+        &mut self,
+        rows: &[Vec<f64>],
+        spec: ErrorBoundSpec,
+    ) -> Result<BoundedEncoding> {
+        // Temporarily narrow the configuration; restore it even on error.
+        let saved = self.config().clone();
+        let narrowed = SbrConfig {
+            total_band: spec.target_band.min(saved.total_band),
+            error_target: Some(spec.error_target),
+            ..saved.clone()
+        };
+        self.set_config_for_bounds(narrowed);
+        let out = self.encode(rows);
+        self.set_config_for_bounds(saved);
+        let transmission = out?;
+        let stats = self
+            .last_stats()
+            .expect("encode just succeeded, stats must exist");
+        Ok(BoundedEncoding {
+            transmission,
+            achieved_error: stats.total_err,
+            met_target: stats.total_err <= spec.error_target,
+        })
+    }
+}
+
+/// Verify a max-error guarantee against ground truth (testing/audit
+/// helper): returns the worst absolute deviation.
+pub fn audit_max_error(original: &[Vec<f64>], reconstructed: &[Vec<f64>]) -> f64 {
+    let mut worst = 0.0f64;
+    for (o, r) in original.iter().zip(reconstructed) {
+        worst = worst.max(ErrorMetric::MaxAbs.score(o, r));
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Decoder;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![(0..128)
+            .map(|i| (i as f64 * 0.23).sin() * 10.0 + ((i / 16) % 3) as f64 * 5.0)
+            .collect()]
+    }
+
+    #[test]
+    fn loose_target_uses_less_space() {
+        let rows = rows();
+        let mut enc = SbrEncoder::new(1, 128, SbrConfig::new(96, 64)).unwrap();
+        let tight = enc
+            .encode_bounded(
+                &rows,
+                ErrorBoundSpec {
+                    target_band: 96,
+                    error_target: 0.0,
+                },
+            )
+            .unwrap();
+        let mut enc2 = SbrEncoder::new(1, 128, SbrConfig::new(96, 64)).unwrap();
+        let loose = enc2
+            .encode_bounded(
+                &rows,
+                ErrorBoundSpec {
+                    target_band: 96,
+                    error_target: tight.achieved_error * 50.0 + 1.0,
+                },
+            )
+            .unwrap();
+        assert!(loose.met_target);
+        assert!(loose.transmission.cost() <= tight.transmission.cost());
+    }
+
+    #[test]
+    fn unreachable_target_reports_false() {
+        let rows = rows();
+        let mut enc = SbrEncoder::new(1, 128, SbrConfig::new(16, 16)).unwrap();
+        let out = enc
+            .encode_bounded(
+                &rows,
+                ErrorBoundSpec {
+                    target_band: 16,
+                    error_target: 1e-12,
+                },
+            )
+            .unwrap();
+        assert!(!out.met_target);
+        assert!(out.transmission.cost() <= 16);
+    }
+
+    #[test]
+    fn maxabs_bound_is_a_real_guarantee() {
+        let rows = rows();
+        let config = SbrConfig::new(80, 64).with_metric(ErrorMetric::MaxAbs);
+        let mut enc = SbrEncoder::new(1, 128, config).unwrap();
+        let out = enc
+            .encode_bounded(
+                &rows,
+                ErrorBoundSpec {
+                    target_band: 80,
+                    error_target: 0.5,
+                },
+            )
+            .unwrap();
+        let rec = Decoder::new().decode(&out.transmission).unwrap();
+        let worst = audit_max_error(&rows, &rec);
+        assert!(
+            worst <= out.achieved_error + 1e-9,
+            "decoded deviation {worst} exceeds the advertised bound {}",
+            out.achieved_error
+        );
+    }
+
+    #[test]
+    fn config_restored_after_bounded_call() {
+        let rows = rows();
+        let mut enc = SbrEncoder::new(1, 128, SbrConfig::new(96, 64)).unwrap();
+        enc.encode_bounded(
+            &rows,
+            ErrorBoundSpec {
+                target_band: 32,
+                error_target: 1.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(enc.config().total_band, 96);
+        assert_eq!(enc.config().error_target, None);
+    }
+}

@@ -1,0 +1,230 @@
+//! Wire codec: a compact, self-describing binary framing for
+//! [`Transmission`]s, suitable for the radio link of the sensor-network
+//! substrate and for the base station's append-only log files.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  u32  = 0x53_42_52_31 ("SBR1")
+//! seq    u64
+//! n      u32   signals
+//! m      u32   samples per signal
+//! w      u32   base-interval width
+//! nu     u32   base updates
+//! ni     u32   interval records
+//! nu × { slot u64, w × f64 }
+//! ni × { start u64, shift i64, a f64, b f64 }
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{Result, SbrError};
+use crate::interval::IntervalRecord;
+use crate::transmission::{BaseUpdate, Transmission};
+
+/// Frame magic: "SBR1".
+pub const MAGIC: u32 = 0x5342_5231;
+
+/// Serialized size of a transmission in bytes.
+pub fn encoded_len(tx: &Transmission) -> usize {
+    4 + 8
+        + 4 * 4
+        + 4
+        + tx.base_updates
+            .iter()
+            .map(|u| 8 + 8 * u.values.len())
+            .sum::<usize>()
+        + tx.intervals.len() * (8 + 8 + 8 + 8)
+}
+
+/// Serialize a transmission into a byte frame.
+pub fn encode(tx: &Transmission) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(tx));
+    buf.put_u32_le(MAGIC);
+    buf.put_u64_le(tx.seq);
+    buf.put_u32_le(tx.n_signals);
+    buf.put_u32_le(tx.samples_per_signal);
+    buf.put_u32_le(tx.w);
+    buf.put_u32_le(tx.base_updates.len() as u32);
+    buf.put_u32_le(tx.intervals.len() as u32);
+    for u in &tx.base_updates {
+        buf.put_u64_le(u.slot);
+        for &v in &u.values {
+            buf.put_f64_le(v);
+        }
+    }
+    for r in &tx.intervals {
+        buf.put_u64_le(r.start);
+        buf.put_i64_le(r.shift);
+        buf.put_f64_le(r.a);
+        buf.put_f64_le(r.b);
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
+    if buf.remaining() < n {
+        Err(SbrError::Corrupt(format!(
+            "truncated frame: needed {n} bytes for {what}, {} left",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// Parse one transmission from a byte frame, consuming exactly its bytes.
+pub fn decode(buf: &mut impl Buf) -> Result<Transmission> {
+    need(buf, 4 + 8 + 4 * 4 + 4, "header")?;
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(SbrError::Corrupt(format!("bad magic {magic:#010x}")));
+    }
+    let seq = buf.get_u64_le();
+    let n_signals = buf.get_u32_le();
+    let samples_per_signal = buf.get_u32_le();
+    let w = buf.get_u32_le();
+    let nu = buf.get_u32_le() as usize;
+    let ni = buf.get_u32_le() as usize;
+    if w == 0 || n_signals == 0 || samples_per_signal == 0 {
+        return Err(SbrError::Corrupt("zero dimension in header".into()));
+    }
+    // Sanity: refuse frames whose declared sizes exceed the buffer (guards
+    // against allocating on attacker-controlled lengths). All arithmetic is
+    // checked — these counts come straight off the wire.
+    let declared = nu
+        .checked_mul(8 + 8 * w as usize)
+        .and_then(|a| ni.checked_mul(32).and_then(|b| a.checked_add(b)))
+        .ok_or_else(|| SbrError::Corrupt("declared payload size overflows".into()))?;
+    need(buf, declared, "payload")?;
+
+    let mut base_updates = Vec::with_capacity(nu);
+    for _ in 0..nu {
+        let slot = buf.get_u64_le();
+        let mut values = Vec::with_capacity(w as usize);
+        for _ in 0..w {
+            values.push(buf.get_f64_le());
+        }
+        base_updates.push(BaseUpdate { slot, values });
+    }
+    let mut intervals = Vec::with_capacity(ni);
+    for _ in 0..ni {
+        intervals.push(IntervalRecord {
+            start: buf.get_u64_le(),
+            shift: buf.get_i64_le(),
+            a: buf.get_f64_le(),
+            b: buf.get_f64_le(),
+        });
+    }
+    Ok(Transmission {
+        seq,
+        n_signals,
+        samples_per_signal,
+        w,
+        base_updates,
+        intervals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Transmission {
+        Transmission {
+            seq: 42,
+            n_signals: 3,
+            samples_per_signal: 64,
+            w: 4,
+            base_updates: vec![
+                BaseUpdate {
+                    slot: 0,
+                    values: vec![1.0, -2.5, 3.25, 0.0],
+                },
+                BaseUpdate {
+                    slot: 7,
+                    values: vec![f64::MIN_POSITIVE, 1e300, -1e-300, 0.5],
+                },
+            ],
+            intervals: vec![
+                IntervalRecord {
+                    start: 0,
+                    shift: -1,
+                    a: 1.5,
+                    b: -0.25,
+                },
+                IntervalRecord {
+                    start: 64,
+                    shift: 3,
+                    a: 0.0,
+                    b: 9.75,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let tx = sample();
+        let bytes = encode(&tx);
+        assert_eq!(bytes.len(), encoded_len(&tx));
+        let mut buf = bytes.clone();
+        let back = decode(&mut buf).unwrap();
+        assert_eq!(back, tx);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let tx = sample();
+        let mut bytes = encode(&tx).to_vec();
+        bytes[0] ^= 0xff;
+        assert!(decode(&mut &bytes[..]).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let tx = sample();
+        let bytes = encode(&tx);
+        for cut in 0..bytes.len() {
+            let mut short = &bytes[..cut];
+            assert!(decode(&mut short).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        let mut tx = sample();
+        tx.w = 0;
+        let bytes = encode(&tx);
+        assert!(decode(&mut bytes.clone()).is_err());
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let tx = Transmission {
+            seq: 0,
+            n_signals: 1,
+            samples_per_signal: 1,
+            w: 1,
+            base_updates: vec![],
+            intervals: vec![],
+        };
+        let bytes = encode(&tx);
+        assert_eq!(decode(&mut bytes.clone()).unwrap(), tx);
+    }
+
+    #[test]
+    fn back_to_back_frames_parse() {
+        let t0 = sample();
+        let mut t1 = sample();
+        t1.seq = 43;
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(&encode(&t0));
+        stream.extend_from_slice(&encode(&t1));
+        let mut buf = stream.freeze();
+        assert_eq!(decode(&mut buf).unwrap().seq, 42);
+        assert_eq!(decode(&mut buf).unwrap().seq, 43);
+        assert_eq!(buf.remaining(), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Base-station side: replay transmissions into reconstructed batches while
+//! mirroring the sensor's base-signal buffer.
+
+use crate::base_signal::BaseSignal;
+use crate::error::{Result, SbrError};
+use crate::get_intervals::reconstruct_flat;
+use crate::transmission::Transmission;
+
+/// Stateful decoder for one sensor's transmission stream.
+///
+/// Transmissions must be fed in sequence order; each call returns the
+/// reconstructed batch (one `Vec` per input signal). The decoder's
+/// base-signal buffer evolves exactly as the sensor's did, driven purely by
+/// the slot indices carried in the stream — it never runs LFU itself.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    base: Option<BaseSignal>,
+    next_seq: u64,
+}
+
+impl Decoder {
+    /// A decoder expecting a stream that starts at sequence 0.
+    pub fn new() -> Self {
+        Decoder::default()
+    }
+
+    /// Resume from a snapshot: the mirrored base signal (if any chunks were
+    /// already applied) and the next expected sequence number. Used by
+    /// checkpointed base-station logs to avoid replaying from zero.
+    pub fn resume(base: Option<BaseSignal>, next_seq: u64) -> Self {
+        Decoder { base, next_seq }
+    }
+
+    /// The candidate layout `X_new = X ∥ updates` a transmission's interval
+    /// records reference, *without* advancing the decoder. Fails on the
+    /// same inconsistencies `decode` would reject.
+    pub fn peek_x_new(&self, tx: &Transmission) -> Result<Vec<f64>> {
+        if tx.seq != self.next_seq {
+            return Err(SbrError::InconsistentState(format!(
+                "expected transmission {} but received {}",
+                self.next_seq, tx.seq
+            )));
+        }
+        let w = tx.w as usize;
+        let mut x_new = self.base.as_ref().map(|b| b.values().to_vec()).unwrap_or_default();
+        for (k, u) in tx.base_updates.iter().enumerate() {
+            if u.values.len() != w {
+                return Err(SbrError::Corrupt(format!(
+                    "base update {k} has width {} ≠ W = {w}",
+                    u.values.len()
+                )));
+            }
+            x_new.extend_from_slice(&u.values);
+        }
+        Ok(x_new)
+    }
+
+    /// The mirrored base signal (empty before the first transmission).
+    pub fn base(&self) -> Option<&BaseSignal> {
+        self.base.as_ref()
+    }
+
+    /// Sequence number the decoder expects next.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Decode the next transmission, returning per-signal reconstructions.
+    pub fn decode(&mut self, tx: &Transmission) -> Result<Vec<Vec<f64>>> {
+        if tx.seq != self.next_seq {
+            return Err(SbrError::InconsistentState(format!(
+                "expected transmission {} but received {}",
+                self.next_seq, tx.seq
+            )));
+        }
+        let w = tx.w as usize;
+        if w == 0 {
+            return Err(SbrError::Corrupt("zero base-interval width".into()));
+        }
+        let base = self.base.get_or_insert_with(|| BaseSignal::new(w));
+        if base.w() != w {
+            return Err(SbrError::InconsistentState(format!(
+                "stream changed base-interval width from {} to {w}",
+                base.w()
+            )));
+        }
+        Self::validate_updates(tx, base.num_slots(), w)?;
+
+        // Decode against the candidate layout X_new = X ∥ updates …
+        let mut x_new = base.values().to_vec();
+        for u in &tx.base_updates {
+            x_new.extend_from_slice(&u.values);
+        }
+        let n_total = tx.batch_len();
+        if n_total == 0 {
+            return Err(SbrError::Corrupt("empty batch shape".into()));
+        }
+        if tx.intervals.is_empty() {
+            return Err(SbrError::Corrupt("transmission carries no intervals".into()));
+        }
+        let flat = reconstruct_flat(&x_new, &tx.intervals, n_total)?;
+
+        // … then land the updates in their final slots for the next batch.
+        for u in &tx.base_updates {
+            base.apply_insert(u.slot as usize, &u.values, tx.seq)?;
+        }
+
+        self.next_seq += 1;
+        let m = tx.samples_per_signal as usize;
+        Ok(flat.chunks_exact(m).map(<[f64]>::to_vec).collect())
+    }
+
+    /// Advance the mirrored base-signal state over a transmission *without*
+    /// reconstructing its data — the cheap path a checkpointing log uses on
+    /// ingest. Performs the same validation as [`Decoder::decode`].
+    pub fn apply_updates_only(&mut self, tx: &Transmission) -> Result<()> {
+        if tx.seq != self.next_seq {
+            return Err(SbrError::InconsistentState(format!(
+                "expected transmission {} but received {}",
+                self.next_seq, tx.seq
+            )));
+        }
+        let w = tx.w as usize;
+        if w == 0 {
+            return Err(SbrError::Corrupt("zero base-interval width".into()));
+        }
+        let base = self.base.get_or_insert_with(|| BaseSignal::new(w));
+        if base.w() != w {
+            return Err(SbrError::InconsistentState(format!(
+                "stream changed base-interval width from {} to {w}",
+                base.w()
+            )));
+        }
+        Self::validate_updates(tx, base.num_slots(), w)?;
+        for u in &tx.base_updates {
+            base.apply_insert(u.slot as usize, &u.values, tx.seq)?;
+        }
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// Validate every update (width and slot) *before* any mutation, so a
+    /// malformed transmission can never leave the replica partially
+    /// updated. Slots must hit existing slots or extend the buffer
+    /// contiguously, mirroring what `apply_insert` will accept.
+    fn validate_updates(tx: &Transmission, mut slots: usize, w: usize) -> Result<()> {
+        for (k, u) in tx.base_updates.iter().enumerate() {
+            if u.values.len() != w {
+                return Err(SbrError::Corrupt(format!(
+                    "base update {k} has width {} ≠ W = {w}",
+                    u.values.len()
+                )));
+            }
+            let slot = u.slot as usize;
+            if slot > slots {
+                return Err(SbrError::InconsistentState(format!(
+                    "base update {k} targets slot {slot} but only {slots} slots exist"
+                )));
+            }
+            if slot == slots {
+                slots += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot the decoder state for later [`Decoder::resume`].
+    pub fn snapshot(&self) -> (Option<BaseSignal>, u64) {
+        (self.base.clone(), self.next_seq)
+    }
+
+    /// Decode a full stream from scratch (replay helper for historical
+    /// queries): returns the reconstruction of every batch.
+    pub fn replay(stream: &[Transmission]) -> Result<Vec<Vec<Vec<f64>>>> {
+        let mut d = Decoder::new();
+        stream.iter().map(|tx| d.decode(tx)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SbrConfig;
+    use crate::sbr::SbrEncoder;
+
+    fn rows(n: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|r| {
+                (0..m)
+                    .map(|i| {
+                        let t = (i as f64) + (seed as f64) * 31.0;
+                        (t * 0.37 + r as f64).sin() * 4.0 + t * 0.02 * (r + 1) as f64
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decoder_mirrors_encoder_base_signal() {
+        let config = SbrConfig::new(120, 96);
+        let mut enc = SbrEncoder::new(2, 128, config).unwrap();
+        let mut dec = Decoder::new();
+        for s in 0..5 {
+            let tx = enc.encode(&rows(2, 128, s)).unwrap();
+            dec.decode(&tx).unwrap();
+            assert_eq!(
+                dec.base().unwrap().values(),
+                enc.base().values(),
+                "replica diverged at transmission {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let config = SbrConfig::new(64, 64);
+        let mut enc = SbrEncoder::new(1, 64, config).unwrap();
+        let t0 = enc.encode(&rows(1, 64, 0)).unwrap();
+        let t1 = enc.encode(&rows(1, 64, 1)).unwrap();
+        let mut dec = Decoder::new();
+        assert!(dec.decode(&t1).is_err());
+        dec.decode(&t0).unwrap();
+        assert!(dec.decode(&t0).is_err()); // replayed duplicate
+        dec.decode(&t1).unwrap();
+    }
+
+    #[test]
+    fn corrupt_update_width_rejected() {
+        let config = SbrConfig::new(64, 64);
+        let mut enc = SbrEncoder::new(1, 64, config).unwrap();
+        let mut tx = enc.encode(&rows(1, 64, 0)).unwrap();
+        if tx.base_updates.is_empty() {
+            tx.base_updates.push(crate::transmission::BaseUpdate {
+                slot: 0,
+                values: vec![0.0; 3],
+            });
+        } else {
+            tx.base_updates[0].values.pop();
+        }
+        assert!(Decoder::new().decode(&tx).is_err());
+    }
+
+    #[test]
+    fn replay_matches_incremental() {
+        let config = SbrConfig::new(100, 80);
+        let mut enc = SbrEncoder::new(2, 96, config).unwrap();
+        let txs: Vec<_> = (0..4).map(|s| enc.encode(&rows(2, 96, s)).unwrap()).collect();
+        let replayed = Decoder::replay(&txs).unwrap();
+        let mut dec = Decoder::new();
+        for (i, tx) in txs.iter().enumerate() {
+            assert_eq!(replayed[i], dec.decode(tx).unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_transmission_rejected() {
+        let tx = Transmission {
+            seq: 0,
+            n_signals: 1,
+            samples_per_signal: 8,
+            w: 2,
+            base_updates: vec![],
+            intervals: vec![],
+        };
+        assert!(Decoder::new().decode(&tx).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the SBR library.
+
+use std::fmt;
+
+/// Errors returned by SBR encoding, decoding and configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SbrError {
+    /// The configured bandwidth budget cannot hold even one interval per
+    /// input signal (`TotalBand < 4 × N`).
+    BudgetTooSmall {
+        /// Configured budget in values.
+        total_band: usize,
+        /// Minimum budget required for the given number of signals.
+        required: usize,
+    },
+    /// The input batch shape does not match what the encoder was built for.
+    ShapeMismatch {
+        /// Expected number of signals.
+        expected_signals: usize,
+        /// Expected samples per signal.
+        expected_len: usize,
+        /// What was actually provided (signals, first mismatching length).
+        got: (usize, usize),
+    },
+    /// A configuration parameter is invalid (zero sizes, `W` larger than the
+    /// data, …). The message describes the offending parameter.
+    InvalidConfig(String),
+    /// A serialized transmission could not be parsed.
+    Corrupt(String),
+    /// A transmission references base-signal slots the decoder has never
+    /// seen, or was applied out of order.
+    InconsistentState(String),
+}
+
+impl fmt::Display for SbrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SbrError::BudgetTooSmall {
+                total_band,
+                required,
+            } => write!(
+                f,
+                "bandwidth budget {total_band} is below the minimum {required} \
+                 (4 values per input signal)"
+            ),
+            SbrError::ShapeMismatch {
+                expected_signals,
+                expected_len,
+                got,
+            } => write!(
+                f,
+                "batch shape mismatch: encoder expects {expected_signals} signals of \
+                 {expected_len} samples, got {} signals / length {}",
+                got.0, got.1
+            ),
+            SbrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SbrError::Corrupt(msg) => write!(f, "corrupt transmission: {msg}"),
+            SbrError::InconsistentState(msg) => write!(f, "inconsistent decoder state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SbrError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SbrError>;

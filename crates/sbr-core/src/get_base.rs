@@ -1,0 +1,314 @@
+//! `GetBase` (Algorithm 4): greedy selection of candidate base intervals by
+//! marginal benefit, plus the `O(√n)`-space variant the paper sketches for
+//! severely memory-constrained nodes.
+
+use crate::config::BaseBuilder;
+use crate::metric::ErrorMetric;
+use crate::regression;
+use crate::series::MultiSeries;
+
+/// Split the batch into `K = n/W` non-overlapping candidate base intervals
+/// (CBIs) of width `w`. A trailing partial window (when `M` is not a
+/// multiple of `W`) is ignored, matching the paper's multiples assumption.
+pub fn candidate_intervals(data: &MultiSeries, w: usize) -> Vec<&[f64]> {
+    let mut cbis = Vec::new();
+    for row in data.rows() {
+        for chunk in row.chunks_exact(w) {
+            cbis.push(chunk);
+        }
+    }
+    cbis
+}
+
+/// The paper's main `GetBase`: keeps the full `K×K` error matrix
+/// (`O(n)` floats for `W = √n`) and re-adjusts marginal benefits after every
+/// selection.
+///
+/// The benefit of candidate `i` is `Σ_j max(0, bestErr(j) − err(i→j))`,
+/// where `bestErr(j)` starts at the plain linear-regression error of `j` and
+/// shrinks as selected candidates cover `j` better. This is the adjustment
+/// of Figure 4: once a feature is stored, near-duplicates lose their value.
+///
+/// ```
+/// use sbr_core::{get_base::get_base, ErrorMetric, MultiSeries};
+/// // A wiggle repeated with different scales: one dictionary entry
+/// // explains everything.
+/// let p: Vec<f64> = (0..8).map(|i| (i as f64 * 1.3).sin() * 5.0).collect();
+/// let mut row = p.clone();
+/// row.extend(p.iter().map(|v| 3.0 * v - 2.0));
+/// let data = MultiSeries::from_rows(&[row]).unwrap();
+/// let base = get_base(&data, 8, 1, ErrorMetric::Sse);
+/// assert_eq!(base.len(), 1);
+/// assert_eq!(base[0].len(), 8);
+/// ```
+pub fn get_base(
+    data: &MultiSeries,
+    w: usize,
+    max_ins: usize,
+    metric: ErrorMetric,
+) -> Vec<Vec<f64>> {
+    let cbis = candidate_intervals(data, w);
+    let k = cbis.len();
+    if k == 0 || max_ins == 0 {
+        return Vec::new();
+    }
+
+    // err[i*k + j]: error of approximating CBI j using CBI i as base.
+    let mut err = vec![0.0f64; k * k];
+    let mut best_err: Vec<f64> = cbis
+        .iter()
+        .map(|c| regression::fit_linear(metric, c).err)
+        .collect();
+    for i in 0..k {
+        for j in 0..k {
+            err[i * k + j] = if i == j {
+                0.0
+            } else {
+                regression::fit(metric, cbis[i], cbis[j]).err
+            };
+        }
+    }
+
+    let mut selected_flags = vec![false; k];
+    let mut selected: Vec<Vec<f64>> = Vec::with_capacity(max_ins.min(k));
+    for _ in 0..max_ins.min(k) {
+        // Benefit of each unselected candidate against the *current* best
+        // coverage.
+        let mut best_i = None;
+        let mut best_benefit = 0.0f64;
+        for i in 0..k {
+            if selected_flags[i] {
+                continue;
+            }
+            let mut benefit = 0.0;
+            for j in 0..k {
+                let e = err[i * k + j];
+                if e < best_err[j] {
+                    benefit += best_err[j] - e;
+                }
+            }
+            if best_i.is_none() || benefit > best_benefit {
+                best_i = Some(i);
+                best_benefit = benefit;
+            }
+        }
+        let Some(c) = best_i else { break };
+        selected_flags[c] = true;
+        selected.push(cbis[c].to_vec());
+        for j in 0..k {
+            let e = err[c * k + j];
+            if e < best_err[j] {
+                best_err[j] = e;
+            }
+        }
+    }
+    selected
+}
+
+/// The `O(√n)`-space variant: no error matrix; each greedy step recomputes
+/// pairwise errors on the fly (`O(maxIns · n^1.5)` time, as derived in
+/// §4.2).
+pub fn get_base_low_memory(
+    data: &MultiSeries,
+    w: usize,
+    max_ins: usize,
+    metric: ErrorMetric,
+) -> Vec<Vec<f64>> {
+    let cbis = candidate_intervals(data, w);
+    let k = cbis.len();
+    if k == 0 || max_ins == 0 {
+        return Vec::new();
+    }
+
+    let mut best_err: Vec<f64> = cbis
+        .iter()
+        .map(|c| regression::fit_linear(metric, c).err)
+        .collect();
+    let mut selected_flags = vec![false; k];
+    let mut selected: Vec<Vec<f64>> = Vec::with_capacity(max_ins.min(k));
+
+    for _ in 0..max_ins.min(k) {
+        let mut best_i = None;
+        let mut best_benefit = 0.0f64;
+        for i in 0..k {
+            if selected_flags[i] {
+                continue;
+            }
+            let mut benefit = 0.0;
+            for j in 0..k {
+                let e = if i == j {
+                    0.0
+                } else {
+                    regression::fit(metric, cbis[i], cbis[j]).err
+                };
+                if e < best_err[j] {
+                    benefit += best_err[j] - e;
+                }
+            }
+            if best_i.is_none() || benefit > best_benefit {
+                best_i = Some(i);
+                best_benefit = benefit;
+            }
+        }
+        let Some(c) = best_i else { break };
+        selected_flags[c] = true;
+        selected.push(cbis[c].to_vec());
+        for j in 0..k {
+            let e = if c == j {
+                0.0
+            } else {
+                regression::fit(metric, cbis[c], cbis[j]).err
+            };
+            if e < best_err[j] {
+                best_err[j] = e;
+            }
+        }
+    }
+    selected
+}
+
+/// [`BaseBuilder`] wrapping [`get_base`] — the default construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GetBaseBuilder;
+
+impl BaseBuilder for GetBaseBuilder {
+    fn build(
+        &self,
+        data: &MultiSeries,
+        w: usize,
+        max_ins: usize,
+        metric: ErrorMetric,
+    ) -> Vec<Vec<f64>> {
+        get_base(data, w, max_ins, metric)
+    }
+}
+
+/// [`BaseBuilder`] wrapping [`get_base_low_memory`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowMemoryGetBase;
+
+impl BaseBuilder for LowMemoryGetBase {
+    fn build(
+        &self,
+        data: &MultiSeries,
+        w: usize,
+        max_ins: usize,
+        metric: ErrorMetric,
+    ) -> Vec<Vec<f64>> {
+        get_base_low_memory(data, w, max_ins, metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(rows: &[Vec<f64>]) -> MultiSeries {
+        MultiSeries::from_rows(rows).unwrap()
+    }
+
+    /// A wiggly pattern no straight line approximates well.
+    fn wiggle(seed: f64, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| (i as f64 * 1.3 + seed).sin() * 5.0 + (i as f64 * 0.7).cos() * 3.0)
+            .collect()
+    }
+
+    #[test]
+    fn candidates_cover_full_windows_only() {
+        let data = series(&[vec![0.0; 10], vec![0.0; 10]]);
+        let cbis = candidate_intervals(&data, 4);
+        assert_eq!(cbis.len(), 4); // 2 per row, trailing 2 samples dropped
+        for c in cbis {
+            assert_eq!(c.len(), 4);
+        }
+    }
+
+    #[test]
+    fn picks_the_shared_pattern() {
+        // Rows = affine images of one wiggle + one pure line. The wiggle
+        // window must be chosen first: it explains all wiggle windows, while
+        // the line windows are already perfect under the fall-back.
+        let p = wiggle(0.0, 8);
+        let row1: Vec<f64> = p.iter().map(|v| 2.0 * v + 1.0).collect();
+        let row2: Vec<f64> = p.iter().map(|v| -v + 3.0).collect();
+        let line: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let data = series(&[row1.clone(), row2, line]);
+        let base = get_base(&data, 8, 1, ErrorMetric::Sse);
+        assert_eq!(base.len(), 1);
+        // The selected interval must be one of the wiggle images (they all
+        // explain each other exactly), not the line.
+        let f = regression::fit_sse(&base[0], &row1);
+        assert!(f.err < 1e-9, "selected base must explain the wiggles");
+    }
+
+    #[test]
+    fn adjustment_avoids_near_duplicates() {
+        // Two distinct wiggles, two windows each. With maxIns = 2 the greedy
+        // must pick one window of *each* wiggle, not two of the same.
+        let w1 = wiggle(0.0, 8);
+        let w2: Vec<f64> = (0..8).map(|i| ((i * i) as f64 * 0.9).sin() * 4.0).collect();
+        let mut row1 = w1.clone();
+        row1.extend(w1.iter().map(|v| 3.0 * v - 2.0));
+        let mut row2 = w2.clone();
+        row2.extend(w2.iter().map(|v| -2.0 * v + 1.0));
+        let data = series(&[row1, row2]);
+        let base = get_base(&data, 8, 2, ErrorMetric::Sse);
+        assert_eq!(base.len(), 2);
+        let explains_w1 = regression::fit_sse(&base[0], &w1).err < 1e-9
+            || regression::fit_sse(&base[1], &w1).err < 1e-9;
+        let explains_w2 = regression::fit_sse(&base[0], &w2).err < 1e-9
+            || regression::fit_sse(&base[1], &w2).err < 1e-9;
+        assert!(explains_w1 && explains_w2);
+    }
+
+    #[test]
+    fn low_memory_variant_matches_full_variant() {
+        let rows: Vec<Vec<f64>> = (0..3)
+            .map(|r| {
+                (0..32)
+                    .map(|i| ((i + r * 7) as f64 * 0.8).sin() * (r + 1) as f64 + i as f64 * 0.1)
+                    .collect()
+            })
+            .collect();
+        let data = series(&rows);
+        let a = get_base(&data, 8, 3, ErrorMetric::Sse);
+        let b = get_base_low_memory(&data, 8, 3, ErrorMetric::Sse);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_max_ins_returns_nothing() {
+        let data = series(&[wiggle(1.0, 16)]);
+        assert!(get_base(&data, 4, 0, ErrorMetric::Sse).is_empty());
+    }
+
+    #[test]
+    fn perfectly_linear_data_yields_zero_benefit_but_still_selects() {
+        // All windows are lines: every benefit is 0; the greedy still
+        // returns maxIns intervals (Algorithm 4 always pops maxIns times).
+        // The SBR Search step is what rejects useless insertions.
+        let line: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let data = series(&[line]);
+        let base = get_base(&data, 4, 2, ErrorMetric::Sse);
+        assert_eq!(base.len(), 2);
+    }
+
+    #[test]
+    fn works_under_relative_metric() {
+        let p = wiggle(2.0, 8);
+        let row: Vec<f64> = p.iter().map(|v| 100.0 + 10.0 * v).collect();
+        let data = series(&[row]);
+        let base = get_base(&data, 8, 1, ErrorMetric::relative());
+        assert_eq!(base.len(), 1);
+    }
+
+    #[test]
+    fn builder_trait_objects_dispatch() {
+        use crate::config::BaseBuilder as _;
+        let data = series(&[wiggle(0.5, 16)]);
+        let full = GetBaseBuilder.build(&data, 4, 2, ErrorMetric::Sse);
+        let low = LowMemoryGetBase.build(&data, 4, 2, ErrorMetric::Sse);
+        assert_eq!(full, low);
+    }
+}

@@ -1,0 +1,217 @@
+//! Quadratic (non-linear) encodings — the future-work direction of §6:
+//! *"to what extent non-linear encodings over the base signal values would
+//! benefit the approximations obtained"*.
+//!
+//! Fits `ŷ = a·x² + b·x + c` by least squares (3×3 normal equations via
+//! Gaussian elimination with partial pivoting). A quadratic record costs
+//! **5** values against the base signal (`start, shift, a, b, c`) or **4**
+//! under the time-index fall-back (no `shift`), so whether the extra
+//! parameter pays for itself is an empirical question — the `ablations`
+//! bench answers it.
+
+use crate::metric::ErrorMetric;
+
+/// Result of a quadratic fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadFit {
+    /// Coefficient of `x²`.
+    pub a: f64,
+    /// Coefficient of `x`.
+    pub b: f64,
+    /// Constant term.
+    pub c: f64,
+    /// SSE of the fit.
+    pub err: f64,
+}
+
+impl QuadFit {
+    /// A fit worse than any real fit.
+    pub const WORST: QuadFit = QuadFit {
+        a: 0.0,
+        b: 0.0,
+        c: 0.0,
+        err: f64::INFINITY,
+    };
+
+    /// Evaluate the parabola at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        (self.a * x + self.b) * x + self.c
+    }
+}
+
+/// Solve the 3×3 system `m · sol = rhs` in place. Returns `None` when the
+/// matrix is (numerically) singular.
+fn solve3(mut m: [[f64; 3]; 3], mut rhs: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        // Partial pivoting.
+        let pivot = (col..3).max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))?;
+        if m[pivot][col].abs() < 1e-12 * (1.0 + m[0][0].abs()) {
+            return None;
+        }
+        m.swap(col, pivot);
+        rhs.swap(col, pivot);
+        for row in (col + 1)..3 {
+            let f = m[row][col] / m[col][col];
+            let (pivot_row, rest) = m.split_at_mut(col + 1);
+            let _ = rest;
+            let pivot = pivot_row[col];
+            m[row]
+                .iter_mut()
+                .zip(pivot.iter())
+                .skip(col)
+                .for_each(|(a, &p)| *a -= f * p);
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    let mut sol = [0.0f64; 3];
+    for row in (0..3).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..3 {
+            acc -= m[row][k] * sol[k];
+        }
+        sol[row] = acc / m[row][row];
+    }
+    Some(sol)
+}
+
+/// Least-squares quadratic fit of `y` against `x`. Falls back to the
+/// linear fit when the normal equations are singular (e.g. constant `x`).
+pub fn fit_quadratic(x: &[f64], y: &[f64]) -> QuadFit {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len() as f64;
+    // Center x for conditioning: fit in u = x − mean(x).
+    let mean_x = x.iter().sum::<f64>() / n;
+    let (mut s1, mut s2, mut s3, mut s4) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut sy, mut suy, mut su2y, mut syy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (&xi, &yi) in x.iter().zip(y) {
+        let u = xi - mean_x;
+        let u2 = u * u;
+        s1 += u;
+        s2 += u2;
+        s3 += u2 * u;
+        s4 += u2 * u2;
+        sy += yi;
+        suy += u * yi;
+        su2y += u2 * yi;
+        syy += yi * yi;
+    }
+    let m = [[s4, s3, s2], [s3, s2, s1], [s2, s1, n]];
+    let rhs = [su2y, suy, sy];
+    let Some([a, bu, cu]) = solve3(m, rhs) else {
+        let f = crate::regression::fit_sse(x, y);
+        return QuadFit {
+            a: 0.0,
+            b: f.a,
+            c: f.b,
+            err: f.err,
+        };
+    };
+    // Un-center: y = a(x−μ)² + bu(x−μ) + cu.
+    let b = bu - 2.0 * a * mean_x;
+    let c = a * mean_x * mean_x - bu * mean_x + cu;
+    // Residual via the centered sums (numerically stable):
+    // err = Σy² − a·Σu²y − bu·Σuy − cu·Σy.
+    let err = (syy - a * su2y - bu * suy - cu * sy).max(0.0);
+    QuadFit { a, b, c, err }
+}
+
+/// Quadratic fit against the time index `0..len`.
+pub fn fit_quadratic_index(y: &[f64]) -> QuadFit {
+    let x: Vec<f64> = (0..y.len()).map(|i| i as f64).collect();
+    fit_quadratic(&x, y)
+}
+
+/// Evaluate a quadratic fit's error under an arbitrary metric (used by the
+/// ablation harness to compare encodings fairly).
+pub fn eval_quadratic(metric: ErrorMetric, f: &QuadFit, x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    match metric {
+        ErrorMetric::Sse => {
+            for (&xi, &yi) in x.iter().zip(y) {
+                let d = yi - f.eval(xi);
+                acc += d * d;
+            }
+        }
+        ErrorMetric::RelativeSse { sanity } => {
+            for (&xi, &yi) in x.iter().zip(y) {
+                let d = (yi - f.eval(xi)) / yi.abs().max(sanity);
+                acc += d * d;
+            }
+        }
+        ErrorMetric::MaxAbs => {
+            for (&xi, &yi) in x.iter().zip(y) {
+                acc = acc.max((yi - f.eval(xi)).abs());
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn recovers_exact_parabola() {
+        let x: Vec<f64> = (0..32).map(|i| i as f64 * 0.5 - 4.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v * v - 3.0 * v + 1.0).collect();
+        let f = fit_quadratic(&x, &y);
+        assert_close(f.a, 2.0, 1e-8);
+        assert_close(f.b, -3.0, 1e-8);
+        assert_close(f.c, 1.0, 1e-8);
+        assert_close(f.err, 0.0, 1e-6);
+    }
+
+    #[test]
+    fn never_worse_than_linear() {
+        let x: Vec<f64> = (0..24).map(|i| ((i * 13) % 7) as f64).collect();
+        let y: Vec<f64> = (0..24).map(|i| ((i * 5) % 11) as f64 - 3.0).collect();
+        let quad = fit_quadratic(&x, &y);
+        let lin = crate::regression::fit_sse(&x, &y);
+        assert!(quad.err <= lin.err + 1e-9);
+    }
+
+    #[test]
+    fn constant_x_falls_back_to_linear_path() {
+        let x = vec![2.0; 10];
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let f = fit_quadratic(&x, &y);
+        assert!(f.err.is_finite());
+        assert_close(f.eval(2.0), 4.5, 1e-9); // the mean
+    }
+
+    #[test]
+    fn err_matches_direct_evaluation() {
+        let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+        let y: Vec<f64> = (0..20).map(|i| (i as f64 * 0.3).cos() * 5.0).collect();
+        let f = fit_quadratic(&x, &y);
+        let direct = eval_quadratic(ErrorMetric::Sse, &f, &x, &y);
+        assert_close(f.err, direct, 1e-7 * (1.0 + direct));
+    }
+
+    #[test]
+    fn index_variant_fits_trajectories() {
+        // A projectile-like arc over time.
+        let y: Vec<f64> = (0..50)
+            .map(|t| {
+                let t = t as f64;
+                -0.5 * t * t + 20.0 * t + 3.0
+            })
+            .collect();
+        let f = fit_quadratic_index(&y);
+        assert_close(f.err, 0.0, 1e-5);
+        let lin = crate::regression::fit_sse_index(&y);
+        assert!(lin.err > 1e3, "a line cannot track an arc");
+    }
+
+    #[test]
+    fn solve3_rejects_singular() {
+        let m = [[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 1.0]];
+        assert!(solve3(m, [1.0, 2.0, 1.0]).is_none());
+    }
+}

@@ -1,0 +1,444 @@
+//! Aggregate queries answered *directly on the compressed representation*.
+//!
+//! The approximate-query-processing literature the paper builds on
+//! (histogram/wavelet synopses) values synopses you can query without
+//! expanding. SBR's interval records have the same property: over a record
+//! `ŷ_i = a·X[shift + i] + b`, the sum of reconstructed values on any
+//! sub-range is `a · Σ X[..] + b · len`, and `Σ X[..]` comes from a prefix
+//! sum over the base signal in O(1). A range-SUM/AVG query therefore costs
+//! `O(#intervals touched)` instead of `O(#samples)`; MIN/MAX scan only the
+//! touched base segments.
+
+use crate::error::{Result, SbrError};
+use crate::interval::IntervalRecord;
+use crate::regression::PrefixStats;
+
+/// A queryable view over one decoded chunk's records and the base signal
+/// those records reference (the `X_new` layout of its transmission).
+///
+/// ```
+/// use sbr_core::{query::ChunkView, IntervalRecord};
+/// // One fall-back record: ŷ_i = 2·i + 1 over 4 samples → 1, 3, 5, 7.
+/// let records = [IntervalRecord { start: 0, shift: -1, a: 2.0, b: 1.0 }];
+/// let view = ChunkView::new(&records, &[], 4).unwrap();
+/// assert_eq!(view.range_sum(0, 4).unwrap(), 16.0);
+/// assert_eq!(view.range_avg(1, 3).unwrap(), 4.0);
+/// assert_eq!(view.range_min_max(0, 4).unwrap(), (1.0, 7.0));
+/// ```
+pub struct ChunkView<'a> {
+    records: Vec<IntervalRecord>,
+    base: &'a [f64],
+    base_stats: PrefixStats,
+    n_total: usize,
+}
+
+impl<'a> ChunkView<'a> {
+    /// Build a view. `records` are the chunk's interval records (any
+    /// order); `base` is the flat base signal they reference; `n_total` the
+    /// chunk's value count.
+    pub fn new(records: &[IntervalRecord], base: &'a [f64], n_total: usize) -> Result<Self> {
+        let mut records = records.to_vec();
+        records.sort_by_key(|r| r.start);
+        if let Some(first) = records.first() {
+            if first.start != 0 {
+                return Err(SbrError::Corrupt(format!(
+                    "records leave [0, {}) uncovered",
+                    first.start
+                )));
+            }
+        }
+        // Validate coverage once so queries can't go out of bounds.
+        for (k, r) in records.iter().enumerate() {
+            let end = records
+                .get(k + 1)
+                .map_or(n_total, |nx| nx.start as usize);
+            if r.start as usize >= end || end > n_total {
+                return Err(SbrError::Corrupt(format!(
+                    "record {k} covers [{}, {end}) of {n_total}",
+                    r.start
+                )));
+            }
+            if r.shift >= 0 && r.shift as usize + (end - r.start as usize) > base.len() {
+                return Err(SbrError::Corrupt(format!(
+                    "record {k} runs past the base signal"
+                )));
+            }
+        }
+        Ok(ChunkView {
+            records,
+            base,
+            base_stats: PrefixStats::new(base),
+            n_total,
+        })
+    }
+
+    /// Number of values in the chunk.
+    pub fn len(&self) -> usize {
+        self.n_total
+    }
+
+    /// True for an empty chunk (cannot be constructed from a valid
+    /// transmission).
+    pub fn is_empty(&self) -> bool {
+        self.n_total == 0
+    }
+
+    fn record_end(&self, k: usize) -> usize {
+        self.records
+            .get(k + 1)
+            .map_or(self.n_total, |r| r.start as usize)
+    }
+
+    /// Indices of the records overlapping `[t0, t1)`.
+    fn touching(&self, t0: usize, t1: usize) -> std::ops::Range<usize> {
+        let first = self
+            .records
+            .partition_point(|r| (r.start as usize) <= t0)
+            .saturating_sub(1);
+        let last = self.records.partition_point(|r| (r.start as usize) < t1);
+        first..last
+    }
+
+    /// Exact sum of the *reconstruction* over `[t0, t1)` in
+    /// `O(#records touched)`.
+    pub fn range_sum(&self, t0: usize, t1: usize) -> Result<f64> {
+        self.check_range(t0, t1)?;
+        let mut acc = 0.0f64;
+        for k in self.touching(t0, t1) {
+            let r = &self.records[k];
+            let rs = r.start as usize;
+            let re = self.record_end(k);
+            let (s, e) = (t0.max(rs), t1.min(re));
+            if s >= e {
+                continue;
+            }
+            let len = e - s;
+            if r.shift < 0 {
+                // Fall-back line over the local index i ∈ [s-rs, e-rs):
+                // Σ (a·i + b) = a · Σi + b·len.
+                let i0 = (s - rs) as f64;
+                let i1 = (e - rs - 1) as f64;
+                let sum_i = (i0 + i1) * len as f64 / 2.0;
+                acc += r.a * sum_i + r.b * len as f64;
+            } else {
+                let off = r.shift as usize + (s - rs);
+                let sum_x = self.base_stats.window_sum(off, len);
+                acc += r.a * sum_x + r.b * len as f64;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Average of the reconstruction over `[t0, t1)`.
+    pub fn range_avg(&self, t0: usize, t1: usize) -> Result<f64> {
+        if t1 <= t0 {
+            return Err(SbrError::InconsistentState(format!(
+                "empty range [{t0}, {t1})"
+            )));
+        }
+        Ok(self.range_sum(t0, t1)? / (t1 - t0) as f64)
+    }
+
+    /// Minimum and maximum of the reconstruction over `[t0, t1)`; scans
+    /// only the touched base segments.
+    pub fn range_min_max(&self, t0: usize, t1: usize) -> Result<(f64, f64)> {
+        self.check_range(t0, t1)?;
+        if t1 == t0 {
+            return Err(SbrError::InconsistentState("empty range".into()));
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for k in self.touching(t0, t1) {
+            let r = &self.records[k];
+            let rs = r.start as usize;
+            let re = self.record_end(k);
+            let (s, e) = (t0.max(rs), t1.min(re));
+            if s >= e {
+                continue;
+            }
+            if r.shift < 0 {
+                // Monotone in i: endpoints suffice.
+                let v0 = r.a * (s - rs) as f64 + r.b;
+                let v1 = r.a * (e - 1 - rs) as f64 + r.b;
+                lo = lo.min(v0.min(v1));
+                hi = hi.max(v0.max(v1));
+            } else {
+                let off = r.shift as usize + (s - rs);
+                for &x in &self.base[off..off + (e - s)] {
+                    let v = r.a * x + r.b;
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+        }
+        Ok((lo, hi))
+    }
+
+    fn check_range(&self, t0: usize, t1: usize) -> Result<()> {
+        if t0 > t1 || t1 > self.n_total {
+            return Err(SbrError::InconsistentState(format!(
+                "range [{t0}, {t1}) outside chunk of {} values",
+                self.n_total
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Stream-level aggregates over a sequence of transmissions: replays
+/// base-signal updates (cheap — no reconstruction) and queries each touched
+/// chunk through a [`ChunkView`]. This is the one implementation behind the
+/// base station's and the CLI's range-aggregate queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamAggregate {
+    /// Sum of the reconstruction over the range.
+    pub sum: f64,
+    /// Average over the range.
+    pub avg: f64,
+    /// Minimum over the range.
+    pub min: f64,
+    /// Maximum over the range.
+    pub max: f64,
+    /// Samples covered.
+    pub count: usize,
+}
+
+/// SUM/AVG/MIN/MAX of `signal` over the absolute sample range `[t0, t1)`
+/// of a transmission stream. `decoder` must be positioned at or before the
+/// first chunk the range touches; it is advanced past the last touched
+/// chunk (updates only — no reconstruction).
+pub fn aggregate_stream(
+    decoder: &mut crate::decoder::Decoder,
+    transmissions: &[crate::transmission::Transmission],
+    signal: usize,
+    t0: usize,
+    t1: usize,
+) -> Result<StreamAggregate> {
+    if t1 <= t0 {
+        return Err(SbrError::InconsistentState(format!(
+            "empty range [{t0}, {t1})"
+        )));
+    }
+    let m = transmissions
+        .first()
+        .map(|t| t.samples_per_signal as usize)
+        .ok_or_else(|| SbrError::InconsistentState("no transmissions".into()))?;
+    let first_chunk = t0 / m;
+    let last_chunk = t1.div_ceil(m);
+    if last_chunk > transmissions.len() {
+        return Err(SbrError::InconsistentState(format!(
+            "range [{t0}, {t1}) runs past the {} logged samples",
+            transmissions.len() * m
+        )));
+    }
+    if decoder.next_seq() as usize > first_chunk {
+        return Err(SbrError::InconsistentState(format!(
+            "decoder already at chunk {} > first touched chunk {first_chunk}",
+            decoder.next_seq()
+        )));
+    }
+    while (decoder.next_seq() as usize) < first_chunk {
+        decoder.apply_updates_only(&transmissions[decoder.next_seq() as usize])?;
+    }
+    let mut sum = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut count = 0usize;
+    for (c, tx) in transmissions
+        .iter()
+        .enumerate()
+        .take(last_chunk)
+        .skip(first_chunk)
+    {
+        if signal >= tx.n_signals as usize {
+            return Err(SbrError::InconsistentState(format!(
+                "stream has no signal {signal}"
+            )));
+        }
+        let x_new = decoder.peek_x_new(tx)?;
+        let view = ChunkView::new(&tx.intervals, &x_new, tx.batch_len())?;
+        let chunk_t0 = c * m;
+        let lo = t0.max(chunk_t0) - chunk_t0;
+        let hi = t1.min(chunk_t0 + m) - chunk_t0;
+        let (s, e) = (signal * m + lo, signal * m + hi);
+        sum += view.range_sum(s, e)?;
+        let (vmin, vmax) = view.range_min_max(s, e)?;
+        min = min.min(vmin);
+        max = max.max(vmax);
+        count += e - s;
+        decoder.apply_updates_only(tx)?;
+    }
+    Ok(StreamAggregate {
+        sum,
+        avg: sum / count as f64,
+        min,
+        max,
+        count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SbrConfig;
+    use crate::get_intervals::reconstruct_flat;
+    use crate::sbr::SbrEncoder;
+
+    /// Build a view from a real transmission.
+    fn view_and_truth() -> (Vec<IntervalRecord>, Vec<f64>, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..2)
+            .map(|r| {
+                (0..128)
+                    .map(|i| ((i as f64 * 0.19) + r as f64).sin() * 7.0 + (i % 11) as f64)
+                    .collect()
+            })
+            .collect();
+        let mut enc = SbrEncoder::new(2, 128, SbrConfig::new(120, 96)).unwrap();
+        let tx = enc.encode(&rows).unwrap();
+        // The X_new layout the records reference: base was empty before the
+        // first transmission, so it is exactly the inserted updates.
+        let mut base = Vec::new();
+        for u in &tx.base_updates {
+            base.extend_from_slice(&u.values);
+        }
+        let rec = reconstruct_flat(&base, &tx.intervals, 256).unwrap();
+        (tx.intervals.clone(), base, rec)
+    }
+
+    #[test]
+    fn sum_matches_reconstruction_on_many_ranges() {
+        let (records, base, rec) = view_and_truth();
+        let v = ChunkView::new(&records, &base, 256).unwrap();
+        for (t0, t1) in [(0, 256), (0, 1), (5, 97), (100, 200), (250, 256), (13, 14)] {
+            let direct: f64 = rec[t0..t1].iter().sum();
+            let fast = v.range_sum(t0, t1).unwrap();
+            assert!(
+                (direct - fast).abs() <= 1e-9 * (1.0 + direct.abs()),
+                "[{t0},{t1}): {fast} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn avg_and_min_max_match_reconstruction() {
+        let (records, base, rec) = view_and_truth();
+        let v = ChunkView::new(&records, &base, 256).unwrap();
+        for (t0, t1) in [(0, 256), (17, 140), (200, 256)] {
+            let slice = &rec[t0..t1];
+            let avg = slice.iter().sum::<f64>() / slice.len() as f64;
+            assert!((v.range_avg(t0, t1).unwrap() - avg).abs() < 1e-9 * (1.0 + avg.abs()));
+            let lo = slice.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = slice.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let (qlo, qhi) = v.range_min_max(t0, t1).unwrap();
+            assert!((qlo - lo).abs() < 1e-9 * (1.0 + lo.abs()));
+            assert!((qhi - hi).abs() < 1e-9 * (1.0 + hi.abs()));
+        }
+    }
+
+    #[test]
+    fn empty_and_out_of_bounds_ranges_rejected() {
+        let (records, base, _) = view_and_truth();
+        let v = ChunkView::new(&records, &base, 256).unwrap();
+        assert!(v.range_avg(5, 5).is_err());
+        assert!(v.range_sum(10, 5).is_err());
+        assert!(v.range_sum(0, 300).is_err());
+        assert_eq!(v.range_sum(7, 7).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn corrupt_records_rejected_at_construction() {
+        let records = [IntervalRecord {
+            start: 0,
+            shift: 100,
+            a: 1.0,
+            b: 0.0,
+        }];
+        assert!(ChunkView::new(&records, &[0.0; 4], 8).is_err());
+        let overlapping = [
+            IntervalRecord {
+                start: 4,
+                shift: -1,
+                a: 0.0,
+                b: 0.0,
+            },
+            IntervalRecord {
+                start: 4,
+                shift: -1,
+                a: 0.0,
+                b: 1.0,
+            },
+        ];
+        assert!(ChunkView::new(&overlapping, &[], 8).is_err());
+    }
+
+    #[test]
+    fn stream_aggregate_matches_decoded_stream() {
+        use crate::decoder::Decoder;
+        let mut enc = SbrEncoder::new(2, 64, SbrConfig::new(60, 48)).unwrap();
+        let mut txs = Vec::new();
+        let mut truth: Vec<Vec<f64>> = vec![Vec::new(); 2];
+        for t in 0..4 {
+            let rows: Vec<Vec<f64>> = (0..2)
+                .map(|r| {
+                    (0..64)
+                        .map(|i| ((i + t * 17 + r * 5) as f64 * 0.3).sin() * 4.0)
+                        .collect()
+                })
+                .collect();
+            txs.push(enc.encode(&rows).unwrap());
+        }
+        let mut dec = Decoder::new();
+        for tx in &txs {
+            let rec = dec.decode(tx).unwrap();
+            for (col, r) in truth.iter_mut().zip(&rec) {
+                col.extend_from_slice(r);
+            }
+        }
+        for (t0, t1) in [(0usize, 256usize), (30, 200), (64, 128), (255, 256)] {
+            let mut d = Decoder::new();
+            let agg = aggregate_stream(&mut d, &txs, 1, t0, t1).unwrap();
+            let slice = &truth[1][t0..t1];
+            let sum: f64 = slice.iter().sum();
+            assert!((agg.sum - sum).abs() < 1e-9 * (1.0 + sum.abs()), "[{t0},{t1})");
+            assert_eq!(agg.count, t1 - t0);
+        }
+    }
+
+    #[test]
+    fn stream_aggregate_rejects_positioned_past_range() {
+        use crate::decoder::Decoder;
+        let mut enc = SbrEncoder::new(1, 32, SbrConfig::new(20, 16)).unwrap();
+        let rows = vec![(0..32).map(|i| i as f64).collect::<Vec<f64>>()];
+        let t0 = enc.encode(&rows).unwrap();
+        let t1 = enc.encode(&rows).unwrap();
+        let txs = vec![t0, t1];
+        let mut d = Decoder::new();
+        d.apply_updates_only(&txs[0]).unwrap();
+        d.apply_updates_only(&txs[1]).unwrap();
+        assert!(aggregate_stream(&mut d, &txs, 0, 0, 10).is_err());
+    }
+
+    #[test]
+    fn fallback_only_view_works_without_base() {
+        let records = [
+            IntervalRecord {
+                start: 0,
+                shift: -1,
+                a: 2.0,
+                b: 1.0,
+            },
+            IntervalRecord {
+                start: 4,
+                shift: -1,
+                a: 0.0,
+                b: 10.0,
+            },
+        ];
+        let v = ChunkView::new(&records, &[], 8).unwrap();
+        // First record: 1, 3, 5, 7; second: 10 × 4.
+        assert_eq!(v.range_sum(0, 8).unwrap(), 16.0 + 40.0);
+        assert_eq!(v.range_sum(2, 6).unwrap(), 5.0 + 7.0 + 20.0);
+        let (lo, hi) = v.range_min_max(0, 8).unwrap();
+        assert_eq!((lo, hi), (1.0, 10.0));
+    }
+}

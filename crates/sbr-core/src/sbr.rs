@@ -1,0 +1,396 @@
+//! The `SBR` driver (Algorithm 5): one object per sensor that turns each
+//! full buffer into a [`Transmission`], evolving its base signal as it goes.
+
+use crate::base_signal::BaseSignal;
+use crate::config::{BaseBuilder, SbrConfig};
+use crate::error::{Result, SbrError};
+use crate::get_base::GetBaseBuilder;
+use crate::get_intervals::get_intervals;
+use crate::search::SearchContext;
+use crate::series::MultiSeries;
+use crate::transmission::{BaseUpdate, Transmission};
+
+/// Diagnostics for the most recent [`SbrEncoder::encode`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncodeStats {
+    /// Number of base intervals inserted (`Ins`).
+    pub inserted: usize,
+    /// Batch error of the transmitted approximation, under the configured
+    /// metric, as estimated by `GetIntervals`.
+    pub total_err: f64,
+    /// How many `GetIntervals` probes the insertion search ran.
+    pub search_probes: usize,
+    /// Number of approximation intervals transmitted.
+    pub intervals: usize,
+}
+
+/// Stateful per-sensor encoder.
+///
+/// Batches must all share the shape declared at construction (`n_signals` ×
+/// `samples_per_signal`), which pins the base-interval width `W` — the base
+/// signal's slot geometry cannot change across transmissions.
+pub struct SbrEncoder {
+    n_signals: usize,
+    samples_per_signal: usize,
+    config: SbrConfig,
+    w: usize,
+    capacity_slots: usize,
+    base: BaseSignal,
+    builder: Box<dyn BaseBuilder + Send>,
+    seq: u64,
+    last_stats: Option<EncodeStats>,
+}
+
+impl SbrEncoder {
+    /// Create an encoder for batches of `n_signals × samples_per_signal`
+    /// values under `config`, using the paper's `GetBase` construction.
+    pub fn new(n_signals: usize, samples_per_signal: usize, config: SbrConfig) -> Result<Self> {
+        Self::with_builder(n_signals, samples_per_signal, config, Box::new(GetBaseBuilder))
+    }
+
+    /// Like [`SbrEncoder::new`] but with a custom base-signal construction
+    /// (e.g. the SVD/DCT alternatives from the paper's appendix).
+    pub fn with_builder(
+        n_signals: usize,
+        samples_per_signal: usize,
+        config: SbrConfig,
+        builder: Box<dyn BaseBuilder + Send>,
+    ) -> Result<Self> {
+        let w = config.validate(n_signals, samples_per_signal)?;
+        if config.m_base < w && config.update_base {
+            return Err(SbrError::InvalidConfig(format!(
+                "base buffer of {} values cannot hold one W = {w} interval",
+                config.m_base
+            )));
+        }
+        Ok(SbrEncoder {
+            n_signals,
+            samples_per_signal,
+            capacity_slots: config.m_base / w,
+            w,
+            config,
+            base: BaseSignal::new(w),
+            builder,
+            seq: 0,
+            last_stats: None,
+        })
+    }
+
+    /// The derived base-interval width `W`.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// The encoder's current base signal.
+    pub fn base(&self) -> &BaseSignal {
+        &self.base
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SbrConfig {
+        &self.config
+    }
+
+    /// Diagnostics of the last `encode` call.
+    pub fn last_stats(&self) -> Option<EncodeStats> {
+        self.last_stats
+    }
+
+    /// Enable/disable base-signal updating mid-stream — the §4.4 shortcut
+    /// for constrained deployments: once the dictionary has converged, a
+    /// node can skip `GetBase`/`Search` entirely (only `GetIntervals` runs,
+    /// linear in the batch size) and re-enable updates if the
+    /// approximation quality degrades.
+    pub fn set_update_base(&mut self, enabled: bool) {
+        self.config.update_base = enabled;
+    }
+
+    /// Swap the configuration for a bounded-encoding call (`bounds.rs`).
+    /// Budget knobs only — the base-signal geometry (`W`, slot capacity) is
+    /// fixed at construction and must not change mid-stream.
+    pub(crate) fn set_config_for_bounds(&mut self, config: SbrConfig) {
+        debug_assert_eq!(config.w_for(self.n_signals * self.samples_per_signal), self.w);
+        self.config = config;
+    }
+
+    /// Next transmission sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Compress one batch given as per-signal rows.
+    pub fn encode(&mut self, rows: &[Vec<f64>]) -> Result<Transmission> {
+        let data = MultiSeries::from_rows(rows)?;
+        self.encode_series(&data)
+    }
+
+    /// Compress one batch.
+    pub fn encode_series(&mut self, data: &MultiSeries) -> Result<Transmission> {
+        if data.n_signals() != self.n_signals
+            || data.samples_per_signal() != self.samples_per_signal
+        {
+            return Err(SbrError::ShapeMismatch {
+                expected_signals: self.n_signals,
+                expected_len: self.samples_per_signal,
+                got: (data.n_signals(), data.samples_per_signal()),
+            });
+        }
+
+        // Step 1 (Algorithms 4, 6, 7): rank candidate features and pick how
+        // many to insert.
+        let (candidates, ins, probes) = if self.config.update_base {
+            let max_ins = self.config.max_ins(self.w);
+            let candidates =
+                self.builder
+                    .build(data, self.w, max_ins, self.config.metric);
+            let mut search =
+                SearchContext::new(&self.base, &candidates, data, self.w, &self.config);
+            let mut ins = search.run();
+            let probes = search.probes();
+            // Safety net: the binary search assumes unimodality; never let a
+            // bad probe leave us with a count whose leftover budget cannot
+            // hold one interval per signal (Ins = 0 is always feasible —
+            // `validate` guaranteed TotalBand ≥ 4N).
+            while ins > 0
+                && self
+                    .config
+                    .total_band
+                    .saturating_sub(ins * (self.w + 1))
+                    < 4 * self.n_signals
+            {
+                ins -= 1;
+            }
+            (candidates, ins, probes)
+        } else {
+            (Vec::new(), 0, 0)
+        };
+        let chosen = &candidates[..ins];
+
+        // Step 2: decide where the inserted intervals finally live (LFU
+        // eviction when the buffer is full). The decoder mirrors this from
+        // the transmitted slot indices alone.
+        let placements = self.base.plan_placement(ins, self.capacity_slots.max(ins))?;
+
+        // Step 3 (Algorithm 3): approximate against the candidate layout
+        // X_new = X ∥ inserted, with the bandwidth left over after paying
+        // for the insertions.
+        let mut scratch = Vec::new();
+        let chosen_refs: Vec<&[f64]> = chosen.iter().map(Vec::as_slice).collect();
+        let x_new = self
+            .base
+            .flat_with_appended(&chosen_refs, &mut scratch)
+            .to_vec();
+        let budget = self.config.total_band - ins * (self.w + 1);
+        let approx = get_intervals(&x_new, data, budget, self.w, &self.config)?;
+
+        // Step 4: LFU accounting against the X_new layout, translated to
+        // final slots (uses of evicted content are dropped).
+        let old_slots = self.base.num_slots();
+        let total_new_slots = old_slots + ins;
+        let mut slot_uses = vec![0u64; total_new_slots];
+        for iv in &approx.intervals {
+            if iv.shift >= 0 && iv.length > 0 {
+                let first = iv.shift as usize / self.w;
+                let last = (iv.shift as usize + iv.length - 1) / self.w;
+                let last = last.min(total_new_slots.saturating_sub(1));
+                for u in &mut slot_uses[first..=last] {
+                    *u += 1;
+                }
+            }
+        }
+        let replaced: Vec<usize> = placements
+            .iter()
+            .copied()
+            .filter(|&p| p < old_slots)
+            .collect();
+        for (k, interval) in chosen.iter().enumerate() {
+            self.base.apply_insert(placements[k], interval, self.seq)?;
+        }
+        for (slot, &uses) in slot_uses.iter().enumerate().take(old_slots) {
+            if uses > 0 && !replaced.contains(&slot) {
+                self.base.bump_use(slot, uses);
+            }
+        }
+        for (k, &p) in placements.iter().enumerate() {
+            let uses = slot_uses[old_slots + k];
+            if uses > 0 {
+                self.base.bump_use(p, uses);
+            }
+        }
+
+        let tx = Transmission {
+            seq: self.seq,
+            n_signals: self.n_signals as u32,
+            samples_per_signal: self.samples_per_signal as u32,
+            w: self.w as u32,
+            base_updates: chosen
+                .iter()
+                .zip(&placements)
+                .map(|(values, &slot)| BaseUpdate {
+                    slot: slot as u64,
+                    values: values.clone(),
+                })
+                .collect(),
+            intervals: approx.intervals.iter().map(|iv| iv.record()).collect(),
+        };
+        debug_assert!(tx.cost() <= self.config.total_band);
+
+        self.last_stats = Some(EncodeStats {
+            inserted: ins,
+            total_err: approx.total_err,
+            search_probes: probes,
+            intervals: approx.intervals.len(),
+        });
+        self.seq += 1;
+        Ok(tx)
+    }
+}
+
+impl std::fmt::Debug for SbrEncoder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SbrEncoder")
+            .field("n_signals", &self.n_signals)
+            .field("samples_per_signal", &self.samples_per_signal)
+            .field("w", &self.w)
+            .field("seq", &self.seq)
+            .field("base_slots", &self.base.num_slots())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Decoder;
+    use crate::metric::ErrorMetric;
+
+    fn patterned_rows(n: usize, m: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|r| {
+                (0..m)
+                    .map(|i| {
+                        ((i % 32) as f64 * 0.7 + r as f64).sin() * 5.0
+                            + (i as f64 * 0.01) * (r + 1) as f64
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_respects_budget() {
+        let rows = patterned_rows(2, 128);
+        let config = SbrConfig::new(64, 64);
+        let mut enc = SbrEncoder::new(2, 128, config).unwrap();
+        for _ in 0..3 {
+            let tx = enc.encode(&rows).unwrap();
+            assert!(tx.cost() <= 64, "cost {} > budget", tx.cost());
+        }
+    }
+
+    #[test]
+    fn base_never_exceeds_m_base() {
+        let rows = patterned_rows(2, 128);
+        let config = SbrConfig::new(120, 48); // capacity = 48/16 = 3 slots
+        let mut enc = SbrEncoder::new(2, 128, config).unwrap();
+        for round in 0..6 {
+            // Vary the data so new features keep appearing.
+            let shifted: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .enumerate()
+                        .map(|(i, v)| v + ((i + round * 13) as f64 * 0.9).sin() * round as f64)
+                        .collect()
+                })
+                .collect();
+            enc.encode(&shifted).unwrap();
+            assert!(enc.base().len() <= 48, "base grew past M_base");
+        }
+    }
+
+    #[test]
+    fn seq_increments() {
+        let rows = patterned_rows(1, 64);
+        let mut enc = SbrEncoder::new(1, 64, SbrConfig::new(32, 32)).unwrap();
+        assert_eq!(enc.seq(), 0);
+        let t0 = enc.encode(&rows).unwrap();
+        let t1 = enc.encode(&rows).unwrap();
+        assert_eq!((t0.seq, t1.seq), (0, 1));
+        assert_eq!(enc.seq(), 2);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut enc = SbrEncoder::new(2, 64, SbrConfig::new(64, 64)).unwrap();
+        let err = enc.encode(&patterned_rows(3, 64)).unwrap_err();
+        assert!(matches!(err, SbrError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn frozen_base_sends_no_updates() {
+        let rows = patterned_rows(2, 128);
+        let config = SbrConfig::new(64, 64).frozen_base();
+        let mut enc = SbrEncoder::new(2, 128, config).unwrap();
+        let tx = enc.encode(&rows).unwrap();
+        assert!(tx.base_updates.is_empty());
+        assert_eq!(enc.last_stats().unwrap().inserted, 0);
+    }
+
+    #[test]
+    fn roundtrip_error_matches_reported_error() {
+        let rows = patterned_rows(3, 96);
+        let config = SbrConfig::new(150, 100);
+        let mut enc = SbrEncoder::new(3, 96, config).unwrap();
+        let mut dec = Decoder::new();
+        for _ in 0..4 {
+            let tx = enc.encode(&rows).unwrap();
+            let rec = dec.decode(&tx).unwrap();
+            let mut sse = 0.0;
+            for (orig, r) in rows.iter().zip(&rec) {
+                sse += ErrorMetric::Sse.score(orig, r);
+            }
+            let reported = enc.last_stats().unwrap().total_err;
+            assert!(
+                (sse - reported).abs() <= 1e-6 * (1.0 + sse),
+                "decoded SSE {sse} != reported {reported}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_batches_insert_less_over_time() {
+        // Once the dictionary captures the patterns, later transmissions
+        // should insert few or no new intervals (Table 6's behaviour).
+        let rows = patterned_rows(2, 256);
+        let config = SbrConfig::new(200, 200);
+        let mut enc = SbrEncoder::new(2, 256, config).unwrap();
+        enc.encode(&rows).unwrap();
+        let first = enc.last_stats().unwrap().inserted;
+        enc.encode(&rows).unwrap();
+        let later = enc.last_stats().unwrap().inserted;
+        assert!(
+            later <= first,
+            "identical data must not need more insertions ({later} > {first})"
+        );
+    }
+
+    #[test]
+    fn error_improves_with_bandwidth() {
+        let rows = patterned_rows(2, 256);
+        let mut errs = Vec::new();
+        for band in [48, 96, 192] {
+            let mut enc = SbrEncoder::new(2, 256, SbrConfig::new(band, 128)).unwrap();
+            enc.encode(&rows).unwrap();
+            errs.push(enc.last_stats().unwrap().total_err);
+        }
+        assert!(errs[2] <= errs[1] + 1e-9);
+        assert!(errs[1] <= errs[0] + 1e-9);
+    }
+
+    #[test]
+    fn m_base_smaller_than_w_rejected() {
+        let config = SbrConfig::new(64, 4).with_w(16);
+        assert!(SbrEncoder::new(2, 128, config).is_err());
+    }
+}

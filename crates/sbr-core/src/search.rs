@@ -1,0 +1,280 @@
+//! `Search` (Algorithm 7) + `CalculateError` (Algorithm 6): binary search on
+//! the number of candidate base intervals to actually insert.
+//!
+//! Inserting a candidate costs `W + 1` values of bandwidth that are no
+//! longer available for approximation intervals, so the batch error as a
+//! function of the insertion count is (assumed) unimodal: richer dictionary
+//! vs. fewer intervals. The search probes `O(log maxIns)` counts, each probe
+//! running a full `GetIntervals` against the would-be dictionary, and
+//! memoizes results.
+
+use crate::base_signal::BaseSignal;
+use crate::config::SbrConfig;
+use crate::get_intervals::get_intervals;
+use crate::interval::IntervalRecord;
+use crate::series::MultiSeries;
+
+/// Memoizing probe driver for one transmission's insertion-count decision.
+pub struct SearchContext<'a> {
+    base: &'a BaseSignal,
+    candidates: &'a [Vec<f64>],
+    data: &'a MultiSeries,
+    w: usize,
+    config: &'a SbrConfig,
+    errors: Vec<Option<f64>>,
+    scratch: Vec<f64>,
+    probes: usize,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Set up a search over inserting `0..=candidates.len()` of the ranked
+    /// candidates into `base`.
+    pub fn new(
+        base: &'a BaseSignal,
+        candidates: &'a [Vec<f64>],
+        data: &'a MultiSeries,
+        w: usize,
+        config: &'a SbrConfig,
+    ) -> Self {
+        SearchContext {
+            base,
+            candidates,
+            data,
+            w,
+            config,
+            errors: vec![None; candidates.len() + 1],
+            scratch: Vec::new(),
+            probes: 0,
+        }
+    }
+
+    /// Run the search; returns `Ins`, the number of candidates to insert
+    /// (0 ..= candidates.len()). Binary search by default (Algorithm 7);
+    /// exhaustive probing under
+    /// [`SbrConfig::exhaustive_search`](crate::SbrConfig).
+    pub fn run(&mut self) -> usize {
+        if self.candidates.is_empty() {
+            return 0;
+        }
+        if self.config.exhaustive_search {
+            self.run_exhaustive()
+        } else {
+            self.search(0, self.candidates.len())
+        }
+    }
+
+    /// Probe every insertion count; ground truth for the unimodality
+    /// assumption behind Algorithm 7.
+    fn run_exhaustive(&mut self) -> usize {
+        let mut best = 0;
+        let mut best_err = self.error_at(0);
+        for pos in 1..=self.candidates.len() {
+            let e = self.error_at(pos);
+            if e < best_err {
+                best = pos;
+                best_err = e;
+            }
+        }
+        best
+    }
+
+    /// How many `GetIntervals` probes the search performed (memoized probes
+    /// are not re-counted) — exposed for the complexity tests.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// Memoized batch error after inserting the first `pos` candidates.
+    pub fn error_at(&mut self, pos: usize) -> f64 {
+        if let Some(e) = self.errors[pos] {
+            return e;
+        }
+        self.probes += 1;
+        let budget = self
+            .config
+            .total_band
+            .saturating_sub(pos * (self.w + 1));
+        let e = if budget / IntervalRecord::COST < self.data.n_signals() {
+            // Insertions ate the whole budget; this count is infeasible.
+            f64::INFINITY
+        } else {
+            let cands: Vec<&[f64]> = self.candidates[..pos].iter().map(Vec::as_slice).collect();
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let x = self.base.flat_with_appended(&cands, &mut scratch);
+            let err = match get_intervals(x, self.data, budget, self.w, self.config) {
+                Ok(a) => a.total_err,
+                Err(_) => f64::INFINITY,
+            };
+            self.scratch = scratch;
+            err
+        };
+        self.errors[pos] = Some(e);
+        e
+    }
+
+    /// Algorithm 7, verbatim.
+    fn search(&mut self, start: usize, end: usize) -> usize {
+        if end == start {
+            return start;
+        }
+        let middle = (start + end) / 2;
+        let e_mid = self.error_at(middle);
+        let e_start = self.error_at(start);
+        if e_mid > e_start {
+            let e_end = self.error_at(end);
+            if e_end > e_start {
+                self.search(start, middle)
+            } else {
+                self.search(middle, end)
+            }
+        } else {
+            let e_next = self.error_at(middle + 1);
+            if e_next < e_mid {
+                self.search(middle + 1, end)
+            } else {
+                self.search(start, middle)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::ErrorMetric;
+
+    fn wiggle(seed: f64, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| (i as f64 * 1.1 + seed).sin() * 4.0 + (i as f64 * 0.31 + seed).cos() * 2.0)
+            .collect()
+    }
+
+    /// Data made of affine images of `n_patterns` distinct wiggles, so the
+    /// optimal dictionary size is discoverable.
+    fn patterned_series(n_patterns: usize, w: usize, reps: usize) -> MultiSeries {
+        let patterns: Vec<Vec<f64>> = (0..n_patterns).map(|p| wiggle(p as f64 * 9.7, w)).collect();
+        let mut row = Vec::new();
+        for rep in 0..reps {
+            for (pi, p) in patterns.iter().enumerate() {
+                let a = 1.0 + 0.3 * rep as f64 + pi as f64;
+                let b = rep as f64 - pi as f64;
+                row.extend(p.iter().map(|v| a * v + b));
+            }
+        }
+        MultiSeries::from_rows(&[row]).unwrap()
+    }
+
+    #[test]
+    fn empty_candidates_insert_nothing() {
+        let data = patterned_series(1, 8, 4);
+        let base = BaseSignal::new(8);
+        let config = SbrConfig::new(64, 64).with_w(8);
+        let mut s = SearchContext::new(&base, &[], &data, 8, &config);
+        assert_eq!(s.run(), 0);
+    }
+
+    #[test]
+    fn inserts_help_on_patterned_data() {
+        let data = patterned_series(2, 8, 6);
+        let base = BaseSignal::new(8);
+        let config = SbrConfig::new(80, 80).with_w(8);
+        let cands = crate::get_base::get_base(&data, 8, 4, ErrorMetric::Sse);
+        let mut s = SearchContext::new(&base, &cands, &data, 8, &config);
+        let ins = s.run();
+        assert!(ins >= 1, "patterned data must trigger insertions");
+        // The chosen count is no worse than its neighbours.
+        let e = s.error_at(ins);
+        if ins > 0 {
+            assert!(e <= s.error_at(ins - 1) + 1e-9);
+        }
+        if ins < cands.len() {
+            assert!(e <= s.error_at(ins + 1) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_data_inserts_nothing() {
+        // Pure lines are handled perfectly by the fall-back; paying W+1
+        // values for dictionary entries can only hurt.
+        let row: Vec<f64> = (0..64).map(|i| 2.0 * i as f64).collect();
+        let data = MultiSeries::from_rows(&[row]).unwrap();
+        let base = BaseSignal::new(8);
+        let config = SbrConfig::new(48, 48).with_w(8);
+        let cands = crate::get_base::get_base(&data, 8, 4, ErrorMetric::Sse);
+        let mut s = SearchContext::new(&base, &cands, &data, 8, &config);
+        let ins = s.run();
+        assert_eq!(s.error_at(ins), 0.0);
+        assert_eq!(ins, 0, "no reason to pay for base intervals");
+    }
+
+    #[test]
+    fn infeasible_counts_probe_to_infinity() {
+        let data = patterned_series(1, 8, 4);
+        let base = BaseSignal::new(8);
+        // Budget fits one interval and nothing else.
+        let config = SbrConfig::new(8, 800).with_w(8);
+        let cands = vec![vec![0.0; 8], vec![1.0; 8]];
+        let mut s = SearchContext::new(&base, &cands, &data, 8, &config);
+        assert!(s.error_at(1).is_infinite());
+        assert!(s.error_at(2).is_infinite());
+        let ins = s.run();
+        assert_eq!(ins, 0);
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let data = patterned_series(2, 8, 6);
+        let base = BaseSignal::new(8);
+        let config = SbrConfig::new(200, 800).with_w(8);
+        let cands = crate::get_base::get_base(&data, 8, 12, ErrorMetric::Sse);
+        let n = cands.len();
+        let mut s = SearchContext::new(&base, &cands, &data, 8, &config);
+        s.run();
+        // Each of the O(log n) recursion levels probes at most 3 new
+        // positions.
+        let bound = 3 * ((n as f64).log2().ceil() as usize + 2);
+        assert!(
+            s.probes() <= bound,
+            "probes {} exceeds O(log n) bound {}",
+            s.probes(),
+            bound
+        );
+    }
+
+    #[test]
+    fn binary_search_matches_exhaustive_on_real_data() {
+        // The unimodality assumption, validated: on patterned data the
+        // O(log) search must land within a whisker of the true optimum.
+        let data = patterned_series(3, 8, 8);
+        let base = BaseSignal::new(8);
+        let config = SbrConfig::new(300, 900).with_w(8);
+        let cands = crate::get_base::get_base(&data, 8, 10, ErrorMetric::Sse);
+        let mut fast = SearchContext::new(&base, &cands, &data, 8, &config);
+        let ins_fast = fast.run();
+        let mut cfg_ex = config.clone();
+        cfg_ex.exhaustive_search = true;
+        let mut slow = SearchContext::new(&base, &cands, &data, 8, &cfg_ex);
+        let ins_slow = slow.run();
+        let e_fast = fast.error_at(ins_fast);
+        let e_slow = slow.error_at(ins_slow);
+        assert!(
+            e_fast <= e_slow * 1.10 + 1e-9,
+            "binary {ins_fast} (err {e_fast}) vs exhaustive {ins_slow} (err {e_slow})"
+        );
+        assert!(slow.probes() >= cands.len(), "exhaustive probes everything");
+    }
+
+    #[test]
+    fn memoization_prevents_duplicate_probes() {
+        let data = patterned_series(1, 8, 4);
+        let base = BaseSignal::new(8);
+        let config = SbrConfig::new(64, 64).with_w(8);
+        let cands = vec![wiggle(0.0, 8)];
+        let mut s = SearchContext::new(&base, &cands, &data, 8, &config);
+        let a = s.error_at(0);
+        let before = s.probes();
+        let b = s.error_at(0);
+        assert_eq!(a, b);
+        assert_eq!(s.probes(), before);
+    }
+}

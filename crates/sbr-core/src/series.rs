@@ -1,0 +1,181 @@
+//! The in-memory batch of measurements a sensor compresses.
+//!
+//! §3.2 of the paper: the sensor's buffer is a two-dimensional array of `N`
+//! rows (one per recorded quantity) × `M` columns (samples). The compression
+//! algorithms view it as the concatenated series `Y = Y₁ ∥ … ∥ Y_N` of
+//! length `n = N × M`.
+
+use crate::error::{Result, SbrError};
+
+/// A batch of `N` equal-length time series stored contiguously
+/// (row-major), exactly as the algorithms consume it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSeries {
+    data: Vec<f64>,
+    n_signals: usize,
+    samples_per_signal: usize,
+}
+
+impl MultiSeries {
+    /// Build from per-signal slices. All rows must share one length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(SbrError::InvalidConfig("no input signals".into()));
+        }
+        let m = rows[0].len();
+        if m == 0 {
+            return Err(SbrError::InvalidConfig("empty input signals".into()));
+        }
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != m {
+                return Err(SbrError::ShapeMismatch {
+                    expected_signals: rows.len(),
+                    expected_len: m,
+                    got: (i, r.len()),
+                });
+            }
+        }
+        let mut data = Vec::with_capacity(rows.len() * m);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Self::check_finite(&data)?;
+        Ok(MultiSeries {
+            data,
+            n_signals: rows.len(),
+            samples_per_signal: m,
+        })
+    }
+
+    /// Build from an already-concatenated buffer of `n_signals × m` values.
+    pub fn from_flat(data: Vec<f64>, n_signals: usize, m: usize) -> Result<Self> {
+        if n_signals == 0 || m == 0 {
+            return Err(SbrError::InvalidConfig(
+                "n_signals and samples_per_signal must be positive".into(),
+            ));
+        }
+        if data.len() != n_signals * m {
+            return Err(SbrError::ShapeMismatch {
+                expected_signals: n_signals,
+                expected_len: m,
+                got: (n_signals, data.len()),
+            });
+        }
+        Self::check_finite(&data)?;
+        Ok(MultiSeries {
+            data,
+            n_signals,
+            samples_per_signal: m,
+        })
+    }
+
+    /// Non-finite samples would silently poison every regression fit, so
+    /// they are rejected at the boundary.
+    fn check_finite(data: &[f64]) -> Result<()> {
+        if let Some(i) = data.iter().position(|v| !v.is_finite()) {
+            return Err(SbrError::InvalidConfig(format!(
+                "input value at flat index {i} is not finite ({})",
+                data[i]
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of recorded quantities (`N`).
+    pub fn n_signals(&self) -> usize {
+        self.n_signals
+    }
+
+    /// Samples per quantity (`M`).
+    pub fn samples_per_signal(&self) -> usize {
+        self.samples_per_signal
+    }
+
+    /// Total number of values (`n = N × M`).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the batch holds no values (cannot happen for a constructed
+    /// instance; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The concatenated series `Y`.
+    pub fn flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        let s = i * self.samples_per_signal;
+        &self.data[s..s + self.samples_per_signal]
+    }
+
+    /// Iterate over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.samples_per_signal)
+    }
+
+    /// The default base-interval width `W = ⌊√n⌋` (Table 1 of the paper).
+    pub fn default_w(&self) -> usize {
+        ((self.len() as f64).sqrt().floor() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_concatenates() {
+        let ms = MultiSeries::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(ms.flat(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ms.n_signals(), 2);
+        assert_eq!(ms.samples_per_signal(), 2);
+        assert_eq!(ms.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = MultiSeries::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert!(matches!(err, SbrError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(MultiSeries::from_rows(&[]).is_err());
+        assert!(MultiSeries::from_rows(&[vec![]]).is_err());
+        assert!(MultiSeries::from_flat(vec![], 0, 0).is_err());
+    }
+
+    #[test]
+    fn from_flat_checks_shape() {
+        assert!(MultiSeries::from_flat(vec![0.0; 6], 2, 3).is_ok());
+        assert!(MultiSeries::from_flat(vec![0.0; 7], 2, 3).is_err());
+    }
+
+    #[test]
+    fn non_finite_inputs_rejected() {
+        assert!(MultiSeries::from_rows(&[vec![1.0, f64::NAN]]).is_err());
+        assert!(MultiSeries::from_rows(&[vec![1.0, f64::INFINITY]]).is_err());
+        assert!(MultiSeries::from_flat(vec![0.0, f64::NEG_INFINITY], 1, 2).is_err());
+    }
+
+    #[test]
+    fn default_w_is_floor_sqrt() {
+        let ms = MultiSeries::from_flat(vec![0.0; 20480], 10, 2048).unwrap();
+        assert_eq!(ms.default_w(), 143); // ⌊√20480⌋
+    }
+
+    #[test]
+    fn rows_iterator_matches_row_accessor() {
+        let ms = MultiSeries::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let collected: Vec<&[f64]> = ms.rows().collect();
+        assert_eq!(collected.len(), 3);
+        for (i, r) in collected.iter().enumerate() {
+            assert_eq!(*r, ms.row(i));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! What a sensor actually sends per batch: base-signal updates plus interval
+//! records, with exact bandwidth accounting (§4.3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::interval::IntervalRecord;
+
+/// One inserted base interval: its `W` samples plus the slot of the
+/// base-signal buffer it finally occupies. Costs `W + 1` values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaseUpdate {
+    /// Final slot index in the base-signal buffer. Slots beyond the
+    /// receiver's current buffer are appends; earlier slots are
+    /// replacements (the sensor evicted LFU intervals).
+    pub slot: u64,
+    /// The `W` samples of the interval.
+    pub values: Vec<f64>,
+}
+
+impl BaseUpdate {
+    /// Bandwidth cost in values: the samples plus the slot offset.
+    pub fn cost(&self) -> usize {
+        self.values.len() + 1
+    }
+}
+
+/// A complete per-batch transmission.
+///
+/// Decoding order matters and mirrors Algorithm 5: the receiver first forms
+/// the *candidate* signal `X_new = X_old ∥ updates` (in transmitted order),
+/// decodes every interval record against `X_new`, and only then applies the
+/// slot placements to obtain the buffer used by the next transmission. The
+/// `shift` fields therefore always reference the `X_new` layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transmission {
+    /// Monotone sequence number of the batch (0-based).
+    pub seq: u64,
+    /// Number of input signals in the batch.
+    pub n_signals: u32,
+    /// Samples per signal in the batch.
+    pub samples_per_signal: u32,
+    /// Base-interval width `W` used for this batch.
+    pub w: u32,
+    /// Inserted base intervals, in insertion order.
+    pub base_updates: Vec<BaseUpdate>,
+    /// Approximation interval records.
+    pub intervals: Vec<IntervalRecord>,
+}
+
+impl Transmission {
+    /// Total bandwidth cost in values:
+    /// `Ins × (W + 1) + 4 × #intervals` (§4.3).
+    pub fn cost(&self) -> usize {
+        self.base_updates.iter().map(BaseUpdate::cost).sum::<usize>()
+            + self.intervals.len() * IntervalRecord::COST
+    }
+
+    /// Number of values in the batch this transmission encodes.
+    pub fn batch_len(&self) -> usize {
+        self.n_signals as usize * self.samples_per_signal as usize
+    }
+
+    /// Achieved compression ratio (transmitted values / batch values).
+    pub fn compression_ratio(&self) -> f64 {
+        self.cost() as f64 / self.batch_len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx() -> Transmission {
+        Transmission {
+            seq: 3,
+            n_signals: 2,
+            samples_per_signal: 100,
+            w: 4,
+            base_updates: vec![BaseUpdate {
+                slot: 0,
+                values: vec![1.0, 2.0, 3.0, 4.0],
+            }],
+            intervals: vec![
+                IntervalRecord {
+                    start: 0,
+                    shift: -1,
+                    a: 0.0,
+                    b: 1.0,
+                },
+                IntervalRecord {
+                    start: 100,
+                    shift: 0,
+                    a: 1.0,
+                    b: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn cost_counts_updates_and_records() {
+        let t = tx();
+        assert_eq!(t.cost(), (4 + 1) + 2 * 4);
+    }
+
+    #[test]
+    fn ratio_uses_batch_size() {
+        let t = tx();
+        assert_eq!(t.batch_len(), 200);
+        assert!((t.compression_ratio() - 13.0 / 200.0).abs() < 1e-12);
+    }
+}

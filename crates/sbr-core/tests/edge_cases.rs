@@ -1,0 +1,152 @@
+//! Public-API edge cases: degenerate shapes, extreme configurations, and
+//! the boundaries the paper's pseudocode glosses over.
+
+use sbr_core::{Decoder, ErrorMetric, SbrConfig, SbrEncoder, SbrError};
+
+fn roundtrip(enc: &mut SbrEncoder, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let tx = enc.encode(rows).unwrap();
+    Decoder::new().decode(&tx).unwrap()
+}
+
+#[test]
+fn single_signal_single_batchful() {
+    let rows = vec![(0..16).map(|i| i as f64).collect::<Vec<f64>>()];
+    let mut enc = SbrEncoder::new(1, 16, SbrConfig::new(8, 8)).unwrap();
+    let rec = roundtrip(&mut enc, &rows);
+    // A line fits in one fall-back interval: exact.
+    for (a, b) in rows[0].iter().zip(&rec[0]) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn tiny_batch_two_samples_per_signal() {
+    let rows = vec![vec![1.0, 2.0], vec![5.0, 5.0]];
+    let mut enc = SbrEncoder::new(2, 2, SbrConfig::new(8, 4)).unwrap();
+    let rec = roundtrip(&mut enc, &rows);
+    assert_eq!(rec.len(), 2);
+    for (o, r) in rows.iter().zip(&rec) {
+        for (a, b) in o.iter().zip(r) {
+            assert!((a - b).abs() < 1e-9, "two points always fit a line");
+        }
+    }
+}
+
+#[test]
+fn w_override_larger_than_a_row_still_works() {
+    // W spans more than one row: no CBIs can be cut from rows shorter than
+    // W, so the dictionary stays empty and the fall-back carries the batch.
+    let rows: Vec<Vec<f64>> = (0..4).map(|r| vec![r as f64; 8]).collect();
+    let cfg = SbrConfig::new(32, 32).with_w(16);
+    let mut enc = SbrEncoder::new(4, 8, cfg).unwrap();
+    let tx = enc.encode(&rows).unwrap();
+    assert!(tx.base_updates.is_empty());
+    let rec = Decoder::new().decode(&tx).unwrap();
+    for (o, r) in rows.iter().zip(&rec) {
+        for (a, b) in o.iter().zip(r) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn minimum_legal_budget_is_exactly_4n() {
+    let rows: Vec<Vec<f64>> = (0..3)
+        .map(|r| (0..32).map(|i| ((i + r) as f64 * 0.7).sin()).collect())
+        .collect();
+    assert!(matches!(
+        SbrEncoder::new(3, 32, SbrConfig::new(11, 16)),
+        Err(SbrError::BudgetTooSmall { .. })
+    ));
+    let mut enc = SbrEncoder::new(3, 32, SbrConfig::new(12, 16)).unwrap();
+    let tx = enc.encode(&rows).unwrap();
+    assert_eq!(tx.intervals.len(), 3, "exactly one interval per signal");
+    assert!(tx.base_updates.is_empty(), "no bandwidth left for inserts");
+}
+
+#[test]
+fn budget_larger_than_raw_data_is_harmless() {
+    // TotalBand ≫ n: the splitter bottoms out at length-1 intervals and
+    // the result is exact.
+    let rows = vec![(0..16).map(|i| ((i * 13) % 7) as f64).collect::<Vec<f64>>()];
+    let mut enc = SbrEncoder::new(1, 16, SbrConfig::new(10_000, 64)).unwrap();
+    let tx = enc.encode(&rows).unwrap();
+    let rec = Decoder::new().decode(&tx).unwrap();
+    assert_eq!(ErrorMetric::Sse.score(&rows[0], &rec[0]), 0.0);
+}
+
+#[test]
+fn constant_batches_cost_one_interval_each() {
+    let rows: Vec<Vec<f64>> = (0..2).map(|r| vec![r as f64 * 3.0; 64]).collect();
+    let mut enc = SbrEncoder::new(2, 64, SbrConfig::new(200, 64)).unwrap();
+    let tx = enc.encode(&rows).unwrap();
+    assert_eq!(tx.intervals.len(), 2, "constants need no splitting");
+    assert_eq!(enc.last_stats().unwrap().total_err, 0.0);
+}
+
+#[test]
+fn metric_switch_changes_fits_not_protocol() {
+    let rows: Vec<Vec<f64>> = vec![(0..64)
+        .map(|i| 1000.0 + ((i * 7) % 13) as f64)
+        .collect()];
+    for metric in [ErrorMetric::Sse, ErrorMetric::relative(), ErrorMetric::MaxAbs] {
+        let cfg = SbrConfig::new(40, 32).with_metric(metric);
+        let mut enc = SbrEncoder::new(1, 64, cfg).unwrap();
+        let tx = enc.encode(&rows).unwrap();
+        assert!(tx.cost() <= 40);
+        let rec = Decoder::new().decode(&tx).unwrap();
+        assert_eq!(rec[0].len(), 64, "{metric:?}");
+    }
+}
+
+#[test]
+fn m_base_zero_works_when_updates_disabled() {
+    let cfg = SbrConfig::new(32, 0).frozen_base();
+    let mut enc = SbrEncoder::new(1, 64, cfg).unwrap();
+    let rows = vec![(0..64).map(|i| (i as f64 * 0.3).sin()).collect::<Vec<f64>>()];
+    let tx = enc.encode(&rows).unwrap();
+    assert!(tx.base_updates.is_empty());
+}
+
+#[test]
+fn m_base_zero_with_updates_is_equivalent_to_no_inserts() {
+    // maxIns = 0, so GetBase is consulted but nothing can be inserted.
+    let cfg = SbrConfig::new(32, 0);
+    assert!(SbrEncoder::new(1, 64, cfg).is_err(), "W > M_base is rejected");
+}
+
+#[test]
+fn many_signals_few_samples() {
+    let rows: Vec<Vec<f64>> = (0..16).map(|r| vec![r as f64, r as f64 + 1.0]).collect();
+    let mut enc = SbrEncoder::new(16, 2, SbrConfig::new(64, 16)).unwrap();
+    let rec = roundtrip(&mut enc, &rows);
+    assert_eq!(rec.len(), 16);
+}
+
+#[test]
+fn stats_survive_error_paths() {
+    let mut enc = SbrEncoder::new(2, 32, SbrConfig::new(40, 32)).unwrap();
+    let good: Vec<Vec<f64>> = (0..2).map(|r| vec![r as f64; 32]).collect();
+    enc.encode(&good).unwrap();
+    let stats_before = enc.last_stats();
+    // A bad batch: shape mismatch must not clobber the previous stats nor
+    // advance the sequence.
+    let seq_before = enc.seq();
+    assert!(enc.encode(&good[..1]).is_err());
+    assert_eq!(enc.last_stats(), stats_before);
+    assert_eq!(enc.seq(), seq_before);
+    // The stream continues cleanly.
+    enc.encode(&good).unwrap();
+    assert_eq!(enc.seq(), seq_before + 1);
+}
+
+#[test]
+fn huge_magnitudes_roundtrip_finite() {
+    let rows = vec![
+        (0..32).map(|i| 1e15 * ((i % 5) as f64 - 2.0)).collect::<Vec<f64>>(),
+        (0..32).map(|i| 1e-15 * i as f64).collect(),
+    ];
+    let mut enc = SbrEncoder::new(2, 32, SbrConfig::new(64, 32)).unwrap();
+    let rec = roundtrip(&mut enc, &rows);
+    assert!(rec.iter().flatten().all(|v| v.is_finite()));
+}

@@ -1,0 +1,196 @@
+//! TAG-style in-network aggregation — the alternative data-reduction
+//! paradigm the paper's introduction contrasts with approximation
+//! (Madden et al., "TAG: a Tiny AGgregation service", and the
+//! aggregation-tree literature of §2).
+//!
+//! Interior nodes of the routing tree merge their children's *partial
+//! state records* before forwarding, so an aggregate over the whole network
+//! costs one small record per edge instead of one record per sensor per
+//! edge. This module implements the classic decomposable aggregates and
+//! the tree evaluation, both to serve as the `Strategy::Aggregate`
+//! substrate and to let examples contrast "aggregate everything" with
+//! "approximate everything" (SBR's pitch: aggregation is *too* lossy for
+//! historical archives).
+
+use crate::topology::Topology;
+use crate::NodeId;
+
+/// Partial state record for the decomposable aggregates. All five classic
+/// TAG aggregates are derivable from it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Partial {
+    /// Number of values merged in.
+    pub count: u64,
+    /// Sum of values.
+    pub sum: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Partial {
+    /// The identity element (merging it changes nothing).
+    pub const IDENTITY: Partial = Partial {
+        count: 0,
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    };
+
+    /// A record holding one reading.
+    pub fn of(v: f64) -> Self {
+        Partial {
+            count: 1,
+            sum: v,
+            min: v,
+            max: v,
+        }
+    }
+
+    /// Merge two partials (associative and commutative).
+    pub fn merge(self, other: Partial) -> Partial {
+        Partial {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// The average, or `None` for the identity.
+    pub fn avg(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Wire size of one record in values (count, sum, min, max).
+    pub const COST: usize = 4;
+}
+
+/// Result of one epoch of tree aggregation.
+#[derive(Debug, Clone)]
+pub struct EpochResult {
+    /// The network-wide aggregate delivered to the base station.
+    pub aggregate: Partial,
+    /// Values transmitted per node (one partial per edge, so `COST` for
+    /// every non-base node).
+    pub values_per_node: Vec<usize>,
+    /// Total values over the air.
+    pub total_values: usize,
+}
+
+/// Run one aggregation epoch: every sensor contributes one reading; each
+/// node merges its children's partials with its own and sends one record
+/// to its parent. `readings[i]` is the reading of node `i` (`readings[0]`,
+/// the base's own reading, is merged locally and costs nothing).
+///
+/// ```
+/// use sensor_net::{aggregation::aggregate_epoch, Topology};
+/// let t = Topology::line(4, 1.0);
+/// let r = aggregate_epoch(&t, &[0.0, 1.0, 2.0, 3.0]);
+/// assert_eq!(r.aggregate.sum, 6.0);
+/// assert_eq!(r.aggregate.max, 3.0);
+/// ```
+pub fn aggregate_epoch(topology: &Topology, readings: &[f64]) -> EpochResult {
+    assert_eq!(
+        readings.len(),
+        topology.len(),
+        "one reading per node (including the base)"
+    );
+    let n = topology.len();
+    // Children lists from the parent pointers.
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for node in 1..n {
+        let p = topology.parent(node).expect("non-base nodes have parents");
+        children[p].push(node);
+    }
+    // Post-order accumulation (iterative: process nodes by decreasing hop
+    // count so children always precede parents).
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(topology.hops(v)));
+
+    let mut partials: Vec<Partial> = readings.iter().map(|&v| Partial::of(v)).collect();
+    let mut values_per_node = vec![0usize; n];
+    for &node in &order {
+        if node == 0 {
+            continue;
+        }
+        let p = topology.parent(node).expect("non-base");
+        let own = partials[node];
+        partials[p] = partials[p].merge(own);
+        values_per_node[node] = Partial::COST;
+    }
+    EpochResult {
+        aggregate: partials[0],
+        total_values: values_per_node.iter().sum(),
+        values_per_node,
+    }
+}
+
+/// The naive alternative: every reading is forwarded unaggregated to the
+/// base. Returns total values over the air (counting re-transmission at
+/// every hop) for comparison.
+pub fn flood_cost(topology: &Topology) -> usize {
+    (1..topology.len()).map(|v| topology.hops(v)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_merge_is_correct_and_associative() {
+        let vals = [3.0, -1.0, 7.0, 2.0];
+        let merged = vals.iter().fold(Partial::IDENTITY, |acc, &v| acc.merge(Partial::of(v)));
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.sum, 11.0);
+        assert_eq!(merged.min, -1.0);
+        assert_eq!(merged.max, 7.0);
+        assert_eq!(merged.avg(), Some(2.75));
+        // Associativity: ((a·b)·(c·d)) == (((a·b)·c)·d)
+        let ab = Partial::of(3.0).merge(Partial::of(-1.0));
+        let cd = Partial::of(7.0).merge(Partial::of(2.0));
+        assert_eq!(ab.merge(cd), merged);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let p = Partial::of(5.0);
+        assert_eq!(p.merge(Partial::IDENTITY), p);
+        assert_eq!(Partial::IDENTITY.merge(p), p);
+        assert_eq!(Partial::IDENTITY.avg(), None);
+    }
+
+    #[test]
+    fn epoch_computes_global_aggregate_on_line() {
+        let t = Topology::line(5, 1.0);
+        let readings = [10.0, 1.0, 2.0, 3.0, 4.0];
+        let r = aggregate_epoch(&t, &readings);
+        assert_eq!(r.aggregate.count, 5);
+        assert_eq!(r.aggregate.sum, 20.0);
+        assert_eq!(r.aggregate.min, 1.0);
+        assert_eq!(r.aggregate.max, 10.0);
+        // One record per non-base node regardless of depth.
+        assert_eq!(r.total_values, 4 * Partial::COST);
+    }
+
+    #[test]
+    fn epoch_works_on_random_trees() {
+        let t = Topology::random(30, 10.0, 3.0, 5);
+        let readings: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let r = aggregate_epoch(&t, &readings);
+        assert_eq!(r.aggregate.count, 30);
+        assert_eq!(r.aggregate.sum, (0..30).sum::<i32>() as f64);
+        assert_eq!(r.aggregate.min, 0.0);
+        assert_eq!(r.aggregate.max, 29.0);
+    }
+
+    #[test]
+    fn aggregation_beats_flooding_on_deep_trees() {
+        // On a chain, flooding costs Θ(n²) value-hops; aggregation Θ(n).
+        let t = Topology::line(20, 1.0);
+        let per_value_flood = flood_cost(&t); // one value from each node
+        let r = aggregate_epoch(&t, &[1.0; 20]);
+        assert!(r.total_values < per_value_flood);
+    }
+}

@@ -1,0 +1,134 @@
+//! A lossy radio link with per-hop stop-and-wait ARQ.
+//!
+//! The paper assumes reliable delivery (its base station appends every
+//! chunk); real low-power radios drop frames, so the substrate models the
+//! standard fix: each hop retransmits until acknowledged, and every
+//! attempt — including the lost ones and the ACKs — costs energy. This is
+//! what makes compression compound: fewer values ⇒ fewer frames ⇒ fewer
+//! losses ⇒ fewer retransmissions.
+
+/// Link parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LossyLink {
+    /// Probability that one frame transmission attempt is lost.
+    pub loss_prob: f64,
+    /// Attempts per hop before the frame is declared undeliverable.
+    pub max_attempts: u32,
+    /// ACK size in values (charged per successful attempt).
+    pub ack_values: usize,
+    state: u64,
+}
+
+/// Outcome of pushing one frame across one hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopOutcome {
+    /// Transmission attempts made (≥ 1).
+    pub attempts: u32,
+    /// Whether the frame got through within `max_attempts`.
+    pub delivered: bool,
+}
+
+impl LossyLink {
+    /// A link dropping each attempt with probability `loss_prob`.
+    pub fn new(loss_prob: f64, max_attempts: u32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&loss_prob), "loss probability in [0, 1)");
+        assert!(max_attempts >= 1);
+        LossyLink {
+            loss_prob,
+            max_attempts,
+            ack_values: 1,
+            state: seed | 1,
+        }
+    }
+
+    /// A perfectly reliable link.
+    pub fn reliable() -> Self {
+        LossyLink::new(0.0, 1, 1)
+    }
+
+    fn next_uniform(&mut self) -> f64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        (self.state >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Simulate one hop with stop-and-wait ARQ.
+    pub fn hop(&mut self) -> HopOutcome {
+        for attempt in 1..=self.max_attempts {
+            if self.next_uniform() >= self.loss_prob {
+                return HopOutcome {
+                    attempts: attempt,
+                    delivered: true,
+                };
+            }
+        }
+        HopOutcome {
+            attempts: self.max_attempts,
+            delivered: false,
+        }
+    }
+
+    /// Expected attempts per delivered frame (`1 / (1 − p)`), for sanity
+    /// checks and capacity planning.
+    pub fn expected_attempts(&self) -> f64 {
+        1.0 / (1.0 - self.loss_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_link_always_single_attempt() {
+        let mut l = LossyLink::reliable();
+        for _ in 0..100 {
+            assert_eq!(
+                l.hop(),
+                HopOutcome {
+                    attempts: 1,
+                    delivered: true
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn attempts_track_expected_value() {
+        let mut l = LossyLink::new(0.3, 100, 7);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| l.hop().attempts as u64).sum();
+        let mean = total as f64 / n as f64;
+        let expect = l.expected_attempts();
+        assert!(
+            (mean - expect).abs() < 0.05 * expect,
+            "mean {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn max_attempts_bounds_and_fails() {
+        let mut l = LossyLink::new(0.95, 3, 11);
+        let mut failures = 0;
+        for _ in 0..1000 {
+            let o = l.hop();
+            assert!(o.attempts <= 3);
+            if !o.delivered {
+                failures += 1;
+                assert_eq!(o.attempts, 3);
+            }
+        }
+        // p(fail) = 0.95³ ≈ 0.857.
+        assert!(failures > 700, "only {failures} failures");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = LossyLink::new(0.4, 10, 99);
+        let mut b = LossyLink::new(0.4, 10, 99);
+        for _ in 0..50 {
+            assert_eq!(a.hop(), b.hop());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! A sensor node: sample buffering plus the embedded SBR encoder.
+//!
+//! §3.2: nodes do not transmit each new measurement; they fill an `N × M`
+//! buffer and flush it as one compressed batch, letting the radio sleep in
+//! between.
+
+use sbr_core::codec;
+use sbr_core::{SbrConfig, SbrEncoder, SbrError, Transmission};
+
+use crate::NodeId;
+
+/// A sensor with an `N × M` sample buffer and an SBR encoder.
+#[derive(Debug)]
+pub struct SensorNode {
+    id: NodeId,
+    encoder: SbrEncoder,
+    buffer: Vec<Vec<f64>>,
+    samples_per_signal: usize,
+}
+
+/// One flushed batch: the logical transmission plus its wire frame.
+#[derive(Debug, Clone)]
+pub struct Flush {
+    /// The logical transmission.
+    pub transmission: Transmission,
+    /// Its byte framing, as it would cross the radio.
+    pub frame: bytes::Bytes,
+    /// Number of raw values the batch held.
+    pub raw_values: usize,
+}
+
+impl SensorNode {
+    /// Create a node recording `n_signals` quantities with buffer depth
+    /// `samples_per_signal`.
+    pub fn new(
+        id: NodeId,
+        n_signals: usize,
+        samples_per_signal: usize,
+        config: SbrConfig,
+    ) -> Result<Self, SbrError> {
+        let encoder = SbrEncoder::new(n_signals, samples_per_signal, config)?;
+        Ok(SensorNode {
+            id,
+            encoder,
+            buffer: vec![Vec::with_capacity(samples_per_signal); n_signals],
+            samples_per_signal,
+        })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of samples currently buffered per signal.
+    pub fn buffered(&self) -> usize {
+        self.buffer[0].len()
+    }
+
+    /// Immutable access to the embedded encoder (base-signal state, stats).
+    pub fn encoder(&self) -> &SbrEncoder {
+        &self.encoder
+    }
+
+    /// Record one sample per signal. When the buffer fills, it is
+    /// compressed and drained, and the flush is returned.
+    pub fn record(&mut self, sample: &[f64]) -> Result<Option<Flush>, SbrError> {
+        if sample.len() != self.buffer.len() {
+            return Err(SbrError::ShapeMismatch {
+                expected_signals: self.buffer.len(),
+                expected_len: 1,
+                got: (sample.len(), 1),
+            });
+        }
+        for (row, &v) in self.buffer.iter_mut().zip(sample) {
+            row.push(v);
+        }
+        if self.buffered() < self.samples_per_signal {
+            return Ok(None);
+        }
+        let tx = self.encoder.encode(&self.buffer)?;
+        let raw_values = self.buffer.len() * self.samples_per_signal;
+        for row in &mut self.buffer {
+            row.clear();
+        }
+        let frame = codec::encode(&tx);
+        Ok(Some(Flush {
+            transmission: tx,
+            frame,
+            raw_values,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> SensorNode {
+        SensorNode::new(5, 2, 32, SbrConfig::new(40, 32)).unwrap()
+    }
+
+    #[test]
+    fn flush_fires_exactly_when_full() {
+        let mut n = node();
+        for t in 0..31 {
+            let out = n.record(&[t as f64, (t * 2) as f64]).unwrap();
+            assert!(out.is_none(), "flushed early at {t}");
+        }
+        let out = n.record(&[31.0, 62.0]).unwrap();
+        let flush = out.expect("buffer full, must flush");
+        assert_eq!(flush.raw_values, 64);
+        assert_eq!(flush.transmission.seq, 0);
+        assert_eq!(n.buffered(), 0);
+    }
+
+    #[test]
+    fn consecutive_batches_increment_seq() {
+        let mut n = node();
+        let mut seqs = Vec::new();
+        for t in 0..96 {
+            if let Some(f) = n.record(&[(t % 7) as f64, (t % 5) as f64]).unwrap() {
+                seqs.push(f.transmission.seq);
+            }
+        }
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn frame_parses_back() {
+        let mut n = node();
+        let mut flush = None;
+        for t in 0..32 {
+            flush = n.record(&[t as f64, -(t as f64)]).unwrap();
+        }
+        let flush = flush.unwrap();
+        let parsed = sbr_core::codec::decode(&mut flush.frame.clone()).unwrap();
+        assert_eq!(parsed, flush.transmission);
+    }
+
+    #[test]
+    fn wrong_sample_width_rejected() {
+        let mut n = node();
+        assert!(n.record(&[1.0]).is_err());
+        assert!(n.record(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

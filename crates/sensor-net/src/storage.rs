@@ -1,0 +1,226 @@
+//! Durable per-sensor log files — the paper's Figure 1 architecture keeps
+//! "a separate file … for each sensor that is in contact with the base
+//! station", appending each compressed chunk (and interleaved base-signal
+//! updates) as it arrives.
+//!
+//! Format: a stream of length-prefixed frames
+//! (`u32 LE frame length ∥ codec frame`). Recovery tolerates a truncated
+//! tail (a crash mid-append): complete frames are kept, the partial tail is
+//! discarded and reported.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use sbr_core::{codec, SbrError};
+
+use crate::NodeId;
+
+/// Append-only on-disk log for one sensor.
+#[derive(Debug)]
+pub struct LogWriter {
+    path: PathBuf,
+    file: BufWriter<File>,
+    frames: u64,
+}
+
+impl LogWriter {
+    /// Open (creating or appending to) the log for `node` under `dir`.
+    pub fn open(dir: &Path, node: NodeId) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("sensor-{node}.sbrlog"));
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(LogWriter {
+            path,
+            file: BufWriter::new(file),
+            frames: 0,
+        })
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Frames appended through this writer instance.
+    pub fn frames_written(&self) -> u64 {
+        self.frames
+    }
+
+    /// Append one wire frame, length-prefixed, and flush.
+    pub fn append(&mut self, frame: &Bytes) -> std::io::Result<()> {
+        self.file.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.file.write_all(frame)?;
+        self.file.flush()?;
+        self.frames += 1;
+        Ok(())
+    }
+}
+
+/// Outcome of reading a log file back.
+#[derive(Debug)]
+pub struct RecoveredLog {
+    /// The complete frames, in append order, already parse-validated.
+    pub transmissions: Vec<sbr_core::Transmission>,
+    /// Bytes of a truncated trailing frame that were discarded (0 for a
+    /// clean log).
+    pub truncated_tail: usize,
+}
+
+/// Read a sensor log back, validating every frame; tolerates (and reports)
+/// a truncated tail.
+pub fn recover(path: &Path) -> Result<RecoveredLog, SbrError> {
+    let mut raw = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut raw))
+        .map_err(|e| SbrError::Corrupt(format!("cannot read log {}: {e}", path.display())))?;
+
+    let mut transmissions = Vec::new();
+    let mut pos = 0usize;
+    let mut expected_seq = 0u64;
+    loop {
+        if raw.len() - pos < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        if raw.len() - pos - 4 < len {
+            break; // truncated tail
+        }
+        let mut frame = &raw[pos + 4..pos + 4 + len];
+        let tx = codec::decode(&mut frame)?;
+        if !frame.is_empty() {
+            return Err(SbrError::Corrupt(format!(
+                "frame at offset {pos} has {} trailing bytes",
+                frame.len()
+            )));
+        }
+        if tx.seq != expected_seq {
+            return Err(SbrError::InconsistentState(format!(
+                "log {} skips from seq {expected_seq} to {}",
+                path.display(),
+                tx.seq
+            )));
+        }
+        expected_seq += 1;
+        transmissions.push(tx);
+        pos += 4 + len;
+    }
+    Ok(RecoveredLog {
+        transmissions,
+        truncated_tail: raw.len() - pos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbr_core::{Decoder, SbrConfig, SbrEncoder};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sbrlog-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn frames(n: usize) -> Vec<Bytes> {
+        let mut enc = SbrEncoder::new(2, 64, SbrConfig::new(48, 48)).unwrap();
+        (0..n)
+            .map(|c| {
+                let rows: Vec<Vec<f64>> = (0..2)
+                    .map(|r| (0..64).map(|i| ((i + c * 7 + r) as f64 * 0.3).sin()).collect())
+                    .collect();
+                codec::encode(&enc.encode(&rows).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_then_recover_roundtrips() {
+        let dir = tempdir("roundtrip");
+        let fs = frames(4);
+        let mut w = LogWriter::open(&dir, 3).unwrap();
+        for f in &fs {
+            w.append(f).unwrap();
+        }
+        assert_eq!(w.frames_written(), 4);
+        let rec = recover(w.path()).unwrap();
+        assert_eq!(rec.transmissions.len(), 4);
+        assert_eq!(rec.truncated_tail, 0);
+        // The recovered stream decodes end to end.
+        let mut d = Decoder::new();
+        for tx in &rec.transmissions {
+            d.decode(tx).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_discarded_not_fatal() {
+        let dir = tempdir("truncate");
+        let fs = frames(3);
+        let mut w = LogWriter::open(&dir, 1).unwrap();
+        for f in &fs {
+            w.append(f).unwrap();
+        }
+        let path = w.path().to_path_buf();
+        drop(w);
+        // Chop 5 bytes off the end (mid-frame crash).
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 5]).unwrap();
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.transmissions.len(), 2);
+        assert!(rec.truncated_tail > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_middle_is_fatal() {
+        let dir = tempdir("corrupt");
+        let fs = frames(2);
+        let mut w = LogWriter::open(&dir, 1).unwrap();
+        for f in &fs {
+            w.append(f).unwrap();
+        }
+        let path = w.path().to_path_buf();
+        drop(w);
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[6] ^= 0xff; // inside the first frame's magic/seq
+        std::fs::write(&path, &raw).unwrap();
+        assert!(recover(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_across_reopens() {
+        let dir = tempdir("reopen");
+        let fs = frames(4);
+        {
+            let mut w = LogWriter::open(&dir, 2).unwrap();
+            w.append(&fs[0]).unwrap();
+            w.append(&fs[1]).unwrap();
+        }
+        let path = {
+            let mut w = LogWriter::open(&dir, 2).unwrap();
+            w.append(&fs[2]).unwrap();
+            w.append(&fs[3]).unwrap();
+            w.path().to_path_buf()
+        };
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.transmissions.len(), 4);
+        assert_eq!(rec.transmissions[3].seq, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequence_gap_in_log_is_fatal() {
+        let dir = tempdir("gap");
+        let fs = frames(3);
+        let mut w = LogWriter::open(&dir, 1).unwrap();
+        w.append(&fs[0]).unwrap();
+        w.append(&fs[2]).unwrap(); // skipped seq 1
+        let rec = recover(w.path());
+        assert!(rec.is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

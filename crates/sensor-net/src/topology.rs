@@ -1,0 +1,209 @@
+//! Network topologies: node positions, radio-range neighbor sets and a
+//! greedy geographic routing tree toward the base station (node 0).
+
+use crate::NodeId;
+
+/// An immutable network layout.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    positions: Vec<(f64, f64)>,
+    parents: Vec<Option<NodeId>>, // parents[0] = None (base)
+    radio_range: f64,
+}
+
+impl Topology {
+    /// A chain `base ← 1 ← 2 ← … ← n-1`: the worst case for multi-hop
+    /// relaying.
+    pub fn line(n_nodes: usize, spacing: f64) -> Self {
+        assert!(n_nodes >= 1);
+        let positions = (0..n_nodes).map(|i| (i as f64 * spacing, 0.0)).collect();
+        let parents = (0..n_nodes)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
+        Topology {
+            positions,
+            parents,
+            radio_range: spacing * 1.2,
+        }
+    }
+
+    /// A star: every sensor one hop from the base.
+    pub fn star(n_nodes: usize, radius: f64) -> Self {
+        assert!(n_nodes >= 1);
+        let mut positions = vec![(0.0, 0.0)];
+        for i in 1..n_nodes {
+            let ang = 2.0 * std::f64::consts::PI * i as f64 / (n_nodes - 1).max(1) as f64;
+            positions.push((radius * ang.cos(), radius * ang.sin()));
+        }
+        let parents = (0..n_nodes).map(|i| if i == 0 { None } else { Some(0) }).collect();
+        Topology {
+            positions,
+            parents,
+            radio_range: radius * 1.1,
+        }
+    }
+
+    /// Random uniform deployment in a `side × side` field with the base at
+    /// the center. Each node's parent is the closest already-connected node
+    /// that is nearer to the base than itself (falling back to the globally
+    /// closest connected node), so the tree is always connected regardless
+    /// of density. `radio_range` governs overhearing.
+    ///
+    /// ```
+    /// use sensor_net::Topology;
+    /// let t = Topology::random(25, 10.0, 2.5, 7);
+    /// assert_eq!(t.len(), 25);
+    /// // Every node routes to the base.
+    /// assert!((0..25).all(|n| t.route(n).last().copied().unwrap_or(0) == 0));
+    /// ```
+    pub fn random(n_nodes: usize, side: f64, radio_range: f64, seed: u64) -> Self {
+        assert!(n_nodes >= 1);
+        // Small xorshift so this crate does not need a rand dependency.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut positions = vec![(side / 2.0, side / 2.0)];
+        for _ in 1..n_nodes {
+            positions.push((next() * side, next() * side));
+        }
+
+        let dist = |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        // Connect nodes in order of distance to the base.
+        let mut order: Vec<NodeId> = (1..n_nodes).collect();
+        order.sort_by(|&a, &b| {
+            dist(positions[a], positions[0]).total_cmp(&dist(positions[b], positions[0]))
+        });
+        let mut parents: Vec<Option<NodeId>> = vec![None; n_nodes];
+        let mut connected = vec![0usize];
+        for &i in &order {
+            let best = connected
+                .iter()
+                .copied()
+                .min_by(|&a, &b| dist(positions[i], positions[a]).total_cmp(&dist(positions[i], positions[b])))
+                .expect("base is always connected");
+            parents[i] = Some(best);
+            connected.push(i);
+        }
+        Topology {
+            positions,
+            parents,
+            radio_range,
+        }
+    }
+
+    /// Number of nodes including the base station.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True for a degenerate base-only layout.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of a node.
+    pub fn position(&self, n: NodeId) -> (f64, f64) {
+        self.positions[n]
+    }
+
+    /// Parent on the routing tree (`None` for the base).
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.parents[n]
+    }
+
+    /// The hop path `n → … → 0`, excluding `n` itself.
+    pub fn route(&self, n: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::new();
+        let mut cur = n;
+        while let Some(p) = self.parents[cur] {
+            path.push(p);
+            cur = p;
+            debug_assert!(path.len() <= self.len(), "routing loop");
+        }
+        path
+    }
+
+    /// Number of radio hops from `n` to the base.
+    pub fn hops(&self, n: NodeId) -> usize {
+        self.route(n).len()
+    }
+
+    /// Nodes within radio range of `n` (excluding `n`): the overhearing
+    /// set of a broadcast transmission.
+    pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        let p = self.positions[n];
+        (0..self.len())
+            .filter(|&m| m != n)
+            .filter(|&m| {
+                let q = self.positions[m];
+                ((p.0 - q.0).powi(2) + (p.1 - q.1).powi(2)).sqrt() <= self.radio_range
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_hops_grow_linearly() {
+        let t = Topology::line(5, 1.0);
+        assert_eq!(t.hops(0), 0);
+        assert_eq!(t.hops(4), 4);
+        assert_eq!(t.route(3), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn star_is_single_hop() {
+        let t = Topology::star(9, 2.0);
+        for n in 1..9 {
+            assert_eq!(t.hops(n), 1);
+        }
+    }
+
+    #[test]
+    fn random_tree_is_connected() {
+        for seed in 1..6u64 {
+            let t = Topology::random(40, 10.0, 2.5, seed);
+            for n in 0..t.len() {
+                let route = t.route(n);
+                assert!(route.last().copied().unwrap_or(0) == 0, "node {n} not rooted");
+                assert!(route.len() < t.len());
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Topology::random(20, 5.0, 1.0, 7);
+        let b = Topology::random(20, 5.0, 1.0, 7);
+        for n in 0..20 {
+            assert_eq!(a.position(n), b.position(n));
+            assert_eq!(a.parent(n), b.parent(n));
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_exclude_self() {
+        let t = Topology::random(25, 6.0, 2.0, 3);
+        for n in 0..t.len() {
+            let nn = t.neighbors(n);
+            assert!(!nn.contains(&n));
+            for &m in &nn {
+                assert!(t.neighbors(m).contains(&n), "asymmetric range {n}↔{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn line_neighbors_are_adjacent_only() {
+        let t = Topology::line(6, 1.0);
+        let nn = t.neighbors(3);
+        assert_eq!(nn, vec![2, 4]);
+    }
+}

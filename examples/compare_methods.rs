@@ -1,0 +1,67 @@
+//! Compare every compression method in the workspace on one batch of the
+//! mixed dataset at a 10 % budget — a miniature of the paper's Tables 2–4.
+//!
+//! ```sh
+//! cargo run --release --example compare_methods
+//! ```
+
+use sbr_repro::baselines::dct::DctCompressor;
+use sbr_repro::baselines::fourier::FourierCompressor;
+use sbr_repro::baselines::histogram::HistogramCompressor;
+use sbr_repro::baselines::linreg::LinRegCompressor;
+use sbr_repro::baselines::quadreg::QuadRegCompressor;
+use sbr_repro::baselines::swing::SwingCompressor;
+use sbr_repro::baselines::v_optimal::VOptimalCompressor;
+use sbr_repro::baselines::wavelet::WaveletCompressor;
+use sbr_repro::baselines::wavelet2d::Wavelet2dCompressor;
+use sbr_repro::baselines::{Allocation, Compressor};
+use sbr_repro::core::{Decoder, ErrorMetric, MultiSeries, SbrConfig, SbrEncoder};
+
+fn main() {
+    let file_len = 1024;
+    let dataset = sbr_repro::datasets::mixed(11, file_len);
+    let rows = dataset.signals.clone();
+    let n = rows.len() * file_len;
+    let budget = n / 10;
+    let data = MultiSeries::from_rows(&rows).expect("uniform rows");
+
+    println!("method                 sse            relative-sse   (budget {budget} values)");
+
+    // SBR, through the full encoder + decoder.
+    let mut enc =
+        SbrEncoder::new(rows.len(), file_len, SbrConfig::new(budget, 512)).expect("config");
+    let tx = enc.encode(&rows).expect("encode");
+    let rec = Decoder::new().decode(&tx).expect("decode");
+    let flat: Vec<f64> = rec.into_iter().flatten().collect();
+    print_row("SBR", data.flat(), &flat);
+
+    let methods: Vec<Box<dyn Compressor>> = vec![
+        Box::new(WaveletCompressor {
+            allocation: Allocation::Concatenated,
+        }),
+        Box::new(DctCompressor {
+            allocation: Allocation::Concatenated,
+        }),
+        Box::new(FourierCompressor {
+            allocation: Allocation::PerSignal,
+        }),
+        Box::new(HistogramCompressor::default()),
+        Box::new(VOptimalCompressor),
+        Box::new(LinRegCompressor::default()),
+        Box::new(QuadRegCompressor),
+        Box::new(Wavelet2dCompressor),
+        Box::new(SwingCompressor),
+    ];
+    for m in &methods {
+        let approx = m.compress_reconstruct(&data, budget);
+        print_row(m.name(), data.flat(), &approx);
+    }
+}
+
+fn print_row(name: &str, exact: &[f64], approx: &[f64]) {
+    println!(
+        "{name:<20} {:>12.1} {:>16.2}",
+        ErrorMetric::Sse.score(exact, approx),
+        ErrorMetric::relative().score(exact, approx),
+    );
+}

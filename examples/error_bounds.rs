@@ -1,0 +1,52 @@
+//! §4.5 in action: strict error bounds.
+//!
+//! 1. Encode under the max-abs metric and ship a *guaranteed* maximum
+//!    error with the approximation.
+//! 2. Give the encoder an error target with a space cap and let it stop
+//!    spending bandwidth as soon as the target is met.
+//!
+//! ```sh
+//! cargo run --release --example error_bounds
+//! ```
+
+use sbr_repro::core::bounds::audit_max_error;
+use sbr_repro::core::{Decoder, ErrorBoundSpec, ErrorMetric, SbrConfig, SbrEncoder};
+
+fn main() {
+    let file_len = 512;
+    let dataset = sbr_repro::datasets::weather(3, file_len);
+    let rows: Vec<Vec<f64>> = dataset.signals[..4].to_vec();
+    let n = 4 * file_len;
+
+    // --- Guaranteed maximum error -------------------------------------
+    let config = SbrConfig::new(n / 8, 256).with_metric(ErrorMetric::MaxAbs);
+    let mut encoder = SbrEncoder::new(4, file_len, config).expect("valid configuration");
+    let tx = encoder.encode(&rows).expect("encode");
+    let bound = encoder.last_stats().expect("stats").total_err;
+    let rec = Decoder::new().decode(&tx).expect("decode");
+    let actual = audit_max_error(&rows, &rec);
+    println!("minimax encoding: advertised bound {bound:.4}, audited worst deviation {actual:.4}");
+    assert!(actual <= bound + 1e-9, "the bound is a guarantee");
+
+    // --- Error target with a space cap ---------------------------------
+    let mut encoder =
+        SbrEncoder::new(4, file_len, SbrConfig::new(n / 4, 256)).expect("valid configuration");
+    for target in [1e6, 1e4, 1e2] {
+        let out = encoder
+            .encode_bounded(
+                &rows,
+                ErrorBoundSpec {
+                    target_band: n / 4,
+                    error_target: target,
+                },
+            )
+            .expect("bounded encode");
+        println!(
+            "sse target {target:>9.0}: sent {:>4} of {} allowed values, achieved {:>12.2}, met: {}",
+            out.transmission.cost(),
+            n / 4,
+            out.achieved_error,
+            out.met_target
+        );
+    }
+}

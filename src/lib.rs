@@ -1,0 +1,10 @@
+//! Umbrella crate for the SBR reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single import root. Library users should depend on the member crates
+//! directly.
+
+pub use sbr_baselines as baselines;
+pub use sbr_core as core;
+pub use sbr_datasets as datasets;
+pub use sensor_net;

@@ -1,0 +1,99 @@
+//! Concurrency: one `BaseStation` shared by many receiver threads (the
+//! reason its logs sit behind `parking_lot::Mutex`), with queries running
+//! while ingest continues.
+
+use std::sync::Arc;
+
+use sbr_repro::core::{codec, SbrConfig, SbrEncoder};
+use sbr_repro::sensor_net::BaseStation;
+
+fn sensor_frames(sensor: u64, chunks: usize) -> Vec<bytes::Bytes> {
+    let mut enc = SbrEncoder::new(2, 64, SbrConfig::new(64, 48)).unwrap();
+    (0..chunks)
+        .map(|c| {
+            let rows: Vec<Vec<f64>> = (0..2)
+                .map(|r| {
+                    (0..64)
+                        .map(|i| {
+                            ((i + c * 64) as f64 * 0.21 + sensor as f64 + r as f64).sin() * 6.0
+                        })
+                        .collect()
+                })
+                .collect();
+            codec::encode(&enc.encode(&rows).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_ingest_from_many_sensors() {
+    let station = Arc::new(BaseStation::new());
+    let n_sensors = 8;
+    let chunks = 12;
+    std::thread::scope(|scope| {
+        for s in 0..n_sensors {
+            let station = Arc::clone(&station);
+            scope.spawn(move || {
+                for f in sensor_frames(s as u64, chunks) {
+                    station.receive(s + 1, f).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(station.sensors().len(), n_sensors);
+    for s in 1..=n_sensors {
+        assert_eq!(station.chunk_count(s), chunks);
+        let rec = station.reconstruct_chunks(s, 0, chunks).unwrap();
+        assert_eq!(rec.len(), chunks);
+    }
+}
+
+#[test]
+fn queries_concurrent_with_ingest() {
+    let station = Arc::new(BaseStation::with_checkpoint_interval(3));
+    // Pre-load sensor 1 so queries always have data.
+    for f in sensor_frames(1, 10) {
+        station.receive(1, f).unwrap();
+    }
+    std::thread::scope(|scope| {
+        // Writer: sensor 2 streams in.
+        {
+            let station = Arc::clone(&station);
+            scope.spawn(move || {
+                for f in sensor_frames(2, 20) {
+                    station.receive(2, f).unwrap();
+                }
+            });
+        }
+        // Readers: hammer sensor 1 with historical queries meanwhile.
+        for _ in 0..3 {
+            let station = Arc::clone(&station);
+            scope.spawn(move || {
+                for _ in 0..30 {
+                    let agg = station.aggregate_range(1, 0, 100, 500).unwrap();
+                    assert_eq!(agg.count, 400);
+                    assert!(agg.min <= agg.avg && agg.avg <= agg.max);
+                    let chunks = station.reconstruct_chunks(1, 4, 7).unwrap();
+                    assert_eq!(chunks.len(), 3);
+                }
+            });
+        }
+    });
+    assert_eq!(station.chunk_count(2), 20);
+}
+
+#[test]
+fn per_sensor_streams_are_independent() {
+    // A bad frame from one sensor must not disturb another's stream.
+    let station = BaseStation::new();
+    let a = sensor_frames(1, 3);
+    let b = sensor_frames(2, 3);
+    station.receive(1, a[0].clone()).unwrap();
+    station.receive(2, b[0].clone()).unwrap();
+    assert!(station.receive(1, a[2].clone()).is_err()); // gap on sensor 1
+    station.receive(2, b[1].clone()).unwrap(); // sensor 2 unaffected
+    station.receive(1, a[1].clone()).unwrap(); // sensor 1 recovers
+    station.receive(1, a[2].clone()).unwrap();
+    assert_eq!(station.chunk_count(1), 3);
+    assert_eq!(station.chunk_count(2), 2);
+}

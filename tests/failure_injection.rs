@@ -1,0 +1,213 @@
+//! Failure injection: corrupted frames, reordered/duplicated/dropped
+//! chunks, truncated log files, hostile inputs. The system must fail
+//! loudly and precisely — never decode garbage silently.
+
+use bytes::Bytes;
+use sbr_repro::core::{codec, Decoder, SbrConfig, SbrEncoder, SbrError};
+use sbr_repro::sensor_net::storage::{recover, LogWriter};
+use sbr_repro::sensor_net::BaseStation;
+
+fn stream(n_tx: usize) -> (Vec<sbr_repro::core::Transmission>, Vec<Bytes>) {
+    let mut enc = SbrEncoder::new(2, 128, SbrConfig::new(120, 96)).unwrap();
+    let mut txs = Vec::new();
+    let mut frames = Vec::new();
+    for t in 0..n_tx {
+        let rows: Vec<Vec<f64>> = (0..2)
+            .map(|r| {
+                (0..128)
+                    .map(|i| ((i + t * 31 + r * 7) as f64 * 0.21).sin() * 8.0 + (i % 5) as f64)
+                    .collect()
+            })
+            .collect();
+        let tx = enc.encode(&rows).unwrap();
+        frames.push(codec::encode(&tx));
+        txs.push(tx);
+    }
+    (txs, frames)
+}
+
+#[test]
+fn every_single_byte_flip_in_the_header_is_caught_or_harmless() {
+    let (_, frames) = stream(1);
+    let original = frames[0].to_vec();
+    // Flip each byte of the 28-byte header: every flip must either fail to
+    // parse or parse to a *different* transmission (never a silent
+    // identical parse).
+    let baseline = codec::decode(&mut &original[..]).unwrap();
+    for i in 0..28.min(original.len()) {
+        let mut mutated = original.clone();
+        mutated[i] ^= 0x01;
+        match codec::decode(&mut &mutated[..]) {
+            Err(_) => {}
+            Ok(parsed) => assert_ne!(
+                parsed, baseline,
+                "flip at byte {i} produced an identical parse"
+            ),
+        }
+    }
+}
+
+#[test]
+fn decoder_rejects_reordered_duplicated_and_skipped() {
+    let (txs, _) = stream(3);
+
+    // Skipped.
+    let mut d = Decoder::new();
+    d.decode(&txs[0]).unwrap();
+    assert!(matches!(
+        d.decode(&txs[2]),
+        Err(SbrError::InconsistentState(_))
+    ));
+    // The failure is clean: the expected next chunk still decodes.
+    d.decode(&txs[1]).unwrap();
+    d.decode(&txs[2]).unwrap();
+
+    // Duplicated.
+    let mut d = Decoder::new();
+    d.decode(&txs[0]).unwrap();
+    assert!(d.decode(&txs[0]).is_err());
+
+    // Reordered from the start.
+    let mut d = Decoder::new();
+    assert!(d.decode(&txs[1]).is_err());
+}
+
+#[test]
+fn decoder_state_not_poisoned_by_failed_decode() {
+    let (txs, _) = stream(2);
+    let mut d = Decoder::new();
+    d.decode(&txs[0]).unwrap();
+    // A corrupt copy of tx 1: right seq, bad base-update width.
+    let mut bad = txs[1].clone();
+    if let Some(u) = bad.base_updates.first_mut() {
+        u.values.pop();
+    } else {
+        bad.base_updates.push(sbr_repro::core::BaseUpdate {
+            slot: 0,
+            values: vec![1.0],
+        });
+    }
+    assert!(d.decode(&bad).is_err());
+    // The pristine tx 1 still decodes: the failure left no partial state.
+    d.decode(&txs[1]).unwrap();
+}
+
+#[test]
+fn malformed_slot_gap_leaves_decoder_untouched() {
+    // An update stream with a slot gap must be rejected atomically: no
+    // partial replica mutation even when earlier updates were valid.
+    let (txs, _) = stream(2);
+    let mut d = Decoder::new();
+    d.decode(&txs[0]).unwrap();
+    let base_before = d.base().map(|b| b.values().to_vec());
+    let mut bad = txs[1].clone();
+    let w = bad.w as usize;
+    // One valid-looking update followed by one targeting a far-away slot.
+    bad.base_updates = vec![
+        sbr_repro::core::BaseUpdate {
+            slot: 0,
+            values: vec![9.0; w],
+        },
+        sbr_repro::core::BaseUpdate {
+            slot: 999,
+            values: vec![1.0; w],
+        },
+    ];
+    assert!(d.decode(&bad).is_err());
+    assert_eq!(
+        d.base().map(|b| b.values().to_vec()),
+        base_before,
+        "failed decode must not mutate the replica"
+    );
+    // The pristine transmission still decodes.
+    d.decode(&txs[1]).unwrap();
+}
+
+#[test]
+fn uncovered_prefix_is_rejected_not_zero_filled() {
+    let (txs, _) = stream(1);
+    let mut bad = txs[0].clone();
+    // Shift every record right: [0, k) becomes uncovered.
+    for r in &mut bad.intervals {
+        r.start += 3;
+    }
+    // Keep the batch shape plausible by dropping records that overflow.
+    let n = bad.batch_len() as u64;
+    bad.intervals.retain(|r| r.start < n);
+    let err = Decoder::new().decode(&bad).unwrap_err();
+    assert!(matches!(err, SbrError::Corrupt(_)), "{err}");
+}
+
+#[test]
+fn station_quarantines_bad_frames_without_losing_the_log() {
+    let (_, frames) = stream(3);
+    let bs = BaseStation::new();
+    bs.receive(7, frames[0].clone()).unwrap();
+    let mut corrupt = frames[1].to_vec();
+    corrupt[2] ^= 0xff;
+    assert!(bs.receive(7, Bytes::from(corrupt)).is_err());
+    assert_eq!(bs.chunk_count(7), 1, "bad frame must not be logged");
+    bs.receive(7, frames[1].clone()).unwrap();
+    bs.receive(7, frames[2].clone()).unwrap();
+    assert_eq!(bs.reconstruct_chunks(7, 0, 3).unwrap().len(), 3);
+}
+
+#[test]
+fn log_recovery_survives_any_tail_truncation() {
+    let dir = std::env::temp_dir().join(format!("sbr-fi-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (_, frames) = stream(3);
+    let mut w = LogWriter::open(&dir, 1).unwrap();
+    for f in &frames {
+        w.append(f).unwrap();
+    }
+    let path = w.path().to_path_buf();
+    drop(w);
+    let full = std::fs::read(&path).unwrap();
+    let frame_bytes: Vec<usize> = frames.iter().map(|f| f.len() + 4).collect();
+    // Truncate at every point inside the *last* frame: first two frames
+    // must always survive.
+    let last_start = frame_bytes[0] + frame_bytes[1];
+    for cut in last_start..full.len() {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.transmissions.len(), 2, "cut at {cut}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn hostile_declared_lengths_do_not_allocate() {
+    // A header claiming 2³¹ updates must be rejected before any allocation
+    // (the codec checks declared sizes against the remaining buffer).
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&codec::MAGIC.to_le_bytes());
+    frame.extend_from_slice(&0u64.to_le_bytes()); // seq
+    frame.extend_from_slice(&1u32.to_le_bytes()); // n
+    frame.extend_from_slice(&1u32.to_le_bytes()); // m
+    frame.extend_from_slice(&1u32.to_le_bytes()); // w
+    frame.extend_from_slice(&0x8000_0000u32.to_le_bytes()); // updates
+    frame.extend_from_slice(&0u32.to_le_bytes()); // intervals
+    assert!(codec::decode(&mut &frame[..]).is_err());
+}
+
+#[test]
+fn encoder_survives_pathological_but_finite_data() {
+    // Constant rows, alternating extremes, denormals: encode + decode must
+    // stay panic-free and within budget.
+    let cases: Vec<Vec<Vec<f64>>> = vec![
+        vec![vec![0.0; 64]; 2],
+        vec![vec![1e300; 64], vec![-1e300; 64]],
+        vec![
+            (0..64).map(|i| if i % 2 == 0 { 1e12 } else { -1e12 }).collect(),
+            vec![f64::MIN_POSITIVE; 64],
+        ],
+    ];
+    for rows in cases {
+        let mut enc = SbrEncoder::new(2, 64, SbrConfig::new(64, 48)).unwrap();
+        let tx = enc.encode(&rows).unwrap();
+        assert!(tx.cost() <= 64);
+        let rec = Decoder::new().decode(&tx).unwrap();
+        assert!(rec.iter().flatten().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,168 @@
+//! Shape-level assertions of the paper's headline claims, at reduced scale
+//! so they run in CI time. The full-scale numbers live in the `sbr-bench`
+//! binaries and EXPERIMENTS.md.
+
+use sbr_repro::baselines::dct::DctCompressor;
+use sbr_repro::baselines::histogram::HistogramCompressor;
+use sbr_repro::baselines::wavelet::WaveletCompressor;
+use sbr_repro::baselines::{Allocation, Compressor};
+use sbr_repro::core::{Decoder, ErrorMetric, MultiSeries, SbrConfig, SbrEncoder};
+
+fn sbr_avg_sse(files: &[Vec<Vec<f64>>], band: usize, m_base: usize) -> f64 {
+    let n = files[0].len();
+    let m = files[0][0].len();
+    let mut enc = SbrEncoder::new(n, m, SbrConfig::new(band, m_base)).unwrap();
+    let mut dec = Decoder::new();
+    let mut total = 0.0;
+    for rows in files {
+        let tx = enc.encode(rows).unwrap();
+        let rec = dec.decode(&tx).unwrap();
+        for (o, r) in rows.iter().zip(&rec) {
+            total += ErrorMetric::Sse.score(o, r);
+        }
+    }
+    total / files.len() as f64
+}
+
+fn baseline_avg_sse(files: &[Vec<Vec<f64>>], method: &dyn Compressor, band: usize) -> f64 {
+    let mut total = 0.0;
+    for rows in files {
+        let data = MultiSeries::from_rows(rows).unwrap();
+        let rec = method.compress_reconstruct(&data, band);
+        total += ErrorMetric::Sse.score(data.flat(), &rec);
+    }
+    total / files.len() as f64
+}
+
+/// Claim (Tables 2–4): at a 10% ratio SBR beats Wavelets, DCT and
+/// Histograms on correlated multi-signal data.
+#[test]
+fn sbr_beats_all_baselines_on_weather() {
+    let files = sbr_repro::datasets::weather(42, 1024 * 5).chunk(1024);
+    let n = 6 * 1024;
+    let band = n / 10;
+    let sbr = sbr_avg_sse(&files, band, 600);
+    let wavelets = baseline_avg_sse(
+        &files,
+        &WaveletCompressor {
+            allocation: Allocation::Concatenated,
+        },
+        band,
+    );
+    let dct = baseline_avg_sse(
+        &files,
+        &DctCompressor {
+            allocation: Allocation::Concatenated,
+        },
+        band,
+    );
+    let hist = baseline_avg_sse(&files, &HistogramCompressor::default(), band);
+    assert!(sbr < wavelets, "SBR {sbr} vs Wavelets {wavelets}");
+    assert!(sbr < dct, "SBR {sbr} vs DCT {dct}");
+    assert!(sbr < hist, "SBR {sbr} vs Histograms {hist}");
+}
+
+/// Claim (§5.1.1): SBR's error decreases as the bandwidth grows, sharply.
+#[test]
+fn sbr_error_is_monotone_in_bandwidth() {
+    let files = sbr_repro::datasets::stock(42, 5, 512 * 3).chunk(512);
+    let n = 5 * 512;
+    let mut prev = f64::INFINITY;
+    for ratio in [0.05, 0.10, 0.20, 0.30] {
+        let e = sbr_avg_sse(&files, (n as f64 * ratio) as usize, 256);
+        assert!(e <= prev * 1.02, "error rose from {prev} to {e} at {ratio}");
+        prev = e;
+    }
+}
+
+/// Claim (Table 6): insertions concentrate in the earliest transmissions.
+#[test]
+fn base_insertions_front_loaded() {
+    let files = sbr_repro::datasets::weather(42, 768 * 8).chunk(768);
+    let n = 6 * 768;
+    let mut enc = SbrEncoder::new(6, 768, SbrConfig::new(n / 8, 700)).unwrap();
+    let mut inserted = Vec::new();
+    for rows in &files {
+        enc.encode(rows).unwrap();
+        inserted.push(enc.last_stats().unwrap().inserted);
+    }
+    let first_half: usize = inserted[..4].iter().sum();
+    let second_half: usize = inserted[4..].iter().sum();
+    assert!(
+        first_half >= second_half,
+        "insertions {inserted:?} not front-loaded"
+    );
+    assert!(first_half > 0, "a fresh dictionary must insert something");
+}
+
+/// Claim (§4.1 / Figures 2–3): two values suffice to encode one correlated
+/// series in terms of the other, far better than a line over time.
+#[test]
+fn correlated_series_encode_in_two_values() {
+    use sbr_repro::core::regression::{fit_sse, fit_sse_index};
+    let d = sbr_repro::datasets::indexes(42, 128);
+    let cross = fit_sse(&d.signals[0], &d.signals[1]);
+    let over_time = fit_sse_index(&d.signals[1]);
+    assert!(
+        cross.err * 5.0 < over_time.err,
+        "cross-signal {:.0} vs over-time {:.0}",
+        cross.err,
+        over_time.err
+    );
+}
+
+/// Claim (§5.2 / Table 5): the learned base beats no base (plain linear
+/// regression) on feature-rich data, even with the fall-back disabled.
+#[test]
+fn learned_base_beats_plain_regression() {
+    use sbr_repro::baselines::linreg::LinRegCompressor;
+    let files = sbr_repro::datasets::weather(42, 1024 * 4).chunk(1024);
+    let n = 6 * 1024;
+    let band = n / 10;
+
+    let cfg = SbrConfig::new(band, 600).without_fallback();
+    let mut enc = SbrEncoder::new(6, 1024, cfg).unwrap();
+    let mut dec = Decoder::new();
+    let mut sbr = 0.0;
+    for rows in &files {
+        let tx = enc.encode(rows).unwrap();
+        let rec = dec.decode(&tx).unwrap();
+        for (o, r) in rows.iter().zip(&rec) {
+            sbr += ErrorMetric::Sse.score(o, r);
+        }
+    }
+    sbr /= files.len() as f64;
+    let linreg = baseline_avg_sse(&files, &LinRegCompressor::default(), band);
+    assert!(sbr < linreg, "base-signal SBR {sbr} vs plain regression {linreg}");
+}
+
+/// Claim (§4.4): freezing the base signal after convergence barely hurts.
+#[test]
+fn frozen_base_shortcut_is_cheap_in_error() {
+    let files = sbr_repro::datasets::weather(42, 512 * 6).chunk(512);
+    let n = 6 * 512;
+    let band = n / 8;
+
+    let run = |freeze_after: Option<usize>| {
+        let mut enc = SbrEncoder::new(6, 512, SbrConfig::new(band, 500)).unwrap();
+        let mut dec = Decoder::new();
+        let mut total = 0.0;
+        for (t, rows) in files.iter().enumerate() {
+            if Some(t) == freeze_after {
+                enc.set_update_base(false);
+            }
+            let tx = enc.encode(rows).unwrap();
+            let rec = dec.decode(&tx).unwrap();
+            for (o, r) in rows.iter().zip(&rec) {
+                total += ErrorMetric::Sse.score(o, r);
+            }
+        }
+        total
+    };
+    let always = run(None);
+    let frozen = run(Some(2));
+    assert!(
+        frozen <= always * 2.0,
+        "freezing after tx 2 should be benign: {frozen} vs {always}"
+    );
+}

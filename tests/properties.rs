@@ -1,0 +1,450 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use proptest::prelude::*;
+
+use sbr_repro::baselines::{dct, fourier, histogram, swing, v_optimal, wavelet, wavelet2d};
+use sbr_repro::core::query::ChunkView;
+use sbr_repro::core::{quadratic, wire_profile};
+use sbr_repro::datasets::schedule::{align, expand, thin, Fill, ScheduledSignal};
+use sbr_repro::core::interval::IntervalRecord;
+use sbr_repro::core::transmission::{BaseUpdate, Transmission};
+use sbr_repro::core::{codec, regression, Decoder, ErrorMetric, MultiSeries, SbrConfig, SbrEncoder};
+
+fn finite_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- regression ----------------
+
+    /// OLS optimality: no perturbation of (a, b) improves the SSE.
+    #[test]
+    fn ols_is_a_local_minimum(
+        y in finite_signal(64),
+        x in finite_signal(64),
+        da in -1.0f64..1.0,
+        db in -1.0f64..1.0,
+    ) {
+        let len = x.len().min(y.len());
+        let (x, y) = (&x[..len], &y[..len]);
+        let f = regression::fit_sse(x, y);
+        prop_assume!(f.err.is_finite());
+        let perturbed = regression::eval(ErrorMetric::Sse, f.a + da, f.b + db, x, y);
+        prop_assert!(f.err <= perturbed + 1e-6 * (1.0 + perturbed.abs()));
+    }
+
+    /// The reported fit error always matches direct evaluation.
+    #[test]
+    fn fit_error_matches_eval(
+        y in finite_signal(48),
+        x in finite_signal(48),
+    ) {
+        let len = x.len().min(y.len());
+        let (x, y) = (&x[..len], &y[..len]);
+        // Tolerance scales with the magnitudes flowing through the closed
+        // form (Σy², a²Σx² can reach ~1e12 here).
+        for metric in [ErrorMetric::Sse, ErrorMetric::relative(), ErrorMetric::MaxAbs] {
+            let f = regression::fit(metric, x, y);
+            let direct = regression::eval(metric, f.a, f.b, x, y);
+            let scale: f64 = y.iter().map(|v| v * v).sum::<f64>()
+                + f.a * f.a * x.iter().map(|v| v * v).sum::<f64>();
+            prop_assert!(
+                (f.err - direct).abs() <= 1e-9 * (1.0 + direct.abs() + scale),
+                "{metric:?}: {} vs {direct}", f.err
+            );
+        }
+    }
+
+    /// Chebyshev optimality: the minimax fit never loses to OLS under the
+    /// max-abs metric.
+    #[test]
+    fn chebyshev_beats_ols_on_max_metric(
+        y in finite_signal(48),
+        x in finite_signal(48),
+    ) {
+        let len = x.len().min(y.len());
+        let (x, y) = (&x[..len], &y[..len]);
+        let cheb = regression::fit_maxabs(x, y);
+        let ols = regression::fit_sse(x, y);
+        prop_assume!(ols.a.is_finite() && ols.b.is_finite());
+        let ols_max = regression::eval(ErrorMetric::MaxAbs, ols.a, ols.b, x, y);
+        prop_assert!(cheb.err <= ols_max + 1e-6 * (1.0 + ols_max));
+    }
+
+    // ---------------- transforms ----------------
+
+    /// Haar roundtrips exactly at any length.
+    #[test]
+    fn haar_roundtrip(y in finite_signal(300)) {
+        let back = wavelet::inverse(&wavelet::forward(&y));
+        prop_assert_eq!(back.len(), y.len());
+        for (a, b) in y.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    /// DCT roundtrips exactly at any length (Bluestein path included).
+    #[test]
+    fn dct_roundtrip(y in finite_signal(200)) {
+        let back = dct::inverse(&dct::forward(&y));
+        for (a, b) in y.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= 1e-5 * (1.0 + a.abs()));
+        }
+    }
+
+    /// Keeping all independent Fourier bins reconstructs the signal.
+    #[test]
+    fn fourier_full_budget_roundtrip(y in finite_signal(120)) {
+        let rec = fourier::approximate(&y, y.len() / 2 + 1);
+        for (a, b) in y.iter().zip(&rec) {
+            prop_assert!((a - b).abs() <= 1e-5 * (1.0 + a.abs()));
+        }
+    }
+
+    /// Histogram buckets always partition [0, n).
+    #[test]
+    fn histogram_partitions(
+        y in finite_signal(200),
+        k in 1usize..40,
+    ) {
+        for policy in [
+            histogram::Bucketing::EquiDepth,
+            histogram::Bucketing::EquiWidth,
+            histogram::Bucketing::MaxDiff,
+        ] {
+            let bs = histogram::build(&y, k, policy);
+            prop_assert!(!bs.is_empty());
+            prop_assert!(bs.len() <= k);
+            prop_assert_eq!(bs[0].start, 0);
+            prop_assert_eq!(bs.last().unwrap().end, y.len());
+            for w in bs.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    // ---------------- wire codec ----------------
+
+    /// The codec roundtrips arbitrary well-formed transmissions.
+    #[test]
+    fn codec_roundtrip(
+        seq in 0u64..1_000_000,
+        w in 1u32..16,
+        n_updates in 0usize..4,
+        intervals in prop::collection::vec(
+            (0u64..10_000, -1i64..500, -1e9f64..1e9, -1e9f64..1e9),
+            1..20
+        ),
+    ) {
+        let tx = Transmission {
+            seq,
+            n_signals: 3,
+            samples_per_signal: 100,
+            w,
+            base_updates: (0..n_updates)
+                .map(|s| BaseUpdate {
+                    slot: s as u64,
+                    values: (0..w).map(|i| i as f64 * 0.5 - s as f64).collect(),
+                })
+                .collect(),
+            intervals: intervals
+                .iter()
+                .map(|&(start, shift, a, b)| IntervalRecord { start, shift, a, b })
+                .collect(),
+        };
+        let bytes = codec::encode(&tx);
+        prop_assert_eq!(bytes.len(), codec::encoded_len(&tx));
+        let back = codec::decode(&mut bytes.clone()).unwrap();
+        prop_assert_eq!(back, tx);
+    }
+
+    // ---------------- encoder invariants ----------------
+
+    /// Whatever the data, the transmission respects the budget and decodes
+    /// to the reported error.
+    #[test]
+    fn encoder_budget_and_error_invariants(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e3f64..1e3, 64),
+            1..4
+        ),
+        band_factor in 2usize..8,
+    ) {
+        let n = rows.len();
+        let band = (n * 64 / 10).max(4 * n) * band_factor / 2;
+        let cfg = SbrConfig::new(band, 64);
+        let mut enc = SbrEncoder::new(n, 64, cfg).unwrap();
+        let tx = enc.encode(&rows).unwrap();
+        prop_assert!(tx.cost() <= band);
+        let rec = Decoder::new().decode(&tx).unwrap();
+        let mut sse = 0.0;
+        for (o, r) in rows.iter().zip(&rec) {
+            prop_assert_eq!(o.len(), r.len());
+            sse += ErrorMetric::Sse.score(o, r);
+        }
+        let reported = enc.last_stats().unwrap().total_err;
+        prop_assert!((sse - reported).abs() <= 1e-5 * (1.0 + sse.abs()));
+    }
+
+    /// The base signal buffer never exceeds M_base, across a stream of
+    /// differing batches.
+    #[test]
+    fn base_buffer_never_overflows(seed in 0u64..500) {
+        let m_base = 48;
+        let cfg = SbrConfig::new(96, m_base);
+        let mut enc = SbrEncoder::new(2, 64, cfg).unwrap();
+        for t in 0..4u64 {
+            let rows: Vec<Vec<f64>> = (0..2)
+                .map(|r| {
+                    (0..64)
+                        .map(|i| {
+                            let x = (i as u64 + seed * 31 + t * 7 + r * 3) as f64;
+                            (x * 0.37).sin() * 5.0 + (x * 0.011).cos() * 2.0
+                        })
+                        .collect()
+                })
+                .collect();
+            enc.encode(&rows).unwrap();
+            prop_assert!(enc.base().len() <= m_base);
+        }
+    }
+
+    /// MultiSeries flattening/rows are mutually consistent.
+    #[test]
+    fn multiseries_round(rows in prop::collection::vec(
+        prop::collection::vec(-1e6f64..1e6, 8),
+        1..5
+    )) {
+        let ms = MultiSeries::from_rows(&rows).unwrap();
+        prop_assert_eq!(ms.len(), rows.len() * 8);
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(ms.row(i), r.as_slice());
+        }
+        let rebuilt = MultiSeries::from_flat(ms.flat().to_vec(), rows.len(), 8).unwrap();
+        prop_assert_eq!(rebuilt, ms);
+    }
+
+    // ---------------- extensions ----------------
+
+    /// 2-D Haar roundtrips at any matrix shape.
+    #[test]
+    fn wavelet2d_roundtrip(
+        rows in 1usize..6,
+        cols in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let m = wavelet2d::Matrix {
+            rows,
+            cols,
+            data: (0..rows * cols)
+                .map(|i| (((i as u64 + seed) * 2654435761 % 1000) as f64) * 0.1 - 50.0)
+                .collect(),
+        };
+        let back = wavelet2d::inverse(&wavelet2d::forward(&m));
+        for (a, b) in m.data.iter().zip(&back.data) {
+            prop_assert!((a - b).abs() <= 1e-8 * (1.0 + a.abs()));
+        }
+    }
+
+    /// The quadratic fit never loses to the linear fit on SSE.
+    #[test]
+    fn quadratic_dominates_linear(
+        y in finite_signal(48),
+        x in finite_signal(48),
+    ) {
+        let len = x.len().min(y.len());
+        let (x, y) = (&x[..len], &y[..len]);
+        let quad = quadratic::fit_quadratic(x, y);
+        let lin = regression::fit_sse(x, y);
+        let scale = y.iter().map(|v| v * v).sum::<f64>().max(1.0);
+        prop_assert!(quad.err <= lin.err + 1e-7 * scale);
+    }
+
+    /// Greedy v-optimal never loses to the equi-width partition at equal k.
+    #[test]
+    fn voptimal_greedy_beats_equiwidth(
+        y in finite_signal(150),
+        k in 1usize..20,
+    ) {
+        let g = v_optimal::build_greedy(&y, k);
+        let rec_g = histogram::reconstruct(&g, y.len());
+        let e = histogram::approximate(&y, k, histogram::Bucketing::EquiWidth);
+        let sse = |rec: &[f64]| -> f64 {
+            y.iter().zip(rec).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        // Greedy merging from singletons explores strictly more partitions
+        // than the fixed equal split, but is itself heuristic, so allow a
+        // small slack.
+        let scale = y.iter().map(|v| v * v).sum::<f64>().max(1.0);
+        prop_assert!(sse(&rec_g) <= sse(&e) * 1.5 + 1e-9 * scale);
+    }
+
+    /// Exact v-optimal lower-bounds the greedy variant.
+    #[test]
+    fn voptimal_exact_lower_bounds_greedy(
+        y in finite_signal(40),
+        k in 1usize..8,
+    ) {
+        let exact = v_optimal::build_exact(&y, k);
+        let greedy = v_optimal::build_greedy(&y, k);
+        let sse = |b: &[histogram::Bucket]| -> f64 {
+            let rec = histogram::reconstruct(b, y.len());
+            y.iter().zip(&rec).map(|(a, r)| (a - r) * (a - r)).sum()
+        };
+        let scale = y.iter().map(|v| v * v).sum::<f64>().max(1.0);
+        prop_assert!(sse(&exact) <= sse(&greedy) + 1e-7 * scale);
+    }
+
+    /// Hold expansion followed by thinning recovers the schedule exactly.
+    #[test]
+    fn schedule_expand_thin_roundtrip(
+        values in prop::collection::vec(-1e6f64..1e6, 1..30),
+        period in 1usize..8,
+    ) {
+        let s = ScheduledSignal::new(values.clone(), period);
+        let e = expand(&s, values.len() * period, Fill::Hold);
+        prop_assert_eq!(thin(&e, period), values);
+    }
+
+    /// Aligned rows always form a rectangular matrix on the common clock.
+    #[test]
+    fn schedule_align_is_rectangular(
+        lens in prop::collection::vec(1usize..20, 1..4),
+        periods in prop::collection::vec(1usize..5, 1..4),
+    ) {
+        let k = lens.len().min(periods.len());
+        let signals: Vec<ScheduledSignal> = (0..k)
+            .map(|i| {
+                ScheduledSignal::new(
+                    (0..lens[i]).map(|j| (i * 31 + j) as f64).collect(),
+                    periods[i],
+                )
+            })
+            .collect();
+        let (rows, m) = align(&signals, Fill::Linear);
+        prop_assert_eq!(rows.len(), k);
+        for r in &rows {
+            prop_assert_eq!(r.len(), m);
+        }
+        let min_ticks = signals.iter().map(ScheduledSignal::ticks).min().unwrap();
+        prop_assert_eq!(m, min_ticks);
+    }
+
+    /// Every wire profile decodes to structurally identical metadata; the
+    /// F64 profile is bit-exact.
+    #[test]
+    fn wire_profiles_roundtrip(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e4f64..1e4, 64),
+            1..3
+        ),
+    ) {
+        let n = rows.len();
+        let band = (64 * n / 4).max(4 * n + 20);
+        let mut enc = SbrEncoder::new(n, 64, SbrConfig::new(band, 48)).unwrap();
+        let tx = enc.encode(&rows).unwrap();
+        for p in [
+            wire_profile::Profile::F64,
+            wire_profile::Profile::F32,
+            wire_profile::Profile::Q16,
+        ] {
+            let frame = wire_profile::encode(&tx, p);
+            let back = wire_profile::decode(&mut frame.clone()).unwrap();
+            prop_assert_eq!(back.seq, tx.seq);
+            prop_assert_eq!(back.w, tx.w);
+            prop_assert_eq!(back.intervals.len(), tx.intervals.len());
+            prop_assert_eq!(back.base_updates.len(), tx.base_updates.len());
+            if p == wire_profile::Profile::F64 {
+                prop_assert_eq!(&back, &tx);
+            }
+            // Structural fields survive any profile.
+            for (a, b) in back.intervals.iter().zip(&tx.intervals) {
+                prop_assert_eq!(a.start, b.start);
+                prop_assert_eq!(a.shift, b.shift);
+            }
+        }
+    }
+
+    /// ChunkView aggregates always agree with reconstruct-then-scan.
+    #[test]
+    fn chunk_view_matches_reconstruction(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e4f64..1e4, 64),
+            1..3
+        ),
+        t0 in 0usize..63,
+        span in 1usize..64,
+    ) {
+        let n = rows.len();
+        let band = (64 * n / 4).max(4 * n + 20);
+        let mut enc = SbrEncoder::new(n, 64, SbrConfig::new(band, 48)).unwrap();
+        let tx = enc.encode(&rows).unwrap();
+        let mut base = Vec::new();
+        for u in &tx.base_updates {
+            base.extend_from_slice(&u.values);
+        }
+        let total = 64 * n;
+        let rec = sbr_repro::core::get_intervals::reconstruct_flat(&base, &tx.intervals, total)
+            .unwrap();
+        let view = ChunkView::new(&tx.intervals, &base, total).unwrap();
+        let t1 = (t0 + span).min(total);
+        let t0 = t0.min(t1 - 1);
+        let direct: f64 = rec[t0..t1].iter().sum();
+        let fast = view.range_sum(t0, t1).unwrap();
+        let scale = rec[t0..t1].iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        prop_assert!((direct - fast).abs() <= 1e-9 * scale, "{fast} vs {direct}");
+        let (lo, hi) = view.range_min_max(t0, t1).unwrap();
+        let dlo = rec[t0..t1].iter().copied().fold(f64::INFINITY, f64::min);
+        let dhi = rec[t0..t1].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((lo - dlo).abs() <= 1e-9 * scale);
+        prop_assert!((hi - dhi).abs() <= 1e-9 * scale);
+    }
+
+    /// Arbitrary bytes never panic the codec — they error or (by fluke)
+    /// parse.
+    #[test]
+    fn codec_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = codec::decode(&mut &bytes[..]);
+        let _ = wire_profile::decode(&mut &bytes[..]);
+    }
+
+    /// Garbage *after* a valid magic/profile id still never panics.
+    #[test]
+    fn codec_never_panics_on_framed_garbage(
+        body in prop::collection::vec(any::<u8>(), 0..200),
+        profile_id in 0u8..4,
+    ) {
+        let mut frame = Vec::new();
+        frame.extend(0x5342_5231u32.to_le_bytes());
+        frame.extend(&body);
+        let _ = codec::decode(&mut &frame[..]);
+        let mut frame = Vec::new();
+        frame.extend(0x5342_5250u32.to_le_bytes());
+        frame.push(profile_id);
+        frame.extend(&body);
+        let _ = wire_profile::decode(&mut &frame[..]);
+    }
+
+    /// The swing filter's ε-guarantee holds on arbitrary finite data.
+    #[test]
+    fn swing_error_bound_universal(
+        y in finite_signal(200),
+        eps_factor in 0.01f64..1.0,
+    ) {
+        let span = y.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - y.iter().copied().fold(f64::INFINITY, f64::min);
+        let eps = span * eps_factor + 1e-9;
+        let knots = swing::compress(&y, eps);
+        let rec = swing::reconstruct(&knots, y.len());
+        for (a, b) in y.iter().zip(&rec) {
+            prop_assert!((a - b).abs() <= eps * (1.0 + 1e-9) + 1e-9 * a.abs());
+        }
+        // Knots are strictly increasing in index and start at 0.
+        prop_assert_eq!(knots[0].index, 0);
+        for w in knots.windows(2) {
+            prop_assert!(w[0].index < w[1].index);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Wire-format stability: the byte layout of the codec is a compatibility
+//! contract between deployed sensors and base stations. These golden tests
+//! pin the exact bytes of known transmissions so accidental format changes
+//! fail loudly instead of corrupting fleets in the field.
+
+use sbr_repro::core::interval::IntervalRecord;
+use sbr_repro::core::transmission::{BaseUpdate, Transmission};
+use sbr_repro::core::{codec, wire_profile};
+
+fn golden_tx() -> Transmission {
+    Transmission {
+        seq: 7,
+        n_signals: 2,
+        samples_per_signal: 4,
+        w: 2,
+        base_updates: vec![BaseUpdate {
+            slot: 1,
+            values: vec![1.5, -2.0],
+        }],
+        intervals: vec![
+            IntervalRecord {
+                start: 0,
+                shift: -1,
+                a: 0.5,
+                b: 3.0,
+            },
+            IntervalRecord {
+                start: 4,
+                shift: 0,
+                a: 1.0,
+                b: 0.0,
+            },
+        ],
+    }
+}
+
+#[test]
+fn codec_bytes_are_pinned() {
+    let bytes = codec::encode(&golden_tx());
+    // Header: magic, seq, n, m, w, nu, ni.
+    let mut expect: Vec<u8> = Vec::new();
+    expect.extend(0x5342_5231u32.to_le_bytes()); // "SBR1"
+    expect.extend(7u64.to_le_bytes());
+    expect.extend(2u32.to_le_bytes());
+    expect.extend(4u32.to_le_bytes());
+    expect.extend(2u32.to_le_bytes());
+    expect.extend(1u32.to_le_bytes());
+    expect.extend(2u32.to_le_bytes());
+    // Base update.
+    expect.extend(1u64.to_le_bytes());
+    expect.extend(1.5f64.to_le_bytes());
+    expect.extend((-2.0f64).to_le_bytes());
+    // Interval records.
+    expect.extend(0u64.to_le_bytes());
+    expect.extend((-1i64).to_le_bytes());
+    expect.extend(0.5f64.to_le_bytes());
+    expect.extend(3.0f64.to_le_bytes());
+    expect.extend(4u64.to_le_bytes());
+    expect.extend(0i64.to_le_bytes());
+    expect.extend(1.0f64.to_le_bytes());
+    expect.extend(0.0f64.to_le_bytes());
+    assert_eq!(bytes.as_ref(), expect.as_slice(), "codec layout changed!");
+}
+
+#[test]
+fn codec_size_formula_is_pinned() {
+    let tx = golden_tx();
+    // 32-byte header + (8 + 8·W) per update + 32 per interval.
+    assert_eq!(codec::encoded_len(&tx), 32 + (8 + 16) + 2 * 32);
+    assert_eq!(codec::encode(&tx).len(), codec::encoded_len(&tx));
+}
+
+#[test]
+fn profile_framing_is_pinned() {
+    let tx = golden_tx();
+    for (profile, id) in [
+        (wire_profile::Profile::F64, 0u8),
+        (wire_profile::Profile::F32, 1),
+        (wire_profile::Profile::Q16, 2),
+    ] {
+        let frame = wire_profile::encode(&tx, profile);
+        assert_eq!(&frame[..4], 0x5342_5250u32.to_le_bytes()); // "SBRP"
+        assert_eq!(frame[4], id, "profile id changed for {profile:?}");
+    }
+}
+
+#[test]
+fn old_frames_still_decode() {
+    // A frame produced by (what is defined to be) version 1 of the format,
+    // spelled out byte-for-byte. If this stops decoding, deployed logs
+    // become unreadable.
+    let mut raw: Vec<u8> = Vec::new();
+    raw.extend(0x5342_5231u32.to_le_bytes());
+    raw.extend(0u64.to_le_bytes()); // seq
+    raw.extend(1u32.to_le_bytes()); // n
+    raw.extend(2u32.to_le_bytes()); // m
+    raw.extend(1u32.to_le_bytes()); // w
+    raw.extend(0u32.to_le_bytes()); // updates
+    raw.extend(1u32.to_le_bytes()); // intervals
+    raw.extend(0u64.to_le_bytes()); // start
+    raw.extend((-1i64).to_le_bytes()); // shift
+    raw.extend(2.0f64.to_le_bytes()); // a
+    raw.extend(5.0f64.to_le_bytes()); // b
+    let tx = codec::decode(&mut &raw[..]).expect("v1 frame must decode");
+    assert_eq!(tx.intervals.len(), 1);
+    assert_eq!(tx.intervals[0].b, 5.0);
+    // And it reconstructs: ŷ = 2i + 5 over 2 samples.
+    let rec = sbr_repro::core::Decoder::new().decode(&tx).unwrap();
+    assert_eq!(rec, vec![vec![5.0, 7.0]]);
+}
