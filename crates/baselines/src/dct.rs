@@ -91,8 +91,7 @@ pub fn forward_naive(x: &[f64]) -> Vec<f64> {
                 .iter()
                 .enumerate()
                 .map(|(i, &v)| {
-                    v * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64
-                        / (2.0 * n as f64))
+                    v * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64 / (2.0 * n as f64))
                         .cos()
                 })
                 .sum();
@@ -114,8 +113,7 @@ pub fn inverse_naive(c: &[f64]) -> Vec<f64> {
                     let alpha = if k == 0 { norm0 } else { norm };
                     alpha
                         * v
-                        * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64
-                            / (2.0 * n as f64))
+                        * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64 / (2.0 * n as f64))
                             .cos()
                 })
                 .sum()

@@ -41,7 +41,9 @@ impl BaseBuilder for DctBaseBuilder {
         max_ins: usize,
         _metric: ErrorMetric,
     ) -> Vec<Vec<f64>> {
-        (0..max_ins.min(w + 1)).map(|f| cosine_interval(w, f)).collect()
+        (0..max_ins.min(w + 1))
+            .map(|f| cosine_interval(w, f))
+            .collect()
     }
 }
 
@@ -81,7 +83,10 @@ mod tests {
         // A pure cosine at frequency 2 is perfectly approximated against
         // the matching base interval.
         let w = 16;
-        let y: Vec<f64> = cosine_interval(w, 2).iter().map(|v| 3.0 * v + 1.0).collect();
+        let y: Vec<f64> = cosine_interval(w, 2)
+            .iter()
+            .map(|v| 3.0 * v + 1.0)
+            .collect();
         let base = dct_base_signal(w, 4);
         let f = sbr_core::regression::fit_sse(&base[2 * w..3 * w], &y);
         assert!(f.err < 1e-12);

@@ -18,7 +18,10 @@ pub fn approximate(values: &[f64], k: usize) -> Vec<f64> {
     if n == 0 || k == 0 {
         return vec![0.0; n];
     }
-    let spec = dft(&values.iter().map(|&v| Complex::new(v, 0.0)).collect::<Vec<_>>());
+    let spec = dft(&values
+        .iter()
+        .map(|&v| Complex::new(v, 0.0))
+        .collect::<Vec<_>>());
     let half = n / 2;
     let mut bins: Vec<usize> = (0..=half).collect();
     let weight = |b: usize| {

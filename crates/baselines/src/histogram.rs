@@ -171,7 +171,11 @@ mod tests {
     #[test]
     fn buckets_partition_the_domain() {
         let v: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
-        for policy in [Bucketing::EquiDepth, Bucketing::EquiWidth, Bucketing::MaxDiff] {
+        for policy in [
+            Bucketing::EquiDepth,
+            Bucketing::EquiWidth,
+            Bucketing::MaxDiff,
+        ] {
             let bs = build(&v, 7, policy);
             assert!(!bs.is_empty());
             assert_eq!(bs[0].start, 0);
@@ -185,7 +189,11 @@ mod tests {
     #[test]
     fn bucket_count_respected() {
         let v: Vec<f64> = (0..64).map(|i| i as f64).collect();
-        for policy in [Bucketing::EquiDepth, Bucketing::EquiWidth, Bucketing::MaxDiff] {
+        for policy in [
+            Bucketing::EquiDepth,
+            Bucketing::EquiWidth,
+            Bucketing::MaxDiff,
+        ] {
             assert!(build(&v, 5, policy).len() <= 5);
         }
     }

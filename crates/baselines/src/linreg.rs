@@ -83,10 +83,9 @@ mod tests {
 
     #[test]
     fn all_records_are_fallback() {
-        let data = MultiSeries::from_rows(&[(0..64)
-            .map(|i| (i as f64 * 0.4).sin())
-            .collect::<Vec<_>>()])
-        .unwrap();
+        let data =
+            MultiSeries::from_rows(&[(0..64).map(|i| (i as f64 * 0.4).sin()).collect::<Vec<_>>()])
+                .unwrap();
         let recs = approximate(&data, 30, ErrorMetric::Sse);
         assert!(!recs.is_empty());
         assert!(recs.iter().all(|r| r.shift < 0));
@@ -94,10 +93,9 @@ mod tests {
 
     #[test]
     fn budget_buys_band_over_three_intervals() {
-        let data = MultiSeries::from_rows(&[(0..128)
-            .map(|i| ((i * 17) % 23) as f64)
-            .collect::<Vec<_>>()])
-        .unwrap();
+        let data =
+            MultiSeries::from_rows(&[(0..128).map(|i| ((i * 17) % 23) as f64).collect::<Vec<_>>()])
+                .unwrap();
         let recs = approximate(&data, 33, ErrorMetric::Sse);
         assert!(recs.len() <= 11);
         assert!(recs.len() >= 8, "splitting should use the budget");

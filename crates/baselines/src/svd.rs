@@ -80,7 +80,10 @@ pub fn jacobi_eigen(m: &SymMatrix, max_sweeps: usize) -> Eigen {
         }
         s
     };
-    let scale: f64 = (0..n).map(|i| m.at(i, i).abs()).fold(0.0, f64::max).max(1.0);
+    let scale: f64 = (0..n)
+        .map(|i| m.at(i, i).abs())
+        .fold(0.0, f64::max)
+        .max(1.0);
     let tol = 1e-24 * scale * scale * (n * n) as f64;
 
     for _ in 0..max_sweeps {
@@ -190,7 +193,11 @@ mod tests {
     fn eigen_relation_holds() {
         // A·v = λ·v for a Gram matrix of pseudo-random rows.
         let rows: Vec<Vec<f64>> = (0..6)
-            .map(|r| (0..5).map(|i| ((r * 7 + i * 3) % 11) as f64 - 5.0).collect())
+            .map(|r| {
+                (0..5)
+                    .map(|i| ((r * 7 + i * 3) % 11) as f64 - 5.0)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         let m = SymMatrix::gram(&refs, 5);
@@ -212,7 +219,11 @@ mod tests {
         let e = jacobi_eigen(&SymMatrix::gram(&refs, 6), 40);
         for i in 0..6 {
             for j in i..6 {
-                let dot: f64 = e.vectors[i].iter().zip(&e.vectors[j]).map(|(a, b)| a * b).sum();
+                let dot: f64 = e.vectors[i]
+                    .iter()
+                    .zip(&e.vectors[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let expect = if i == j { 1.0 } else { 0.0 };
                 assert!((dot - expect).abs() < 1e-9, "({i},{j}) dot = {dot}");
             }

@@ -324,7 +324,8 @@ mod tests {
 
     #[test]
     fn compressor_shape() {
-        let data = MultiSeries::from_rows(&[(0..40).map(|i| i as f64).collect::<Vec<_>>()]).unwrap();
+        let data =
+            MultiSeries::from_rows(&[(0..40).map(|i| i as f64).collect::<Vec<_>>()]).unwrap();
         let rec = VOptimalCompressor.compress_reconstruct(&data, 12);
         assert_eq!(rec.len(), 40);
     }

@@ -84,10 +84,7 @@ pub fn inverse(coeffs: &[f64]) -> Vec<f64> {
 pub fn top_k(coeffs: &[f64], k: usize) -> Vec<(usize, f64)> {
     let mut idx: Vec<usize> = (0..coeffs.len()).collect();
     idx.sort_by(|&a, &b| coeffs[b].abs().total_cmp(&coeffs[a].abs()));
-    idx.into_iter()
-        .take(k)
-        .map(|i| (i, coeffs[i]))
-        .collect()
+    idx.into_iter().take(k).map(|i| (i, coeffs[i])).collect()
 }
 
 /// Rebuild a dense coefficient array from a sparse synopsis.
@@ -200,7 +197,10 @@ mod tests {
             .iter()
             .map(|&k| {
                 let rec = approximate(&x, k);
-                x.iter().zip(&rec).map(|(a, b)| (a - b).powi(2)).sum::<f64>()
+                x.iter()
+                    .zip(&rec)
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum::<f64>()
             })
             .collect();
         for w in errs.windows(2) {
@@ -248,7 +248,7 @@ mod tests {
             allocation: Allocation::PerSignal,
         };
         let rec = c.compress_reconstruct(&data, 8); // 2 coeffs per row
-        // Constant row needs only one coefficient → reconstructed exactly.
+                                                    // Constant row needs only one coefficient → reconstructed exactly.
         for v in &rec[..32] {
             assert!((v - 1.0).abs() < 1e-10);
         }

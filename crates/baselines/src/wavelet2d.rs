@@ -253,7 +253,11 @@ mod tests {
         }
         .compress_reconstruct(&data, budget);
         let sse = |rec: &[f64]| -> f64 {
-            data.flat().iter().zip(rec).map(|(a, b)| (a - b).powi(2)).sum()
+            data.flat()
+                .iter()
+                .zip(rec)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum()
         };
         assert!(sse(&d2) < sse(&d1));
     }

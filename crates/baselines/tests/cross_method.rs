@@ -129,7 +129,11 @@ fn names_are_unique() {
     let before = names.len();
     names.sort_unstable();
     names.dedup();
-    assert_eq!(names.len(), before, "duplicate compressor names confuse reports");
+    assert_eq!(
+        names.len(),
+        before,
+        "duplicate compressor names confuse reports"
+    );
 }
 
 #[test]

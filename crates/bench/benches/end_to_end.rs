@@ -26,8 +26,7 @@ fn bench_encode(c: &mut Criterion) {
         let rows = files(10, n / 10);
         g.bench_with_input(BenchmarkId::new("ratio_10", n), &n, |b, _| {
             b.iter(|| {
-                let mut enc =
-                    SbrEncoder::new(10, n / 10, SbrConfig::new(n / 10, 1024)).unwrap();
+                let mut enc = SbrEncoder::new(10, n / 10, SbrConfig::new(n / 10, 1024)).unwrap();
                 enc.encode(black_box(&rows)).unwrap().cost()
             })
         });
@@ -42,12 +41,8 @@ fn bench_encode_frozen_base(c: &mut Criterion) {
     g.sample_size(10);
     for n in [2048usize, 5120, 10240] {
         let rows = files(10, n / 10);
-        let mut enc = SbrEncoder::new(
-            10,
-            n / 10,
-            SbrConfig::new(n / 10, 1024).frozen_base(),
-        )
-        .unwrap();
+        let mut enc =
+            SbrEncoder::new(10, n / 10, SbrConfig::new(n / 10, 1024).frozen_base()).unwrap();
         g.bench_with_input(BenchmarkId::new("ratio_10", n), &n, |b, _| {
             b.iter(|| enc.encode(black_box(&rows)).unwrap().cost())
         });
@@ -62,7 +57,9 @@ fn bench_codec_and_decode(c: &mut Criterion) {
     let frame = codec::encode(&tx);
 
     let mut g = c.benchmark_group("wire");
-    g.bench_function("codec_encode", |b| b.iter(|| codec::encode(black_box(&tx)).len()));
+    g.bench_function("codec_encode", |b| {
+        b.iter(|| codec::encode(black_box(&tx)).len())
+    });
     g.bench_function("codec_decode", |b| {
         b.iter(|| codec::decode(&mut black_box(frame.clone())).unwrap().seq)
     });
@@ -92,12 +89,8 @@ fn bench_query(c: &mut Criterion) {
     });
     g.bench_function("reconstruct_scan", |b| {
         b.iter(|| {
-            let rec = sbr_core::get_intervals::reconstruct_flat(
-                black_box(&base),
-                &tx.intervals,
-                n,
-            )
-            .unwrap();
+            let rec = sbr_core::get_intervals::reconstruct_flat(black_box(&base), &tx.intervals, n)
+                .unwrap();
             rec[100..9000].iter().sum::<f64>()
         })
     });

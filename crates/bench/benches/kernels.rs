@@ -1,16 +1,19 @@
 //! Microbenchmarks of the SBR kernels: the regression fits, `BestMap`'s
-//! shift scan, `GetIntervals` and `GetBase`. These back the complexity
-//! claims of §4.2–§4.4 (regression linear in the window, BestMap linear in
-//! `|X| × len`, GetBase `O(n^1.5)`).
+//! shift scan (direct vs FFT vs parallel), `GetIntervals` and `GetBase`.
+//! These back the complexity claims of §4.2–§4.4 (regression linear in the
+//! window, BestMap linear in `|X| × len` — or `O((|X|+len) log)` on the
+//! FFT path, GetBase `O(n^1.5)`) and calibrate the `Auto` crossover in
+//! `sbr_core::xcorr::fft_beats_direct`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use sbr_core::best_map::MapContext;
-use sbr_core::get_base::get_base;
+use sbr_core::get_base::{get_base, get_base_threaded};
 use sbr_core::get_intervals::get_intervals;
 use sbr_core::regression::{fit_maxabs, fit_relative, fit_sse};
-use sbr_core::{ErrorMetric, Interval, MultiSeries, SbrConfig};
+use sbr_core::xcorr::{sliding_dot_direct, XcorrPlan};
+use sbr_core::{ErrorMetric, Interval, MultiSeries, SbrConfig, ShiftStrategy};
 
 fn signal(n: usize, seed: u64) -> Vec<f64> {
     (0..n)
@@ -55,6 +58,81 @@ fn bench_best_map(c: &mut Criterion) {
     g.finish();
 }
 
+/// The raw sliding-dot-product kernel: direct `O(|X| · len)` loop vs the
+/// FFT path (base-signal spectrum amortized via a pre-built [`XcorrPlan`],
+/// as `MapContext` holds it). The FFT/direct wall-time ratio at each size
+/// is what `xcorr::fft_beats_direct`'s cost factor encodes.
+fn bench_xcorr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xcorr");
+    g.sample_size(20);
+    for x_len in [512usize, 1024, 2048] {
+        let x = signal(x_len, 3);
+        for len in [32usize, 128, 286] {
+            let y = signal(len, 4);
+            let id = format!("{x_len}x{len}");
+            g.bench_with_input(BenchmarkId::new("direct", &id), &len, |b, _| {
+                b.iter(|| sliding_dot_direct(black_box(&x), black_box(&y)))
+            });
+            let plan = XcorrPlan::new(&x);
+            g.bench_with_input(BenchmarkId::new("fft", &id), &len, |b, _| {
+                b.iter(|| plan.sliding_dot(black_box(&y)))
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("plan_build", x_len), &x_len, |b, _| {
+            b.iter(|| XcorrPlan::new(black_box(&x)))
+        });
+    }
+    g.finish();
+}
+
+/// Full `BestMap` under each [`ShiftStrategy`], at the Fig. 5 shape
+/// (`|X| = 1024`, interval lengths around `W..2W`). `auto` must track the
+/// better of the other two.
+fn bench_best_map_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("best_map_strategy");
+    g.sample_size(20);
+    let x = signal(1024, 3);
+    let y = signal(4096, 4);
+    for len in [64usize, 143, 256] {
+        for (name, strategy) in [
+            ("direct", ShiftStrategy::Direct),
+            ("fft", ShiftStrategy::Fft),
+            ("auto", ShiftStrategy::Auto),
+        ] {
+            let config = SbrConfig::new(1 << 20, 1 << 20)
+                .with_w(143)
+                .with_shift_strategy(strategy);
+            let ctx = MapContext::new(&x, &y, &config, 143);
+            g.bench_with_input(BenchmarkId::new(name, len), &len, |b, _| {
+                b.iter(|| {
+                    let mut iv = Interval::unfitted(100, len);
+                    ctx.best_map(black_box(&mut iv));
+                    iv.err
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// `GetBase`'s K×K benefit matrix, serial vs the scoped-thread fan-out.
+/// On a single-core host the threaded numbers mostly measure the fan-out
+/// overhead; with real cores they show the speedup.
+fn bench_get_base_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("get_base_parallel");
+    g.sample_size(10);
+    let n = 4096usize;
+    let rows: Vec<Vec<f64>> = (0..4).map(|s| signal(n / 4, s as u64)).collect();
+    let data = MultiSeries::from_rows(&rows).unwrap();
+    let w = data.default_w();
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| get_base_threaded(black_box(&data), w, 8, ErrorMetric::Sse, t).len())
+        });
+    }
+    g.finish();
+}
+
 fn bench_get_intervals(c: &mut Criterion) {
     let mut g = c.benchmark_group("get_intervals");
     g.sample_size(10);
@@ -93,7 +171,10 @@ criterion_group!(
     benches,
     bench_regression,
     bench_best_map,
+    bench_xcorr,
+    bench_best_map_strategies,
     bench_get_intervals,
-    bench_get_base
+    bench_get_base,
+    bench_get_base_parallel
 );
 criterion_main!(benches);

@@ -63,11 +63,9 @@ fn bench_histogram(c: &mut Criterion) {
             histogram::Bucketing::EquiWidth,
             histogram::Bucketing::MaxDiff,
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{policy:?}"), n),
-                &n,
-                |b, _| b.iter(|| histogram::build(black_box(&x), 64, policy)),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("{policy:?}"), n), &n, |b, _| {
+                b.iter(|| histogram::build(black_box(&x), 64, policy))
+            });
         }
     }
     g.finish();
@@ -93,10 +91,8 @@ fn bench_voptimal(c: &mut Criterion) {
 fn bench_wavelet2d(c: &mut Criterion) {
     let mut g = c.benchmark_group("haar2d");
     for (rows, cols) in [(6usize, 512usize), (10, 1024)] {
-        let data = MultiSeries::from_rows(
-            &(0..rows).map(|_| signal(cols)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let data =
+            MultiSeries::from_rows(&(0..rows).map(|_| signal(cols)).collect::<Vec<_>>()).unwrap();
         let m = wavelet2d::Matrix::from_series(&data);
         g.bench_with_input(
             BenchmarkId::new("forward", rows * cols),

@@ -39,25 +39,40 @@ fn main() {
     // 1. Fall-back.
     let with_fb = run_sbr_stream(&setup.files, cfg.clone());
     let without_fb = run_sbr_stream(&setup.files, cfg.clone().without_fallback());
-    println!("{}", row("fallback", &[fmt(with_fb.avg_sse()), fmt(without_fb.avg_sse())]));
+    println!(
+        "{}",
+        row(
+            "fallback",
+            &[fmt(with_fb.avg_sse()), fmt(without_fb.avg_sse())]
+        )
+    );
     println!("{:<12}{:>14}{:>14}\n", "", "(on)", "(off)");
 
     // 2. Frozen base after the first transmission.
     let frozen = run_frozen_after_first(&setup.files, cfg.clone());
-    println!("{}", row("base-update", &[fmt(with_fb.avg_sse()), fmt(frozen)]));
+    println!(
+        "{}",
+        row("base-update", &[fmt(with_fb.avg_sse()), fmt(frozen)])
+    );
     println!("{:<12}{:>14}{:>14}\n", "", "(every tx)", "(frozen@1)");
 
     // 3. GetBase memory variant.
-    let low_mem = run_sbr_stream_with(
-        &setup.files,
-        cfg.clone(),
-        Some(Box::new(LowMemoryGetBase)),
+    let low_mem = run_sbr_stream_with(&setup.files, cfg.clone(), Some(Box::new(LowMemoryGetBase)));
+    println!(
+        "{}",
+        row(
+            "getbase-mem",
+            &[fmt(with_fb.avg_sse()), fmt(low_mem.avg_sse())]
+        )
     );
-    println!("{}", row("getbase-mem", &[fmt(with_fb.avg_sse()), fmt(low_mem.avg_sse())]));
     println!("{:<12}{:>14}{:>14}\n", "", "(O(n) mat)", "(O(√n))");
 
     // 4. Histogram policies.
-    let policies = [Bucketing::EquiDepth, Bucketing::EquiWidth, Bucketing::MaxDiff];
+    let policies = [
+        Bucketing::EquiDepth,
+        Bucketing::EquiWidth,
+        Bucketing::MaxDiff,
+    ];
     let cells: Vec<String> = policies
         .iter()
         .map(|&policy| {
@@ -69,7 +84,10 @@ fn main() {
         })
         .collect();
     println!("{}", row("histograms", &cells));
-    println!("{:<12}{:>14}{:>14}{:>14}\n", "", "(equi-depth)", "(equi-width)", "(max-diff)");
+    println!(
+        "{:<12}{:>14}{:>14}{:>14}\n",
+        "", "(equi-depth)", "(equi-width)", "(max-diff)"
+    );
 
     // 5. Wavelet allocation + dimensionality.
     let mut cells: Vec<String> = [Allocation::Concatenated, Allocation::PerSignal]
@@ -79,11 +97,17 @@ fn main() {
             fmt(run_baseline_stream(&setup.files, &w, band).avg_sse())
         })
         .collect();
-    cells.push(fmt(
-        run_baseline_stream(&setup.files, &Wavelet2dCompressor, band).avg_sse(),
-    ));
+    cells.push(fmt(run_baseline_stream(
+        &setup.files,
+        &Wavelet2dCompressor,
+        band,
+    )
+    .avg_sse()));
     println!("{}", row("wavelets", &cells));
-    println!("{:<12}{:>14}{:>14}{:>14}\n", "", "(concat)", "(per-signal)", "(2-D)");
+    println!(
+        "{:<12}{:>14}{:>14}{:>14}\n",
+        "", "(concat)", "(per-signal)", "(2-D)"
+    );
 
     // 6. V-optimal vs equi-depth histograms.
     let cells = vec![
@@ -97,7 +121,13 @@ fn main() {
     let mut cfg_ex = cfg.clone();
     cfg_ex.exhaustive_search = true;
     let exhaustive = run_sbr_stream(&setup.files, cfg_ex);
-    println!("{}", row("search", &[fmt(with_fb.avg_sse()), fmt(exhaustive.avg_sse())]));
+    println!(
+        "{}",
+        row(
+            "search",
+            &[fmt(with_fb.avg_sse()), fmt(exhaustive.avg_sse())]
+        )
+    );
     println!("{:<12}{:>14}{:>14}\n", "", "(binary)", "(exhaustive)");
 
     // 7. Non-linear encodings: quadratic vs linear piecewise regression.

@@ -7,8 +7,12 @@
 //! depend on the host (the paper used a 300 MHz Irix box).
 //!
 //! Run with `--quick` to measure only two ratios.
+//!
+//! Besides the human-readable table, every measured configuration is
+//! written to `BENCH_SBR.json` (schema `sbr-bench/v1`, see the README) so
+//! CI and regression tooling can diff encode times without screen-scraping.
 
-use sbr_bench::{quick_mode, row, run_sbr_stream, RATIOS};
+use sbr_bench::{quick_mode, row, run_sbr_stream, BenchRecord, RATIOS};
 use sbr_core::SbrConfig;
 
 fn main() {
@@ -19,13 +23,13 @@ fn main() {
         "{}",
         row(
             "ratio",
-            [5120usize, 10240, 20480]
-                .map(|n| format!("n={n}")).as_ref()
+            [5120usize, 10240, 20480].map(|n| format!("n={n}")).as_ref()
         )
     );
     // One row per ratio, one column per n.
     let sizes = [512usize, 1024, 2048]; // M per stock; N = 10
     let mut columns: Vec<Vec<f64>> = Vec::new();
+    let mut records = Vec::new();
     for &m in &sizes {
         let d = sbr_datasets::stock(42, 10, m * 10);
         let files = d.chunk(m);
@@ -34,6 +38,15 @@ fn main() {
             let band = (10 * m) as f64 * ratio;
             let stream = run_sbr_stream(&files, SbrConfig::new(band as usize, 1024));
             col.push(stream.avg_encode_time().as_secs_f64());
+            records.push(BenchRecord::from_stream(
+                "fig5",
+                &[
+                    ("n", (10 * m) as f64),
+                    ("total_band", band.floor()),
+                    ("ratio", ratio),
+                ],
+                &stream,
+            ));
         }
         columns.push(col);
     }
@@ -41,4 +54,5 @@ fn main() {
         let cells: Vec<String> = columns.iter().map(|c| format!("{:.3}", c[ri])).collect();
         println!("{}", row(&format!("{:.0}%", ratio * 100.0), &cells));
     }
+    sbr_bench::write_bench_json("BENCH_SBR.json", &records).expect("write BENCH_SBR.json");
 }

@@ -23,7 +23,10 @@ fn main() {
         "{}",
         row(
             "intervals",
-            &setups.iter().map(|s| s.name.to_string()).collect::<Vec<_>>()
+            &setups
+                .iter()
+                .map(|s| s.name.to_string())
+                .collect::<Vec<_>>()
         )
     );
 

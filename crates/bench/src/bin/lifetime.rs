@@ -30,7 +30,10 @@ fn main() {
         .collect();
 
     let battery = Battery { capacity: 2e12 };
-    println!("=== Network lifetime (first node death, {} sensors, multi-hop) ===", n_nodes - 1);
+    println!(
+        "=== Network lifetime (first node death, {} sensors, multi-hop) ===",
+        n_nodes - 1
+    );
     println!(
         "{:<18} {:>12} {:>14} {:>16} {:>12}",
         "strategy", "values", "energy", "lifetime(x raw)", "sse"

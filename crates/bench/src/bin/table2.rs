@@ -12,19 +12,27 @@ use sbr_core::SbrConfig;
 
 fn main() {
     let quick = quick_mode();
-    for setup in [sbr_bench::weather_setup(quick), sbr_bench::stock_setup(quick)] {
+    for setup in [
+        sbr_bench::weather_setup(quick),
+        sbr_bench::stock_setup(quick),
+    ] {
         run_dataset(&setup);
     }
 }
 
 fn run_dataset(setup: &Setup) {
-    println!("\n=== Table 2 — {} dataset (n = {}) ===", setup.name, setup.n());
+    println!(
+        "\n=== Table 2 — {} dataset (n = {}) ===",
+        setup.name,
+        setup.n()
+    );
     println!(
         "{}",
         row(
             "ratio",
             ["SBR", "Wavelets", "DCT", "Histograms"]
-                .map(str::to_string).as_ref()
+                .map(str::to_string)
+                .as_ref()
         )
     );
     let wavelets = WaveletCompressor {

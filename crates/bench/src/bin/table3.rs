@@ -29,7 +29,8 @@ fn main() {
         row(
             "ratio",
             ["SBR", "Wavelets", "DCT", "Histograms"]
-                .map(str::to_string).as_ref()
+                .map(str::to_string)
+                .as_ref()
         )
     );
     let mut rel_rows = Vec::new();
@@ -47,7 +48,12 @@ fn main() {
             "{}",
             row(
                 &format!("{:.0}%", ratio * 100.0),
-                &[fmt(sbr_sse.avg_sse()), fmt(w.avg_sse()), fmt(d.avg_sse()), fmt(h.avg_sse())]
+                &[
+                    fmt(sbr_sse.avg_sse()),
+                    fmt(w.avg_sse()),
+                    fmt(d.avg_sse()),
+                    fmt(h.avg_sse())
+                ]
             )
         );
         rel_rows.push((
@@ -67,7 +73,8 @@ fn main() {
         row(
             "ratio",
             ["SBR", "Wavelets", "DCT", "Histograms"]
-                .map(str::to_string).as_ref()
+                .map(str::to_string)
+                .as_ref()
         )
     );
     for (ratio, cells) in rel_rows {

@@ -45,7 +45,12 @@ fn main() {
             "{}",
             row(
                 &format!("{:.0}%", ratio * 100.0),
-                &[fmt(sbr_sse.avg_sse()), fmt(w.avg_sse()), fmt(d.avg_sse()), fmt(h.avg_sse())]
+                &[
+                    fmt(sbr_sse.avg_sse()),
+                    fmt(w.avg_sse()),
+                    fmt(d.avg_sse()),
+                    fmt(h.avg_sse())
+                ]
             )
         );
         rel_rows.push((

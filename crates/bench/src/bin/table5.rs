@@ -29,7 +29,8 @@ fn main() {
         row(
             "dataset",
             ["GetBaseSVD", "LinearReg", "GetBaseDCT"]
-                .map(str::to_string).as_ref()
+                .map(str::to_string)
+                .as_ref()
         )
     );
     for setup in [
@@ -46,10 +47,13 @@ fn run_dataset(setup: &Setup) {
     let base_cfg = SbrConfig::new(band, setup.m_base).without_fallback();
 
     let get_base = run_sbr_stream(&setup.files, base_cfg.clone()).avg_sse();
-    let svd = run_sbr_stream_with(&setup.files, base_cfg.clone(), Some(Box::new(SvdBaseBuilder)))
-        .avg_sse();
-    let linreg =
-        run_baseline_stream(&setup.files, &LinRegCompressor::default(), band).avg_sse();
+    let svd = run_sbr_stream_with(
+        &setup.files,
+        base_cfg.clone(),
+        Some(Box::new(SvdBaseBuilder)),
+    )
+    .avg_sse();
+    let linreg = run_baseline_stream(&setup.files, &LinRegCompressor::default(), band).avg_sse();
     let dct = dct_base_avg_sse(setup, band, &base_cfg);
 
     println!(
@@ -75,8 +79,8 @@ fn dct_base_avg_sse(setup: &Setup, band: usize, cfg: &SbrConfig) -> f64 {
         let data = MultiSeries::from_rows(rows).expect("uniform chunks");
         let approx = get_intervals(&x, &data, band, w, cfg).expect("dct-base approximation");
         let recs: Vec<_> = approx.intervals.iter().map(|iv| iv.record()).collect();
-        let rec = sbr_core::get_intervals::reconstruct_flat(&x, &recs, data.len())
-            .expect("reconstruct");
+        let rec =
+            sbr_core::get_intervals::reconstruct_flat(&x, &recs, data.len()).expect("reconstruct");
         total += ErrorMetric::Sse.score(data.flat(), &rec);
     }
     total / setup.files.len() as f64

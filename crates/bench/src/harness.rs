@@ -28,8 +28,11 @@ pub struct SbrStream {
 }
 
 impl SbrStream {
-    /// Mean SSE per transmission.
+    /// Mean SSE per transmission; `0.0` for an empty stream.
     pub fn avg_sse(&self) -> f64 {
+        if self.per_tx.is_empty() {
+            return 0.0;
+        }
         self.per_tx.iter().map(|t| t.sse).sum::<f64>() / self.per_tx.len() as f64
     }
 
@@ -38,8 +41,11 @@ impl SbrStream {
         self.per_tx.iter().map(|t| t.rel).sum()
     }
 
-    /// Mean encode wall time.
+    /// Mean encode wall time; [`Duration::ZERO`] for an empty stream.
     pub fn avg_encode_time(&self) -> Duration {
+        if self.per_tx.is_empty() {
+            return Duration::ZERO;
+        }
         let total: Duration = self.per_tx.iter().map(|t| t.encode_time).sum();
         total / self.per_tx.len() as u32
     }
@@ -163,6 +169,119 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// One machine-readable benchmark record: a single configuration of one
+/// experiment, scored from its [`SbrStream`].
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Experiment name, e.g. `"fig5"`.
+    pub experiment: String,
+    /// Numeric configuration parameters (`n`, `total_band`, `ratio`, ...).
+    pub params: Vec<(String, f64)>,
+    /// Mean encode wall time per transmission, in seconds.
+    pub avg_encode_secs: f64,
+    /// Mean SSE per transmission.
+    pub avg_sse: f64,
+    /// Total sum squared relative error across the stream.
+    pub total_rel: f64,
+    /// Number of transmissions streamed.
+    pub transmissions: usize,
+    /// Base intervals inserted, per transmission.
+    pub inserted: Vec<usize>,
+}
+
+impl BenchRecord {
+    /// Score `stream` into a record for `experiment` under `params`.
+    pub fn from_stream(experiment: &str, params: &[(&str, f64)], stream: &SbrStream) -> Self {
+        BenchRecord {
+            experiment: experiment.to_string(),
+            params: params.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            avg_encode_secs: stream.avg_encode_time().as_secs_f64(),
+            avg_sse: stream.avg_sse(),
+            total_rel: stream.total_rel(),
+            transmissions: stream.per_tx.len(),
+            inserted: stream.inserted(),
+        }
+    }
+}
+
+/// Render `v` as a JSON number (`null` for non-finite values, which JSON
+/// cannot represent).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Escape `s` for embedding in a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialize `records` to the `BENCH_SBR.json` schema (documented in the
+/// repository README): `{"schema": "sbr-bench/v1", "records": [...]}` with
+/// one object per configuration. Hand-rolled so the bench harness carries
+/// no serialization dependency.
+pub fn bench_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"sbr-bench/v1\",\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"experiment\": {}, ", json_str(&r.experiment)));
+        out.push_str("\"params\": {");
+        for (j, (k, v)) in r.params.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", json_str(k), json_num(*v)));
+        }
+        out.push_str("}, ");
+        out.push_str(&format!(
+            "\"avg_encode_secs\": {}, \"avg_sse\": {}, \"total_rel\": {}, \"transmissions\": {}, ",
+            json_num(r.avg_encode_secs),
+            json_num(r.avg_sse),
+            json_num(r.total_rel),
+            r.transmissions
+        ));
+        out.push_str("\"inserted\": [");
+        for (j, ins) in r.inserted.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&ins.to_string());
+        }
+        out.push_str("]}");
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write `records` as `BENCH_SBR.json`-schema JSON to `path`, logging the
+/// destination so CI output records where the artifact landed.
+pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+    std::fs::write(path, bench_json(records))?;
+    println!("wrote {} record(s) to {path}", records.len());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +325,39 @@ mod tests {
         assert_eq!(fmt(1234.5), "1234");
         assert_eq!(fmt(12.3456), "12.346");
         assert_eq!(fmt(0.12345), "0.12345");
+    }
+
+    #[test]
+    fn empty_stream_scores_to_zero() {
+        let r = SbrStream { per_tx: Vec::new() };
+        assert_eq!(r.avg_sse(), 0.0);
+        assert_eq!(r.total_rel(), 0.0);
+        assert_eq!(r.avg_encode_time(), Duration::ZERO);
+        assert!(r.inserted().is_empty());
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let stream = run_sbr_stream(&files(), SbrConfig::new(40, 32));
+        let rec = BenchRecord::from_stream("fig5", &[("n", 128.0), ("ratio", 0.05)], &stream);
+        let json = bench_json(&[rec.clone(), rec]);
+        assert!(json.starts_with("{\n  \"schema\": \"sbr-bench/v1\""));
+        assert!(json.contains("\"experiment\": \"fig5\""));
+        assert!(json.contains("\"params\": {\"n\": 128, \"ratio\": 0.05}"));
+        assert!(json.contains("\"transmissions\": 3"));
+        // Braces/brackets balance — cheap structural sanity without a parser.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close}");
+        }
+    }
+
+    #[test]
+    fn json_escaping_and_non_finite_numbers() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(2.5), "2.5");
     }
 }

@@ -25,7 +25,11 @@ impl Setup {
 fn chunked(d: &Dataset, file_len: usize, n_files: usize) -> Vec<Vec<Vec<f64>>> {
     let mut files = d.chunk(file_len);
     files.truncate(n_files);
-    assert_eq!(files.len(), n_files, "dataset too short for requested files");
+    assert_eq!(
+        files.len(),
+        n_files,
+        "dataset too short for requested files"
+    );
     files
 }
 

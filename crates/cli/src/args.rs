@@ -170,7 +170,9 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
         },
         "generate" => {
             let dataset = required(&mut flags, "dataset")?;
-            if !["phone", "weather", "stock", "mixed", "indexes", "netflow"].contains(&dataset.as_str()) {
+            if !["phone", "weather", "stock", "mixed", "indexes", "netflow"]
+                .contains(&dataset.as_str())
+            {
                 return Err(format!("unknown dataset '{dataset}'"));
             }
             let output = required(&mut flags, "output")?;
@@ -260,7 +262,10 @@ mod tests {
 
     #[test]
     fn parses_aggregate() {
-        let cli = parse(&argv("aggregate --input s.sbr --signal 2 --from 10 --to 99")).unwrap();
+        let cli = parse(&argv(
+            "aggregate --input s.sbr --signal 2 --from 10 --to 99",
+        ))
+        .unwrap();
         assert_eq!(
             cli.command,
             Command::Aggregate {

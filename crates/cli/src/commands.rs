@@ -93,7 +93,9 @@ fn compress(
     let total_rows = table.rows();
     let batch = match batch {
         Some(b) if b > total_rows => {
-            return Err(format!("--batch {b} exceeds the {total_rows} rows available"));
+            return Err(format!(
+                "--batch {b} exceeds the {total_rows} rows available"
+            ));
         }
         Some(0) => return Err("--batch must be positive".into()),
         Some(b) => b,
@@ -201,9 +203,8 @@ fn info(input: &str) -> Result<String, String> {
 fn compare(input: &str, band: usize) -> Result<String, String> {
     let table = read_csv(input)?;
     let data = MultiSeries::from_rows(&table.columns).map_err(|e| e.to_string())?;
-    let mut out = format!(
-        "method                          sse      relative-sse   (budget {band} values)\n"
-    );
+    let mut out =
+        format!("method                          sse      relative-sse   (budget {band} values)\n");
 
     // SBR through the full pipeline.
     let config = SbrConfig::new(band, band);
@@ -285,7 +286,11 @@ mod tests {
         let mut s = String::from("a,b\n");
         for i in 0..rows {
             let t = i as f64;
-            s.push_str(&format!("{},{}\n", (t * 0.2).sin() * 5.0, (t * 0.2).sin() * 10.0 + 1.0));
+            s.push_str(&format!(
+                "{},{}\n",
+                (t * 0.2).sin() * 5.0,
+                (t * 0.2).sin() * 10.0 + 1.0
+            ));
         }
         std::fs::write(path, s).unwrap();
     }
@@ -356,7 +361,14 @@ mod tests {
         let csv_in = dir.join("in.csv");
         write_sample_csv(&csv_in, 128);
         let out = run_argv(&format!("compare --input {} --band 32", csv_in.display())).unwrap();
-        for name in ["SBR", "Wavelets", "DCT", "Fourier", "Histograms", "Quadratic"] {
+        for name in [
+            "SBR",
+            "Wavelets",
+            "DCT",
+            "Fourier",
+            "Histograms",
+            "Quadratic",
+        ] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }
         std::fs::remove_dir_all(&dir).unwrap();
@@ -392,7 +404,10 @@ mod tests {
         let sum: f64 = slice.iter().sum();
         let sum_line = out.lines().find(|l| l.starts_with("sum")).unwrap();
         let got: f64 = sum_line.split_whitespace().nth(1).unwrap().parse().unwrap();
-        assert!((got - sum).abs() < 1e-4 * (1.0 + sum.abs()), "{got} vs {sum}");
+        assert!(
+            (got - sum).abs() < 1e-4 * (1.0 + sum.abs()),
+            "{got} vs {sum}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -411,7 +426,10 @@ mod tests {
         let s = stream.display();
         assert!(run_argv(&format!("aggregate --input {s} --signal 0 --from 9 --to 9")).is_err());
         assert!(run_argv(&format!("aggregate --input {s} --signal 7 --from 0 --to 9")).is_err());
-        assert!(run_argv(&format!("aggregate --input {s} --signal 0 --from 0 --to 999")).is_err());
+        assert!(run_argv(&format!(
+            "aggregate --input {s} --signal 0 --from 0 --to 999"
+        ))
+        .is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn parses_header_and_skips_comments() {
-        let t = read(Cursor::new("temp,humidity\n# comment\n20.5,80\n21.0,79\n\n")).unwrap();
+        let t = read(Cursor::new(
+            "temp,humidity\n# comment\n20.5,80\n21.0,79\n\n",
+        ))
+        .unwrap();
         assert_eq!(t.names, vec!["temp", "humidity"]);
         assert_eq!(t.rows(), 2);
         assert_eq!(t.columns[1], vec![80.0, 79.0]);

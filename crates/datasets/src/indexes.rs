@@ -65,7 +65,10 @@ mod tests {
         let f = sse_line_fit(y);
         let half = y.len() / 2;
         let two_piece = sse_line_fit(&y[..half]) + sse_line_fit(&y[half..]);
-        assert!(f > 2.0 * two_piece, "single line {f} vs two-piece {two_piece}");
+        assert!(
+            f > 2.0 * two_piece,
+            "single line {f} vs two-piece {two_piece}"
+        );
     }
 
     fn sse_line_fit(y: &[f64]) -> f64 {

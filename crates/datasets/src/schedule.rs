@@ -78,7 +78,11 @@ pub fn expand(signal: &ScheduledSignal, ticks: usize, fill: Fill) -> Vec<f64> {
 /// ```
 pub fn align(signals: &[ScheduledSignal], fill: Fill) -> (Vec<Vec<f64>>, usize) {
     assert!(!signals.is_empty(), "need at least one signal");
-    let ticks = signals.iter().map(ScheduledSignal::ticks).min().expect("non-empty");
+    let ticks = signals
+        .iter()
+        .map(ScheduledSignal::ticks)
+        .min()
+        .expect("non-empty");
     let rows = signals.iter().map(|s| expand(s, ticks, fill)).collect();
     (rows, ticks)
 }
@@ -126,7 +130,13 @@ mod tests {
         assert_eq!(m, 8);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].len(), 8);
-        assert_eq!(rows[1], vec![100.0; 4].into_iter().chain(vec![200.0; 4]).collect::<Vec<_>>());
+        assert_eq!(
+            rows[1],
+            vec![100.0; 4]
+                .into_iter()
+                .chain(vec![200.0; 4])
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

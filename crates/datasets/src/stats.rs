@@ -70,7 +70,11 @@ pub fn summarize(v: &[f64]) -> Summary {
         std: var.sqrt(),
         min: v.iter().copied().fold(f64::INFINITY, f64::min),
         max: v.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-        roughness: if var == 0.0 { 0.0 } else { variance(&diffs) / var },
+        roughness: if var == 0.0 {
+            0.0
+        } else {
+            variance(&diffs) / var
+        },
     }
 }
 
@@ -116,7 +120,9 @@ mod tests {
     fn roughness_separates_smooth_from_noise() {
         let smooth: Vec<f64> = (0..512).map(|i| (i as f64 * 0.05).sin()).collect();
         // A deterministic "white-ish" sequence.
-        let rough: Vec<f64> = (0..512).map(|i| (((i as u64 * 2654435761) % 1000) as f64) / 500.0).collect();
+        let rough: Vec<f64> = (0..512)
+            .map(|i| (((i as u64 * 2654435761) % 1000) as f64) / 500.0)
+            .collect();
         let s = summarize(&smooth);
         let r = summarize(&rough);
         assert!(s.roughness < 0.05, "{}", s.roughness);
@@ -134,12 +140,21 @@ mod tests {
     fn generator_structure_checks() {
         // The generators' signature properties, via the shared stats.
         let w = crate::weather(11, 4096);
-        assert!(correlation(&w.signals[0], &w.signals[1]) > 0.85, "temp/dewpoint");
+        assert!(
+            correlation(&w.signals[0], &w.signals[1]) > 0.85,
+            "temp/dewpoint"
+        );
         let p = crate::phone(11, 2048, 128);
-        assert!(autocorrelation(&p.signals[1], 128) > 0.5, "diurnal phone cycle");
+        assert!(
+            autocorrelation(&p.signals[1], 128) > 0.5,
+            "diurnal phone cycle"
+        );
         let s = crate::stock(11, 4, 2048);
         let sm = summarize(&s.signals[0]);
         let wm = summarize(&w.signals[0]);
-        assert!(sm.roughness > wm.roughness, "trades rougher than temperature");
+        assert!(
+            sm.roughness > wm.roughness,
+            "trades rougher than temperature"
+        );
     }
 }

@@ -32,7 +32,9 @@ pub fn stock(seed: u64, n: usize, len: usize) -> Dataset {
     let mut vol = Ar1::new(0.995, 0.05); // log-volatility (clustering)
     let mut log_prices: Vec<f64> = TICKERS[..n].iter().map(|(_, p)| p.ln()).collect();
     // Per-ticker beta to the market factor.
-    let betas: Vec<f64> = (0..n).map(|i| 0.6 + 0.9 * ((i * 7 % 10) as f64 / 10.0)).collect();
+    let betas: Vec<f64> = (0..n)
+        .map(|i| 0.6 + 0.9 * ((i * 7 % 10) as f64 / 10.0))
+        .collect();
 
     // Trading-day length in samples: per-minute trades over a 6.5 h
     // session ≈ 390; scale with the series so short test series still see
@@ -110,7 +112,9 @@ mod tests {
         let d = stock(2, 10, 8192);
         // Correlate daily-scale moving averages, not raw bounce noise.
         let smooth = |s: &[f64]| -> Vec<f64> {
-            s.chunks(64).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
+            s.chunks(64)
+                .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+                .collect()
         };
         let a = smooth(&d.signals[0]);
         let b = smooth(&d.signals[6]);

@@ -44,13 +44,16 @@ pub fn weather(seed: u64, len: usize) -> Dataset {
         let cloudiness = (0.5 + cloud.step(&mut rng)).clamp(0.0, 1.0);
 
         // Solar elevation proxy: positive half of a sine centred at noon.
-        let sun = (std::f64::consts::PI * (day_frac - 0.25) * 2.0).sin().max(0.0);
+        let sun = (std::f64::consts::PI * (day_frac - 0.25) * 2.0)
+            .sin()
+            .max(0.0);
         let irradiance = 900.0 * sun * (1.0 - 0.8 * cloudiness);
 
         // Temperature: seasonal base + diurnal swing damped by clouds.
         let seasonal = 11.0 - 7.0 * season.cos(); // °C, Seattle-ish
         let swing = 5.5 * (1.0 - 0.6 * cloudiness);
-        let temp = seasonal + swing * (2.0 * std::f64::consts::PI * (day_frac - 0.417)).sin()
+        let temp = seasonal
+            + swing * (2.0 * std::f64::consts::PI * (day_frac - 0.417)).sin()
             + temp_noise.step(&mut rng);
 
         // Humidity: high at night/clouds, low mid-afternoon.
@@ -84,7 +87,14 @@ pub fn weather(seed: u64, len: usize) -> Dataset {
         .iter()
         .map(|s| (*s).to_string())
         .collect(),
-        signals: vec![temperature, dewpoint, wind_speed, wind_peak, solar, humidity],
+        signals: vec![
+            temperature,
+            dewpoint,
+            wind_speed,
+            wind_peak,
+            solar,
+            humidity,
+        ],
     }
 }
 
@@ -148,6 +158,9 @@ mod tests {
     fn humidity_anticorrelates_with_solar() {
         let d = weather(4, 8192);
         let rho = corr(&d.signals[4], &d.signals[5]);
-        assert!(rho < -0.3, "solar/humidity correlation {rho} should be negative");
+        assert!(
+            rho < -0.3,
+            "solar/humidity correlation {rho} should be negative"
+        );
     }
 }

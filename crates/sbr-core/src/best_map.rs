@@ -1,10 +1,11 @@
 //! `BestMap` (Algorithm 2): find the best approximation for one data
 //! interval — either a shifted base-signal segment or the linear fall-back.
 
-use crate::config::SbrConfig;
+use crate::config::{SbrConfig, ShiftStrategy};
 use crate::interval::{Interval, LINEAR_FALLBACK_SHIFT};
 use crate::metric::ErrorMetric;
 use crate::regression::{self, PrefixStats};
+use crate::xcorr::{self, XcorrPlan};
 
 /// Shared read-only context for repeated `BestMap` calls against one base
 /// signal and one data batch: the prefix statistics that make the SSE shift
@@ -25,11 +26,25 @@ pub struct MapContext<'a> {
     /// Intervals longer than `max_shift_len` are never shifted over `X`
     /// (the paper uses `2 × W`).
     pub max_shift_len: usize,
+    /// How the SSE shift sweep is evaluated.
+    pub shift_strategy: ShiftStrategy,
+    /// Cached base-signal spectrum for the FFT kernel; `None` when the
+    /// strategy is [`ShiftStrategy::Direct`], the metric is not SSE, or the
+    /// base signal is empty.
+    pub xcorr: Option<XcorrPlan>,
 }
 
 impl<'a> MapContext<'a> {
     /// Build a context from the configuration and the derived width `w`.
     pub fn new(x: &'a [f64], y: &'a [f64], config: &SbrConfig, w: usize) -> Self {
+        let xcorr = if config.shift_strategy != ShiftStrategy::Direct
+            && config.metric == ErrorMetric::Sse
+            && !x.is_empty()
+        {
+            Some(XcorrPlan::new(x))
+        } else {
+            None
+        };
         MapContext {
             x,
             x_stats: PrefixStats::new(x),
@@ -38,6 +53,8 @@ impl<'a> MapContext<'a> {
             metric: config.metric,
             allow_linear_fallback: config.allow_linear_fallback,
             max_shift_len: config.max_shift_len_factor.saturating_mul(w),
+            shift_strategy: config.shift_strategy,
+            xcorr,
         }
     }
 
@@ -76,25 +93,34 @@ impl<'a> MapContext<'a> {
     }
 
     /// SSE fast path: window sums of `X` and `Y` come from prefix stats;
-    /// only `Σ x·y` is recomputed per shift.
+    /// only `Σ x·y` varies per shift. Dispatches between the direct
+    /// `O(B·len)` sweep and the `O((B+len) log (B+len))` FFT kernel
+    /// according to the configured [`ShiftStrategy`]; both produce
+    /// bit-identical results.
     fn shift_loop_sse(&self, interval: &mut Interval, yw: &[f64]) {
+        let use_fft = match self.shift_strategy {
+            ShiftStrategy::Direct => false,
+            ShiftStrategy::Fft => self.xcorr.is_some(),
+            ShiftStrategy::Auto => {
+                self.xcorr.is_some() && xcorr::fft_beats_direct(self.x.len(), interval.length)
+            }
+        };
+        if use_fft {
+            let plan = self.xcorr.as_ref().expect("checked above");
+            self.shift_loop_sse_fft(interval, yw, plan);
+        } else {
+            self.shift_loop_sse_direct(interval, yw);
+        }
+    }
+
+    /// Direct SSE sweep: one `Σ x·y` pass per shift.
+    fn shift_loop_sse_direct(&self, interval: &mut Interval, yw: &[f64]) {
         let len = interval.length;
         let sum_y = self.y_stats.window_sum(interval.start, len);
         let sum_y2 = self.y_stats.window_sum_sq(interval.start, len);
         for shift in 0..=(self.x.len() - len) {
-            let xw = &self.x[shift..shift + len];
-            let mut sum_xy = 0.0;
-            for (xi, yi) in xw.iter().zip(yw) {
-                sum_xy += xi * yi;
-            }
-            let f = regression::fit_sse_with_stats(
-                len,
-                self.x_stats.window_sum(shift, len),
-                self.x_stats.window_sum_sq(shift, len),
-                sum_y,
-                sum_y2,
-                sum_xy,
-            );
+            let sum_xy = xcorr::dot(&self.x[shift..shift + len], yw);
+            let f = self.fit_at(shift, len, sum_y, sum_y2, sum_xy);
             if f.err < interval.err {
                 interval.shift = shift as i64;
                 interval.a = f.a;
@@ -102,6 +128,97 @@ impl<'a> MapContext<'a> {
                 interval.err = f.err;
             }
         }
+    }
+
+    /// FFT SSE sweep: all `Σ x·y` values at once via cross-correlation,
+    /// then an exact re-verification pass.
+    ///
+    /// The FFT dot products carry roundoff, so selecting directly on them
+    /// could flip near-ties against the direct path. The FFT pass is
+    /// therefore a *filter*: each shift's approximate error is bracketed by
+    /// a per-shift uncertainty interval, every shift whose lower bracket
+    /// reaches the smallest upper bracket is re-evaluated with the exact
+    /// direct summation, in ascending shift order with the same strict `<`
+    /// as the direct sweep. The exact winner always survives the filter
+    /// (its interval contains its exact error, which is the minimum), so
+    /// the selected `(shift, a, b, err)` is bit-identical to
+    /// [`Self::shift_loop_sse_direct`]. In non-degenerate cases the
+    /// brackets are ~`1e-9` relative and the candidate set is a handful of
+    /// genuine near-ties; a pathological base (near-constant windows
+    /// amplifying `s_xy/s_xx`) only widens the set, degrading speed, never
+    /// correctness.
+    fn shift_loop_sse_fft(&self, interval: &mut Interval, yw: &[f64], plan: &XcorrPlan) {
+        let len = interval.length;
+        let sum_y = self.y_stats.window_sum(interval.start, len);
+        let sum_y2 = self.y_stats.window_sum_sq(interval.start, len);
+        let approx_xy = plan.sliding_dot(yw);
+
+        // Bound on the FFT's absolute error in any Σx·y: the classic
+        // `O(ε·log m·‖x‖₂·‖y‖₂)` FFT convolution bound, inflated by ~1e4
+        // for slack (ε ≈ 2.2e-16, so the 1e-12 head already includes the
+        // log factor's constant many times over).
+        let norm_x2 = self.x_stats.window_sum_sq(0, self.x.len());
+        let log_m = (usize::BITS - plan.fft_len().leading_zeros()) as f64;
+        let d_xy = 1e-12 * log_m * (norm_x2 * sum_y2).sqrt();
+
+        // Pass 1: approximate error + uncertainty bracket per shift.
+        // The fit's constant-base branch triggers on s_xx alone, which is
+        // exact (prefix sums) — both passes take the same branch, and that
+        // branch ignores Σx·y entirely, so its uncertainty is zero.
+        // Otherwise err = s_yy − (s_xy)²/s_xx, so a perturbation δ of Σx·y
+        // moves it by at most (2·|s_xy|·δ + δ²)/s_xx.
+        let mut approx = Vec::with_capacity(approx_xy.len());
+        let mut min_upper = f64::INFINITY;
+        for (shift, &sum_xy) in approx_xy.iter().enumerate() {
+            let f = self.fit_at(shift, len, sum_y, sum_y2, sum_xy);
+            let sum_x = self.x_stats.window_sum(shift, len);
+            let sum_x2 = self.x_stats.window_sum_sq(shift, len);
+            let s_xx = sum_x2 - sum_x * sum_x / len as f64;
+            let u = if s_xx.abs() <= f64::EPSILON * sum_x2.abs().max(1.0) {
+                0.0
+            } else {
+                let s_xy = sum_xy - sum_x * sum_y / len as f64;
+                (2.0 * s_xy.abs() * d_xy + d_xy * d_xy) / s_xx
+            };
+            min_upper = min_upper.min(f.err + u);
+            approx.push((f.err, u));
+        }
+
+        // Pass 2: exact re-evaluation of every shift that could be the true
+        // minimum.
+        for (shift, &(err, u)) in approx.iter().enumerate() {
+            if err - u > min_upper {
+                continue;
+            }
+            let sum_xy = xcorr::dot(&self.x[shift..shift + len], yw);
+            let f = self.fit_at(shift, len, sum_y, sum_y2, sum_xy);
+            if f.err < interval.err {
+                interval.shift = shift as i64;
+                interval.a = f.a;
+                interval.b = f.b;
+                interval.err = f.err;
+            }
+        }
+    }
+
+    /// Closed-form SSE fit for one shift from the window statistics.
+    #[inline]
+    fn fit_at(
+        &self,
+        shift: usize,
+        len: usize,
+        sum_y: f64,
+        sum_y2: f64,
+        sum_xy: f64,
+    ) -> regression::Fit {
+        regression::fit_sse_with_stats(
+            len,
+            self.x_stats.window_sum(shift, len),
+            self.x_stats.window_sum_sq(shift, len),
+            sum_y,
+            sum_y2,
+            sum_xy,
+        )
     }
 
     /// General path for the relative-SSE and max-abs metrics: full refit per
@@ -217,6 +334,51 @@ mod tests {
         }
         assert_eq!(fast.shift, slow.shift);
         assert!((fast.err - slow.err).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fft_strategy_is_bit_identical_to_direct() {
+        // Cover short, crossover-sized, and base-length windows, plus a
+        // constant-X stretch that produces exact error ties across shifts.
+        let mut x: Vec<f64> = (0..512)
+            .map(|i| ((i * i % 97) as f64) * 0.3 - 11.0 + (i as f64 * 0.05).sin())
+            .collect();
+        for v in x[100..160].iter_mut() {
+            *v = 4.0;
+        }
+        let y: Vec<f64> = (0..512)
+            .map(|i| ((i * 7 % 31) as f64) - 15.0 + (i as f64 * 0.11).cos())
+            .collect();
+        for (start, len) in [(0usize, 5usize), (37, 64), (100, 143), (256, 256), (0, 512)] {
+            let direct_cfg = SbrConfig::new(10_000, 1_000)
+                .with_w(256)
+                .with_shift_strategy(ShiftStrategy::Direct);
+            let fft_cfg = SbrConfig::new(10_000, 1_000)
+                .with_w(256)
+                .with_shift_strategy(ShiftStrategy::Fft);
+            let cd = MapContext::new(&x, &y, &direct_cfg, 256);
+            let cf = MapContext::new(&x, &y, &fft_cfg, 256);
+            let mut id = Interval::unfitted(start, len);
+            let mut if_ = Interval::unfitted(start, len);
+            cd.best_map(&mut id);
+            cf.best_map(&mut if_);
+            assert_eq!(id.shift, if_.shift, "shift mismatch at ({start}, {len})");
+            assert_eq!(
+                id.a.to_bits(),
+                if_.a.to_bits(),
+                "a mismatch at ({start}, {len})"
+            );
+            assert_eq!(
+                id.b.to_bits(),
+                if_.b.to_bits(),
+                "b mismatch at ({start}, {len})"
+            );
+            assert_eq!(
+                id.err.to_bits(),
+                if_.err.to_bits(),
+                "err mismatch at ({start}, {len})"
+            );
+        }
     }
 
     #[test]

@@ -5,6 +5,23 @@ use crate::error::{Result, SbrError};
 use crate::metric::ErrorMetric;
 use crate::series::MultiSeries;
 
+/// How `BestMap` evaluates the `Σ x·y` shift sweep under the SSE metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShiftStrategy {
+    /// Per-interval cost-model choice between the direct loop and the FFT
+    /// cross-correlation kernel (the default; see
+    /// [`crate::xcorr::fft_beats_direct`]).
+    #[default]
+    Auto,
+    /// Always use the `O(B·len)` direct loop (the paper's Algorithm 2 as
+    /// written).
+    Direct,
+    /// Always use the FFT kernel (mainly for benchmarking it in isolation;
+    /// results are still exact — winning shifts are re-verified with the
+    /// direct summation).
+    Fft,
+}
+
 /// Configuration of an [`SbrEncoder`](crate::SbrEncoder).
 ///
 /// The paper stresses that the user/application supplies only two knobs —
@@ -43,6 +60,15 @@ pub struct SbrConfig {
     /// shortcut §4.4 recommends for constrained deployments once the
     /// dictionary has converged.
     pub update_base: bool,
+    /// How the `BestMap` SSE shift sweep is evaluated (direct loop, FFT
+    /// cross-correlation, or an automatic cost-model choice). Every
+    /// strategy produces identical output; this only affects speed.
+    pub shift_strategy: ShiftStrategy,
+    /// Worker threads for the independent `BestMap`/`GetBase` fan-out.
+    /// `0` (the default) means one thread per available CPU; `1` disables
+    /// threading. Results are deterministic and identical for every value —
+    /// work is sharded by index and reduced in index order.
+    pub num_threads: usize,
 }
 
 impl SbrConfig {
@@ -58,6 +84,8 @@ impl SbrConfig {
             error_target: None,
             exhaustive_search: false,
             update_base: true,
+            shift_strategy: ShiftStrategy::default(),
+            num_threads: 0,
         }
     }
 
@@ -84,6 +112,30 @@ impl SbrConfig {
     pub fn frozen_base(mut self) -> Self {
         self.update_base = false;
         self
+    }
+
+    /// Set the shift-sweep evaluation strategy (builder style).
+    pub fn with_shift_strategy(mut self, strategy: ShiftStrategy) -> Self {
+        self.shift_strategy = strategy;
+        self
+    }
+
+    /// Set the worker-thread count (builder style); `0` = auto, `1` =
+    /// serial. See [`SbrConfig::num_threads`].
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// The effective worker count: `num_threads`, with `0` resolved to the
+    /// number of available CPUs (at least 1).
+    pub fn resolved_threads(&self) -> usize {
+        match self.num_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            t => t,
+        }
     }
 
     /// Derived base-interval width for a batch of `n` values.
@@ -137,6 +189,23 @@ pub trait BaseBuilder {
         max_ins: usize,
         metric: ErrorMetric,
     ) -> Vec<Vec<f64>>;
+
+    /// Like [`BaseBuilder::build`] but allowed to use up to `threads`
+    /// worker threads. Implementations must return the same output for
+    /// every thread count; the default ignores `threads` and runs
+    /// [`BaseBuilder::build`] serially, so existing builders keep working
+    /// unchanged.
+    fn build_threaded(
+        &self,
+        data: &MultiSeries,
+        w: usize,
+        max_ins: usize,
+        metric: ErrorMetric,
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let _ = threads;
+        self.build(data, w, max_ins, metric)
+    }
 }
 
 #[cfg(test)]

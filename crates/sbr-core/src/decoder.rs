@@ -42,7 +42,11 @@ impl Decoder {
             )));
         }
         let w = tx.w as usize;
-        let mut x_new = self.base.as_ref().map(|b| b.values().to_vec()).unwrap_or_default();
+        let mut x_new = self
+            .base
+            .as_ref()
+            .map(|b| b.values().to_vec())
+            .unwrap_or_default();
         for (k, u) in tx.base_updates.iter().enumerate() {
             if u.values.len() != w {
                 return Err(SbrError::Corrupt(format!(
@@ -96,7 +100,9 @@ impl Decoder {
             return Err(SbrError::Corrupt("empty batch shape".into()));
         }
         if tx.intervals.is_empty() {
-            return Err(SbrError::Corrupt("transmission carries no intervals".into()));
+            return Err(SbrError::Corrupt(
+                "transmission carries no intervals".into(),
+            ));
         }
         let flat = reconstruct_flat(&x_new, &tx.intervals, n_total)?;
 
@@ -245,7 +251,9 @@ mod tests {
     fn replay_matches_incremental() {
         let config = SbrConfig::new(100, 80);
         let mut enc = SbrEncoder::new(2, 96, config).unwrap();
-        let txs: Vec<_> = (0..4).map(|s| enc.encode(&rows(2, 96, s)).unwrap()).collect();
+        let txs: Vec<_> = (0..4)
+            .map(|s| enc.encode(&rows(2, 96, s)).unwrap())
+            .collect();
         let replayed = Decoder::replay(&txs).unwrap();
         let mut dec = Decoder::new();
         for (i, tx) in txs.iter().enumerate() {

@@ -47,6 +47,20 @@ pub fn get_base(
     max_ins: usize,
     metric: ErrorMetric,
 ) -> Vec<Vec<f64>> {
+    get_base_threaded(data, w, max_ins, metric, 1)
+}
+
+/// [`get_base`] with the `K×K` error matrix built row-parallel on up to
+/// `threads` scoped worker threads (`<= 1` = serial). Rows are independent
+/// and merged in index order, so every thread count returns identical
+/// output.
+pub fn get_base_threaded(
+    data: &MultiSeries,
+    w: usize,
+    max_ins: usize,
+    metric: ErrorMetric,
+    threads: usize,
+) -> Vec<Vec<f64>> {
     let cbis = candidate_intervals(data, w);
     let k = cbis.len();
     if k == 0 || max_ins == 0 {
@@ -54,20 +68,24 @@ pub fn get_base(
     }
 
     // err[i*k + j]: error of approximating CBI j using CBI i as base.
-    let mut err = vec![0.0f64; k * k];
     let mut best_err: Vec<f64> = cbis
         .iter()
         .map(|c| regression::fit_linear(metric, c).err)
         .collect();
-    for i in 0..k {
+    let err: Vec<f64> = crate::par::par_map(k, threads, |i| {
+        let mut row = Vec::with_capacity(k);
         for j in 0..k {
-            err[i * k + j] = if i == j {
+            row.push(if i == j {
                 0.0
             } else {
                 regression::fit(metric, cbis[i], cbis[j]).err
-            };
+            });
         }
-    }
+        row
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     let mut selected_flags = vec![false; k];
     let mut selected: Vec<Vec<f64>> = Vec::with_capacity(max_ins.min(k));
@@ -114,6 +132,21 @@ pub fn get_base_low_memory(
     max_ins: usize,
     metric: ErrorMetric,
 ) -> Vec<Vec<f64>> {
+    get_base_low_memory_threaded(data, w, max_ins, metric, 1)
+}
+
+/// [`get_base_low_memory`] with each greedy step's per-candidate benefit
+/// scan fanned out over up to `threads` worker threads. The arg-max over
+/// the gathered benefits runs serially with the same earliest-index
+/// tie-break as the serial loop, so output is identical for every thread
+/// count.
+pub fn get_base_low_memory_threaded(
+    data: &MultiSeries,
+    w: usize,
+    max_ins: usize,
+    metric: ErrorMetric,
+    threads: usize,
+) -> Vec<Vec<f64>> {
     let cbis = candidate_intervals(data, w);
     let k = cbis.len();
     if k == 0 || max_ins == 0 {
@@ -128,11 +161,9 @@ pub fn get_base_low_memory(
     let mut selected: Vec<Vec<f64>> = Vec::with_capacity(max_ins.min(k));
 
     for _ in 0..max_ins.min(k) {
-        let mut best_i = None;
-        let mut best_benefit = 0.0f64;
-        for i in 0..k {
+        let benefits = crate::par::par_map(k, threads, |i| {
             if selected_flags[i] {
-                continue;
+                return f64::NEG_INFINITY;
             }
             let mut benefit = 0.0;
             for j in 0..k {
@@ -144,6 +175,14 @@ pub fn get_base_low_memory(
                 if e < best_err[j] {
                     benefit += best_err[j] - e;
                 }
+            }
+            benefit
+        });
+        let mut best_i = None;
+        let mut best_benefit = 0.0f64;
+        for (i, &benefit) in benefits.iter().enumerate() {
+            if selected_flags[i] {
+                continue;
             }
             if best_i.is_none() || benefit > best_benefit {
                 best_i = Some(i);
@@ -181,6 +220,17 @@ impl BaseBuilder for GetBaseBuilder {
     ) -> Vec<Vec<f64>> {
         get_base(data, w, max_ins, metric)
     }
+
+    fn build_threaded(
+        &self,
+        data: &MultiSeries,
+        w: usize,
+        max_ins: usize,
+        metric: ErrorMetric,
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        get_base_threaded(data, w, max_ins, metric, threads)
+    }
 }
 
 /// [`BaseBuilder`] wrapping [`get_base_low_memory`].
@@ -196,6 +246,17 @@ impl BaseBuilder for LowMemoryGetBase {
         metric: ErrorMetric,
     ) -> Vec<Vec<f64>> {
         get_base_low_memory(data, w, max_ins, metric)
+    }
+
+    fn build_threaded(
+        &self,
+        data: &MultiSeries,
+        w: usize,
+        max_ins: usize,
+        metric: ErrorMetric,
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        get_base_low_memory_threaded(data, w, max_ins, metric, threads)
     }
 }
 

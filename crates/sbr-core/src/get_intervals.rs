@@ -90,13 +90,19 @@ pub fn get_intervals(
 
     let ctx = MapContext::new(x, data.flat(), config, w);
     let metric = config.metric;
+    let threads = config.resolved_threads();
 
     let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(max_intervals);
     let mut frozen: Vec<Interval> = Vec::new();
 
-    for i in 0..n_signals {
+    // The per-signal fits are independent; fan them out over the worker
+    // pool. `par_map` returns results in index order, so the heap sees the
+    // same insertion sequence as the serial loop regardless of thread count.
+    for iv in crate::par::par_map(n_signals, threads, |i| {
         let mut iv = Interval::unfitted(i * m, m);
         ctx.best_map(&mut iv);
+        iv
+    }) {
         heap.push(HeapItem(iv));
     }
 
@@ -124,12 +130,28 @@ pub fn get_intervals(
 
         let left_len = worst.length / 2;
         let right_len = worst.length - left_len;
-        let mut left = Interval::unfitted(worst.start, left_len);
-        let mut right = Interval::unfitted(worst.start + left_len, right_len);
-        ctx.best_map(&mut left);
-        ctx.best_map(&mut right);
-        heap.push(HeapItem(left));
-        heap.push(HeapItem(right));
+        // Both children refit independently; left is pushed first either
+        // way, so the heap state is identical to the serial order. Spawning
+        // a thread costs tens of microseconds, so only fan out when the
+        // children face a real shift sweep (gate depends on sizes only —
+        // never on the thread count — keeping results deterministic).
+        let sweep_work = x.len().saturating_mul(right_len);
+        let child_threads = if right_len <= ctx.max_shift_len && sweep_work >= 1 << 16 {
+            threads
+        } else {
+            1
+        };
+        for child in crate::par::par_map(2, child_threads, |side| {
+            let mut iv = if side == 0 {
+                Interval::unfitted(worst.start, left_len)
+            } else {
+                Interval::unfitted(worst.start + left_len, right_len)
+            };
+            ctx.best_map(&mut iv);
+            iv
+        }) {
+            heap.push(HeapItem(child));
+        }
         num_intervals += 1;
     }
 
@@ -152,11 +174,7 @@ fn current_error(metric: ErrorMetric, heap: &BinaryHeap<HeapItem>, frozen: &[Int
 /// Reconstruct the concatenated series from a set of interval records
 /// against a flat base signal — the shared decode kernel used by the base
 /// station and by error probes. `records` need not be sorted.
-pub fn reconstruct_flat(
-    x: &[f64],
-    records: &[IntervalRecord],
-    n_total: usize,
-) -> Result<Vec<f64>> {
+pub fn reconstruct_flat(x: &[f64], records: &[IntervalRecord], n_total: usize) -> Result<Vec<f64>> {
     let mut recs: Vec<IntervalRecord> = records.to_vec();
     recs.sort_by_key(|r| r.start);
     if let Some(first) = recs.first() {
@@ -372,11 +390,7 @@ mod tests {
         let data = series(&[y]);
         let config = SbrConfig::new(32, 32).with_metric(ErrorMetric::MaxAbs);
         let approx = get_intervals(&[], &data, 32, 8, &config).unwrap();
-        let worst = approx
-            .intervals
-            .iter()
-            .map(|iv| iv.err)
-            .fold(0.0, f64::max);
+        let worst = approx.intervals.iter().map(|iv| iv.err).fold(0.0, f64::max);
         assert_eq!(approx.total_err, worst);
     }
 }

@@ -1,5 +1,6 @@
 //! The interval data structure of §4.2 and its wire representation.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Sentinel `shift` marking an interval approximated by the linear-regression
@@ -62,7 +63,8 @@ impl Interval {
 }
 
 /// Wire form of an interval: exactly the four transmitted values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct IntervalRecord {
     /// Offset into the concatenated data series.
     pub start: u64,

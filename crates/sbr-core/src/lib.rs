@@ -61,11 +61,14 @@ pub mod search;
 pub mod series;
 pub mod transmission;
 pub mod wire_profile;
+pub mod xcorr;
+
+pub(crate) mod par;
 
 pub use adaptive::{AdaptiveEncoder, Quality, QualityMonitor};
 pub use base_signal::BaseSignal;
 pub use bounds::{BoundedEncoding, ErrorBoundSpec};
-pub use config::{BaseBuilder, SbrConfig};
+pub use config::{BaseBuilder, SbrConfig, ShiftStrategy};
 pub use decoder::Decoder;
 pub use error::SbrError;
 pub use get_base::{GetBaseBuilder, LowMemoryGetBase};

@@ -10,10 +10,12 @@
 //! 2. how per-interval errors combine into a batch error (sum vs. max),
 //! 3. how a reconstruction is scored against the original.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// The error metric an encoder optimizes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 #[derive(Default)]
 pub enum ErrorMetric {
     /// Sum of squared errors `Σ (y_i - ŷ_i)²` — the paper's default.
@@ -31,7 +33,6 @@ pub enum ErrorMetric {
     /// Maximum absolute error `max |y_i - ŷ_i|` (minimax / Chebyshev fit).
     MaxAbs,
 }
-
 
 impl ErrorMetric {
     /// A relative-error metric with the sanity bound used throughout the
@@ -57,7 +58,8 @@ impl ErrorMetric {
 
     /// Fold a slice of interval errors into a batch error.
     pub fn combine_all(self, errs: impl IntoIterator<Item = f64>) -> f64 {
-        errs.into_iter().fold(self.zero(), |acc, e| self.combine(acc, e))
+        errs.into_iter()
+            .fold(self.zero(), |acc, e| self.combine(acc, e))
     }
 
     /// Score a reconstruction `approx` against the original `exact`.
@@ -143,7 +145,11 @@ mod tests {
     #[test]
     fn perfect_reconstruction_scores_zero() {
         let y = [1.0, -2.0, 3.5];
-        for m in [ErrorMetric::Sse, ErrorMetric::relative(), ErrorMetric::MaxAbs] {
+        for m in [
+            ErrorMetric::Sse,
+            ErrorMetric::relative(),
+            ErrorMetric::MaxAbs,
+        ] {
             assert_eq!(m.score(&y, &y), 0.0);
         }
     }

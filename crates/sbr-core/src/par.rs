@@ -1,0 +1,92 @@
+//! Deterministic scoped-thread fan-out for the encoder's independent
+//! subproblems (per-slot `BestMap` fits, `GetBase` error-matrix rows,
+//! `Search` probes).
+//!
+//! Work is identified by index; each worker grabs indices from a shared
+//! atomic counter, computes results locally, and the results are merged
+//! *by index* after all workers join. The scheduling order therefore never
+//! influences the output — every thread count (including 1) produces
+//! byte-identical results, which the `determinism` integration tests pin
+//! down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Evaluate `f(0), f(1), …, f(n-1)` and return the results in index order,
+/// using up to `threads` scoped worker threads.
+///
+/// With `threads <= 1` (or trivially small `n`) this is a plain serial map
+/// with zero overhead — exactly the pre-threading behaviour. Worker panics
+/// propagate to the caller.
+pub(crate) fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("sbr worker thread panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = par_map(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(par_map(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sbr worker thread panicked")]
+    fn worker_panic_propagates() {
+        par_map(8, 2, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

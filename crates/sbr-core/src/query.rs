@@ -49,9 +49,7 @@ impl<'a> ChunkView<'a> {
         }
         // Validate coverage once so queries can't go out of bounds.
         for (k, r) in records.iter().enumerate() {
-            let end = records
-                .get(k + 1)
-                .map_or(n_total, |nx| nx.start as usize);
+            let end = records.get(k + 1).map_or(n_total, |nx| nx.start as usize);
             if r.start as usize >= end || end > n_total {
                 return Err(SbrError::Corrupt(format!(
                     "record {k} covers [{}, {end}) of {n_total}",
@@ -399,7 +397,10 @@ mod tests {
             let agg = aggregate_stream(&mut d, &txs, 1, t0, t1).unwrap();
             let slice = &truth[1][t0..t1];
             let sum: f64 = slice.iter().sum();
-            assert!((agg.sum - sum).abs() < 1e-9 * (1.0 + sum.abs()), "[{t0},{t1})");
+            assert!(
+                (agg.sum - sum).abs() < 1e-9 * (1.0 + sum.abs()),
+                "[{t0},{t1})"
+            );
             assert_eq!(agg.count, t1 - t0);
         }
     }

@@ -141,7 +141,14 @@ pub fn fit_sse_with_stats(
 }
 
 #[inline]
-fn fit_sse_from_sums(len: f64, sum_x: f64, sum_x2: f64, sum_y: f64, sum_y2: f64, sum_xy: f64) -> Fit {
+fn fit_sse_from_sums(
+    len: f64,
+    sum_x: f64,
+    sum_x2: f64,
+    sum_y: f64,
+    sum_y2: f64,
+    sum_xy: f64,
+) -> Fit {
     // Centered (co)variances: numerically far better behaved than the raw
     // normal equations when the data is large in magnitude.
     let s_xx = sum_x2 - sum_x * sum_x / len;
@@ -218,10 +225,7 @@ pub fn fit_relative(x: &[f64], y: &[f64], sanity: f64) -> Fit {
         let a = (sw * swxy - swx * swy) / denom;
         (a, (swy - a * swx) / sw)
     };
-    let err = swy2 - 2.0 * a * swxy - 2.0 * b * swy
-        + a * a * swx2
-        + 2.0 * a * b * swx
-        + b * b * sw;
+    let err = swy2 - 2.0 * a * swxy - 2.0 * b * swy + a * a * swx2 + 2.0 * a * b * swx + b * b * sw;
     Fit {
         a,
         b,
@@ -519,7 +523,11 @@ mod tests {
     fn fit_dispatches_by_metric() {
         let x = [0.0, 1.0, 2.0, 3.0];
         let y = [1.0, 3.0, 5.0, 7.0];
-        for m in [ErrorMetric::Sse, ErrorMetric::relative(), ErrorMetric::MaxAbs] {
+        for m in [
+            ErrorMetric::Sse,
+            ErrorMetric::relative(),
+            ErrorMetric::MaxAbs,
+        ] {
             let f = fit(m, &x, &y);
             assert_close(f.err, 0.0, 1e-9);
             assert_close(f.a, 2.0, 1e-9);

@@ -45,7 +45,12 @@ impl SbrEncoder {
     /// Create an encoder for batches of `n_signals × samples_per_signal`
     /// values under `config`, using the paper's `GetBase` construction.
     pub fn new(n_signals: usize, samples_per_signal: usize, config: SbrConfig) -> Result<Self> {
-        Self::with_builder(n_signals, samples_per_signal, config, Box::new(GetBaseBuilder))
+        Self::with_builder(
+            n_signals,
+            samples_per_signal,
+            config,
+            Box::new(GetBaseBuilder),
+        )
     }
 
     /// Like [`SbrEncoder::new`] but with a custom base-signal construction
@@ -109,7 +114,10 @@ impl SbrEncoder {
     /// Budget knobs only — the base-signal geometry (`W`, slot capacity) is
     /// fixed at construction and must not change mid-stream.
     pub(crate) fn set_config_for_bounds(&mut self, config: SbrConfig) {
-        debug_assert_eq!(config.w_for(self.n_signals * self.samples_per_signal), self.w);
+        debug_assert_eq!(
+            config.w_for(self.n_signals * self.samples_per_signal),
+            self.w
+        );
         self.config = config;
     }
 
@@ -140,9 +148,13 @@ impl SbrEncoder {
         // many to insert.
         let (candidates, ins, probes) = if self.config.update_base {
             let max_ins = self.config.max_ins(self.w);
-            let candidates =
-                self.builder
-                    .build(data, self.w, max_ins, self.config.metric);
+            let candidates = self.builder.build_threaded(
+                data,
+                self.w,
+                max_ins,
+                self.config.metric,
+                self.config.resolved_threads(),
+            );
             let mut search =
                 SearchContext::new(&self.base, &candidates, data, self.w, &self.config);
             let mut ins = search.run();
@@ -152,11 +164,7 @@ impl SbrEncoder {
             // hold one interval per signal (Ins = 0 is always feasible —
             // `validate` guaranteed TotalBand ≥ 4N).
             while ins > 0
-                && self
-                    .config
-                    .total_band
-                    .saturating_sub(ins * (self.w + 1))
-                    < 4 * self.n_signals
+                && self.config.total_band.saturating_sub(ins * (self.w + 1)) < 4 * self.n_signals
             {
                 ins -= 1;
             }
@@ -169,7 +177,9 @@ impl SbrEncoder {
         // Step 2: decide where the inserted intervals finally live (LFU
         // eviction when the buffer is full). The decoder mirrors this from
         // the transmitted slot indices alone.
-        let placements = self.base.plan_placement(ins, self.capacity_slots.max(ins))?;
+        let placements = self
+            .base
+            .plan_placement(ins, self.capacity_slots.max(ins))?;
 
         // Step 3 (Algorithm 3): approximate against the candidate layout
         // X_new = X ∥ inserted, with the bandwidth left over after paying

@@ -66,6 +66,8 @@ impl<'a> SearchContext<'a> {
     /// Probe every insertion count; ground truth for the unimodality
     /// assumption behind Algorithm 7.
     fn run_exhaustive(&mut self) -> usize {
+        let all: Vec<usize> = (0..=self.candidates.len()).collect();
+        self.prefetch(&all);
         let mut best = 0;
         let mut best_err = self.error_at(0);
         for pos in 1..=self.candidates.len() {
@@ -90,34 +92,72 @@ impl<'a> SearchContext<'a> {
             return e;
         }
         self.probes += 1;
-        let budget = self
-            .config
-            .total_band
-            .saturating_sub(pos * (self.w + 1));
-        let e = if budget / IntervalRecord::COST < self.data.n_signals() {
-            // Insertions ate the whole budget; this count is infeasible.
-            f64::INFINITY
-        } else {
-            let cands: Vec<&[f64]> = self.candidates[..pos].iter().map(Vec::as_slice).collect();
-            let mut scratch = std::mem::take(&mut self.scratch);
-            let x = self.base.flat_with_appended(&cands, &mut scratch);
-            let err = match get_intervals(x, self.data, budget, self.w, self.config) {
-                Ok(a) => a.total_err,
-                Err(_) => f64::INFINITY,
-            };
-            self.scratch = scratch;
-            err
-        };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let e = self.compute_error(pos, &mut scratch);
+        self.scratch = scratch;
         self.errors[pos] = Some(e);
         e
     }
 
-    /// Algorithm 7, verbatim.
+    /// The probe itself, memo-free: one full `GetIntervals` run against the
+    /// would-be dictionary (or `∞` when `pos` insertions exhaust the
+    /// budget). Shared by the serial memoized path and the parallel
+    /// prefetch.
+    fn compute_error(&self, pos: usize, scratch: &mut Vec<f64>) -> f64 {
+        let budget = self.config.total_band.saturating_sub(pos * (self.w + 1));
+        if budget / IntervalRecord::COST < self.data.n_signals() {
+            // Insertions ate the whole budget; this count is infeasible.
+            return f64::INFINITY;
+        }
+        let cands: Vec<&[f64]> = self.candidates[..pos].iter().map(Vec::as_slice).collect();
+        let x = self.base.flat_with_appended(&cands, scratch);
+        match get_intervals(x, self.data, budget, self.w, self.config) {
+            Ok(a) => a.total_err,
+            Err(_) => f64::INFINITY,
+        }
+    }
+
+    /// Evaluate any not-yet-memoized probes among `positions` concurrently
+    /// and store them in the memo (counted by [`SearchContext::probes`]).
+    ///
+    /// With one worker thread this is a no-op: the serial search then
+    /// probes lazily, exactly as before. With more threads the search
+    /// speculatively evaluates the at-most-four positions a recursion level
+    /// *might* need; the selected insertion count is unaffected (the memo
+    /// holds identical values either way), the search merely trades at most
+    /// one extra probe per level for running them all in parallel.
+    fn prefetch(&mut self, positions: &[usize]) {
+        let threads = self.config.resolved_threads();
+        if threads <= 1 {
+            return;
+        }
+        let mut missing: Vec<usize> = positions
+            .iter()
+            .copied()
+            .filter(|&p| p < self.errors.len() && self.errors[p].is_none())
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        if missing.len() < 2 {
+            return;
+        }
+        let values = crate::par::par_map(missing.len(), threads, |i| {
+            self.compute_error(missing[i], &mut Vec::new())
+        });
+        for (&pos, e) in missing.iter().zip(values) {
+            self.errors[pos] = Some(e);
+            self.probes += 1;
+        }
+    }
+
+    /// Algorithm 7, verbatim (plus a speculative parallel prefetch of the
+    /// level's probe positions when threading is enabled).
     fn search(&mut self, start: usize, end: usize) -> usize {
         if end == start {
             return start;
         }
         let middle = (start + end) / 2;
+        self.prefetch(&[start, middle, middle + 1, end]);
         let e_mid = self.error_at(middle);
         let e_start = self.error_at(start);
         if e_mid > e_start {

@@ -1,13 +1,15 @@
 //! What a sensor actually sends per batch: base-signal updates plus interval
 //! records, with exact bandwidth accounting (§4.3).
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use crate::interval::IntervalRecord;
 
 /// One inserted base interval: its `W` samples plus the slot of the
 /// base-signal buffer it finally occupies. Costs `W + 1` values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BaseUpdate {
     /// Final slot index in the base-signal buffer. Slots beyond the
     /// receiver's current buffer are appends; earlier slots are
@@ -31,7 +33,8 @@ impl BaseUpdate {
 /// decodes every interval record against `X_new`, and only then applies the
 /// slot placements to obtain the buffer used by the next transmission. The
 /// `shift` fields therefore always reference the `X_new` layout.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Transmission {
     /// Monotone sequence number of the batch (0-based).
     pub seq: u64,
@@ -51,7 +54,10 @@ impl Transmission {
     /// Total bandwidth cost in values:
     /// `Ins × (W + 1) + 4 × #intervals` (§4.3).
     pub fn cost(&self) -> usize {
-        self.base_updates.iter().map(BaseUpdate::cost).sum::<usize>()
+        self.base_updates
+            .iter()
+            .map(BaseUpdate::cost)
+            .sum::<usize>()
             + self.intervals.len() * IntervalRecord::COST
     }
 

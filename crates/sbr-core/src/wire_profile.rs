@@ -180,11 +180,10 @@ fn encode_f32(tx: &Transmission, buf: &mut BytesMut) {
 
 fn decode_f32(buf: &mut impl Buf) -> Result<Transmission> {
     let h = get_header(buf)?;
-    let declared = h
-        .nu
-        .checked_mul(4 + 4 * h.w as usize)
-        .and_then(|a| h.ni.checked_mul(16).and_then(|b| a.checked_add(b)))
-        .ok_or_else(|| SbrError::Corrupt("declared f32 payload overflows".into()))?;
+    let declared =
+        h.nu.checked_mul(4 + 4 * h.w as usize)
+            .and_then(|a| h.ni.checked_mul(16).and_then(|b| a.checked_add(b)))
+            .ok_or_else(|| SbrError::Corrupt("declared f32 payload overflows".into()))?;
     need(buf, declared, "f32 payload")?;
     let mut base_updates = Vec::with_capacity(h.nu);
     for _ in 0..h.nu {
@@ -261,12 +260,11 @@ fn decode_q16(buf: &mut impl Buf) -> Result<Transmission> {
     let h = get_header(buf)?;
     // Upfront bound before any allocation: each update needs at least
     // slot + range + 2·W bytes, each record 12, plus the intercept block.
-    let declared = h
-        .nu
-        .checked_mul(4 + 16 + 2 * h.w as usize)
-        .and_then(|a| h.ni.checked_mul(12 + 2).and_then(|b| a.checked_add(b)))
-        .and_then(|a| a.checked_add(16))
-        .ok_or_else(|| SbrError::Corrupt("declared q16 payload overflows".into()))?;
+    let declared =
+        h.nu.checked_mul(4 + 16 + 2 * h.w as usize)
+            .and_then(|a| h.ni.checked_mul(12 + 2).and_then(|b| a.checked_add(b)))
+            .and_then(|a| a.checked_add(16))
+            .ok_or_else(|| SbrError::Corrupt("declared q16 payload overflows".into()))?;
     need(buf, declared, "q16 payload")?;
     let mut base_updates = Vec::with_capacity(h.nu);
     for _ in 0..h.nu {
@@ -276,10 +274,9 @@ fn decode_q16(buf: &mut impl Buf) -> Result<Transmission> {
         base_updates.push(BaseUpdate { slot, values });
     }
     let intercepts = dequantize_block(buf, h.ni)?;
-    let declared = h
-        .ni
-        .checked_mul(12)
-        .ok_or_else(|| SbrError::Corrupt("declared q16 records overflow".into()))?;
+    let declared =
+        h.ni.checked_mul(12)
+            .ok_or_else(|| SbrError::Corrupt("declared q16 records overflow".into()))?;
     need(buf, declared, "q16 interval records")?;
     let mut intervals = Vec::with_capacity(h.ni);
     for b in intercepts {

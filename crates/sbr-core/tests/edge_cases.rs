@@ -86,10 +86,12 @@ fn constant_batches_cost_one_interval_each() {
 
 #[test]
 fn metric_switch_changes_fits_not_protocol() {
-    let rows: Vec<Vec<f64>> = vec![(0..64)
-        .map(|i| 1000.0 + ((i * 7) % 13) as f64)
-        .collect()];
-    for metric in [ErrorMetric::Sse, ErrorMetric::relative(), ErrorMetric::MaxAbs] {
+    let rows: Vec<Vec<f64>> = vec![(0..64).map(|i| 1000.0 + ((i * 7) % 13) as f64).collect()];
+    for metric in [
+        ErrorMetric::Sse,
+        ErrorMetric::relative(),
+        ErrorMetric::MaxAbs,
+    ] {
         let cfg = SbrConfig::new(40, 32).with_metric(metric);
         let mut enc = SbrEncoder::new(1, 64, cfg).unwrap();
         let tx = enc.encode(&rows).unwrap();
@@ -103,7 +105,9 @@ fn metric_switch_changes_fits_not_protocol() {
 fn m_base_zero_works_when_updates_disabled() {
     let cfg = SbrConfig::new(32, 0).frozen_base();
     let mut enc = SbrEncoder::new(1, 64, cfg).unwrap();
-    let rows = vec![(0..64).map(|i| (i as f64 * 0.3).sin()).collect::<Vec<f64>>()];
+    let rows = vec![(0..64)
+        .map(|i| (i as f64 * 0.3).sin())
+        .collect::<Vec<f64>>()];
     let tx = enc.encode(&rows).unwrap();
     assert!(tx.base_updates.is_empty());
 }
@@ -112,7 +116,10 @@ fn m_base_zero_works_when_updates_disabled() {
 fn m_base_zero_with_updates_is_equivalent_to_no_inserts() {
     // maxIns = 0, so GetBase is consulted but nothing can be inserted.
     let cfg = SbrConfig::new(32, 0);
-    assert!(SbrEncoder::new(1, 64, cfg).is_err(), "W > M_base is rejected");
+    assert!(
+        SbrEncoder::new(1, 64, cfg).is_err(),
+        "W > M_base is rejected"
+    );
 }
 
 #[test]
@@ -143,7 +150,9 @@ fn stats_survive_error_paths() {
 #[test]
 fn huge_magnitudes_roundtrip_finite() {
     let rows = vec![
-        (0..32).map(|i| 1e15 * ((i % 5) as f64 - 2.0)).collect::<Vec<f64>>(),
+        (0..32)
+            .map(|i| 1e15 * ((i % 5) as f64 - 2.0))
+            .collect::<Vec<f64>>(),
         (0..32).map(|i| 1e-15 * i as f64).collect(),
     ];
     let mut enc = SbrEncoder::new(2, 32, SbrConfig::new(64, 32)).unwrap();

@@ -141,7 +141,9 @@ mod tests {
     #[test]
     fn partial_merge_is_correct_and_associative() {
         let vals = [3.0, -1.0, 7.0, 2.0];
-        let merged = vals.iter().fold(Partial::IDENTITY, |acc, &v| acc.merge(Partial::of(v)));
+        let merged = vals
+            .iter()
+            .fold(Partial::IDENTITY, |acc, &v| acc.merge(Partial::of(v)));
         assert_eq!(merged.count, 4);
         assert_eq!(merged.sum, 11.0);
         assert_eq!(merged.min, -1.0);

@@ -42,10 +42,7 @@ impl Default for SensorLog {
             frames: Vec::new(),
             next_seq: 0,
             tracker: Decoder::new(),
-            checkpoints: vec![Checkpoint {
-                seq: 0,
-                base: None,
-            }],
+            checkpoints: vec![Checkpoint { seq: 0, base: None }],
         }
     }
 }
@@ -185,9 +182,7 @@ impl BaseStation {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::hash_map::Entry::Vacant(e) => {
                         let w = crate::storage::LogWriter::open(dir, node).map_err(|err| {
-                            SbrError::Corrupt(format!(
-                                "cannot open log for sensor {node}: {err}"
-                            ))
+                            SbrError::Corrupt(format!("cannot open log for sensor {node}: {err}"))
                         })?;
                         e.insert(w)
                     }
@@ -445,7 +440,10 @@ mod tests {
             let min = slice.iter().copied().fold(f64::INFINITY, f64::min);
             let max = slice.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             assert_eq!(agg.count, t1 - t0);
-            assert!((agg.sum - sum).abs() < 1e-9 * (1.0 + sum.abs()), "[{t0},{t1})");
+            assert!(
+                (agg.sum - sum).abs() < 1e-9 * (1.0 + sum.abs()),
+                "[{t0},{t1})"
+            );
             assert!((agg.min - min).abs() < 1e-9 * (1.0 + min.abs()));
             assert!((agg.max - max).abs() < 1e-9 * (1.0 + max.abs()));
             assert!((agg.avg - sum / (t1 - t0) as f64).abs() < 1e-9);

@@ -7,10 +7,12 @@
 //! broadcast radios make every node within range of a sender pay the
 //! receive cost whether or not the message was addressed to it.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Energy cost constants, in CPU-instruction equivalents.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct EnergyModel {
     /// Cost for a node to transmit one value (64 bits × 1000 instr/bit).
     pub tx_per_value: f64,
@@ -33,7 +35,8 @@ impl Default for EnergyModel {
 }
 
 /// Per-node energy ledger.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct EnergyLedger {
     /// Instruction-equivalents spent transmitting.
     pub tx: f64,
@@ -68,7 +71,8 @@ impl EnergyLedger {
 /// Battery + lifetime estimation: §3.1 motivates data reduction with
 /// battery capacities growing only 2–3% per year; this turns a ledger into
 /// the paper's bottom line — *how much longer does the network live?*
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Battery {
     /// Capacity in CPU-instruction-equivalents (the unit of
     /// [`EnergyModel`]). Two AA cells on a MICA-class mote are on the
@@ -137,7 +141,9 @@ mod tests {
         ledgers[1].charge_tx(&m, 10);
         ledgers[2].charge_tx(&m, 100); // hungriest sensor
         ledgers[3].charge_tx(&m, 50);
-        let b = Battery { capacity: 64_000.0 * 1_000.0 };
+        let b = Battery {
+            capacity: 64_000.0 * 1_000.0,
+        };
         assert_eq!(b.first_to_die(&ledgers), Some(2));
         assert!((b.network_lifetime(&ledgers) - 10.0).abs() < 1e-9);
     }

@@ -31,7 +31,10 @@ pub struct HopOutcome {
 impl LossyLink {
     /// A link dropping each attempt with probability `loss_prob`.
     pub fn new(loss_prob: f64, max_attempts: u32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&loss_prob), "loss probability in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&loss_prob),
+            "loss probability in [0, 1)"
+        );
         assert!(max_attempts >= 1);
         LossyLink {
             loss_prob,

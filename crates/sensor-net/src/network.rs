@@ -161,10 +161,7 @@ impl Network {
             "one feed per non-base node"
         );
         let n_signals = feeds.first().map_or(0, Vec::len);
-        let feed_len = feeds
-            .first()
-            .and_then(|f| f.first())
-            .map_or(0, Vec::len);
+        let feed_len = feeds.first().and_then(|f| f.first()).map_or(0, Vec::len);
         for (i, feed) in feeds.iter().enumerate() {
             if feed.len() != n_signals || feed.iter().any(|row| row.len() != feed_len) {
                 return Err(SbrError::ShapeMismatch {
@@ -244,19 +241,17 @@ impl Network {
                                 }
                             }
                             if !delivered {
-                                return Err(sbr_core::SbrError::InconsistentState(
-                                    format!("node {node}: batch undeliverable after 16 end-to-end retries"),
-                                ));
+                                return Err(sbr_core::SbrError::InconsistentState(format!(
+                                    "node {node}: batch undeliverable after 16 end-to-end retries"
+                                )));
                             }
                             self.station.receive(node, flush.frame)?;
                         }
                     }
                     // Fidelity: replay the log and compare with the truth.
-                    let chunks = self.station.reconstruct_chunks(
-                        node,
-                        0,
-                        self.station.chunk_count(node),
-                    )?;
+                    let chunks =
+                        self.station
+                            .reconstruct_chunks(node, 0, self.station.chunk_count(node))?;
                     for (b, chunk) in chunks.iter().enumerate() {
                         let s = b * samples_per_batch;
                         for (row, rec) in feed.iter().zip(chunk) {
@@ -380,7 +375,9 @@ mod tests {
         let data = feeds(2, 2, 128);
         let cfg = SbrConfig::new(48, 32);
         let mut reliable = network(3);
-        let r = reliable.simulate(&data, 64, &Strategy::Sbr(cfg.clone())).unwrap();
+        let r = reliable
+            .simulate(&data, 64, &Strategy::Sbr(cfg.clone()))
+            .unwrap();
         let mut lossy = network(3);
         lossy.set_link(crate::link::LossyLink::new(0.4, 50, 7));
         let l = lossy.simulate(&data, 64, &Strategy::Sbr(cfg)).unwrap();
@@ -400,7 +397,10 @@ mod tests {
         let mut net = network(3);
         net.simulate(&data, 64, &Strategy::Sbr(SbrConfig::new(48, 32)))
             .unwrap();
-        let r = net.station().reconstruct_signal_range(1, 0, 10, 70).unwrap();
+        let r = net
+            .station()
+            .reconstruct_signal_range(1, 0, 10, 70)
+            .unwrap();
         assert_eq!(r.len(), 60);
     }
 }

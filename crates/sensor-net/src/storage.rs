@@ -128,7 +128,11 @@ mod tests {
         (0..n)
             .map(|c| {
                 let rows: Vec<Vec<f64>> = (0..2)
-                    .map(|r| (0..64).map(|i| ((i + c * 7 + r) as f64 * 0.3).sin()).collect())
+                    .map(|r| {
+                        (0..64)
+                            .map(|i| ((i + c * 7 + r) as f64 * 0.3).sin())
+                            .collect()
+                    })
                     .collect();
                 codec::encode(&enc.encode(&rows).unwrap())
             })

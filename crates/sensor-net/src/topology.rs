@@ -35,7 +35,9 @@ impl Topology {
             let ang = 2.0 * std::f64::consts::PI * i as f64 / (n_nodes - 1).max(1) as f64;
             positions.push((radius * ang.cos(), radius * ang.sin()));
         }
-        let parents = (0..n_nodes).map(|i| if i == 0 { None } else { Some(0) }).collect();
+        let parents = (0..n_nodes)
+            .map(|i| if i == 0 { None } else { Some(0) })
+            .collect();
         Topology {
             positions,
             parents,
@@ -71,7 +73,8 @@ impl Topology {
             positions.push((next() * side, next() * side));
         }
 
-        let dist = |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        let dist =
+            |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
         // Connect nodes in order of distance to the base.
         let mut order: Vec<NodeId> = (1..n_nodes).collect();
         order.sort_by(|&a, &b| {
@@ -83,7 +86,9 @@ impl Topology {
             let best = connected
                 .iter()
                 .copied()
-                .min_by(|&a, &b| dist(positions[i], positions[a]).total_cmp(&dist(positions[i], positions[b])))
+                .min_by(|&a, &b| {
+                    dist(positions[i], positions[a]).total_cmp(&dist(positions[i], positions[b]))
+                })
                 .expect("base is always connected");
             parents[i] = Some(best);
             connected.push(i);
@@ -172,7 +177,10 @@ mod tests {
             let t = Topology::random(40, 10.0, 2.5, seed);
             for n in 0..t.len() {
                 let route = t.route(n);
-                assert!(route.last().copied().unwrap_or(0) == 0, "node {n} not rooted");
+                assert!(
+                    route.last().copied().unwrap_or(0) == 0,
+                    "node {n} not rooted"
+                );
                 assert!(route.len() < t.len());
             }
         }

@@ -33,7 +33,10 @@ fn lifetime_ordering_raw_worst_sbr_best_at_low_ratio() {
     let sbr30 = life(&Strategy::Sbr(SbrConfig::new(2 * 128 * 3 / 10, 64)));
     assert!(sbr10 > sbr30, "lower ratio must live longer");
     assert!(sbr30 > raw, "any compression must beat raw");
-    assert!(sbr10 > 5.0 * raw, "10% ratio should buy ~an order of magnitude");
+    assert!(
+        sbr10 > 5.0 * raw,
+        "10% ratio should buy ~an order of magnitude"
+    );
 }
 
 #[test]
@@ -52,7 +55,10 @@ fn deep_chains_amplify_compression_gains() {
     let chain_gain = chain_raw / chain_sbr;
     let star_gain = star_raw / star_sbr;
     // Both topologies gain about the ratio; absolute energy differs a lot.
-    assert!(chain_raw > 2.0 * star_raw, "relaying must cost more on chains");
+    assert!(
+        chain_raw > 2.0 * star_raw,
+        "relaying must cost more on chains"
+    );
     assert!(chain_gain > 5.0 && star_gain > 5.0);
 }
 

@@ -34,8 +34,14 @@ fn main() {
             (&stormy, "storm", 3.0)
         };
         let s = t * file_len;
-        let temperature = src.signals[0][s..s + file_len].iter().map(|v| v * scale).collect();
-        let dewpoint = src.signals[1][s..s + file_len].iter().map(|v| v * scale).collect();
+        let temperature = src.signals[0][s..s + file_len]
+            .iter()
+            .map(|v| v * scale)
+            .collect();
+        let dewpoint = src.signals[1][s..s + file_len]
+            .iter()
+            .map(|v| v * scale)
+            .collect();
         // Humidity is sampled 4× slower and aligned onto the common clock.
         let humidity_slow: Vec<f64> = src.signals[5][s..s + file_len]
             .iter()

@@ -38,7 +38,10 @@ fn main() {
     // Operator questions, answered on the compressed records.
     let core1 = 0; // link index
     let day = batch / 3;
-    println!("\nlink {:?} — compressed-domain queries:", data.signal_names[core1]);
+    println!(
+        "\nlink {:?} — compressed-domain queries:",
+        data.signal_names[core1]
+    );
     for d in 0..3 {
         let mut dec = Decoder::new();
         let agg = aggregate_stream(&mut dec, &txs, core1, d * day, (d + 1) * day)

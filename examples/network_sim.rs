@@ -72,6 +72,9 @@ fn main() {
     println!("  60 samples reconstructed from the log, sse {sse:.3}");
     println!(
         "  first five: {:?}",
-        &window[..5].iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+        &window[..5]
+            .iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1+ verification entry point: everything CI runs, runnable locally.
+#
+#   scripts/ci.sh            # full pass
+#   scripts/ci.sh --no-bench # skip the fig5 smoke benchmark
+#
+# The build is fully offline: every external dependency is vendored under
+# vendor/ and pinned by the committed Cargo.lock.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_bench=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-bench) run_bench=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test --workspace -q --offline
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --offline -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+if [ "$run_bench" = 1 ]; then
+  echo "==> fig5 --quick (emits BENCH_SBR.json)"
+  cargo run -p sbr-bench --release --offline --bin fig5 -- --quick
+  test -s BENCH_SBR.json || { echo "BENCH_SBR.json missing or empty" >&2; exit 1; }
+fi
+
+echo "CI pass complete."

@@ -97,3 +97,50 @@ fn per_sensor_streams_are_independent() {
     assert_eq!(station.chunk_count(1), 3);
     assert_eq!(station.chunk_count(2), 2);
 }
+
+/// Encode a few evolving batches and return the exact transmitted bytes.
+fn stream_bytes(config: SbrConfig) -> Vec<Vec<u8>> {
+    let mut enc = SbrEncoder::new(2, 256, config).unwrap();
+    (0..4)
+        .map(|round| {
+            let rows: Vec<Vec<f64>> = (0..2)
+                .map(|r| {
+                    (0..256)
+                        .map(|i| {
+                            ((i % 32) as f64 * 0.7 + r as f64).sin() * 5.0
+                                + ((i + round * 19) as f64 * 0.23).cos() * (round + 1) as f64
+                        })
+                        .collect()
+                })
+                .collect();
+            codec::encode(&enc.encode(&rows).unwrap()).to_vec()
+        })
+        .collect()
+}
+
+#[test]
+fn thread_count_never_changes_the_transmissions() {
+    // The fan-out shards work by index and reduces in index order, so the
+    // byte stream a sensor emits must be identical for every worker count.
+    let reference = stream_bytes(SbrConfig::new(200, 200).with_threads(1));
+    for threads in [2usize, 8] {
+        let other = stream_bytes(SbrConfig::new(200, 200).with_threads(threads));
+        assert_eq!(
+            reference, other,
+            "num_threads = {threads} changed the output"
+        );
+    }
+}
+
+#[test]
+fn shift_strategy_never_changes_the_transmissions() {
+    // The FFT kernel re-verifies winning shifts exactly, so Direct, Fft and
+    // Auto must all emit byte-identical streams.
+    use sbr_repro::core::ShiftStrategy;
+    let reference =
+        stream_bytes(SbrConfig::new(200, 200).with_shift_strategy(ShiftStrategy::Direct));
+    for strategy in [ShiftStrategy::Auto, ShiftStrategy::Fft] {
+        let other = stream_bytes(SbrConfig::new(200, 200).with_shift_strategy(strategy));
+        assert_eq!(reference, other, "{strategy:?} changed the output");
+    }
+}

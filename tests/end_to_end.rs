@@ -47,7 +47,11 @@ fn decoded_error_equals_reported_error_across_datasets() {
     for (files, n_signals, m) in [
         (weather_files(2, 256, 3), 6, 256),
         (sbr_repro::datasets::stock(2, 5, 256 * 3).chunk(256), 5, 256),
-        (sbr_repro::datasets::phone(2, 256 * 3, 64).chunk(256), 15, 256),
+        (
+            sbr_repro::datasets::phone(2, 256 * 3, 64).chunk(256),
+            15,
+            256,
+        ),
     ] {
         let band = n_signals * m / 5;
         let mut enc = SbrEncoder::new(n_signals, m, SbrConfig::new(band, 400)).unwrap();
@@ -146,7 +150,9 @@ fn max_abs_bound_survives_the_full_pipeline() {
         let tx = enc.encode(rows).unwrap();
         let bound = enc.last_stats().unwrap().total_err;
         let frame = codec::encode(&tx);
-        let rec = dec.decode(&codec::decode(&mut frame.clone()).unwrap()).unwrap();
+        let rec = dec
+            .decode(&codec::decode(&mut frame.clone()).unwrap())
+            .unwrap();
         for (o, r) in rows.iter().zip(&rec) {
             let worst = ErrorMetric::MaxAbs.score(o, r);
             assert!(

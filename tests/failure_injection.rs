@@ -199,7 +199,9 @@ fn encoder_survives_pathological_but_finite_data() {
         vec![vec![0.0; 64]; 2],
         vec![vec![1e300; 64], vec![-1e300; 64]],
         vec![
-            (0..64).map(|i| if i % 2 == 0 { 1e12 } else { -1e12 }).collect(),
+            (0..64)
+                .map(|i| if i % 2 == 0 { 1e12 } else { -1e12 })
+                .collect(),
             vec![f64::MIN_POSITIVE; 64],
         ],
     ];

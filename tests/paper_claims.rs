@@ -133,7 +133,10 @@ fn learned_base_beats_plain_regression() {
     }
     sbr /= files.len() as f64;
     let linreg = baseline_avg_sse(&files, &LinRegCompressor::default(), band);
-    assert!(sbr < linreg, "base-signal SBR {sbr} vs plain regression {linreg}");
+    assert!(
+        sbr < linreg,
+        "base-signal SBR {sbr} vs plain regression {linreg}"
+    );
 }
 
 /// Claim (§4.4): freezing the base signal after convergence barely hurts.

@@ -1,0 +1,47 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors marker-level `Serialize` / `Deserialize` traits and a derive that
+//! emits empty impls. This keeps `#[cfg_attr(feature = "serde", derive(...))]`
+//! annotations compiling (and the feature wiring honest) without pulling in
+//! the real serializer framework. Code that needs actual serialization uses
+//! the hand-rolled wire codec in `sbr-core::codec` instead.
+
+/// Marker for types whose values can be serialized.
+///
+/// The stand-in carries no serializer plumbing; the derive emits an empty
+/// impl of this trait.
+pub trait Serialize {}
+
+/// Marker for types whose values can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias, mirroring serde's blanket relationship.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_primitives {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {}
+            impl<'de> Deserialize<'de> for $ty {}
+        )*
+    };
+}
+
+impl_primitives!(
+    bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, char, String
+);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}

@@ -1,0 +1,43 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The traits are markers, so the derive only needs the type's name and
+//! generics-free shape: it scans the token stream for `struct`/`enum`, takes
+//! the following identifier, and emits an empty trait impl. Generic types
+//! are not supported (none of the workspace's serialized types are generic).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the identifier following the `struct` or `enum` keyword.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+/// Derive the marker `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input).expect("derive(Serialize): no type name found");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derive the marker `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input).expect("derive(Deserialize): no type name found");
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
