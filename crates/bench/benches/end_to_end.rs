@@ -72,6 +72,46 @@ fn bench_codec_and_decode(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_obs_overhead(c: &mut Criterion) {
+    // The sbr-obs contract: with no recorder attached every handle is one
+    // branch and no span reads the clock, so the default (noop) encode
+    // must sit within noise of the pre-instrumentation pipeline. Compare
+    // the three operating points side by side — noop, live metrics, live
+    // metrics + discarding trace sink — on an identical workload.
+    use sbr_obs::MetricsRecorder;
+    use std::sync::Arc;
+
+    let n = 5120usize;
+    let rows = files(10, n / 10);
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10);
+    g.bench_function("noop", |b| {
+        b.iter(|| {
+            let mut enc = SbrEncoder::new(10, n / 10, SbrConfig::new(n / 10, 1024)).unwrap();
+            enc.encode(black_box(&rows)).unwrap().cost()
+        })
+    });
+    g.bench_function("live_metrics", |b| {
+        b.iter(|| {
+            let rec = Arc::new(MetricsRecorder::new());
+            let config = SbrConfig::new(n / 10, 1024).with_recorder(rec);
+            let mut enc = SbrEncoder::new(10, n / 10, config).unwrap();
+            enc.encode(black_box(&rows)).unwrap().cost()
+        })
+    });
+    g.bench_function("live_metrics_and_trace", |b| {
+        b.iter(|| {
+            let rec = Arc::new(MetricsRecorder::with_trace_writer(
+                Box::new(std::io::sink()),
+            ));
+            let config = SbrConfig::new(n / 10, 1024).with_recorder(rec);
+            let mut enc = SbrEncoder::new(10, n / 10, config).unwrap();
+            enc.encode(black_box(&rows)).unwrap().cost()
+        })
+    });
+    g.finish();
+}
+
 fn bench_query(c: &mut Criterion) {
     // Aggregate directly on the compressed records vs reconstruct + scan.
     let rows = files(10, 1024);
@@ -102,6 +142,7 @@ criterion_group!(
     bench_encode,
     bench_encode_frozen_base,
     bench_codec_and_decode,
+    bench_obs_overhead,
     bench_query
 );
 criterion_main!(benches);

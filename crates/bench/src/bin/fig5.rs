@@ -9,11 +9,60 @@
 //! Run with `--quick` to measure only two ratios.
 //!
 //! Besides the human-readable table, every measured configuration is
-//! written to `BENCH_SBR.json` (schema `sbr-bench/v1`, see the README) so
-//! CI and regression tooling can diff encode times without screen-scraping.
+//! written to `BENCH_SBR.json` (schema `sbr-bench/v2`, see the README).
+//! Each record embeds the run's `sbr-obs` metrics snapshot — per-phase
+//! times, shift-strategy decision counts, base-signal churn — and one
+//! extra `network_sim` record carries per-node radio counters from a
+//! small sensor-network run, so regression tooling can diff *why* a
+//! configuration got slower, not just that it did.
+
+use std::sync::Arc;
 
 use sbr_bench::{quick_mode, row, run_sbr_stream, BenchRecord, RATIOS};
 use sbr_core::SbrConfig;
+use sbr_obs::{MetricsRecorder, Recorder as _};
+use sensor_net::{EnergyModel, Network, Strategy, Topology};
+
+/// One small SBR dissemination run over a line topology, instrumented end
+/// to end; returns the record carrying per-node tx/rx counters.
+fn network_sim_record(quick: bool) -> BenchRecord {
+    let nodes = 5usize; // base + 4 sensors
+    let n_signals = 2;
+    let m = if quick { 64 } else { 128 };
+    let len = 4 * m;
+    let feeds: Vec<Vec<Vec<f64>>> = (0..nodes - 1)
+        .map(|node| {
+            (0..n_signals)
+                .map(|s| {
+                    (0..len)
+                        .map(|t| ((t as f64 * 0.21) + (node * 3 + s) as f64).sin() * 8.0)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let rec = Arc::new(MetricsRecorder::new());
+    let mut net = Network::new(Topology::line(nodes, 1.0), EnergyModel::default());
+    net.set_recorder(rec.clone());
+    let report = net
+        .simulate(&feeds, m, &Strategy::Sbr(SbrConfig::new(2 * m / 5, m / 2)))
+        .expect("network_sim run");
+    BenchRecord {
+        experiment: "network_sim".to_string(),
+        params: vec![
+            ("nodes".to_string(), nodes as f64),
+            ("values_sent".to_string(), report.values_sent as f64),
+            ("raw_values".to_string(), report.raw_values as f64),
+        ],
+        avg_encode_secs: 0.0,
+        avg_sse: report.sse,
+        total_rel: 0.0,
+        transmissions: 0,
+        inserted: Vec::new(),
+        metrics: None,
+    }
+    .with_metrics(rec.snapshot())
+}
 
 fn main() {
     let quick = quick_mode();
@@ -36,17 +85,24 @@ fn main() {
         let mut col = Vec::new();
         for &ratio in ratios {
             let band = (10 * m) as f64 * ratio;
-            let stream = run_sbr_stream(&files, SbrConfig::new(band as usize, 1024));
+            // A fresh recorder per configuration: each record's snapshot
+            // describes exactly one (n, ratio) run.
+            let rec = Arc::new(MetricsRecorder::new());
+            let config = SbrConfig::new(band as usize, 1024).with_recorder(rec.clone());
+            let stream = run_sbr_stream(&files, config);
             col.push(stream.avg_encode_time().as_secs_f64());
-            records.push(BenchRecord::from_stream(
-                "fig5",
-                &[
-                    ("n", (10 * m) as f64),
-                    ("total_band", band.floor()),
-                    ("ratio", ratio),
-                ],
-                &stream,
-            ));
+            records.push(
+                BenchRecord::from_stream(
+                    "fig5",
+                    &[
+                        ("n", (10 * m) as f64),
+                        ("total_band", band.floor()),
+                        ("ratio", ratio),
+                    ],
+                    &stream,
+                )
+                .with_metrics(rec.snapshot()),
+            );
         }
         columns.push(col);
     }
@@ -54,5 +110,6 @@ fn main() {
         let cells: Vec<String> = columns.iter().map(|c| format!("{:.3}", c[ri])).collect();
         println!("{}", row(&format!("{:.0}%", ratio * 100.0), &cells));
     }
+    records.push(network_sim_record(quick));
     sbr_bench::write_bench_json("BENCH_SBR.json", &records).expect("write BENCH_SBR.json");
 }

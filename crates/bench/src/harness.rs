@@ -73,6 +73,7 @@ pub fn run_sbr_stream_with(
 ) -> SbrStream {
     let n = files[0].len();
     let m = files[0][0].len();
+    let obs = config.obs.clone();
     let mut encoder = match builder {
         Some(b) => SbrEncoder::with_builder(n, m, config, b),
         None => SbrEncoder::new(n, m, config),
@@ -85,7 +86,10 @@ pub fn run_sbr_stream_with(
         let tx = encoder.encode(rows).expect("encode");
         let encode_time = start.elapsed();
         let stats = encoder.last_stats().expect("stats after encode");
-        let rec = decoder.decode(&tx).expect("decode");
+        let rec = {
+            let _span = obs.span("sbr_core.codec.decode_ns", &obs.codec_decode_ns);
+            decoder.decode(&tx).expect("decode")
+        };
         let (mut sse, mut rel) = (0.0, 0.0);
         for (orig, r) in rows.iter().zip(&rec) {
             sse += ErrorMetric::Sse.score(orig, r);
@@ -187,6 +191,11 @@ pub struct BenchRecord {
     pub transmissions: usize,
     /// Base intervals inserted, per transmission.
     pub inserted: Vec<usize>,
+    /// Frozen `sbr-obs` metrics for this configuration's run (per-phase
+    /// durations, shift-strategy decisions, base-signal churn, network
+    /// counters, …). `None` when the run was not instrumented; serialized
+    /// as JSON `null` then.
+    pub metrics: Option<sbr_obs::Snapshot>,
 }
 
 impl BenchRecord {
@@ -200,7 +209,14 @@ impl BenchRecord {
             total_rel: stream.total_rel(),
             transmissions: stream.per_tx.len(),
             inserted: stream.inserted(),
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics snapshot (builder style).
+    pub fn with_metrics(mut self, metrics: sbr_obs::Snapshot) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 }
 
@@ -234,11 +250,14 @@ fn json_str(s: &str) -> String {
 }
 
 /// Serialize `records` to the `BENCH_SBR.json` schema (documented in the
-/// repository README): `{"schema": "sbr-bench/v1", "records": [...]}` with
-/// one object per configuration. Hand-rolled so the bench harness carries
-/// no serialization dependency.
+/// repository README): `{"schema": "sbr-bench/v2", "records": [...]}` with
+/// one object per configuration. Since v2 every record carries a
+/// `"metrics"` member: an `sbr-obs` snapshot object (name → typed metric)
+/// for instrumented runs, JSON `null` otherwise — v1 consumers that
+/// ignore unknown members parse v2 unchanged. Hand-rolled so the bench
+/// harness carries no serialization dependency.
 pub fn bench_json(records: &[BenchRecord]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"sbr-bench/v1\",\n  \"records\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"sbr-bench/v2\",\n  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str("    {");
         out.push_str(&format!("\"experiment\": {}, ", json_str(&r.experiment)));
@@ -264,7 +283,12 @@ pub fn bench_json(records: &[BenchRecord]) -> String {
             }
             out.push_str(&ins.to_string());
         }
-        out.push_str("]}");
+        out.push_str("], \"metrics\": ");
+        match &r.metrics {
+            Some(snap) => out.push_str(&snap.to_json_value().to_string()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
         if i + 1 < records.len() {
             out.push(',');
         }
@@ -341,16 +365,48 @@ mod tests {
         let stream = run_sbr_stream(&files(), SbrConfig::new(40, 32));
         let rec = BenchRecord::from_stream("fig5", &[("n", 128.0), ("ratio", 0.05)], &stream);
         let json = bench_json(&[rec.clone(), rec]);
-        assert!(json.starts_with("{\n  \"schema\": \"sbr-bench/v1\""));
+        assert!(json.starts_with("{\n  \"schema\": \"sbr-bench/v2\""));
         assert!(json.contains("\"experiment\": \"fig5\""));
         assert!(json.contains("\"params\": {\"n\": 128, \"ratio\": 0.05}"));
         assert!(json.contains("\"transmissions\": 3"));
-        // Braces/brackets balance — cheap structural sanity without a parser.
-        for (open, close) in [('{', '}'), ('[', ']')] {
-            let opens = json.matches(open).count();
-            let closes = json.matches(close).count();
-            assert_eq!(opens, closes, "unbalanced {open}{close}");
-        }
+        assert!(json.contains("\"metrics\": null"), "uninstrumented → null");
+        // The artifact parses with the sbr-obs JSON parser.
+        let v = sbr_obs::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(sbr_obs::json::Value::as_str),
+            Some("sbr-bench/v2")
+        );
+    }
+
+    #[test]
+    fn bench_json_embeds_instrumented_metrics() {
+        use sbr_obs::{MetricsRecorder, Recorder as _};
+        use std::sync::Arc;
+        let rec = Arc::new(MetricsRecorder::new());
+        let config = SbrConfig::new(40, 32).with_recorder(rec.clone());
+        let stream = run_sbr_stream(&files(), config);
+        let record =
+            BenchRecord::from_stream("fig5", &[("n", 128.0)], &stream).with_metrics(rec.snapshot());
+        let json = bench_json(&[record]);
+        let v = sbr_obs::json::parse(&json).expect("valid JSON");
+        let metrics = v
+            .get("records")
+            .and_then(sbr_obs::json::Value::as_arr)
+            .unwrap()[0]
+            .get("metrics")
+            .expect("metrics member");
+        let snap = sbr_obs::Snapshot::from_json_value(metrics).expect("snapshot parses");
+        assert!(snap.counter("sbr_core.best_map.calls").unwrap() > 0);
+        assert_eq!(
+            snap.histogram("sbr_core.sbr.encode_ns").unwrap().count,
+            3,
+            "one encode span per file"
+        );
+        assert_eq!(
+            snap.histogram("sbr_core.codec.decode_ns").unwrap().count,
+            3,
+            "one decode span per file"
+        );
     }
 
     #[test]

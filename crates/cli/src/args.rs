@@ -26,6 +26,11 @@ pub enum Command {
         batch: Option<usize>,
         /// Error metric: "sse", "relative" or "maxabs".
         metric: String,
+        /// Write an `sbr-obs/v1` metrics snapshot (JSON) here after the run.
+        metrics: Option<String>,
+        /// Write a line-delimited structured trace log here during the run
+        /// (same format as the `SBR_TRACE` environment variable).
+        trace: Option<String>,
     },
     /// `sbr decompress`: framed SBR stream → CSV.
     Decompress {
@@ -71,6 +76,21 @@ pub enum Command {
         /// RNG seed.
         seed: u64,
     },
+    /// `sbr report`: render a metrics artifact (a `BENCH_SBR.json` in the
+    /// `sbr-bench/v2` schema, or a raw `sbr-obs/v1` snapshot) as per-phase
+    /// time / error / bandwidth tables.
+    Report {
+        /// Input JSON file.
+        input: String,
+    },
+    /// `sbr trace`: filter and pretty-print a structured event log
+    /// produced via `SBR_TRACE` or `compress --trace`.
+    Trace {
+        /// Input event-log file (one JSON object per line).
+        input: String,
+        /// Only show events whose name contains this substring.
+        filter: Option<String>,
+    },
     /// `sbr help`.
     Help,
 }
@@ -83,16 +103,26 @@ USAGE:
   sbr compress   --input <csv> --output <file> --band <values>
                  [--mbase <values>] [--batch <samples>]
                  [--metric sse|relative|maxabs]
+                 [--metrics <json>] [--trace <log>]
   sbr decompress --input <file> --output <csv>
   sbr info       --input <file>
   sbr compare    --input <csv> --band <values>
   sbr aggregate  --input <file> --signal <idx> --from <t0> --to <t1>
   sbr generate   --dataset phone|weather|stock|mixed|indexes|netflow
                  --output <csv> [--len <samples>] [--seed <n>]
+  sbr report     --input <json>
+  sbr trace      --input <log> [--filter <substring>]
   sbr help
 
 The CSV has one column per signal and one row per sample; an optional
-header row names the signals.";
+header row names the signals.
+
+Observability: set SBR_TRACE=<path> to stream structured events from any
+subcommand into <path> (one JSON object per line); `sbr report` renders
+metrics artifacts (`sbr-bench/v2` benchmark files or `sbr-obs/v1`
+snapshots) and `sbr trace` pretty-prints event logs.
+
+Exit codes: 0 success, 1 runtime failure, 2 usage error.";
 
 fn take_value(args: &mut std::collections::HashMap<String, String>, key: &str) -> Option<String> {
     args.remove(key)
@@ -149,6 +179,8 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 m_base,
                 batch,
                 metric,
+                metrics: take_value(&mut flags, "metrics"),
+                trace: take_value(&mut flags, "trace"),
             }
         }
         "decompress" => Command::Decompress {
@@ -193,6 +225,13 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 seed,
             }
         }
+        "report" => Command::Report {
+            input: required(&mut flags, "input")?,
+        },
+        "trace" => Command::Trace {
+            input: required(&mut flags, "input")?,
+            filter: take_value(&mut flags, "filter"),
+        },
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     };
@@ -222,8 +261,47 @@ mod tests {
                 m_base: 100,
                 batch: None,
                 metric: "sse".into(),
+                metrics: None,
+                trace: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_compress_observability_flags() {
+        let cli = parse(&argv(
+            "compress --input a --output b --band 64 --metrics m.json --trace t.log",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Compress { metrics, trace, .. } => {
+                assert_eq!(metrics.as_deref(), Some("m.json"));
+                assert_eq!(trace.as_deref(), Some("t.log"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_report_and_trace() {
+        assert_eq!(
+            parse(&argv("report --input BENCH_SBR.json"))
+                .unwrap()
+                .command,
+            Command::Report {
+                input: "BENCH_SBR.json".into()
+            }
+        );
+        assert_eq!(
+            parse(&argv("trace --input t.log --filter best_map"))
+                .unwrap()
+                .command,
+            Command::Trace {
+                input: "t.log".into(),
+                filter: Some("best_map".into()),
+            }
+        );
+        assert!(parse(&argv("report")).is_err(), "report needs --input");
     }
 
     #[test]

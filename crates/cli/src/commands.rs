@@ -3,17 +3,21 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use sbr_baselines::Compressor;
 use sbr_core::query::aggregate_stream;
 use sbr_core::{codec, Decoder, ErrorMetric, MultiSeries, SbrConfig, SbrEncoder};
+use sbr_obs::json::Value;
+use sbr_obs::{HistogramSnapshot, MetricsRecorder, Recorder, Snapshot};
 use sensor_net::storage::{recover, LogWriter};
 
 use crate::args::{Cli, Command, USAGE};
 use crate::csv::{self, Table};
+use crate::error::CliError;
 
 /// Run a parsed command line; returns the text to print.
-pub fn run(cli: &Cli) -> Result<String, String> {
+pub fn run(cli: &Cli) -> Result<String, CliError> {
     match &cli.command {
         Command::Help => Ok(USAGE.to_string()),
         Command::Compress {
@@ -23,7 +27,18 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             m_base,
             batch,
             metric,
-        } => compress(input, output, *band, *m_base, *batch, metric),
+            metrics,
+            trace,
+        } => compress(
+            input,
+            output,
+            *band,
+            *m_base,
+            *batch,
+            metric,
+            metrics.as_deref(),
+            trace.as_deref(),
+        ),
         Command::Decompress { input, output } => decompress(input, output),
         Command::Info { input } => info(input),
         Command::Compare { input, band } => compare(input, *band),
@@ -39,12 +54,14 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             len,
             seed,
         } => generate(dataset, output, *len, *seed),
+        Command::Report { input } => report(input),
+        Command::Trace { input, filter } => trace_log(input, filter.as_deref()),
     }
 }
 
-fn generate(dataset: &str, output: &str, len: usize, seed: u64) -> Result<String, String> {
+fn generate(dataset: &str, output: &str, len: usize, seed: u64) -> Result<String, CliError> {
     if len == 0 {
-        return Err("--len must be positive".into());
+        return Err(CliError::Usage("--len must be positive".into()));
     }
     let d = match dataset {
         "phone" => sbr_datasets::phone(seed, len, 256),
@@ -53,7 +70,7 @@ fn generate(dataset: &str, output: &str, len: usize, seed: u64) -> Result<String
         "mixed" => sbr_datasets::mixed(seed, len),
         "indexes" => sbr_datasets::indexes(seed, len),
         "netflow" => sbr_datasets::netflow(seed, 8, len),
-        other => return Err(format!("unknown dataset '{other}'")),
+        other => return Err(CliError::Usage(format!("unknown dataset '{other}'"))),
     };
     let table = Table {
         names: d.signal_names.clone(),
@@ -80,6 +97,7 @@ fn metric_of(name: &str) -> ErrorMetric {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn compress(
     input: &str,
     output: &str,
@@ -87,23 +105,44 @@ fn compress(
     m_base: usize,
     batch: Option<usize>,
     metric: &str,
-) -> Result<String, String> {
+    metrics_out: Option<&str>,
+    trace_out: Option<&str>,
+) -> Result<String, CliError> {
     let table = read_csv(input)?;
     let n_signals = table.columns.len();
     let total_rows = table.rows();
     let batch = match batch {
         Some(b) if b > total_rows => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "--batch {b} exceeds the {total_rows} rows available"
-            ));
+            )));
         }
-        Some(0) => return Err("--batch must be positive".into()),
+        Some(0) => return Err(CliError::Usage("--batch must be positive".into())),
         Some(b) => b,
         None => total_rows,
     };
     let n_batches = total_rows / batch;
 
-    let config = SbrConfig::new(band, m_base).with_metric(metric_of(metric));
+    // A recorder is built only when someone will read it: --metrics,
+    // --trace, or the SBR_TRACE environment variable. Otherwise the
+    // encoder keeps its no-op handles (one branch per event).
+    let env_trace = std::env::var(sbr_obs::TRACE_ENV).is_ok_and(|v| !v.is_empty());
+    let recorder: Option<Arc<MetricsRecorder>> =
+        if metrics_out.is_some() || trace_out.is_some() || env_trace {
+            let rec = match trace_out {
+                Some(p) => MetricsRecorder::with_trace_path(p)
+                    .map_err(|e| format!("cannot create trace log {p}: {e}"))?,
+                None => MetricsRecorder::from_env().map_err(|e| e.to_string())?,
+            };
+            Some(Arc::new(rec))
+        } else {
+            None
+        };
+
+    let mut config = SbrConfig::new(band, m_base).with_metric(metric_of(metric));
+    if let Some(rec) = &recorder {
+        config = config.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+    }
     let mut encoder = SbrEncoder::new(n_signals, batch, config).map_err(|e| e.to_string())?;
 
     let out_path = Path::new(output);
@@ -134,20 +173,30 @@ fn compress(
     }
     w.flush().map_err(|e| e.to_string())?;
 
+    let mut notes = String::new();
+    if let (Some(rec), Some(path)) = (&recorder, metrics_out) {
+        std::fs::write(path, rec.snapshot().to_json())
+            .map_err(|e| format!("cannot write metrics {path}: {e}"))?;
+        notes.push_str(&format!("\nwrote metrics snapshot {path}"));
+    }
+    if let Some(path) = trace_out {
+        notes.push_str(&format!("\nwrote trace log {path}"));
+    }
+
     let raw = n_signals * batch * n_batches;
     Ok(format!(
         "compressed {input}: {n_signals} signals × {batch} samples × {n_batches} batches\n\
          {raw} values → {total_cost} values ({:.1}%), metric {metric}, total error {:.4e}\n\
-         wrote {output}",
+         wrote {output}{notes}",
         100.0 * total_cost as f64 / raw as f64,
         total_err
     ))
 }
 
-fn decompress(input: &str, output: &str) -> Result<String, String> {
+fn decompress(input: &str, output: &str) -> Result<String, CliError> {
     let log = recover(Path::new(input)).map_err(|e| e.to_string())?;
     if log.transmissions.is_empty() {
-        return Err(format!("{input}: no complete transmissions"));
+        return Err(format!("{input}: no complete transmissions").into());
     }
     let mut decoder = Decoder::new();
     let n_signals = log.transmissions[0].n_signals as usize;
@@ -177,7 +226,7 @@ fn decompress(input: &str, output: &str) -> Result<String, String> {
     ))
 }
 
-fn info(input: &str) -> Result<String, String> {
+fn info(input: &str) -> Result<String, CliError> {
     let log = recover(Path::new(input)).map_err(|e| e.to_string())?;
     let mut out = String::new();
     out.push_str("seq   signals  samples    w   base-ins  intervals   cost   ratio\n");
@@ -200,7 +249,7 @@ fn info(input: &str) -> Result<String, String> {
     Ok(out)
 }
 
-fn compare(input: &str, band: usize) -> Result<String, String> {
+fn compare(input: &str, band: usize) -> Result<String, CliError> {
     let table = read_csv(input)?;
     let data = MultiSeries::from_rows(&table.columns).map_err(|e| e.to_string())?;
     let mut out =
@@ -235,13 +284,13 @@ fn compare(input: &str, band: usize) -> Result<String, String> {
 
 /// Range aggregates straight off the compressed stream: no per-sample
 /// reconstruction (see `sbr_core::query`).
-fn aggregate(input: &str, signal: usize, from: usize, to: usize) -> Result<String, String> {
+fn aggregate(input: &str, signal: usize, from: usize, to: usize) -> Result<String, CliError> {
     if to <= from {
-        return Err(format!("empty range [{from}, {to})"));
+        return Err(CliError::Usage(format!("empty range [{from}, {to})")));
     }
     let log = recover(Path::new(input)).map_err(|e| e.to_string())?;
     if log.transmissions.is_empty() {
-        return Err(format!("{input}: no complete transmissions"));
+        return Err(format!("{input}: no complete transmissions").into());
     }
     let mut decoder = Decoder::new();
     let agg = aggregate_stream(&mut decoder, &log.transmissions, signal, from, to)
@@ -255,6 +304,199 @@ min {:.6}
 max {:.6}",
         agg.count, agg.sum, agg.avg, agg.min, agg.max
     ))
+}
+
+/// The pipeline phases `sbr report` breaks time down by, in pipeline
+/// order: `(label, histogram metric name)`.
+const PHASES: &[(&str, &str)] = &[
+    ("encode (total)", "sbr_core.sbr.encode_ns"),
+    ("  get_base", "sbr_core.get_base.build_ns"),
+    ("  search", "sbr_core.search.run_ns"),
+    ("  get_intervals", "sbr_core.get_intervals.run_ns"),
+    ("codec encode", "sbr_core.codec.encode_ns"),
+    ("codec decode", "sbr_core.codec.decode_ns"),
+    ("par worker busy", "sbr_core.par.worker_busy_ns"),
+];
+
+fn ms(ns: f64) -> String {
+    format!("{:.3}", ns / 1e6)
+}
+
+/// Render one snapshot as the per-phase / decisions / bandwidth report.
+fn render_snapshot(snap: &Snapshot, out: &mut String) {
+    let timed: Vec<(&str, &HistogramSnapshot)> = PHASES
+        .iter()
+        .filter_map(|(label, name)| snap.histogram(name).map(|h| (*label, h)))
+        .filter(|(_, h)| h.count > 0)
+        .collect();
+    if !timed.is_empty() {
+        out.push_str(&format!(
+            "  {:<18} {:>8} {:>12} {:>12} {:>12}\n",
+            "phase", "calls", "total-ms", "mean-ms", "max-ms"
+        ));
+        for (label, h) in timed {
+            out.push_str(&format!(
+                "  {:<18} {:>8} {:>12} {:>12} {:>12}\n",
+                label,
+                h.count,
+                ms(h.sum as f64),
+                ms(h.mean()),
+                ms(h.max as f64)
+            ));
+        }
+    }
+    let counters: &[(&str, &str)] = &[
+        ("BestMap calls", "sbr_core.best_map.calls"),
+        ("  direct sweeps", "sbr_core.best_map.direct_sweeps"),
+        ("  FFT sweeps", "sbr_core.best_map.fft_sweeps"),
+        (
+            "  FFT re-verified",
+            "sbr_core.best_map.fft_reverified_shifts",
+        ),
+        ("  base-mapped wins", "sbr_core.best_map.base_wins"),
+        ("  fallback wins", "sbr_core.best_map.fallback_wins"),
+        ("Search probes", "sbr_core.search.probes"),
+        ("Base inserted", "sbr_core.base_signal.inserted"),
+        ("Base evicted", "sbr_core.base_signal.evicted"),
+        ("Tx mapped intervals", "sbr_core.sbr.tx_mapped_intervals"),
+        (
+            "Tx fallback intervals",
+            "sbr_core.sbr.tx_fallback_intervals",
+        ),
+    ];
+    for (label, name) in counters {
+        if let Some(n) = snap.counter(name) {
+            out.push_str(&format!("  {label:<24} {n}\n"));
+        }
+    }
+    if let Some(slots) = snap.gauge("sbr_core.base_signal.slots") {
+        out.push_str(&format!("  {:<24} {slots}\n", "Base slots"));
+    }
+    // Sensor-network metrics, when the artifact came from a network run.
+    let mut net: Vec<String> = Vec::new();
+    for (name, value) in &snap.metrics {
+        if !name.starts_with("sensor_net.") {
+            continue;
+        }
+        match value {
+            sbr_obs::MetricValue::Counter(n) => net.push(format!("  {name:<40} {n}")),
+            sbr_obs::MetricValue::Gauge(g) => net.push(format!("  {name:<40} {g:.0}")),
+            sbr_obs::MetricValue::Histogram(h) => {
+                net.push(format!("  {name:<40} n={} mean={}", h.count, h.mean()))
+            }
+        }
+    }
+    if !net.is_empty() {
+        out.push_str("  sensor network:\n");
+        for line in net {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+}
+
+/// `sbr report`: render a metrics artifact as human-readable tables.
+fn report(input: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+    let v = sbr_obs::json::parse(&text).map_err(|e| format!("{input}: {e}"))?;
+    let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+    let mut out = String::new();
+    match schema {
+        "sbr-obs/v1" => {
+            let snap = Snapshot::from_json(&text).map_err(|e| format!("{input}: {e}"))?;
+            out.push_str(&format!("metrics snapshot {input}\n"));
+            render_snapshot(&snap, &mut out);
+        }
+        "sbr-bench/v1" | "sbr-bench/v2" => {
+            let records = v
+                .get("records")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("{input}: no records array"))?;
+            out.push_str(&format!(
+                "{input}: {} ({} record(s))\n",
+                schema,
+                records.len()
+            ));
+            for r in records {
+                let exp = r.get("experiment").and_then(Value::as_str).unwrap_or("?");
+                let mut params = String::new();
+                if let Some(ps) = r.get("params").and_then(Value::as_obj) {
+                    for (k, pv) in ps {
+                        params.push_str(&format!(" {k}={pv}"));
+                    }
+                }
+                let secs = r.get("avg_encode_secs").and_then(Value::as_f64);
+                let sse = r.get("avg_sse").and_then(Value::as_f64);
+                out.push('\n');
+                out.push_str(&format!("{exp}{params}"));
+                if let Some(s) = secs {
+                    out.push_str(&format!("  avg-encode {:.1} ms", s * 1e3));
+                }
+                if let Some(s) = sse {
+                    out.push_str(&format!("  avg-sse {s:.4e}"));
+                }
+                out.push('\n');
+                match r.get("metrics") {
+                    Some(Value::Null) | None => {
+                        out.push_str("  (no metrics recorded for this record)\n");
+                    }
+                    Some(m) => {
+                        let snap = Snapshot::from_json_value(m)
+                            .map_err(|e| format!("{input}: record '{exp}': {e}"))?;
+                        render_snapshot(&snap, &mut out);
+                    }
+                }
+            }
+        }
+        "" => return Err(format!("{input}: missing schema field").into()),
+        other => return Err(format!("{input}: unsupported schema '{other}'").into()),
+    }
+    Ok(out)
+}
+
+/// `sbr trace`: pretty-print a line-delimited structured event log.
+fn trace_log(input: &str, filter: Option<&str>) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+    let mut out = String::new();
+    let (mut shown, mut total, mut bad) = (0usize, 0usize, 0usize);
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        total += 1;
+        let Ok(v) = sbr_obs::json::parse(line) else {
+            bad += 1;
+            continue;
+        };
+        let name = v.get("name").and_then(Value::as_str).unwrap_or("?");
+        if let Some(f) = filter {
+            if !name.contains(f) {
+                continue;
+            }
+        }
+        shown += 1;
+        let ts_ms = v
+            .get("ts_ns")
+            .and_then(Value::as_f64)
+            .map_or(0.0, |ns| ns / 1e6);
+        out.push_str(&format!("{ts_ms:>12.3}  {name:<36}"));
+        if let Some(d) = v.get("dur_ns").and_then(Value::as_f64) {
+            out.push_str(&format!(" {:>10} ms", ms(d)));
+        }
+        if let Some(obj) = v.as_obj() {
+            for (k, fv) in obj {
+                if matches!(k.as_str(), "ts_ns" | "name" | "dur_ns") {
+                    continue;
+                }
+                out.push_str(&format!("  {k}={fv}"));
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{shown} of {total} event(s) shown ({bad} unparseable)\n"
+    ));
+    Ok(out)
 }
 
 fn row(name: &str, exact: &[f64], approx: &[f64]) -> String {
@@ -295,9 +537,9 @@ mod tests {
         std::fs::write(path, s).unwrap();
     }
 
-    fn run_argv(args: &str) -> Result<String, String> {
+    fn run_argv(args: &str) -> Result<String, CliError> {
         let argv: Vec<String> = args.split_whitespace().map(str::to_string).collect();
-        run(&parse(&argv)?)
+        run(&parse(&argv).map_err(CliError::Usage)?)
     }
 
     #[test]
@@ -480,5 +722,91 @@ mod tests {
     fn help_shows_usage() {
         let out = run_argv("help").unwrap();
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn usage_and_runtime_errors_are_classified() {
+        // Missing file: the command line is fine, the work fails → runtime.
+        let e = run_argv("decompress --input /nonexistent.sbr --output /tmp/x").unwrap_err();
+        assert_eq!(e.exit_code(), 1, "{e:?}");
+        // Empty aggregate range: the invocation is wrong → usage.
+        let e = run_argv("aggregate --input x --signal 0 --from 9 --to 9").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e:?}");
+        // Unparseable flags → usage.
+        let e = run_argv("compress --input a --output b --band ten").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e:?}");
+        // Batch larger than the file → usage.
+        let dir = tempdir("classify");
+        let csv_in = dir.join("in.csv");
+        write_sample_csv(&csv_in, 16);
+        let e = run_argv(&format!(
+            "compress --input {} --output {} --band 64 --batch 999",
+            csv_in.display(),
+            dir.join("o").display()
+        ))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compress_writes_metrics_and_trace_then_report_and_trace_render_them() {
+        let dir = tempdir("obs");
+        let csv_in = dir.join("in.csv");
+        let stream = dir.join("out.sbr");
+        let metrics = dir.join("metrics.json");
+        let trace = dir.join("trace.log");
+        write_sample_csv(&csv_in, 256);
+
+        let msg = run_argv(&format!(
+            "compress --input {} --output {} --band 96 --batch 128 --metrics {} --trace {}",
+            csv_in.display(),
+            stream.display(),
+            metrics.display(),
+            trace.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("wrote metrics snapshot"), "{msg}");
+
+        // The snapshot is a valid sbr-obs/v1 document with pipeline data.
+        let snap = Snapshot::from_json(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(snap.counter("sbr_core.best_map.calls").unwrap() > 0);
+        assert_eq!(
+            snap.histogram("sbr_core.sbr.encode_ns").unwrap().count,
+            2,
+            "one encode span per batch"
+        );
+
+        // `report` renders the per-phase table from it.
+        let rep = run_argv(&format!("report --input {}", metrics.display())).unwrap();
+        assert!(rep.contains("encode (total)"), "{rep}");
+        assert!(rep.contains("BestMap calls"), "{rep}");
+
+        // `trace` pretty-prints the event log; spans landed there too.
+        let tr = run_argv(&format!("trace --input {}", trace.display())).unwrap();
+        assert!(tr.contains("sbr_core.sbr.encode_ns"), "{tr}");
+        // Filtering narrows the output.
+        let filtered = run_argv(&format!(
+            "trace --input {} --filter get_base",
+            trace.display()
+        ))
+        .unwrap();
+        assert!(
+            filtered.contains("sbr_core.get_base.build_ns"),
+            "{filtered}"
+        );
+        assert!(!filtered.contains("sbr_core.sbr.encode_ns"), "{filtered}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_rejects_unknown_schemas() {
+        let dir = tempdir("badschema");
+        let p = dir.join("x.json");
+        std::fs::write(&p, "{\"schema\": \"wat/v9\"}").unwrap();
+        let e = run_argv(&format!("report --input {}", p.display())).unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+        assert!(e.message().contains("unsupported schema"), "{e:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

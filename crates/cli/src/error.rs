@@ -1,0 +1,77 @@
+//! Typed CLI failures so `main` can map them to distinct exit codes and
+//! route them into the structured event log.
+
+use std::fmt;
+
+/// A CLI failure, classified by whose fault it is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// The invocation itself is wrong (bad flag value, impossible range,
+    /// unknown name): exit code 2, fix the command line.
+    Usage(String),
+    /// The command was well-formed but the work failed (I/O error, corrupt
+    /// stream, encoder error): exit code 1.
+    Runtime(String),
+}
+
+impl CliError {
+    /// The process exit code this failure maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+
+    /// Short machine-readable classification for trace events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CliError::Usage(_) => "usage",
+            CliError::Runtime(_) => "runtime",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+/// Bare strings bubbling up through `?` are runtime failures; usage
+/// errors are always constructed explicitly at the validation site.
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Runtime(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let u = CliError::Usage("bad".into());
+        let r = CliError::Runtime("io".into());
+        assert_eq!(u.exit_code(), 2);
+        assert_eq!(r.exit_code(), 1);
+        assert_ne!(u.exit_code(), r.exit_code());
+        assert_eq!(u.kind(), "usage");
+        assert_eq!(r.kind(), "runtime");
+        assert_eq!(format!("{u}"), "bad");
+    }
+
+    #[test]
+    fn strings_convert_to_runtime() {
+        let e: CliError = String::from("boom").into();
+        assert_eq!(e, CliError::Runtime("boom".into()));
+    }
+}

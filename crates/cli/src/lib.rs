@@ -10,6 +10,8 @@
 pub mod args;
 pub mod commands;
 pub mod csv;
+pub mod error;
 
 pub use args::{Cli, Command};
 pub use commands::run;
+pub use error::CliError;

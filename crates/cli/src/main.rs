@@ -1,20 +1,50 @@
 //! `sbr` — compress/decompress multi-signal CSV time series with
 //! Self-Based Regression. See `sbr help`.
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage error. When the
+//! `SBR_TRACE` environment variable names a file, failures are also
+//! appended there as structured `cli.error` events.
+
+use sbr_cli::error::CliError;
+
+/// Append a `cli.error` event to the `SBR_TRACE` log, if one is
+/// configured. Appending (not truncating) preserves events the failing
+/// command already wrote. Best-effort: tracing failures never mask the
+/// original error.
+fn trace_error(err: &CliError) {
+    let Ok(path) = std::env::var(sbr_obs::TRACE_ENV) else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    if let Ok(rec) = sbr_obs::MetricsRecorder::with_trace_path_append(path) {
+        use sbr_obs::Recorder;
+        rec.emit(
+            "cli.error",
+            None,
+            &[("kind", err.kind()), ("message", err.message())],
+        );
+    }
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cli = match sbr_cli::args::parse(&argv) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
+            let err = CliError::Usage(e);
+            eprintln!("error: {err}");
+            trace_error(&err);
+            std::process::exit(err.exit_code());
         }
     };
     match sbr_cli::run(&cli) {
         Ok(out) => println!("{out}"),
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+        Err(err) => {
+            eprintln!("error: {err}");
+            trace_error(&err);
+            std::process::exit(err.exit_code());
         }
     }
 }

@@ -4,6 +4,7 @@
 use crate::config::{SbrConfig, ShiftStrategy};
 use crate::interval::{Interval, LINEAR_FALLBACK_SHIFT};
 use crate::metric::ErrorMetric;
+use crate::obs::EncodeObs;
 use crate::regression::{self, PrefixStats};
 use crate::xcorr::{self, XcorrPlan};
 
@@ -32,6 +33,10 @@ pub struct MapContext<'a> {
     /// strategy is [`ShiftStrategy::Direct`], the metric is not SSE, or the
     /// base signal is empty.
     pub xcorr: Option<XcorrPlan>,
+    /// Observability handles (cloned from the configuration); counts
+    /// fits, strategy decisions and FFT re-verifications. Never affects
+    /// the fit itself.
+    pub obs: EncodeObs,
 }
 
 impl<'a> MapContext<'a> {
@@ -55,6 +60,7 @@ impl<'a> MapContext<'a> {
             max_shift_len: config.max_shift_len_factor.saturating_mul(w),
             shift_strategy: config.shift_strategy,
             xcorr,
+            obs: config.obs.clone(),
         }
     }
 
@@ -63,6 +69,7 @@ impl<'a> MapContext<'a> {
     /// keeping whichever minimizes the metric error. Ties favour the
     /// earliest shift, matching the strict `<` of Algorithm 2.
     pub fn best_map(&self, interval: &mut Interval) {
+        self.obs.best_map_calls.inc();
         let start = interval.start;
         let len = interval.length;
         debug_assert!(len > 0 && start + len <= self.y.len());
@@ -82,13 +89,17 @@ impl<'a> MapContext<'a> {
             interval.err = f64::INFINITY;
         }
 
-        if !shiftable {
-            return;
+        if shiftable {
+            match self.metric {
+                ErrorMetric::Sse => self.shift_loop_sse(interval, yw),
+                _ => self.shift_loop_general(interval, yw),
+            }
         }
 
-        match self.metric {
-            ErrorMetric::Sse => self.shift_loop_sse(interval, yw),
-            _ => self.shift_loop_general(interval, yw),
+        if interval.is_fallback() {
+            self.obs.fallback_wins.inc();
+        } else {
+            self.obs.base_wins.inc();
         }
     }
 
@@ -106,9 +117,11 @@ impl<'a> MapContext<'a> {
             }
         };
         if use_fft {
+            self.obs.fft_sweeps.inc();
             let plan = self.xcorr.as_ref().expect("checked above");
             self.shift_loop_sse_fft(interval, yw, plan);
         } else {
+            self.obs.direct_sweeps.inc();
             self.shift_loop_sse_direct(interval, yw);
         }
     }
@@ -186,10 +199,12 @@ impl<'a> MapContext<'a> {
 
         // Pass 2: exact re-evaluation of every shift that could be the true
         // minimum.
+        let mut reverified = 0u64;
         for (shift, &(err, u)) in approx.iter().enumerate() {
             if err - u > min_upper {
                 continue;
             }
+            reverified += 1;
             let sum_xy = xcorr::dot(&self.x[shift..shift + len], yw);
             let f = self.fit_at(shift, len, sum_y, sum_y2, sum_xy);
             if f.err < interval.err {
@@ -199,6 +214,7 @@ impl<'a> MapContext<'a> {
                 interval.err = f.err;
             }
         }
+        self.obs.fft_reverified.add(reverified);
     }
 
     /// Closed-form SSE fit for one shift from the window statistics.

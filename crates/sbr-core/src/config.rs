@@ -69,6 +69,11 @@ pub struct SbrConfig {
     /// threading. Results are deterministic and identical for every value —
     /// work is sharded by index and reduced in index order.
     pub num_threads: usize,
+    /// Observability handles for the encode pipeline. Defaults to fully
+    /// disabled (every hook a single branch); attach a live recorder with
+    /// [`SbrConfig::with_recorder`]. Never affects the output — only what
+    /// is measured.
+    pub obs: crate::obs::EncodeObs,
 }
 
 impl SbrConfig {
@@ -86,7 +91,19 @@ impl SbrConfig {
             update_base: true,
             shift_strategy: ShiftStrategy::default(),
             num_threads: 0,
+            obs: crate::obs::EncodeObs::default(),
         }
+    }
+
+    /// Attach a live metrics recorder (builder style): every pipeline
+    /// stage records per-phase timings, strategy decisions and
+    /// base-signal churn into it, and spans are traced when the recorder
+    /// has a trace sink. Only available with the `obs` feature (on by
+    /// default).
+    #[cfg(feature = "obs")]
+    pub fn with_recorder(mut self, recorder: std::sync::Arc<dyn sbr_obs::Recorder>) -> Self {
+        self.obs = crate::obs::EncodeObs::new(recorder);
+        self
     }
 
     /// Set the error metric (builder style).
@@ -205,6 +222,23 @@ pub trait BaseBuilder {
     ) -> Vec<Vec<f64>> {
         let _ = threads;
         self.build(data, w, max_ins, metric)
+    }
+
+    /// Like [`BaseBuilder::build_threaded`] but handed the encoder's
+    /// observability bundle, so builders that fan out can report worker
+    /// utilization. The default ignores it — external builders keep
+    /// working unchanged, and instrumentation never changes the output.
+    fn build_with_obs(
+        &self,
+        data: &MultiSeries,
+        w: usize,
+        max_ins: usize,
+        metric: ErrorMetric,
+        threads: usize,
+        obs: &crate::obs::EncodeObs,
+    ) -> Vec<Vec<f64>> {
+        let _ = obs;
+        self.build_threaded(data, w, max_ins, metric, threads)
     }
 }
 

@@ -4,6 +4,7 @@
 
 use crate::config::BaseBuilder;
 use crate::metric::ErrorMetric;
+use crate::obs::{EncodeObs, ParObs};
 use crate::regression;
 use crate::series::MultiSeries;
 
@@ -61,6 +62,20 @@ pub fn get_base_threaded(
     metric: ErrorMetric,
     threads: usize,
 ) -> Vec<Vec<f64>> {
+    get_base_with_obs(data, w, max_ins, metric, threads, &ParObs::default())
+}
+
+/// [`get_base_threaded`] with fan-out observability: worker utilization of
+/// the error-matrix build is reported through `obs` when a live recorder
+/// is attached. Output is identical to the uninstrumented call.
+pub fn get_base_with_obs(
+    data: &MultiSeries,
+    w: usize,
+    max_ins: usize,
+    metric: ErrorMetric,
+    threads: usize,
+    obs: &ParObs,
+) -> Vec<Vec<f64>> {
     let cbis = candidate_intervals(data, w);
     let k = cbis.len();
     if k == 0 || max_ins == 0 {
@@ -72,7 +87,7 @@ pub fn get_base_threaded(
         .iter()
         .map(|c| regression::fit_linear(metric, c).err)
         .collect();
-    let err: Vec<f64> = crate::par::par_map(k, threads, |i| {
+    let err: Vec<f64> = crate::par::par_map(k, threads, obs, |i| {
         let mut row = Vec::with_capacity(k);
         for j in 0..k {
             row.push(if i == j {
@@ -147,6 +162,19 @@ pub fn get_base_low_memory_threaded(
     metric: ErrorMetric,
     threads: usize,
 ) -> Vec<Vec<f64>> {
+    get_base_low_memory_with_obs(data, w, max_ins, metric, threads, &ParObs::default())
+}
+
+/// [`get_base_low_memory_threaded`] with fan-out observability, mirroring
+/// [`get_base_with_obs`].
+pub fn get_base_low_memory_with_obs(
+    data: &MultiSeries,
+    w: usize,
+    max_ins: usize,
+    metric: ErrorMetric,
+    threads: usize,
+    obs: &ParObs,
+) -> Vec<Vec<f64>> {
     let cbis = candidate_intervals(data, w);
     let k = cbis.len();
     if k == 0 || max_ins == 0 {
@@ -161,7 +189,7 @@ pub fn get_base_low_memory_threaded(
     let mut selected: Vec<Vec<f64>> = Vec::with_capacity(max_ins.min(k));
 
     for _ in 0..max_ins.min(k) {
-        let benefits = crate::par::par_map(k, threads, |i| {
+        let benefits = crate::par::par_map(k, threads, obs, |i| {
             if selected_flags[i] {
                 return f64::NEG_INFINITY;
             }
@@ -231,6 +259,18 @@ impl BaseBuilder for GetBaseBuilder {
     ) -> Vec<Vec<f64>> {
         get_base_threaded(data, w, max_ins, metric, threads)
     }
+
+    fn build_with_obs(
+        &self,
+        data: &MultiSeries,
+        w: usize,
+        max_ins: usize,
+        metric: ErrorMetric,
+        threads: usize,
+        obs: &EncodeObs,
+    ) -> Vec<Vec<f64>> {
+        get_base_with_obs(data, w, max_ins, metric, threads, &obs.par)
+    }
 }
 
 /// [`BaseBuilder`] wrapping [`get_base_low_memory`].
@@ -257,6 +297,18 @@ impl BaseBuilder for LowMemoryGetBase {
         threads: usize,
     ) -> Vec<Vec<f64>> {
         get_base_low_memory_threaded(data, w, max_ins, metric, threads)
+    }
+
+    fn build_with_obs(
+        &self,
+        data: &MultiSeries,
+        w: usize,
+        max_ins: usize,
+        metric: ErrorMetric,
+        threads: usize,
+        obs: &EncodeObs,
+    ) -> Vec<Vec<f64>> {
+        get_base_low_memory_with_obs(data, w, max_ins, metric, threads, &obs.par)
     }
 }
 

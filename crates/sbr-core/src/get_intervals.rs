@@ -88,6 +88,10 @@ pub fn get_intervals(
         });
     }
 
+    let _span = config.obs.span(
+        "sbr_core.get_intervals.run_ns",
+        &config.obs.get_intervals_ns,
+    );
     let ctx = MapContext::new(x, data.flat(), config, w);
     let metric = config.metric;
     let threads = config.resolved_threads();
@@ -98,7 +102,7 @@ pub fn get_intervals(
     // The per-signal fits are independent; fan them out over the worker
     // pool. `par_map` returns results in index order, so the heap sees the
     // same insertion sequence as the serial loop regardless of thread count.
-    for iv in crate::par::par_map(n_signals, threads, |i| {
+    for iv in crate::par::par_map(n_signals, threads, &config.obs.par, |i| {
         let mut iv = Interval::unfitted(i * m, m);
         ctx.best_map(&mut iv);
         iv
@@ -141,7 +145,7 @@ pub fn get_intervals(
         } else {
             1
         };
-        for child in crate::par::par_map(2, child_threads, |side| {
+        for child in crate::par::par_map(2, child_threads, &config.obs.par, |side| {
             let mut iv = if side == 0 {
                 Interval::unfitted(worst.start, left_len)
             } else {

@@ -53,6 +53,7 @@ pub mod get_base;
 pub mod get_intervals;
 pub mod interval;
 pub mod metric;
+pub mod obs;
 pub mod quadratic;
 pub mod query;
 pub mod regression;
@@ -74,6 +75,7 @@ pub use error::SbrError;
 pub use get_base::{GetBaseBuilder, LowMemoryGetBase};
 pub use interval::{Interval, IntervalRecord};
 pub use metric::ErrorMetric;
+pub use obs::EncodeObs;
 pub use quadratic::QuadFit;
 pub use query::ChunkView;
 pub use regression::Fit;

@@ -1,0 +1,333 @@
+//! Observability facade for the encode pipeline.
+//!
+//! With the `obs` feature (on by default) this re-exports the `sbr-obs`
+//! handle types and provides [`EncodeObs`], the pre-registered bundle of
+//! every pipeline metric, carried inside [`SbrConfig`](crate::SbrConfig)
+//! so it reaches `GetBase`/`Search`/`GetIntervals`/`BestMap` through the
+//! existing plumbing. With the feature off, this module defines inert
+//! mirror types with identical APIs, so instrumentation call sites
+//! compile unchanged and cost nothing — no `#[cfg]` scattering in the
+//! hot code.
+//!
+//! Metric names follow the `crate.module.name` convention:
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `sbr_core.sbr.encode_ns` | histogram | whole `encode` call |
+//! | `sbr_core.get_base.build_ns` | histogram | candidate construction |
+//! | `sbr_core.get_base.matrix_cells` | gauge | `K×K` benefit-matrix size |
+//! | `sbr_core.search.run_ns` | histogram | insertion-count search |
+//! | `sbr_core.search.probes` | counter | `GetIntervals` probes run |
+//! | `sbr_core.get_intervals.run_ns` | histogram | one splitting pass |
+//! | `sbr_core.best_map.calls` | counter | interval fits attempted |
+//! | `sbr_core.best_map.direct_sweeps` | counter | SSE sweeps on the direct path |
+//! | `sbr_core.best_map.fft_sweeps` | counter | SSE sweeps on the FFT path |
+//! | `sbr_core.best_map.fft_reverified_shifts` | counter | shifts exactly re-checked after the FFT filter |
+//! | `sbr_core.best_map.base_wins` | counter | fits won by a base mapping |
+//! | `sbr_core.best_map.fallback_wins` | counter | fits won by the linear fall-back |
+//! | `sbr_core.base_signal.inserted` | counter | base intervals inserted |
+//! | `sbr_core.base_signal.evicted` | counter | LFU slots overwritten |
+//! | `sbr_core.base_signal.slots` | gauge | dictionary slots in use |
+//! | `sbr_core.sbr.tx_mapped_intervals` | counter | transmitted intervals using the base |
+//! | `sbr_core.sbr.tx_fallback_intervals` | counter | transmitted intervals using the fall-back |
+//! | `sbr_core.codec.encode_ns` / `decode_ns` | histogram | wire codec |
+//! | `sbr_core.par.fanouts` | counter | thread fan-outs actually taken |
+//! | `sbr_core.par.worker_items` | histogram | items one worker processed |
+//! | `sbr_core.par.worker_busy_ns` | histogram | one worker's busy time |
+
+#[cfg(not(feature = "obs"))]
+pub use disabled::*;
+#[cfg(feature = "obs")]
+pub use enabled::*;
+
+#[cfg(feature = "obs")]
+mod enabled {
+    use std::sync::Arc;
+
+    pub use sbr_obs::{
+        Counter, Gauge, Histogram, MetricsRecorder, NoopRecorder, Recorder, Snapshot, Span,
+    };
+
+    /// Pre-registered handles for every encode-pipeline metric.
+    ///
+    /// The default is fully disabled (every operation one branch); attach
+    /// a live recorder with
+    /// [`SbrConfig::with_recorder`](crate::SbrConfig::with_recorder).
+    /// Cloning shares the underlying storage.
+    #[derive(Clone, Debug, Default)]
+    pub struct EncodeObs {
+        recorder: Option<Arc<dyn Recorder>>,
+        /// Whole `encode` call.
+        pub encode_ns: Histogram,
+        /// `GetBase` candidate construction.
+        pub get_base_ns: Histogram,
+        /// Insertion-count binary search.
+        pub search_ns: Histogram,
+        /// One `GetIntervals` splitting pass.
+        pub get_intervals_ns: Histogram,
+        /// Wire-codec encode.
+        pub codec_encode_ns: Histogram,
+        /// Wire-codec decode.
+        pub codec_decode_ns: Histogram,
+        /// `BestMap` fits attempted.
+        pub best_map_calls: Counter,
+        /// SSE sweeps evaluated with the direct loop.
+        pub direct_sweeps: Counter,
+        /// SSE sweeps evaluated with the FFT kernel.
+        pub fft_sweeps: Counter,
+        /// Shifts exactly re-verified after the FFT filter pass.
+        pub fft_reverified: Counter,
+        /// Fits won by a base-signal mapping.
+        pub base_wins: Counter,
+        /// Fits won by the linear fall-back.
+        pub fallback_wins: Counter,
+        /// `GetIntervals` probes the insertion search ran.
+        pub search_probes: Counter,
+        /// Base intervals inserted into the dictionary.
+        pub base_inserted: Counter,
+        /// Dictionary slots overwritten by LFU eviction.
+        pub base_evicted: Counter,
+        /// Transmitted intervals mapped onto the base signal.
+        pub tx_mapped_intervals: Counter,
+        /// Transmitted intervals using the linear fall-back.
+        pub tx_fallback_intervals: Counter,
+        /// Dictionary slots currently in use.
+        pub base_slots: Gauge,
+        /// `K×K` benefit-matrix size of the last `GetBase` run.
+        pub matrix_cells: Gauge,
+        /// Fan-out metrics for `par_map`.
+        pub par: ParObs,
+    }
+
+    impl EncodeObs {
+        /// Register every pipeline metric on `recorder`.
+        pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+            let r = recorder.as_ref();
+            EncodeObs {
+                encode_ns: r.histogram("sbr_core.sbr.encode_ns"),
+                get_base_ns: r.histogram("sbr_core.get_base.build_ns"),
+                search_ns: r.histogram("sbr_core.search.run_ns"),
+                get_intervals_ns: r.histogram("sbr_core.get_intervals.run_ns"),
+                codec_encode_ns: r.histogram("sbr_core.codec.encode_ns"),
+                codec_decode_ns: r.histogram("sbr_core.codec.decode_ns"),
+                best_map_calls: r.counter("sbr_core.best_map.calls"),
+                direct_sweeps: r.counter("sbr_core.best_map.direct_sweeps"),
+                fft_sweeps: r.counter("sbr_core.best_map.fft_sweeps"),
+                fft_reverified: r.counter("sbr_core.best_map.fft_reverified_shifts"),
+                base_wins: r.counter("sbr_core.best_map.base_wins"),
+                fallback_wins: r.counter("sbr_core.best_map.fallback_wins"),
+                search_probes: r.counter("sbr_core.search.probes"),
+                base_inserted: r.counter("sbr_core.base_signal.inserted"),
+                base_evicted: r.counter("sbr_core.base_signal.evicted"),
+                tx_mapped_intervals: r.counter("sbr_core.sbr.tx_mapped_intervals"),
+                tx_fallback_intervals: r.counter("sbr_core.sbr.tx_fallback_intervals"),
+                base_slots: r.gauge("sbr_core.base_signal.slots"),
+                matrix_cells: r.gauge("sbr_core.get_base.matrix_cells"),
+                par: ParObs::new(r),
+                recorder: Some(recorder),
+            }
+        }
+
+        /// Whether a live recorder is attached.
+        #[inline]
+        pub fn enabled(&self) -> bool {
+            self.recorder.is_some()
+        }
+
+        /// The attached recorder, if any.
+        pub fn recorder(&self) -> Option<&Arc<dyn Recorder>> {
+            self.recorder.as_ref()
+        }
+
+        /// Start a scoped timer recording into `hist` and tracing through
+        /// the attached recorder.
+        pub fn span(&self, name: &'static str, hist: &Histogram) -> Span {
+            Span::start(name, hist, self.recorder.as_ref())
+        }
+    }
+
+    /// Per-thread utilization metrics for the `par_map` fan-out.
+    #[derive(Clone, Debug, Default)]
+    pub struct ParObs {
+        /// Fan-outs that actually spawned workers (serial runs excluded).
+        pub fanouts: Counter,
+        /// Items processed by one worker in one fan-out.
+        pub worker_items: Histogram,
+        /// One worker's busy time in one fan-out, nanoseconds.
+        pub worker_busy_ns: Histogram,
+    }
+
+    impl ParObs {
+        fn new(r: &dyn Recorder) -> Self {
+            ParObs {
+                fanouts: r.counter("sbr_core.par.fanouts"),
+                worker_items: r.histogram("sbr_core.par.worker_items"),
+                worker_busy_ns: r.histogram("sbr_core.par.worker_busy_ns"),
+            }
+        }
+
+        /// Whether worker timing should be collected.
+        #[inline]
+        pub fn enabled(&self) -> bool {
+            self.worker_busy_ns.is_enabled()
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod disabled {
+    //! Inert mirrors of the `sbr-obs` handle types: identical inherent
+    //! APIs, every method a no-op the optimizer erases.
+
+    /// Inert counter (the `obs` feature is off).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Counter;
+
+    impl Counter {
+        /// No-op.
+        #[inline]
+        pub fn inc(&self) {}
+        /// No-op.
+        #[inline]
+        pub fn add(&self, _delta: u64) {}
+        /// Always 0.
+        #[inline]
+        pub fn get(&self) -> u64 {
+            0
+        }
+        /// Always false.
+        #[inline]
+        pub fn is_enabled(&self) -> bool {
+            false
+        }
+    }
+
+    /// Inert gauge (the `obs` feature is off).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Gauge;
+
+    impl Gauge {
+        /// No-op.
+        #[inline]
+        pub fn set(&self, _v: f64) {}
+        /// Always 0.0.
+        #[inline]
+        pub fn get(&self) -> f64 {
+            0.0
+        }
+        /// Always false.
+        #[inline]
+        pub fn is_enabled(&self) -> bool {
+            false
+        }
+    }
+
+    /// Inert histogram (the `obs` feature is off).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Histogram;
+
+    impl Histogram {
+        /// No-op.
+        #[inline]
+        pub fn record(&self, _v: u64) {}
+        /// Always 0.
+        #[inline]
+        pub fn count(&self) -> u64 {
+            0
+        }
+        /// Always false.
+        #[inline]
+        pub fn is_enabled(&self) -> bool {
+            false
+        }
+    }
+
+    /// Inert scoped timer (the `obs` feature is off).
+    #[derive(Debug, Default)]
+    pub struct Span;
+
+    impl Span {
+        /// A span that does nothing.
+        pub fn noop() -> Self {
+            Span
+        }
+    }
+
+    /// Inert metric bundle (the `obs` feature is off).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct EncodeObs {
+        /// Whole `encode` call.
+        pub encode_ns: Histogram,
+        /// `GetBase` candidate construction.
+        pub get_base_ns: Histogram,
+        /// Insertion-count binary search.
+        pub search_ns: Histogram,
+        /// One `GetIntervals` splitting pass.
+        pub get_intervals_ns: Histogram,
+        /// Wire-codec encode.
+        pub codec_encode_ns: Histogram,
+        /// Wire-codec decode.
+        pub codec_decode_ns: Histogram,
+        /// `BestMap` fits attempted.
+        pub best_map_calls: Counter,
+        /// SSE sweeps evaluated with the direct loop.
+        pub direct_sweeps: Counter,
+        /// SSE sweeps evaluated with the FFT kernel.
+        pub fft_sweeps: Counter,
+        /// Shifts exactly re-verified after the FFT filter pass.
+        pub fft_reverified: Counter,
+        /// Fits won by a base-signal mapping.
+        pub base_wins: Counter,
+        /// Fits won by the linear fall-back.
+        pub fallback_wins: Counter,
+        /// `GetIntervals` probes the insertion search ran.
+        pub search_probes: Counter,
+        /// Base intervals inserted into the dictionary.
+        pub base_inserted: Counter,
+        /// Dictionary slots overwritten by LFU eviction.
+        pub base_evicted: Counter,
+        /// Transmitted intervals mapped onto the base signal.
+        pub tx_mapped_intervals: Counter,
+        /// Transmitted intervals using the linear fall-back.
+        pub tx_fallback_intervals: Counter,
+        /// Dictionary slots currently in use.
+        pub base_slots: Gauge,
+        /// `K×K` benefit-matrix size of the last `GetBase` run.
+        pub matrix_cells: Gauge,
+        /// Fan-out metrics for `par_map`.
+        pub par: ParObs,
+    }
+
+    impl EncodeObs {
+        /// Always false.
+        #[inline]
+        pub fn enabled(&self) -> bool {
+            false
+        }
+
+        /// An inert span.
+        #[inline]
+        pub fn span(&self, _name: &'static str, _hist: &Histogram) -> Span {
+            Span
+        }
+    }
+
+    /// Inert fan-out metrics (the `obs` feature is off).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct ParObs {
+        /// Fan-outs that actually spawned workers.
+        pub fanouts: Counter,
+        /// Items processed by one worker in one fan-out.
+        pub worker_items: Histogram,
+        /// One worker's busy time in one fan-out, nanoseconds.
+        pub worker_busy_ns: Histogram,
+    }
+
+    impl ParObs {
+        /// Always false.
+        #[inline]
+        pub fn enabled(&self) -> bool {
+            false
+        }
+    }
+}

@@ -17,7 +17,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// With `threads <= 1` (or trivially small `n`) this is a plain serial map
 /// with zero overhead — exactly the pre-threading behaviour. Worker panics
 /// propagate to the caller.
-pub(crate) fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+///
+/// `obs` reports per-thread utilization (items and busy time per worker)
+/// when a live recorder is attached; the clock is never read otherwise,
+/// and instrumentation never influences scheduling or results.
+pub(crate) fn par_map<T, F>(n: usize, threads: usize, obs: &crate::obs::ParObs, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -25,6 +29,7 @@ where
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
+    obs.fanouts.inc();
     let workers = threads.min(n);
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -32,6 +37,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let t0 = obs.enabled().then(std::time::Instant::now);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -39,6 +45,10 @@ where
                             break;
                         }
                         local.push((i, f(i)));
+                    }
+                    if let Some(t0) = t0 {
+                        obs.worker_busy_ns.record(t0.elapsed().as_nanos() as u64);
+                        obs.worker_items.record(local.len() as u64);
                     }
                     local
                 })
@@ -59,34 +69,54 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::ParObs;
 
     #[test]
     fn results_are_in_index_order() {
         for threads in [1, 2, 4, 7] {
-            let out = par_map(100, threads, |i| i * i);
+            let out = par_map(100, threads, &ParObs::default(), |i| i * i);
             assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
         }
     }
 
     #[test]
     fn empty_and_single() {
-        assert_eq!(par_map(0, 4, |i| i), Vec::<usize>::new());
-        assert_eq!(par_map(1, 4, |i| i + 10), vec![10]);
+        assert_eq!(
+            par_map(0, 4, &ParObs::default(), |i| i),
+            Vec::<usize>::new()
+        );
+        assert_eq!(par_map(1, 4, &ParObs::default(), |i| i + 10), vec![10]);
     }
 
     #[test]
     fn more_threads_than_items() {
-        assert_eq!(par_map(3, 64, |i| i), vec![0, 1, 2]);
+        assert_eq!(par_map(3, 64, &ParObs::default(), |i| i), vec![0, 1, 2]);
     }
 
     #[test]
     #[should_panic(expected = "sbr worker thread panicked")]
     fn worker_panic_propagates() {
-        par_map(8, 2, |i| {
+        par_map(8, 2, &ParObs::default(), |i| {
             if i == 5 {
                 panic!("boom");
             }
             i
         });
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn worker_utilization_is_recorded() {
+        use crate::obs::{EncodeObs, MetricsRecorder, Recorder as _};
+        use std::sync::Arc;
+        let rec = Arc::new(MetricsRecorder::new());
+        let obs = EncodeObs::new(rec.clone());
+        let out = par_map(32, 4, &obs.par, |i| i);
+        assert_eq!(out.len(), 32);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("sbr_core.par.fanouts"), Some(1));
+        let items = snap.histogram("sbr_core.par.worker_items").unwrap();
+        assert_eq!(items.count, 4, "one sample per worker");
+        assert_eq!(items.sum, 32, "every item claimed exactly once");
     }
 }

@@ -144,21 +144,35 @@ impl SbrEncoder {
             });
         }
 
+        let obs = self.config.obs.clone();
+        let _encode_span = obs.span("sbr_core.sbr.encode_ns", &obs.encode_ns);
+
         // Step 1 (Algorithms 4, 6, 7): rank candidate features and pick how
         // many to insert.
         let (candidates, ins, probes) = if self.config.update_base {
             let max_ins = self.config.max_ins(self.w);
-            let candidates = self.builder.build_threaded(
-                data,
-                self.w,
-                max_ins,
-                self.config.metric,
-                self.config.resolved_threads(),
-            );
+            // K CBIs per GetBase run; the benefit matrix is K×K.
+            let k = self.n_signals * (self.samples_per_signal / self.w);
+            obs.matrix_cells.set((k * k) as f64);
+            let candidates = {
+                let _s = obs.span("sbr_core.get_base.build_ns", &obs.get_base_ns);
+                self.builder.build_with_obs(
+                    data,
+                    self.w,
+                    max_ins,
+                    self.config.metric,
+                    self.config.resolved_threads(),
+                    &obs,
+                )
+            };
             let mut search =
                 SearchContext::new(&self.base, &candidates, data, self.w, &self.config);
-            let mut ins = search.run();
-            let probes = search.probes();
+            let (mut ins, probes) = {
+                let _s = obs.span("sbr_core.search.run_ns", &obs.search_ns);
+                let ins = search.run();
+                (ins, search.probes())
+            };
+            obs.search_probes.add(probes as u64);
             // Safety net: the binary search assumes unimodality; never let a
             // bad probe leave us with a count whose leftover budget cannot
             // hold one interval per signal (Ins = 0 is always feasible —
@@ -225,6 +239,17 @@ impl SbrEncoder {
             let uses = slot_uses[old_slots + k];
             if uses > 0 {
                 self.base.bump_use(p, uses);
+            }
+        }
+
+        obs.base_inserted.add(ins as u64);
+        obs.base_evicted.add(replaced.len() as u64);
+        obs.base_slots.set(self.base.num_slots() as f64);
+        for iv in &approx.intervals {
+            if iv.is_fallback() {
+                obs.tx_fallback_intervals.inc();
+            } else {
+                obs.tx_mapped_intervals.inc();
             }
         }
 

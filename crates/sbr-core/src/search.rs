@@ -141,7 +141,7 @@ impl<'a> SearchContext<'a> {
         if missing.len() < 2 {
             return;
         }
-        let values = crate::par::par_map(missing.len(), threads, |i| {
+        let values = crate::par::par_map(missing.len(), threads, &self.config.obs.par, |i| {
             self.compute_error(missing[i], &mut Vec::new())
         });
         for (&pos, e) in missing.iter().zip(values) {

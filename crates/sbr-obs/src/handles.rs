@@ -1,0 +1,267 @@
+//! Thread-safe metric handles with a single-branch disabled fast path.
+//!
+//! Every handle is a newtype over `Option<Arc<…atomics…>>`. Handles are
+//! handed out by a [`Recorder`](crate::Recorder); cloning a handle clones
+//! the `Arc`, so any number of threads can hammer the same metric without
+//! locks. `Default` gives the disabled (`None`) form, whose every
+//! operation is one `match` on the option — the zero-overhead contract
+//! `sbr-core` relies on when no recorder is attached.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds `2^(i-1) ≤ v < 2^i`, bucket 64 holds `v ≥ 2^63`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in (see [`NUM_BUCKETS`]).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Smallest value belonging to bucket `i`.
+///
+/// # Panics
+/// If `i >= NUM_BUCKETS`.
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    assert!(i < NUM_BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A live counter starting at zero.
+    pub fn live() -> Self {
+        Counter(Some(Arc::new(AtomicU64::new(0))))
+    }
+
+    /// A disabled counter; all operations are a single branch.
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Whether this handle is backed by storage.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-write-wins floating-point gauge (stored as `f64` bits).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A live gauge starting at 0.0.
+    pub fn live() -> Self {
+        Gauge(Some(Arc::new(AtomicU64::new(0f64.to_bits()))))
+    }
+
+    /// A disabled gauge; all operations are a single branch.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Whether this handle is backed by storage.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+}
+
+/// Shared storage behind a live [`Histogram`].
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    pub(crate) count: AtomicU64,
+    /// Wrapping sum of recorded values (wrap is astronomically unlikely
+    /// for the nanosecond/size data we feed it, and harmless if it
+    /// happens — only the mean degrades).
+    pub(crate) sum: AtomicU64,
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+    pub(crate) buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples (latencies, sizes).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A live, empty histogram.
+    pub fn live() -> Self {
+        Histogram(Some(Arc::new(HistogramCore::new())))
+    }
+
+    /// A disabled histogram; all operations are a single branch.
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Whether this handle is backed by storage.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(v, Ordering::Relaxed);
+            h.min.fetch_min(v, Ordering::Relaxed);
+            h.max.fetch_max(v, Ordering::Relaxed);
+            h.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded samples (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn core(&self) -> Option<&HistogramCore> {
+        self.0.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        // Zero gets its own bucket.
+        assert_eq!(bucket_index(0), 0);
+        // Powers of two open a new bucket; their predecessors close one.
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for k in 0..64 {
+            let p = 1u64 << k;
+            assert_eq!(bucket_index(p), k as usize + 1, "2^{k}");
+            if p > 1 {
+                assert_eq!(bucket_index(p - 1), k as usize, "2^{k} - 1");
+            }
+        }
+        // The top bucket absorbs everything from 2^63 up.
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_are_inverse_of_index() {
+        assert_eq!(bucket_lower_bound(0), 0);
+        for i in 1..NUM_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(lo - 1), i - 1);
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_buckets() {
+        let h = Histogram::live();
+        for v in [0, 1, 1, 7, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let core = h.core().unwrap();
+        assert_eq!(core.count.load(Ordering::Relaxed), 6);
+        assert_eq!(core.min.load(Ordering::Relaxed), 0);
+        assert_eq!(core.max.load(Ordering::Relaxed), u64::MAX);
+        assert_eq!(core.buckets[0].load(Ordering::Relaxed), 1); // the zero
+        assert_eq!(core.buckets[1].load(Ordering::Relaxed), 2); // the ones
+        assert_eq!(core.buckets[3].load(Ordering::Relaxed), 1); // 7
+        assert_eq!(core.buckets[11].load(Ordering::Relaxed), 1); // 1024
+        assert_eq!(core.buckets[64].load(Ordering::Relaxed), 1); // u64::MAX
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::noop();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        assert!(!c.is_enabled());
+
+        let g = Gauge::noop();
+        g.set(3.5);
+        assert_eq!(g.get(), 0.0);
+
+        let h = Histogram::noop();
+        h.record(42);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let c = Counter::live();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(2);
+        assert_eq!(c.get(), 3);
+        assert_eq!(c2.get(), 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! Zero-dependency observability for the SBR workspace.
+//!
+//! The layer has three pieces, each usable on its own:
+//!
+//! * **Handles** ([`Counter`], [`Gauge`], [`Histogram`]) — cheap `Clone`
+//!   wrappers around shared atomics. A *disabled* handle (the default) is
+//!   an `Option::None` and every operation on it is a single branch, so
+//!   instrumented code paths cost nothing when no recorder is attached.
+//!   Histograms bucket values by `log2` (65 buckets: one for zero, one per
+//!   power of two), which is plenty for latencies and sizes.
+//! * **Recorders** — the [`Recorder`] trait hands out handles by
+//!   fully-qualified name (convention: `crate.module.name`) and receives
+//!   structured trace events. [`MetricsRecorder`] interns handles in a
+//!   registry and optionally appends events as JSON lines to a writer
+//!   (see [`TRACE_ENV`]); [`NoopRecorder`] does nothing.
+//! * **Snapshots** — [`Snapshot`] freezes every registered metric into a
+//!   `BTreeMap` and serializes it with the hand-rolled [`json`] module
+//!   (schema `sbr-obs/v1`), so benchmark output and CLI reports need no
+//!   external serialization crates.
+//!
+//! Timing uses [`Span`], a drop guard that records elapsed nanoseconds
+//! into a histogram and emits a trace event; spans nest naturally because
+//! each guard is an ordinary stack value.
+//!
+//! ```
+//! use sbr_obs::{MetricsRecorder, Recorder, Span};
+//! use std::sync::Arc;
+//!
+//! let rec = Arc::new(MetricsRecorder::new());
+//! let calls = rec.counter("demo.module.calls");
+//! let latency = rec.histogram("demo.module.latency_ns");
+//! {
+//!     let _span = Span::start("demo.module.latency_ns", &latency, None);
+//!     calls.inc();
+//! }
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counter("demo.module.calls"), Some(1));
+//! assert_eq!(snap.histogram("demo.module.latency_ns").unwrap().count, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+mod handles;
+mod recorder;
+mod snapshot;
+
+pub use handles::{bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, NUM_BUCKETS};
+pub use recorder::{MetricsRecorder, NoopRecorder, Recorder, Span};
+pub use snapshot::{HistogramSnapshot, MetricValue, Snapshot, SNAPSHOT_SCHEMA};
+
+/// Environment variable naming a file to append JSON-line trace events to.
+///
+/// Honored by [`MetricsRecorder::from_env`]; consumers (the CLI, benches)
+/// opt in by constructing their recorder through that helper.
+pub const TRACE_ENV: &str = "SBR_TRACE";

@@ -1,0 +1,389 @@
+//! The [`Recorder`] trait, its live and no-op implementations, and the
+//! [`Span`] scoped timer.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::handles::{Counter, Gauge, Histogram};
+use crate::snapshot::{HistogramSnapshot, MetricValue, Snapshot};
+use crate::{json, TRACE_ENV};
+
+/// Sink for metrics handles and structured trace events.
+///
+/// Metric names are fully qualified as `crate.module.name` (with optional
+/// extra segments, e.g. a node id). Requesting the same name twice
+/// returns handles sharing the same storage.
+pub trait Recorder: fmt::Debug + Send + Sync {
+    /// Whether this recorder keeps anything at all. Callers may use this
+    /// to skip building event payloads; handles are safe to use either
+    /// way.
+    fn enabled(&self) -> bool;
+
+    /// A counter handle registered under `name`.
+    fn counter(&self, name: &str) -> Counter;
+
+    /// A gauge handle registered under `name`.
+    fn gauge(&self, name: &str) -> Gauge;
+
+    /// A histogram handle registered under `name`.
+    fn histogram(&self, name: &str) -> Histogram;
+
+    /// Emit one structured trace event. `dur_ns` is the span duration for
+    /// timing events; `fields` are extra key/value pairs. Recorders
+    /// without a trace sink drop events.
+    fn emit(&self, name: &str, dur_ns: Option<u64>, fields: &[(&str, &str)]);
+
+    /// Freeze every registered metric.
+    fn snapshot(&self) -> Snapshot;
+}
+
+/// A recorder that records nothing; every handle it returns is disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn counter(&self, _name: &str) -> Counter {
+        Counter::noop()
+    }
+    fn gauge(&self, _name: &str) -> Gauge {
+        Gauge::noop()
+    }
+    fn histogram(&self, _name: &str) -> Histogram {
+        Histogram::noop()
+    }
+    fn emit(&self, _name: &str, _dur_ns: Option<u64>, _fields: &[(&str, &str)]) {}
+    fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The live recorder: an interning registry of handles plus an optional
+/// line-delimited JSON trace sink.
+///
+/// Trace events are one JSON object per line with a monotonic `ts_ns`
+/// (nanoseconds since the recorder was created), e.g.:
+///
+/// ```text
+/// {"ts_ns":184467,"name":"sbr_core.sbr.encode_ns","dur_ns":152003,"seq":"4"}
+/// ```
+pub struct MetricsRecorder {
+    origin: Instant,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+    trace: Option<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl fmt::Debug for MetricsRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsRecorder")
+            .field("metrics", &self.metrics.lock().unwrap().len())
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRecorder {
+    /// A recorder with metrics only (no trace sink).
+    pub fn new() -> Self {
+        MetricsRecorder {
+            origin: Instant::now(),
+            metrics: Mutex::new(BTreeMap::new()),
+            trace: None,
+        }
+    }
+
+    /// A recorder that also appends trace events to `writer`, one JSON
+    /// object per line, flushed per event.
+    pub fn with_trace_writer(writer: Box<dyn Write + Send>) -> Self {
+        MetricsRecorder {
+            origin: Instant::now(),
+            metrics: Mutex::new(BTreeMap::new()),
+            trace: Some(Mutex::new(writer)),
+        }
+    }
+
+    /// A recorder appending trace events to the file at `path` (created
+    /// or truncated).
+    pub fn with_trace_path(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::with_trace_writer(Box::new(io::BufWriter::new(file))))
+    }
+
+    /// A recorder appending trace events to the file at `path` without
+    /// truncating it — for late writers (e.g. error reporting) that must
+    /// not clobber events an earlier recorder already wrote.
+    pub fn with_trace_path_append(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = std::fs::File::options()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self::with_trace_writer(Box::new(io::BufWriter::new(file))))
+    }
+
+    /// A recorder honoring the [`TRACE_ENV`] (`SBR_TRACE`) environment
+    /// variable: when set and non-empty, trace events go to that file.
+    pub fn from_env() -> io::Result<Self> {
+        match std::env::var(TRACE_ENV) {
+            Ok(path) if !path.is_empty() => Self::with_trace_path(path),
+            _ => Ok(Self::new()),
+        }
+    }
+
+    fn intern<T: Clone>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> Metric,
+        pick: impl Fn(&Metric) -> Option<T>,
+    ) -> T {
+        let mut metrics = self.metrics.lock().unwrap();
+        let entry = metrics.entry(name.to_string()).or_insert_with(make);
+        pick(entry)
+            .unwrap_or_else(|| panic!("metric '{name}' already registered with a different type"))
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&self, name: &str) -> Counter {
+        self.intern(
+            name,
+            || Metric::Counter(Counter::live()),
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    fn gauge(&self, name: &str) -> Gauge {
+        self.intern(
+            name,
+            || Metric::Gauge(Gauge::live()),
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    fn histogram(&self, name: &str) -> Histogram {
+        self.intern(
+            name,
+            || Metric::Histogram(Histogram::live()),
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    fn emit(&self, name: &str, dur_ns: Option<u64>, fields: &[(&str, &str)]) {
+        let Some(sink) = &self.trace else {
+            return;
+        };
+        let ts_ns = self.origin.elapsed().as_nanos() as u64;
+        let mut line = format!("{{\"ts_ns\":{ts_ns},\"name\":{}", json::escape(name));
+        if let Some(d) = dur_ns {
+            line.push_str(&format!(",\"dur_ns\":{d}"));
+        }
+        for (k, v) in fields {
+            line.push_str(&format!(",{}:{}", json::escape(k), json::escape(v)));
+        }
+        line.push_str("}\n");
+        let mut w = sink.lock().unwrap();
+        // Trace I/O is best-effort; a full disk must not take encoding down.
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().unwrap();
+        Snapshot {
+            metrics: metrics
+                .iter()
+                .map(|(name, m)| {
+                    let v = match m {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => {
+                            MetricValue::Histogram(HistogramSnapshot::from_histogram(h))
+                        }
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A scoped timer: records elapsed nanoseconds into a histogram on drop
+/// and, when a tracing recorder is supplied, emits a trace event. Spans
+/// nest naturally as stack values; a span whose histogram is disabled and
+/// whose recorder is absent never reads the clock.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    hist: Histogram,
+    trace: Option<Arc<dyn Recorder>>,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// A span that does nothing.
+    pub fn noop() -> Self {
+        Span {
+            name: "",
+            hist: Histogram::noop(),
+            trace: None,
+            start: None,
+        }
+    }
+
+    /// Start timing. The clock is only read when the histogram is live or
+    /// `recorder` is an enabled tracer.
+    pub fn start(
+        name: &'static str,
+        hist: &Histogram,
+        recorder: Option<&Arc<dyn Recorder>>,
+    ) -> Self {
+        let trace = recorder.filter(|r| r.enabled()).cloned();
+        let on = hist.is_enabled() || trace.is_some();
+        Span {
+            name,
+            hist: hist.clone(),
+            trace,
+            start: on.then(Instant::now),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.hist.record(ns);
+            if let Some(r) = &self.trace {
+                r.emit(self.name, Some(ns), &[]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_intern_by_name() {
+        let rec = MetricsRecorder::new();
+        let a = rec.counter("x.y.n");
+        let b = rec.counter("x.y.n");
+        a.inc();
+        b.add(2);
+        assert_eq!(rec.snapshot().counter("x.y.n"), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let rec = MetricsRecorder::new();
+        let _ = rec.counter("x.y.n");
+        let _ = rec.gauge("x.y.n");
+    }
+
+    #[test]
+    fn span_records_and_traces() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+
+        #[derive(Debug, Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let rec: Arc<dyn Recorder> = Arc::new(MetricsRecorder::with_trace_writer(Box::new(
+            SharedBuf(Arc::clone(&buf)),
+        )));
+        let h = rec.histogram("t.m.span_ns");
+        {
+            let _outer = Span::start("t.m.span_ns", &h, Some(&rec));
+            let _inner = Span::start("t.m.span_ns", &h, Some(&rec));
+        }
+        assert_eq!(rec.snapshot().histogram("t.m.span_ns").unwrap().count, 2);
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = json::parse(line).unwrap();
+            assert_eq!(v.get("name").unwrap().as_str(), Some("t.m.span_ns"));
+            assert!(v.get("dur_ns").unwrap().as_u64().is_some());
+            assert!(v.get("ts_ns").unwrap().as_u64().is_some());
+        }
+    }
+
+    #[test]
+    fn emit_writes_fields() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        #[derive(Debug)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let rec = MetricsRecorder::with_trace_writer(Box::new(SharedBuf(Arc::clone(&buf))));
+        rec.emit(
+            "cli.error",
+            None,
+            &[("kind", "usage"), ("msg", "bad \"flag\"")],
+        );
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let v = json::parse(text.trim()).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("usage"));
+        assert_eq!(v.get("msg").unwrap().as_str(), Some("bad \"flag\""));
+        assert!(v.get("dur_ns").is_none());
+    }
+
+    #[test]
+    fn noop_recorder_is_inert() {
+        let rec = NoopRecorder;
+        let c = rec.counter("a.b.c");
+        c.inc();
+        assert!(!rec.enabled());
+        assert_eq!(c.get(), 0);
+        assert!(rec.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! Point-in-time freeze of every registered metric, with JSON round-trip.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+use crate::handles::{bucket_lower_bound, Histogram};
+use crate::json::{self, Value};
+
+/// Schema tag written by [`Snapshot::to_json`].
+pub const SNAPSHOT_SCHEMA: &str = "sbr-obs/v1";
+
+/// Frozen histogram statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// `(bucket lower bound, sample count)` for every non-empty bucket,
+    /// ascending. Bucket boundaries are powers of two; see
+    /// [`crate::bucket_index`].
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub(crate) fn from_histogram(h: &Histogram) -> Self {
+        let Some(core) = h.core() else {
+            return HistogramSnapshot::default();
+        };
+        let count = core.count.load(Ordering::Relaxed);
+        let buckets = core
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_lower_bound(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: core.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                core.min.load(Ordering::Relaxed)
+            },
+            max: core.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn to_json_value(&self) -> Value {
+        Value::Obj(vec![
+            ("type".into(), Value::Str("histogram".into())),
+            ("count".into(), Value::Num(self.count as f64)),
+            ("sum".into(), Value::Num(self.sum as f64)),
+            ("min".into(), Value::Num(self.min as f64)),
+            ("max".into(), Value::Num(self.max as f64)),
+            (
+                "buckets".into(),
+                Value::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|(lo, n)| {
+                            Value::Arr(vec![Value::Num(*lo as f64), Value::Num(*n as f64)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One frozen metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge's last value.
+    Gauge(f64),
+    /// Histogram statistics.
+    Histogram(HistogramSnapshot),
+}
+
+/// An ordered map of fully-qualified metric name → frozen value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// The metrics, keyed by `crate.module.name`.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// Counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram statistics by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Whether no metrics were registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The metrics map as a JSON object (name → typed value), ready to
+    /// embed inside a larger document (e.g. a `sbr-bench/v2` record).
+    pub fn to_json_value(&self) -> Value {
+        Value::Obj(
+            self.metrics
+                .iter()
+                .map(|(name, m)| {
+                    let v = match m {
+                        MetricValue::Counter(n) => Value::Obj(vec![
+                            ("type".into(), Value::Str("counter".into())),
+                            ("value".into(), Value::Num(*n as f64)),
+                        ]),
+                        MetricValue::Gauge(g) => Value::Obj(vec![
+                            ("type".into(), Value::Str("gauge".into())),
+                            ("value".into(), Value::Num(*g)),
+                        ]),
+                        MetricValue::Histogram(h) => h.to_json_value(),
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        )
+    }
+
+    /// Serialize as a standalone `sbr-obs/v1` document.
+    pub fn to_json(&self) -> String {
+        Value::Obj(vec![
+            ("schema".into(), Value::Str(SNAPSHOT_SCHEMA.into())),
+            ("metrics".into(), self.to_json_value()),
+        ])
+        .to_string()
+    }
+
+    /// Rebuild from the JSON object produced by [`Snapshot::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<Snapshot, String> {
+        let members = v.as_obj().ok_or("metrics must be a JSON object")?;
+        let mut metrics = BTreeMap::new();
+        for (name, m) in members {
+            let ty = m
+                .get("type")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("metric '{name}' has no type"))?;
+            let parsed = match ty {
+                "counter" => MetricValue::Counter(
+                    m.get("value")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("counter '{name}' has no value"))?,
+                ),
+                "gauge" => MetricValue::Gauge(
+                    m.get("value")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("gauge '{name}' has no value"))?,
+                ),
+                "histogram" => {
+                    let field = |k: &str| {
+                        m.get(k)
+                            .and_then(Value::as_u64)
+                            .ok_or_else(|| format!("histogram '{name}' has no {k}"))
+                    };
+                    let buckets = m
+                        .get("buckets")
+                        .and_then(Value::as_arr)
+                        .ok_or_else(|| format!("histogram '{name}' has no buckets"))?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair.as_arr().filter(|p| p.len() == 2);
+                            match pair {
+                                Some([lo, n]) => Ok((
+                                    lo.as_u64().ok_or("bad bucket bound")?,
+                                    n.as_u64().ok_or("bad bucket count")?,
+                                )),
+                                _ => Err(format!("histogram '{name}' has a bad bucket")),
+                            }
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    MetricValue::Histogram(HistogramSnapshot {
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        min: field("min")?,
+                        max: field("max")?,
+                        buckets,
+                    })
+                }
+                other => return Err(format!("metric '{name}' has unknown type '{other}'")),
+            };
+            metrics.insert(name.clone(), parsed);
+        }
+        Ok(Snapshot { metrics })
+    }
+
+    /// Parse a standalone document produced by [`Snapshot::to_json`].
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let v = json::parse(text)?;
+        match v.get("schema").and_then(Value::as_str) {
+            Some(SNAPSHOT_SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported snapshot schema '{other}'")),
+            None => return Err("missing snapshot schema".to_string()),
+        }
+        Self::from_json_value(v.get("metrics").ok_or("missing metrics object")?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricsRecorder, Recorder};
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let rec = MetricsRecorder::new();
+        rec.counter("a.b.calls").add(7);
+        rec.gauge("a.b.ratio").set(0.75);
+        let h = rec.histogram("a.b.ns");
+        for v in [0, 3, 900, 1 << 20] {
+            h.record(v);
+        }
+        let snap = rec.snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(back.counter("a.b.calls"), Some(7));
+        assert_eq!(back.gauge("a.b.ratio"), Some(0.75));
+        let hist = back.histogram("a.b.ns").unwrap();
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.min, 0);
+        assert_eq!(hist.max, 1 << 20);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_min() {
+        let rec = MetricsRecorder::new();
+        let _ = rec.histogram("never.recorded.ns");
+        let snap = rec.snapshot();
+        let h = snap.histogram("never.recorded.ns").unwrap();
+        assert_eq!((h.count, h.min, h.max, h.mean()), (0, 0, 0, 0.0));
+        assert!(h.buckets.is_empty());
+    }
+}

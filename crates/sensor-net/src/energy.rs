@@ -22,6 +22,16 @@ pub struct EnergyModel {
     /// thousands of instructions per value — still orders of magnitude
     /// below one hop of radio).
     pub cpu_per_value_compressed: f64,
+    /// Cost of keeping the radio in idle listening for one batch period.
+    /// Duty-cycled MACs make this small but never zero; it puts a floor
+    /// under how far compression alone can stretch the battery.
+    #[cfg_attr(feature = "serde", serde(default = "default_idle_per_period"))]
+    pub idle_per_period: f64,
+}
+
+#[cfg(feature = "serde")]
+fn default_idle_per_period() -> f64 {
+    1_000.0
 }
 
 impl Default for EnergyModel {
@@ -30,6 +40,7 @@ impl Default for EnergyModel {
             tx_per_value: 64_000.0,
             rx_per_value: 32_000.0,
             cpu_per_value_compressed: 3_000.0,
+            idle_per_period: 1_000.0,
         }
     }
 }
@@ -40,8 +51,15 @@ impl Default for EnergyModel {
 pub struct EnergyLedger {
     /// Instruction-equivalents spent transmitting.
     pub tx: f64,
-    /// Instruction-equivalents spent receiving/overhearing.
+    /// Instruction-equivalents spent receiving frames addressed to us.
     pub rx: f64,
+    /// Instruction-equivalents spent overhearing broadcasts addressed to
+    /// someone else (§3.1: every node in a sender's range pays).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub overhear: f64,
+    /// Instruction-equivalents spent idle-listening between batches.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub idle: f64,
     /// Instruction-equivalents spent on local processing.
     pub cpu: f64,
 }
@@ -49,7 +67,7 @@ pub struct EnergyLedger {
 impl EnergyLedger {
     /// Total energy spent.
     pub fn total(&self) -> f64 {
-        self.tx + self.rx + self.cpu
+        self.tx + self.rx + self.overhear + self.idle + self.cpu
     }
 
     /// Charge a transmission of `values` values.
@@ -57,9 +75,21 @@ impl EnergyLedger {
         self.tx += model.tx_per_value * values as f64;
     }
 
-    /// Charge a reception/overhearing of `values` values.
+    /// Charge a reception of `values` values addressed to this node.
     pub fn charge_rx(&mut self, model: &EnergyModel, values: usize) {
         self.rx += model.rx_per_value * values as f64;
+    }
+
+    /// Charge overhearing `values` values addressed to another node. Same
+    /// radio cost as [`EnergyLedger::charge_rx`], tracked separately so
+    /// reports can show how much of the budget broadcast wastes.
+    pub fn charge_overhear(&mut self, model: &EnergyModel, values: usize) {
+        self.overhear += model.rx_per_value * values as f64;
+    }
+
+    /// Charge `periods` batch periods of idle listening.
+    pub fn charge_idle(&mut self, model: &EnergyModel, periods: usize) {
+        self.idle += model.idle_per_period * periods as f64;
     }
 
     /// Charge compression work over `values` input values.
@@ -101,11 +131,20 @@ impl Battery {
     /// Network lifetime under the first-node-death criterion: the minimum
     /// over the *sensor* nodes (index 0, the mains-powered base station,
     /// is excluded).
+    ///
+    /// A network with no sensors — an empty slice, or only the base
+    /// station — lives forever: this returns `f64::INFINITY`, never NaN
+    /// and never panicking. Ledgers whose totals are NaN (corrupt input)
+    /// are skipped rather than poisoning the minimum.
     pub fn network_lifetime(&self, ledgers: &[EnergyLedger]) -> f64 {
+        if ledgers.len() <= 1 {
+            return f64::INFINITY;
+        }
         ledgers
             .iter()
             .skip(1)
             .map(|l| self.periods(l))
+            .filter(|p| !p.is_nan())
             .fold(f64::INFINITY, f64::min)
     }
 
@@ -167,5 +206,40 @@ mod tests {
         assert_eq!(l.rx, 320_000.0);
         assert_eq!(l.cpu, 300_000.0);
         assert_eq!(l.total(), 1_260_000.0);
+    }
+
+    #[test]
+    fn overhear_and_idle_are_tracked_separately_but_count_toward_total() {
+        let m = EnergyModel::default();
+        let mut l = EnergyLedger::default();
+        l.charge_overhear(&m, 10);
+        l.charge_idle(&m, 4);
+        assert_eq!(l.rx, 0.0, "overhearing is not addressed reception");
+        assert_eq!(l.overhear, 320_000.0, "overhearing bills the rx rate");
+        assert_eq!(l.idle, 4_000.0);
+        assert_eq!(l.total(), 324_000.0);
+    }
+
+    #[test]
+    fn lifetime_of_empty_or_base_only_network_is_infinite() {
+        let b = Battery::default();
+        assert!(b.network_lifetime(&[]).is_infinite());
+        let mut base = EnergyLedger::default();
+        base.charge_rx(&EnergyModel::default(), 1_000);
+        assert!(b.network_lifetime(&[base]).is_infinite());
+        assert_eq!(b.first_to_die(&[]), None);
+    }
+
+    #[test]
+    fn lifetime_ignores_nan_ledgers() {
+        let b = Battery {
+            capacity: 64_000.0 * 100.0,
+        };
+        let m = EnergyModel::default();
+        let mut ledgers = vec![EnergyLedger::default(); 3];
+        ledgers[1].tx = f64::NAN;
+        ledgers[2].charge_tx(&m, 10);
+        let life = b.network_lifetime(&ledgers);
+        assert!((life - 10.0).abs() < 1e-9, "NaN ledger skipped, got {life}");
     }
 }

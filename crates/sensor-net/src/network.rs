@@ -6,7 +6,10 @@
 //! of the paper: sending the **raw** feed, classic per-batch **aggregation**
 //! (average/min/max), and **SBR** approximation.
 
+use std::sync::Arc;
+
 use sbr_core::{ErrorMetric, SbrConfig, SbrError};
+use sbr_obs::{Counter, Gauge, Recorder};
 
 use crate::base_station::BaseStation;
 use crate::energy::{EnergyLedger, EnergyModel};
@@ -15,7 +18,107 @@ use crate::node::SensorNode;
 use crate::topology::Topology;
 use crate::NodeId;
 
+/// Observability handles for one network (see `sbr-obs`). All handles are
+/// no-ops until [`Network::set_recorder`] is called; the disabled cost is
+/// one branch per event, so the hooks stay unconditionally wired in.
+///
+/// Metric names follow the `crate.module.name` convention:
+///
+/// | name | kind | meaning |
+/// |------|------|---------|
+/// | `sensor_net.node.<i>.tx_values` | counter | values node `i` transmitted (incl. ARQ retries and ACKs) |
+/// | `sensor_net.node.<i>.rx_values` | counter | values node `i` received as the addressed parent |
+/// | `sensor_net.node.<i>.energy_total` | gauge | node `i`'s ledger total after the run |
+/// | `sensor_net.link.hop_attempts` | counter | per-hop transmission attempts |
+/// | `sensor_net.link.drops` | counter | frames dropped after exhausting per-hop retries |
+/// | `sensor_net.network.values_sent` | counter | values injected at the sensors |
+/// | `sensor_net.energy.{tx,rx,overhear,idle,cpu}` | gauge | network-wide ledger deltas by category |
+#[derive(Debug, Clone, Default)]
+struct NetObs {
+    recorder: Option<Arc<dyn Recorder>>,
+    node_tx: Vec<Counter>,
+    node_rx: Vec<Counter>,
+    node_energy: Vec<Gauge>,
+    hop_attempts: Counter,
+    drops: Counter,
+    values_sent: Counter,
+    energy_tx: Gauge,
+    energy_rx: Gauge,
+    energy_overhear: Gauge,
+    energy_idle: Gauge,
+    energy_cpu: Gauge,
+}
+
+impl NetObs {
+    fn new(recorder: Arc<dyn Recorder>, nodes: usize) -> Self {
+        let c = |name: String| recorder.counter(&name);
+        let g = |name: String| recorder.gauge(&name);
+        NetObs {
+            recorder: Some(recorder.clone()),
+            node_tx: (0..nodes)
+                .map(|i| c(format!("sensor_net.node.{i}.tx_values")))
+                .collect(),
+            node_rx: (0..nodes)
+                .map(|i| c(format!("sensor_net.node.{i}.rx_values")))
+                .collect(),
+            node_energy: (0..nodes)
+                .map(|i| g(format!("sensor_net.node.{i}.energy_total")))
+                .collect(),
+            hop_attempts: c("sensor_net.link.hop_attempts".into()),
+            drops: c("sensor_net.link.drops".into()),
+            values_sent: c("sensor_net.network.values_sent".into()),
+            energy_tx: g("sensor_net.energy.tx".into()),
+            energy_rx: g("sensor_net.energy.rx".into()),
+            energy_overhear: g("sensor_net.energy.overhear".into()),
+            energy_idle: g("sensor_net.energy.idle".into()),
+            energy_cpu: g("sensor_net.energy.cpu".into()),
+        }
+    }
+
+    /// Count `values` transmitted by `node` (no-op without a recorder —
+    /// the per-node vectors are empty then).
+    #[inline]
+    fn tx(&self, node: NodeId, values: u64) {
+        if let Some(c) = self.node_tx.get(node) {
+            c.add(values);
+        }
+    }
+
+    /// Count `values` received by `node` as the addressed recipient.
+    #[inline]
+    fn rx(&self, node: NodeId, values: u64) {
+        if let Some(c) = self.node_rx.get(node) {
+            c.add(values);
+        }
+    }
+
+    /// Publish the per-node and network-wide ledger state as gauges.
+    fn set_energy_gauges(&self, ledgers: &[EnergyLedger]) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let (mut tx, mut rx, mut oh, mut idle, mut cpu) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for (ledger, gauge) in ledgers.iter().zip(&self.node_energy) {
+            gauge.set(ledger.total());
+            tx += ledger.tx;
+            rx += ledger.rx;
+            oh += ledger.overhear;
+            idle += ledger.idle;
+            cpu += ledger.cpu;
+        }
+        self.energy_tx.set(tx);
+        self.energy_rx.set(rx);
+        self.energy_overhear.set(oh);
+        self.energy_idle.set(idle);
+        self.energy_cpu.set(cpu);
+    }
+}
+
 /// Dissemination strategy for a simulation run.
+// A Strategy is built once per simulation and cloned once per node, so the
+// size spread against the unit variants (SbrConfig carries its obs handle
+// block) costs nothing worth an indirection on every config access.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Strategy {
     /// Transmit every raw value (lossless, maximally expensive).
@@ -82,6 +185,7 @@ pub struct Network {
     link: LossyLink,
     hop_attempts: u64,
     batches_lost: usize,
+    obs: NetObs,
 }
 
 impl Network {
@@ -96,6 +200,7 @@ impl Network {
             link: LossyLink::reliable(),
             hop_attempts: 0,
             batches_lost: 0,
+            obs: NetObs::default(),
         }
     }
 
@@ -104,38 +209,69 @@ impl Network {
         self.link = link;
     }
 
+    /// Attach a metrics/trace recorder. Per-node radio counters
+    /// (`sensor_net.node.<i>.tx_values` / `rx_values`), link counters and
+    /// energy gauges are registered immediately; SBR runs additionally
+    /// thread the recorder into each sensor's encoder so the
+    /// `sbr_core.*` pipeline metrics land in the same snapshot.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.obs = NetObs::new(recorder, self.topology.len());
+    }
+
     /// The base station (for queries after a run).
     pub fn station(&self) -> &BaseStation {
         &self.station
     }
 
     /// Charge the radio costs of moving `values` values from `from` to the
-    /// base: every hop's sender pays tx (once per ARQ attempt), every node
-    /// in a sender's range pays rx for every attempt it overhears
-    /// (broadcast, §3.1), and the receiving parent transmits an ACK back.
+    /// base: every hop's sender pays tx (once per ARQ attempt), the
+    /// addressed parent pays rx per attempt, every *other* node in the
+    /// sender's range pays the same radio cost as overhearing (broadcast,
+    /// §3.1), and the receiving parent transmits an ACK back.
     /// Returns `false` when a hop exhausted its retransmissions and the
     /// frame was dropped.
     fn charge_route(&mut self, from: NodeId, values: usize) -> bool {
         let mut sender = from;
         loop {
+            let parent = self.topology.parent(sender);
             let outcome = self.link.hop();
             self.hop_attempts += u64::from(outcome.attempts);
+            self.obs.hop_attempts.add(u64::from(outcome.attempts));
             for _ in 0..outcome.attempts {
                 self.ledgers[sender].charge_tx(&self.model, values);
+                self.obs.tx(sender, values as u64);
                 for nb in self.topology.neighbors(sender) {
-                    self.ledgers[nb].charge_rx(&self.model, values);
+                    if Some(nb) == parent {
+                        self.ledgers[nb].charge_rx(&self.model, values);
+                        self.obs.rx(nb, values as u64);
+                    } else {
+                        self.ledgers[nb].charge_overhear(&self.model, values);
+                    }
                 }
             }
-            let Some(parent) = self.topology.parent(sender) else {
+            let Some(parent) = parent else {
                 break; // reached only if from == 0
             };
             if !outcome.delivered {
                 self.batches_lost += 1;
+                self.obs.drops.inc();
+                if let Some(rec) = &self.obs.recorder {
+                    rec.emit(
+                        "sensor_net.link.drop",
+                        None,
+                        &[
+                            ("node", &sender.to_string()),
+                            ("values", &values.to_string()),
+                        ],
+                    );
+                }
                 return false;
             }
             // Stop-and-wait ACK from the parent.
             self.ledgers[parent].charge_tx(&self.model, self.link.ack_values);
+            self.obs.tx(parent, self.link.ack_values as u64);
             self.ledgers[sender].charge_rx(&self.model, self.link.ack_values);
+            self.obs.rx(sender, self.link.ack_values as u64);
             sender = parent;
             if sender == 0 {
                 break;
@@ -215,6 +351,13 @@ impl Network {
                 }
             }
             Strategy::Sbr(config) => {
+                // Thread the network's recorder into every sensor's encoder
+                // so pipeline metrics land in the same snapshot. Never
+                // changes what is encoded — only what is measured.
+                let config = match &self.obs.recorder {
+                    Some(rec) => config.clone().with_recorder(rec.clone()),
+                    None => config.clone(),
+                };
                 for (i, feed) in feeds.iter().enumerate() {
                     let node = i + 1;
                     let mut sensor =
@@ -260,6 +403,27 @@ impl Network {
                     }
                 }
             }
+        }
+
+        // Idle listening between flushes: every sensor pays the duty-cycle
+        // floor for each batch period, whatever the strategy.
+        let periods = usable / samples_per_batch;
+        for node in 1..self.topology.len() {
+            self.ledgers[node].charge_idle(&self.model, periods);
+        }
+
+        self.obs.values_sent.add(values_sent as u64);
+        self.obs.set_energy_gauges(&self.ledgers);
+        if let Some(rec) = &self.obs.recorder {
+            rec.emit(
+                "sensor_net.run.complete",
+                None,
+                &[
+                    ("strategy", strategy.label()),
+                    ("values_sent", &values_sent.to_string()),
+                    ("raw_values", &raw_values.to_string()),
+                ],
+            );
         }
 
         Ok(RunReport {
@@ -357,8 +521,59 @@ mod tests {
     fn overhearing_charges_neighbors() {
         let mut net = network(3);
         net.simulate(&feeds(2, 1, 32), 32, &Strategy::Raw).unwrap();
-        // Node 2's transmissions are overheard by node 1; node 1's by 0 and 2.
-        assert!(net.ledgers[2].rx > 0.0, "node 2 overhears node 1");
+        // Node 1's transmissions toward the base are overheard by node 2,
+        // which is in range but not the addressee; addressed reception is
+        // billed to `rx`, overhearing to `overhear`.
+        assert!(net.ledgers[2].overhear > 0.0, "node 2 overhears node 1");
+        assert!(net.ledgers[0].rx > 0.0, "base receives addressed frames");
+        assert!(
+            net.ledgers[1].overhear == 0.0,
+            "node 1 is always the addressee on this chain"
+        );
+    }
+
+    #[test]
+    fn idle_floor_is_charged_to_every_sensor() {
+        let mut net = network(3);
+        net.simulate(&feeds(2, 1, 64), 32, &Strategy::Raw).unwrap();
+        let per_period = EnergyModel::default().idle_per_period;
+        for node in 1..3 {
+            assert_eq!(net.ledgers[node].idle, 2.0 * per_period);
+        }
+        assert_eq!(net.ledgers[0].idle, 0.0, "base is mains powered");
+    }
+
+    #[test]
+    fn recorder_collects_per_node_and_pipeline_metrics() {
+        use sbr_obs::MetricsRecorder;
+        let rec = Arc::new(MetricsRecorder::new());
+        let mut net = network(3);
+        net.set_recorder(rec.clone());
+        let data = feeds(2, 2, 128);
+        let report = net
+            .simulate(&data, 64, &Strategy::Sbr(SbrConfig::new(48, 32)))
+            .unwrap();
+        let snap = rec.snapshot();
+        // Radio counters: every sensor transmitted, the base received.
+        for node in 1..3 {
+            let tx = snap
+                .counter(&format!("sensor_net.node.{node}.tx_values"))
+                .unwrap_or(0);
+            assert!(tx > 0, "node {node} must have tx_values");
+        }
+        assert!(snap.counter("sensor_net.node.0.rx_values").unwrap() > 0);
+        assert_eq!(
+            snap.counter("sensor_net.network.values_sent"),
+            Some(report.values_sent as u64)
+        );
+        // The recorder was threaded into the encoders: pipeline metrics
+        // from sbr-core land in the same snapshot.
+        assert!(snap.counter("sbr_core.best_map.calls").unwrap_or(0) > 0);
+        // Energy gauges mirror the ledgers.
+        let total0 = snap.gauge("sensor_net.node.0.energy_total").unwrap();
+        assert!((total0 - net.ledgers[0].total()).abs() < 1e-9);
+        assert!(snap.gauge("sensor_net.energy.overhear").unwrap() > 0.0);
+        assert!(snap.gauge("sensor_net.energy.idle").unwrap() > 0.0);
     }
 
     #[test]

@@ -83,7 +83,11 @@ impl SensorNode {
         for row in &mut self.buffer {
             row.clear();
         }
-        let frame = codec::encode(&tx);
+        let frame = {
+            let obs = &self.encoder.config().obs;
+            let _span = obs.span("sbr_core.codec.encode_ns", &obs.codec_encode_ns);
+            codec::encode(&tx)
+        };
         Ok(Some(Flush {
             transmission: tx,
             frame,

@@ -7,7 +7,10 @@
 //! cargo run --release --example network_sim
 //! ```
 
+use std::sync::Arc;
+
 use sbr_repro::core::SbrConfig;
+use sbr_repro::obs::{MetricsRecorder, Recorder as _};
 use sbr_repro::sensor_net::{Battery, EnergyModel, Network, Strategy, Topology};
 
 fn main() {
@@ -37,10 +40,23 @@ fn main() {
         "strategy     values-sent   reduction     total-energy          sse   lifetime(periods)"
     );
     let mut sbr_net = None;
+    let mut sbr_metrics = None;
     for s in &strategies {
         let topology = Topology::random(n_nodes, 10.0, 2.5, 9);
         let mut net = Network::new(topology, EnergyModel::default());
+        // Instrument the SBR run so we can show where the energy and the
+        // encode time actually went.
+        let rec = if matches!(s, Strategy::Sbr(_)) {
+            let rec = Arc::new(MetricsRecorder::new());
+            net.set_recorder(rec.clone());
+            Some(rec)
+        } else {
+            None
+        };
         let report = net.simulate(&feeds, file_len, s).expect("simulation");
+        if let Some(rec) = rec {
+            sbr_metrics = Some(rec.snapshot());
+        }
         println!(
             "{:<12} {:>11}   {:>8.1}%   {:>13.3e}   {:>10.2}   {:>14.1}",
             report.strategy,
@@ -54,6 +70,37 @@ fn main() {
             sbr_net = Some(net);
         }
     }
+
+    // Headline observability numbers from the instrumented SBR run.
+    let snap = sbr_metrics.expect("sbr run was instrumented");
+    println!("\nsbr run metrics (via sbr-obs recorder):");
+    if let Some(h) = snap.histogram("sbr_core.sbr.encode_ns") {
+        println!(
+            "  encode: {} transmissions, {:.2} ms total, {:.3} ms mean",
+            h.count,
+            h.sum as f64 / 1e6,
+            h.sum as f64 / h.count.max(1) as f64 / 1e6
+        );
+    }
+    println!(
+        "  best_map: {} calls ({} direct sweeps, {} fft sweeps)",
+        snap.counter("sbr_core.best_map.calls").unwrap_or(0),
+        snap.counter("sbr_core.best_map.direct_sweeps").unwrap_or(0),
+        snap.counter("sbr_core.best_map.fft_sweeps").unwrap_or(0)
+    );
+    println!(
+        "  base signal: {} chunks inserted, {} evicted",
+        snap.counter("sbr_core.base_signal.inserted").unwrap_or(0),
+        snap.counter("sbr_core.base_signal.evicted").unwrap_or(0)
+    );
+    println!(
+        "  radio: {} hop attempts, {} drops; energy tx {:.2e}, rx {:.2e}, overhear {:.2e}",
+        snap.counter("sensor_net.link.hop_attempts").unwrap_or(0),
+        snap.counter("sensor_net.link.drops").unwrap_or(0),
+        snap.gauge("sensor_net.energy.tx").unwrap_or(0.0),
+        snap.gauge("sensor_net.energy.rx").unwrap_or(0.0),
+        snap.gauge("sensor_net.energy.overhear").unwrap_or(0.0)
+    );
 
     // Historical query against the SBR run's logs: sensor 5, signal 0
     // (temperature), samples 300..360 — spanning a chunk boundary.

@@ -24,6 +24,11 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace -q --offline
 
+echo "==> cargo build -p sbr-core --no-default-features"
+# Guard: the obs facade's disabled half must keep compiling (callers are
+# cfg-free, so a drift here only surfaces on minimal builds).
+cargo build -p sbr-core --no-default-features --offline
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --offline -- -D warnings
 
@@ -34,6 +39,10 @@ if [ "$run_bench" = 1 ]; then
   echo "==> fig5 --quick (emits BENCH_SBR.json)"
   cargo run -p sbr-bench --release --offline --bin fig5 -- --quick
   test -s BENCH_SBR.json || { echo "BENCH_SBR.json missing or empty" >&2; exit 1; }
+  echo "==> sbr report (smoke run over BENCH_SBR.json)"
+  report="$(cargo run -p sbr-cli --release --offline --bin sbr -- report --input BENCH_SBR.json)"
+  echo "$report" | grep -q "sbr-bench/v2" || { echo "report did not detect sbr-bench/v2" >&2; exit 1; }
+  echo "$report" | grep -q "BestMap calls" || { echo "report missing pipeline counters" >&2; exit 1; }
 fi
 
 echo "CI pass complete."

@@ -7,4 +7,5 @@
 pub use sbr_baselines as baselines;
 pub use sbr_core as core;
 pub use sbr_datasets as datasets;
+pub use sbr_obs as obs;
 pub use sensor_net;

@@ -133,6 +133,30 @@ fn thread_count_never_changes_the_transmissions() {
 }
 
 #[test]
+fn live_recorder_never_changes_the_transmissions() {
+    // Instrumentation is observation only: attaching a live MetricsRecorder
+    // must leave the byte stream untouched while still collecting counts.
+    use sbr_repro::obs::{MetricsRecorder, Recorder as _};
+    let reference = stream_bytes(SbrConfig::new(200, 200));
+    let rec = Arc::new(MetricsRecorder::new());
+    let instrumented = stream_bytes(SbrConfig::new(200, 200).with_recorder(rec.clone()));
+    assert_eq!(
+        reference, instrumented,
+        "attaching a recorder changed the output"
+    );
+    let snap = rec.snapshot();
+    assert!(
+        snap.counter("sbr_core.best_map.calls").unwrap_or(0) > 0,
+        "recorder saw no BestMap activity"
+    );
+    assert!(
+        snap.histogram("sbr_core.sbr.encode_ns")
+            .is_some_and(|h| h.count == 4),
+        "expected one encode_ns sample per round"
+    );
+}
+
+#[test]
 fn shift_strategy_never_changes_the_transmissions() {
     // The FFT kernel re-verifies winning shifts exactly, so Direct, Fft and
     // Auto must all emit byte-identical streams.
