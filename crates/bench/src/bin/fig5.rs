@@ -9,16 +9,19 @@
 //! Run with `--quick` to measure only two ratios.
 //!
 //! Besides the human-readable table, every measured configuration is
-//! written to `BENCH_SBR.json` (schema `sbr-bench/v2`, see the README).
+//! written to `BENCH_SBR.json` (schema `sbr-bench/v3`, see the README).
 //! Each record embeds the run's `sbr-obs` metrics snapshot — per-phase
-//! times, shift-strategy decision counts, base-signal churn — and one
-//! extra `network_sim` record carries per-node radio counters from a
-//! small sensor-network run, so regression tooling can diff *why* a
-//! configuration got slower, not just that it did.
+//! times, shift-strategy decision counts, base-signal churn — plus a
+//! `search` block (probe count, probe-cache hits/misses, search-phase
+//! wall time, and the measured speedup over a probe-cache-off control
+//! run of the same configuration). One extra `network_sim` record
+//! carries per-node radio counters from a small sensor-network run, so
+//! regression tooling can diff *why* a configuration got slower, not
+//! just that it did.
 
 use std::sync::Arc;
 
-use sbr_bench::{quick_mode, row, run_sbr_stream, BenchRecord, RATIOS};
+use sbr_bench::{quick_mode, row, run_sbr_stream, BenchRecord, SearchStats, RATIOS};
 use sbr_core::SbrConfig;
 use sbr_obs::{MetricsRecorder, Recorder as _};
 use sensor_net::{EnergyModel, Network, Strategy, Topology};
@@ -60,13 +63,18 @@ fn network_sim_record(quick: bool) -> BenchRecord {
         transmissions: 0,
         inserted: Vec::new(),
         metrics: None,
+        search: None,
     }
     .with_metrics(rec.snapshot())
 }
 
 fn main() {
     let quick = quick_mode();
-    let ratios: &[f64] = if quick { &RATIOS[..2] } else { &RATIOS };
+    // Quick mode samples one light and one heavy ratio: the heavy cell is
+    // where Search dominates, so the smoke still exercises (and the v3
+    // `speedup` member still demonstrates) the probe cache under load.
+    let quick_ratios = [RATIOS[1], RATIOS[5]];
+    let ratios: &[f64] = if quick { &quick_ratios } else { &RATIOS };
     println!("=== Figure 5 — avg per-transmission time (seconds) vs TotalBand ===");
     println!(
         "{}",
@@ -89,8 +97,20 @@ fn main() {
             // describes exactly one (n, ratio) run.
             let rec = Arc::new(MetricsRecorder::new());
             let config = SbrConfig::new(band as usize, 1024).with_recorder(rec.clone());
-            let stream = run_sbr_stream(&files, config);
+            let stream = run_sbr_stream(&files, config.clone());
             col.push(stream.avg_encode_time().as_secs_f64());
+            // Probe-cache-off control run of the same configuration: its
+            // search-phase wall time is the v3 `speedup` denominator.
+            let legacy_rec = Arc::new(MetricsRecorder::new());
+            run_sbr_stream(
+                &files,
+                config
+                    .without_probe_cache()
+                    .with_recorder(legacy_rec.clone()),
+            );
+            let legacy_wall = SearchStats::from_snapshot(&legacy_rec.snapshot()).wall_secs;
+            let snapshot = rec.snapshot();
+            let search = SearchStats::from_snapshot(&snapshot).with_legacy_wall(legacy_wall);
             records.push(
                 BenchRecord::from_stream(
                     "fig5",
@@ -101,7 +121,8 @@ fn main() {
                     ],
                     &stream,
                 )
-                .with_metrics(rec.snapshot()),
+                .with_metrics(snapshot)
+                .with_search(search),
             );
         }
         columns.push(col);

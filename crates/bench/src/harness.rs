@@ -196,6 +196,60 @@ pub struct BenchRecord {
     /// counters, …). `None` when the run was not instrumented; serialized
     /// as JSON `null` then.
     pub metrics: Option<sbr_obs::Snapshot>,
+    /// Search-phase statistics (since `sbr-bench/v3`): probe count,
+    /// probe-cache traffic and search wall time, plus the legacy-path wall
+    /// time when the configuration was re-measured with
+    /// `probe_cache = false`. `None` when not instrumented; serialized as
+    /// JSON `null` then.
+    pub search: Option<SearchStats>,
+}
+
+/// The `search` block of a `sbr-bench/v3` record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// `GetIntervals` probes the insertion searches ran.
+    pub probes: u64,
+    /// Probe-cache fits served from an existing entry.
+    pub cache_hits: u64,
+    /// Probe-cache fits that created their entry.
+    pub cache_misses: u64,
+    /// Total `Search` wall time across the stream, seconds.
+    pub wall_secs: f64,
+    /// `Search` wall time of the same configuration re-run with the legacy
+    /// `probe_cache = false` path; `None` when not measured.
+    pub legacy_wall_secs: Option<f64>,
+}
+
+impl SearchStats {
+    /// Extract the search-phase statistics from an instrumented run's
+    /// snapshot.
+    pub fn from_snapshot(snap: &sbr_obs::Snapshot) -> Self {
+        let wall_ns = snap
+            .histogram("sbr_core.search.run_ns")
+            .map(|h| h.sum)
+            .unwrap_or(0);
+        SearchStats {
+            probes: snap.counter("sbr_core.search.probes").unwrap_or(0),
+            cache_hits: snap.counter("sbr_core.probe_cache.hits").unwrap_or(0),
+            cache_misses: snap.counter("sbr_core.probe_cache.misses").unwrap_or(0),
+            wall_secs: wall_ns as f64 / 1e9,
+            legacy_wall_secs: None,
+        }
+    }
+
+    /// Attach the legacy-path wall time (builder style).
+    pub fn with_legacy_wall(mut self, secs: f64) -> Self {
+        self.legacy_wall_secs = Some(secs);
+        self
+    }
+
+    /// Legacy-over-cached search speedup, when both sides were measured.
+    pub fn speedup(&self) -> Option<f64> {
+        match self.legacy_wall_secs {
+            Some(legacy) if self.wall_secs > 0.0 => Some(legacy / self.wall_secs),
+            _ => None,
+        }
+    }
 }
 
 impl BenchRecord {
@@ -210,12 +264,22 @@ impl BenchRecord {
             transmissions: stream.per_tx.len(),
             inserted: stream.inserted(),
             metrics: None,
+            search: None,
         }
     }
 
-    /// Attach a metrics snapshot (builder style).
+    /// Attach a metrics snapshot (builder style). Also derives the
+    /// record's `search` block from the snapshot's search-phase metrics.
     pub fn with_metrics(mut self, metrics: sbr_obs::Snapshot) -> Self {
+        self.search = Some(SearchStats::from_snapshot(&metrics));
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attach an explicit `search` block (builder style) — used to add the
+    /// legacy-path wall time after a comparison re-run.
+    pub fn with_search(mut self, search: SearchStats) -> Self {
+        self.search = Some(search);
         self
     }
 }
@@ -250,14 +314,18 @@ fn json_str(s: &str) -> String {
 }
 
 /// Serialize `records` to the `BENCH_SBR.json` schema (documented in the
-/// repository README): `{"schema": "sbr-bench/v2", "records": [...]}` with
+/// repository README): `{"schema": "sbr-bench/v3", "records": [...]}` with
 /// one object per configuration. Since v2 every record carries a
 /// `"metrics"` member: an `sbr-obs` snapshot object (name → typed metric)
-/// for instrumented runs, JSON `null` otherwise — v1 consumers that
-/// ignore unknown members parse v2 unchanged. Hand-rolled so the bench
-/// harness carries no serialization dependency.
+/// for instrumented runs, JSON `null` otherwise. Since v3 every record
+/// additionally carries a `"search"` member: probe count, probe-cache
+/// traffic and search-phase wall times (plus the derived speedup when the
+/// legacy path was re-measured), or JSON `null` when not instrumented.
+/// Both bumps are additive — v1/v2 consumers that ignore unknown members
+/// parse v3 unchanged. Hand-rolled so the bench harness carries no
+/// serialization dependency.
 pub fn bench_json(records: &[BenchRecord]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"sbr-bench/v2\",\n  \"records\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"sbr-bench/v3\",\n  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str("    {");
         out.push_str(&format!("\"experiment\": {}, ", json_str(&r.experiment)));
@@ -283,7 +351,23 @@ pub fn bench_json(records: &[BenchRecord]) -> String {
             }
             out.push_str(&ins.to_string());
         }
-        out.push_str("], \"metrics\": ");
+        out.push_str("], \"search\": ");
+        match &r.search {
+            Some(s) => {
+                out.push_str(&format!(
+                    "{{\"probes\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+                     \"wall_secs\": {}, \"legacy_wall_secs\": {}, \"speedup\": {}}}",
+                    s.probes,
+                    s.cache_hits,
+                    s.cache_misses,
+                    json_num(s.wall_secs),
+                    s.legacy_wall_secs.map_or("null".into(), json_num),
+                    s.speedup().map_or("null".into(), json_num),
+                ));
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"metrics\": ");
         match &r.metrics {
             Some(snap) => out.push_str(&snap.to_json_value().to_string()),
             None => out.push_str("null"),
@@ -365,16 +449,59 @@ mod tests {
         let stream = run_sbr_stream(&files(), SbrConfig::new(40, 32));
         let rec = BenchRecord::from_stream("fig5", &[("n", 128.0), ("ratio", 0.05)], &stream);
         let json = bench_json(&[rec.clone(), rec]);
-        assert!(json.starts_with("{\n  \"schema\": \"sbr-bench/v2\""));
+        assert!(json.starts_with("{\n  \"schema\": \"sbr-bench/v3\""));
         assert!(json.contains("\"experiment\": \"fig5\""));
         assert!(json.contains("\"params\": {\"n\": 128, \"ratio\": 0.05}"));
         assert!(json.contains("\"transmissions\": 3"));
         assert!(json.contains("\"metrics\": null"), "uninstrumented → null");
+        assert!(json.contains("\"search\": null"), "uninstrumented → null");
         // The artifact parses with the sbr-obs JSON parser.
         let v = sbr_obs::json::parse(&json).expect("valid JSON");
         assert_eq!(
             v.get("schema").and_then(sbr_obs::json::Value::as_str),
-            Some("sbr-bench/v2")
+            Some("sbr-bench/v3")
+        );
+    }
+
+    #[test]
+    fn bench_json_search_block_is_additive() {
+        // A v2-style reader (ignores unknown members, looks only at the
+        // members it knows) must parse a v3 artifact unchanged.
+        let stream = run_sbr_stream(&files(), SbrConfig::new(40, 32));
+        let record = BenchRecord::from_stream("fig5", &[("n", 128.0)], &stream).with_search(
+            SearchStats {
+                probes: 9,
+                cache_hits: 100,
+                cache_misses: 20,
+                wall_secs: 0.5,
+                legacy_wall_secs: None,
+            }
+            .with_legacy_wall(1.5),
+        );
+        let json = bench_json(&[record]);
+        let v = sbr_obs::json::parse(&json).expect("valid JSON");
+        let rec = &v
+            .get("records")
+            .and_then(sbr_obs::json::Value::as_arr)
+            .unwrap()[0];
+        // v2 members untouched…
+        assert!(rec.get("avg_encode_secs").is_some());
+        assert!(rec.get("metrics").is_some());
+        // …and the v3 block carries the search-phase statistics.
+        let search = rec.get("search").expect("search member");
+        assert_eq!(
+            search.get("probes").and_then(sbr_obs::json::Value::as_f64),
+            Some(9.0)
+        );
+        assert_eq!(
+            search
+                .get("cache_hits")
+                .and_then(sbr_obs::json::Value::as_f64),
+            Some(100.0)
+        );
+        assert_eq!(
+            search.get("speedup").and_then(sbr_obs::json::Value::as_f64),
+            Some(3.0)
         );
     }
 

@@ -26,6 +26,10 @@ pub enum Command {
         batch: Option<usize>,
         /// Error metric: "sse", "relative" or "maxabs".
         metric: String,
+        /// Share base-prefix fit work across `Search` probes via the
+        /// transmission-scoped probe cache (default true; the output
+        /// stream is byte-identical either way).
+        probe_cache: bool,
         /// Write an `sbr-obs/v1` metrics snapshot (JSON) here after the run.
         metrics: Option<String>,
         /// Write a line-delimited structured trace log here during the run
@@ -77,8 +81,9 @@ pub enum Command {
         seed: u64,
     },
     /// `sbr report`: render a metrics artifact (a `BENCH_SBR.json` in the
-    /// `sbr-bench/v2` schema, or a raw `sbr-obs/v1` snapshot) as per-phase
-    /// time / error / bandwidth tables.
+    /// `sbr-bench/v3` schema — earlier v1/v2 artifacts still parse — or a
+    /// raw `sbr-obs/v1` snapshot) as per-phase time / error / bandwidth
+    /// tables.
     Report {
         /// Input JSON file.
         input: String,
@@ -103,6 +108,7 @@ USAGE:
   sbr compress   --input <csv> --output <file> --band <values>
                  [--mbase <values>] [--batch <samples>]
                  [--metric sse|relative|maxabs]
+                 [--probe-cache on|off]
                  [--metrics <json>] [--trace <log>]
   sbr decompress --input <file> --output <csv>
   sbr info       --input <file>
@@ -119,8 +125,13 @@ header row names the signals.
 
 Observability: set SBR_TRACE=<path> to stream structured events from any
 subcommand into <path> (one JSON object per line); `sbr report` renders
-metrics artifacts (`sbr-bench/v2` benchmark files or `sbr-obs/v1`
-snapshots) and `sbr trace` pretty-prints event logs.
+metrics artifacts (`sbr-bench/v3` benchmark files — earlier versions
+still parse — or `sbr-obs/v1` snapshots) and `sbr trace` pretty-prints
+event logs.
+
+Performance: `--probe-cache off` disables the Search probe cache (the
+default shares base-prefix fit work across insertion-count probes); the
+compressed stream is byte-identical either way.
 
 Exit codes: 0 success, 1 runtime failure, 2 usage error.";
 
@@ -172,6 +183,11 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
             if !["sse", "relative", "maxabs"].contains(&metric.as_str()) {
                 return Err(format!("unknown metric '{metric}'"));
             }
+            let probe_cache = match take_value(&mut flags, "probe-cache").as_deref() {
+                None | Some("on") => true,
+                Some("off") => false,
+                Some(v) => return Err(format!("--probe-cache must be on|off, got '{v}'")),
+            };
             Command::Compress {
                 input,
                 output,
@@ -179,6 +195,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 m_base,
                 batch,
                 metric,
+                probe_cache,
                 metrics: take_value(&mut flags, "metrics"),
                 trace: take_value(&mut flags, "trace"),
             }
@@ -261,9 +278,37 @@ mod tests {
                 m_base: 100,
                 batch: None,
                 metric: "sse".into(),
+                probe_cache: true,
                 metrics: None,
                 trace: None,
             }
+        );
+    }
+
+    #[test]
+    fn parses_probe_cache_flag() {
+        let off = parse(&argv(
+            "compress --input a --output b --band 64 --probe-cache off",
+        ))
+        .unwrap();
+        match off.command {
+            Command::Compress { probe_cache, .. } => assert!(!probe_cache),
+            other => panic!("wrong command {other:?}"),
+        }
+        let on = parse(&argv(
+            "compress --input a --output b --band 64 --probe-cache on",
+        ))
+        .unwrap();
+        match on.command {
+            Command::Compress { probe_cache, .. } => assert!(probe_cache),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(
+            parse(&argv(
+                "compress --input a --output b --band 64 --probe-cache maybe"
+            ))
+            .is_err(),
+            "only on|off are accepted"
         );
     }
 

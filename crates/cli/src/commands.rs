@@ -27,6 +27,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             m_base,
             batch,
             metric,
+            probe_cache,
             metrics,
             trace,
         } => compress(
@@ -36,6 +37,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             *m_base,
             *batch,
             metric,
+            *probe_cache,
             metrics.as_deref(),
             trace.as_deref(),
         ),
@@ -105,6 +107,7 @@ fn compress(
     m_base: usize,
     batch: Option<usize>,
     metric: &str,
+    probe_cache: bool,
     metrics_out: Option<&str>,
     trace_out: Option<&str>,
 ) -> Result<String, CliError> {
@@ -139,7 +142,9 @@ fn compress(
             None
         };
 
-    let mut config = SbrConfig::new(band, m_base).with_metric(metric_of(metric));
+    let mut config = SbrConfig::new(band, m_base)
+        .with_metric(metric_of(metric))
+        .with_probe_cache(probe_cache);
     if let Some(rec) = &recorder {
         config = config.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
     }
@@ -312,6 +317,7 @@ const PHASES: &[(&str, &str)] = &[
     ("encode (total)", "sbr_core.sbr.encode_ns"),
     ("  get_base", "sbr_core.get_base.build_ns"),
     ("  search", "sbr_core.search.run_ns"),
+    ("    probe", "sbr_core.search.probe_ns"),
     ("  get_intervals", "sbr_core.get_intervals.run_ns"),
     ("codec encode", "sbr_core.codec.encode_ns"),
     ("codec decode", "sbr_core.codec.decode_ns"),
@@ -353,9 +359,21 @@ fn render_snapshot(snap: &Snapshot, out: &mut String) {
             "  FFT re-verified",
             "sbr_core.best_map.fft_reverified_shifts",
         ),
+        (
+            "  base-region direct",
+            "sbr_core.best_map.base_direct_sweeps",
+        ),
+        ("  base-region FFT", "sbr_core.best_map.base_fft_sweeps"),
+        (
+            "  cand-region direct",
+            "sbr_core.best_map.cand_direct_sweeps",
+        ),
+        ("  cand-region FFT", "sbr_core.best_map.cand_fft_sweeps"),
         ("  base-mapped wins", "sbr_core.best_map.base_wins"),
         ("  fallback wins", "sbr_core.best_map.fallback_wins"),
         ("Search probes", "sbr_core.search.probes"),
+        ("Probe-cache hits", "sbr_core.probe_cache.hits"),
+        ("Probe-cache misses", "sbr_core.probe_cache.misses"),
         ("Base inserted", "sbr_core.base_signal.inserted"),
         ("Base evicted", "sbr_core.base_signal.evicted"),
         ("Tx mapped intervals", "sbr_core.sbr.tx_mapped_intervals"),
@@ -371,6 +389,9 @@ fn render_snapshot(snap: &Snapshot, out: &mut String) {
     }
     if let Some(slots) = snap.gauge("sbr_core.base_signal.slots") {
         out.push_str(&format!("  {:<24} {slots}\n", "Base slots"));
+    }
+    if let Some(bytes) = snap.gauge("sbr_core.probe_cache.bytes") {
+        out.push_str(&format!("  {:<24} {bytes:.0}\n", "Probe-cache bytes"));
     }
     // Sensor-network metrics, when the artifact came from a network run.
     let mut net: Vec<String> = Vec::new();
@@ -407,7 +428,7 @@ fn report(input: &str) -> Result<String, CliError> {
             out.push_str(&format!("metrics snapshot {input}\n"));
             render_snapshot(&snap, &mut out);
         }
-        "sbr-bench/v1" | "sbr-bench/v2" => {
+        "sbr-bench/v1" | "sbr-bench/v2" | "sbr-bench/v3" => {
             let records = v
                 .get("records")
                 .and_then(Value::as_arr)
@@ -436,6 +457,22 @@ fn report(input: &str) -> Result<String, CliError> {
                     out.push_str(&format!("  avg-sse {s:.4e}"));
                 }
                 out.push('\n');
+                // v3 search block: probe counts, cache traffic, and the
+                // measured speedup over the probe-cache-off control run.
+                if let Some(search) = r.get("search").filter(|s| !matches!(s, Value::Null)) {
+                    let f = |k: &str| search.get(k).and_then(Value::as_f64);
+                    out.push_str(&format!(
+                        "  search: {} probe(s), cache {}/{} hit/miss, {:.1} ms",
+                        f("probes").unwrap_or(0.0),
+                        f("cache_hits").unwrap_or(0.0),
+                        f("cache_misses").unwrap_or(0.0),
+                        f("wall_secs").unwrap_or(0.0) * 1e3,
+                    ));
+                    if let Some(x) = f("speedup") {
+                        out.push_str(&format!(" ({x:.2}x vs no cache)"));
+                    }
+                    out.push('\n');
+                }
                 match r.get("metrics") {
                     Some(Value::Null) | None => {
                         out.push_str("  (no metrics recorded for this record)\n");
@@ -796,6 +833,33 @@ mod tests {
             "{filtered}"
         );
         assert!(!filtered.contains("sbr_core.sbr.encode_ns"), "{filtered}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn probe_cache_off_writes_identical_stream() {
+        let dir = tempdir("pcache");
+        let csv_in = dir.join("in.csv");
+        write_sample_csv(&csv_in, 256);
+        let on = dir.join("on.sbr");
+        let off = dir.join("off.sbr");
+        run_argv(&format!(
+            "compress --input {} --output {} --band 96 --batch 128 --probe-cache on",
+            csv_in.display(),
+            on.display()
+        ))
+        .unwrap();
+        run_argv(&format!(
+            "compress --input {} --output {} --band 96 --batch 128 --probe-cache off",
+            csv_in.display(),
+            off.display()
+        ))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&on).unwrap(),
+            std::fs::read(&off).unwrap(),
+            "probe cache must not change the stream bytes"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -8,6 +8,17 @@ use crate::obs::EncodeObs;
 use crate::regression::{self, PrefixStats};
 use crate::xcorr::{self, XcorrPlan};
 
+/// Which stretch of the concatenated dictionary a region-restricted sweep
+/// covers — only used to attribute the direct-vs-FFT decision to the right
+/// observability counters (the fit itself is region-agnostic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepRegion {
+    /// Shifts landing fully inside the shared base prefix.
+    Base,
+    /// Shifts whose window touches one appended candidate.
+    Candidate,
+}
+
 /// Shared read-only context for repeated `BestMap` calls against one base
 /// signal and one data batch: the prefix statistics that make the SSE shift
 /// loop cost a single `Σ x·y` pass per position.
@@ -92,7 +103,7 @@ impl<'a> MapContext<'a> {
         if shiftable {
             match self.metric {
                 ErrorMetric::Sse => self.shift_loop_sse(interval, yw),
-                _ => self.shift_loop_general(interval, yw),
+                _ => self.shift_loop_general(interval, yw, 0, self.x.len() - len),
             }
         }
 
@@ -100,6 +111,65 @@ impl<'a> MapContext<'a> {
             self.obs.fallback_wins.inc();
         } else {
             self.obs.base_wins.inc();
+        }
+    }
+
+    /// Write the linear fall-back fit into `interval` unconditionally —
+    /// the probe cache computes it once per `(start, len)` and seeds every
+    /// probe's prefix-min fold with it, exactly as [`Self::best_map`] seeds
+    /// its own sweep.
+    pub fn fallback_fit(&self, interval: &mut Interval) {
+        let yw = &self.y[interval.start..interval.start + interval.length];
+        let f = regression::fit_linear(self.metric, yw);
+        interval.shift = LINEAR_FALLBACK_SHIFT;
+        interval.a = f.a;
+        interval.b = f.b;
+        interval.err = f.err;
+    }
+
+    /// Fold the shifts `lo..=hi` into `interval` with the same strict `<`
+    /// (earliest shift wins ties) as the full sweep of [`Self::best_map`].
+    ///
+    /// This is the region-restricted primitive behind the `Search` probe
+    /// cache: a probe's admissible shift range over `base ∥ c₁ ∥ … ∥ c_pos`
+    /// partitions into the base-prefix region plus one region per appended
+    /// candidate, and folding those regions in ascending order reproduces
+    /// the continuous sweep bit for bit. `region` only selects which
+    /// observability counters record the direct-vs-FFT decision.
+    ///
+    /// The caller guarantees `hi + interval.length <= self.x.len()`.
+    pub fn fold_region(&self, interval: &mut Interval, lo: usize, hi: usize, region: SweepRegion) {
+        debug_assert!(lo <= hi && hi + interval.length <= self.x.len());
+        let yw = &self.y[interval.start..interval.start + interval.length];
+        if self.metric != ErrorMetric::Sse {
+            return self.shift_loop_general(interval, yw, lo, hi);
+        }
+        // Candidate regions span at most `W` shifts; a transform over the
+        // padded *full* dictionary can never amortize there, so only the
+        // base-prefix region consults the strategy. The evaluators are
+        // bit-identical either way — this is purely a cost decision.
+        let use_fft = region == SweepRegion::Base
+            && match self.shift_strategy {
+                ShiftStrategy::Direct => false,
+                ShiftStrategy::Fft => self.xcorr.is_some(),
+                ShiftStrategy::Auto => {
+                    self.xcorr.is_some() && {
+                        let plan = self.xcorr.as_ref().expect("checked above");
+                        xcorr::fft_beats_direct_span(hi - lo + 1, interval.length, plan.fft_len())
+                    }
+                }
+            };
+        let (direct_ctr, fft_ctr) = match region {
+            SweepRegion::Base => (&self.obs.base_direct_sweeps, &self.obs.base_fft_sweeps),
+            SweepRegion::Candidate => (&self.obs.cand_direct_sweeps, &self.obs.cand_fft_sweeps),
+        };
+        if use_fft {
+            fft_ctr.inc();
+            let plan = self.xcorr.as_ref().expect("checked above");
+            self.shift_loop_sse_fft(interval, yw, plan, lo, hi);
+        } else {
+            direct_ctr.inc();
+            self.shift_loop_sse_direct(interval, yw, lo, hi);
         }
     }
 
@@ -116,22 +186,23 @@ impl<'a> MapContext<'a> {
                 self.xcorr.is_some() && xcorr::fft_beats_direct(self.x.len(), interval.length)
             }
         };
+        let hi = self.x.len() - interval.length;
         if use_fft {
             self.obs.fft_sweeps.inc();
             let plan = self.xcorr.as_ref().expect("checked above");
-            self.shift_loop_sse_fft(interval, yw, plan);
+            self.shift_loop_sse_fft(interval, yw, plan, 0, hi);
         } else {
             self.obs.direct_sweeps.inc();
-            self.shift_loop_sse_direct(interval, yw);
+            self.shift_loop_sse_direct(interval, yw, 0, hi);
         }
     }
 
-    /// Direct SSE sweep: one `Σ x·y` pass per shift.
-    fn shift_loop_sse_direct(&self, interval: &mut Interval, yw: &[f64]) {
+    /// Direct SSE sweep over shifts `lo..=hi`: one `Σ x·y` pass per shift.
+    fn shift_loop_sse_direct(&self, interval: &mut Interval, yw: &[f64], lo: usize, hi: usize) {
         let len = interval.length;
         let sum_y = self.y_stats.window_sum(interval.start, len);
         let sum_y2 = self.y_stats.window_sum_sq(interval.start, len);
-        for shift in 0..=(self.x.len() - len) {
+        for shift in lo..=hi {
             let sum_xy = xcorr::dot(&self.x[shift..shift + len], yw);
             let f = self.fit_at(shift, len, sum_y, sum_y2, sum_xy);
             if f.err < interval.err {
@@ -160,7 +231,14 @@ impl<'a> MapContext<'a> {
     /// genuine near-ties; a pathological base (near-constant windows
     /// amplifying `s_xy/s_xx`) only widens the set, degrading speed, never
     /// correctness.
-    fn shift_loop_sse_fft(&self, interval: &mut Interval, yw: &[f64], plan: &XcorrPlan) {
+    fn shift_loop_sse_fft(
+        &self,
+        interval: &mut Interval,
+        yw: &[f64],
+        plan: &XcorrPlan,
+        lo: usize,
+        hi: usize,
+    ) {
         let len = interval.length;
         let sum_y = self.y_stats.window_sum(interval.start, len);
         let sum_y2 = self.y_stats.window_sum_sq(interval.start, len);
@@ -180,9 +258,9 @@ impl<'a> MapContext<'a> {
         // branch ignores Σx·y entirely, so its uncertainty is zero.
         // Otherwise err = s_yy − (s_xy)²/s_xx, so a perturbation δ of Σx·y
         // moves it by at most (2·|s_xy|·δ + δ²)/s_xx.
-        let mut approx = Vec::with_capacity(approx_xy.len());
+        let mut approx = Vec::with_capacity(hi - lo + 1);
         let mut min_upper = f64::INFINITY;
-        for (shift, &sum_xy) in approx_xy.iter().enumerate() {
+        for (shift, &sum_xy) in approx_xy.iter().enumerate().take(hi + 1).skip(lo) {
             let f = self.fit_at(shift, len, sum_y, sum_y2, sum_xy);
             let sum_x = self.x_stats.window_sum(shift, len);
             let sum_x2 = self.x_stats.window_sum_sq(shift, len);
@@ -200,7 +278,7 @@ impl<'a> MapContext<'a> {
         // Pass 2: exact re-evaluation of every shift that could be the true
         // minimum.
         let mut reverified = 0u64;
-        for (shift, &(err, u)) in approx.iter().enumerate() {
+        for (shift, &(err, u)) in approx.iter().enumerate().map(|(i, v)| (lo + i, v)) {
             if err - u > min_upper {
                 continue;
             }
@@ -238,10 +316,10 @@ impl<'a> MapContext<'a> {
     }
 
     /// General path for the relative-SSE and max-abs metrics: full refit per
-    /// shift (still `O(len)` each).
-    fn shift_loop_general(&self, interval: &mut Interval, yw: &[f64]) {
+    /// shift (still `O(len)` each) over shifts `lo..=hi`.
+    fn shift_loop_general(&self, interval: &mut Interval, yw: &[f64], lo: usize, hi: usize) {
         let len = interval.length;
-        for shift in 0..=(self.x.len() - len) {
+        for shift in lo..=hi {
             let xw = &self.x[shift..shift + len];
             let f = regression::fit(self.metric, xw, yw);
             if f.err < interval.err {

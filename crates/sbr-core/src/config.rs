@@ -64,6 +64,16 @@ pub struct SbrConfig {
     /// cross-correlation, or an automatic cost-model choice). Every
     /// strategy produces identical output; this only affects speed.
     pub shift_strategy: ShiftStrategy,
+    /// Share fit work across the insertion-count probes of `Search` through
+    /// the incremental [`ProbeCache`](crate::probe_cache::ProbeCache)
+    /// (on by default). Probe `pos` and probe `pos − 1` differ only in one
+    /// appended `W`-wide candidate, so the fit against the shared base
+    /// prefix is computed once per interval and each candidate's region is
+    /// swept once, instead of re-fitting everything on every probe. The
+    /// encoded stream is byte-identical either way; `false` selects the
+    /// legacy re-fit-everything path, kept as the differential-testing
+    /// oracle.
+    pub probe_cache: bool,
     /// Worker threads for the independent `BestMap`/`GetBase` fan-out.
     /// `0` (the default) means one thread per available CPU; `1` disables
     /// threading. Results are deterministic and identical for every value —
@@ -90,6 +100,7 @@ impl SbrConfig {
             exhaustive_search: false,
             update_base: true,
             shift_strategy: ShiftStrategy::default(),
+            probe_cache: true,
             num_threads: 0,
             obs: crate::obs::EncodeObs::default(),
         }
@@ -135,6 +146,19 @@ impl SbrConfig {
     pub fn with_shift_strategy(mut self, strategy: ShiftStrategy) -> Self {
         self.shift_strategy = strategy;
         self
+    }
+
+    /// Enable or disable the incremental `Search` probe cache (builder
+    /// style); see [`SbrConfig::probe_cache`].
+    pub fn with_probe_cache(mut self, probe_cache: bool) -> Self {
+        self.probe_cache = probe_cache;
+        self
+    }
+
+    /// Select the legacy `Search` probe path (builder style); shorthand for
+    /// [`SbrConfig::with_probe_cache`]`(false)`.
+    pub fn without_probe_cache(self) -> Self {
+        self.with_probe_cache(false)
     }
 
     /// Set the worker-thread count (builder style); `0` = auto, `1` =
@@ -251,6 +275,7 @@ mod tests {
         let c = SbrConfig::new(100, 50);
         assert!(c.allow_linear_fallback);
         assert!(c.update_base);
+        assert!(c.probe_cache, "probe cache defaults on");
         assert_eq!(c.max_shift_len_factor, 2);
         assert_eq!(c.metric, ErrorMetric::Sse);
     }

@@ -40,6 +40,45 @@ impl Approximation {
     }
 }
 
+/// A source of interval fits for the splitting loop.
+///
+/// [`get_intervals_with`] is parameterized over this so the recursive
+/// halving is shared — not forked — between the plain per-probe evaluation
+/// ([`MapContext`] fits against one concrete dictionary) and the `Search`
+/// probe cache ([`crate::probe_cache::ProbeOracle`] serves fits assembled
+/// from cached per-region sweeps). Implementations must be [`Sync`]: the
+/// splitting loop fans fits out over worker threads, and `Search` may
+/// evaluate several probes concurrently on top of that.
+pub trait FitOracle: Sync {
+    /// Fit `interval` in place; `start`/`length` are already set. Must
+    /// reproduce [`MapContext::best_map`] against the oracle's dictionary
+    /// bit for bit.
+    fn fit(&self, interval: &mut Interval);
+
+    /// Length of the dictionary the fits sweep over. Only steers the
+    /// thread-fan-out gate (estimated sweep work); never the results.
+    fn x_len(&self) -> usize;
+
+    /// Intervals longer than this are never shifted (`2 × W`); with
+    /// [`FitOracle::x_len`] this lets the splitting loop skip the fan-out
+    /// for children that face no real sweep.
+    fn max_shift_len(&self) -> usize;
+}
+
+impl FitOracle for MapContext<'_> {
+    fn fit(&self, interval: &mut Interval) {
+        self.best_map(interval);
+    }
+
+    fn x_len(&self) -> usize {
+        self.x.len()
+    }
+
+    fn max_shift_len(&self) -> usize {
+        self.max_shift_len
+    }
+}
+
 /// Max-heap entry ordered by interval error.
 struct HeapItem(Interval);
 
@@ -78,6 +117,18 @@ pub fn get_intervals(
     w: usize,
     config: &SbrConfig,
 ) -> Result<Approximation> {
+    let ctx = MapContext::new(x, data.flat(), config, w);
+    get_intervals_with(&ctx, data, budget_values, config)
+}
+
+/// [`get_intervals`] over an arbitrary [`FitOracle`] — the same Algorithm 3
+/// splitting loop, with every fit delegated to `oracle`.
+pub fn get_intervals_with<O: FitOracle>(
+    oracle: &O,
+    data: &MultiSeries,
+    budget_values: usize,
+    config: &SbrConfig,
+) -> Result<Approximation> {
     let n_signals = data.n_signals();
     let m = data.samples_per_signal();
     let max_intervals = budget_values / IntervalRecord::COST;
@@ -92,7 +143,6 @@ pub fn get_intervals(
         "sbr_core.get_intervals.run_ns",
         &config.obs.get_intervals_ns,
     );
-    let ctx = MapContext::new(x, data.flat(), config, w);
     let metric = config.metric;
     let threads = config.resolved_threads();
 
@@ -104,7 +154,7 @@ pub fn get_intervals(
     // same insertion sequence as the serial loop regardless of thread count.
     for iv in crate::par::par_map(n_signals, threads, &config.obs.par, |i| {
         let mut iv = Interval::unfitted(i * m, m);
-        ctx.best_map(&mut iv);
+        oracle.fit(&mut iv);
         iv
     }) {
         heap.push(HeapItem(iv));
@@ -139,8 +189,8 @@ pub fn get_intervals(
         // a thread costs tens of microseconds, so only fan out when the
         // children face a real shift sweep (gate depends on sizes only —
         // never on the thread count — keeping results deterministic).
-        let sweep_work = x.len().saturating_mul(right_len);
-        let child_threads = if right_len <= ctx.max_shift_len && sweep_work >= 1 << 16 {
+        let sweep_work = oracle.x_len().saturating_mul(right_len);
+        let child_threads = if right_len <= oracle.max_shift_len() && sweep_work >= 1 << 16 {
             threads
         } else {
             1
@@ -151,7 +201,7 @@ pub fn get_intervals(
             } else {
                 Interval::unfitted(worst.start + left_len, right_len)
             };
-            ctx.best_map(&mut iv);
+            oracle.fit(&mut iv);
             iv
         }) {
             heap.push(HeapItem(child));

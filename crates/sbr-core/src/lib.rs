@@ -54,6 +54,7 @@ pub mod get_intervals;
 pub mod interval;
 pub mod metric;
 pub mod obs;
+pub mod probe_cache;
 pub mod quadratic;
 pub mod query;
 pub mod regression;
@@ -73,9 +74,11 @@ pub use config::{BaseBuilder, SbrConfig, ShiftStrategy};
 pub use decoder::Decoder;
 pub use error::SbrError;
 pub use get_base::{GetBaseBuilder, LowMemoryGetBase};
+pub use get_intervals::FitOracle;
 pub use interval::{Interval, IntervalRecord};
 pub use metric::ErrorMetric;
 pub use obs::EncodeObs;
+pub use probe_cache::ProbeCache;
 pub use quadratic::QuadFit;
 pub use query::ChunkView;
 pub use regression::Fit;

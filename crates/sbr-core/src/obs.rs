@@ -18,10 +18,18 @@
 //! | `sbr_core.get_base.matrix_cells` | gauge | `K×K` benefit-matrix size |
 //! | `sbr_core.search.run_ns` | histogram | insertion-count search |
 //! | `sbr_core.search.probes` | counter | `GetIntervals` probes run |
+//! | `sbr_core.search.probe_ns` | histogram | one `Search` probe (`CalculateError`) |
+//! | `sbr_core.probe_cache.hits` | counter | probe fits served from a cached entry |
+//! | `sbr_core.probe_cache.misses` | counter | probe fits that created a cache entry |
+//! | `sbr_core.probe_cache.bytes` | gauge | approximate cache footprint after `Search` |
 //! | `sbr_core.get_intervals.run_ns` | histogram | one splitting pass |
 //! | `sbr_core.best_map.calls` | counter | interval fits attempted |
-//! | `sbr_core.best_map.direct_sweeps` | counter | SSE sweeps on the direct path |
-//! | `sbr_core.best_map.fft_sweeps` | counter | SSE sweeps on the FFT path |
+//! | `sbr_core.best_map.direct_sweeps` | counter | full SSE sweeps on the direct path |
+//! | `sbr_core.best_map.fft_sweeps` | counter | full SSE sweeps on the FFT path |
+//! | `sbr_core.best_map.base_direct_sweeps` | counter | base-prefix region sweeps, direct path |
+//! | `sbr_core.best_map.base_fft_sweeps` | counter | base-prefix region sweeps, FFT path |
+//! | `sbr_core.best_map.cand_direct_sweeps` | counter | candidate region sweeps, direct path |
+//! | `sbr_core.best_map.cand_fft_sweeps` | counter | candidate region sweeps, FFT path |
 //! | `sbr_core.best_map.fft_reverified_shifts` | counter | shifts exactly re-checked after the FFT filter |
 //! | `sbr_core.best_map.base_wins` | counter | fits won by a base mapping |
 //! | `sbr_core.best_map.fallback_wins` | counter | fits won by the linear fall-back |
@@ -63,6 +71,8 @@ mod enabled {
         pub get_base_ns: Histogram,
         /// Insertion-count binary search.
         pub search_ns: Histogram,
+        /// One `Search` probe (`CalculateError` for one insertion count).
+        pub probe_ns: Histogram,
         /// One `GetIntervals` splitting pass.
         pub get_intervals_ns: Histogram,
         /// Wire-codec encode.
@@ -71,10 +81,18 @@ mod enabled {
         pub codec_decode_ns: Histogram,
         /// `BestMap` fits attempted.
         pub best_map_calls: Counter,
-        /// SSE sweeps evaluated with the direct loop.
+        /// Full SSE sweeps evaluated with the direct loop.
         pub direct_sweeps: Counter,
-        /// SSE sweeps evaluated with the FFT kernel.
+        /// Full SSE sweeps evaluated with the FFT kernel.
         pub fft_sweeps: Counter,
+        /// Base-prefix region sweeps evaluated with the direct loop.
+        pub base_direct_sweeps: Counter,
+        /// Base-prefix region sweeps evaluated with the FFT kernel.
+        pub base_fft_sweeps: Counter,
+        /// Candidate region sweeps evaluated with the direct loop.
+        pub cand_direct_sweeps: Counter,
+        /// Candidate region sweeps evaluated with the FFT kernel.
+        pub cand_fft_sweeps: Counter,
         /// Shifts exactly re-verified after the FFT filter pass.
         pub fft_reverified: Counter,
         /// Fits won by a base-signal mapping.
@@ -83,6 +101,12 @@ mod enabled {
         pub fallback_wins: Counter,
         /// `GetIntervals` probes the insertion search ran.
         pub search_probes: Counter,
+        /// Probe-cache fits served from an existing `(start, len)` entry.
+        pub cache_hits: Counter,
+        /// Probe-cache fits that had to create their `(start, len)` entry.
+        pub cache_misses: Counter,
+        /// Approximate probe-cache footprint in bytes after `Search`.
+        pub cache_bytes: Gauge,
         /// Base intervals inserted into the dictionary.
         pub base_inserted: Counter,
         /// Dictionary slots overwritten by LFU eviction.
@@ -107,16 +131,24 @@ mod enabled {
                 encode_ns: r.histogram("sbr_core.sbr.encode_ns"),
                 get_base_ns: r.histogram("sbr_core.get_base.build_ns"),
                 search_ns: r.histogram("sbr_core.search.run_ns"),
+                probe_ns: r.histogram("sbr_core.search.probe_ns"),
                 get_intervals_ns: r.histogram("sbr_core.get_intervals.run_ns"),
                 codec_encode_ns: r.histogram("sbr_core.codec.encode_ns"),
                 codec_decode_ns: r.histogram("sbr_core.codec.decode_ns"),
                 best_map_calls: r.counter("sbr_core.best_map.calls"),
                 direct_sweeps: r.counter("sbr_core.best_map.direct_sweeps"),
                 fft_sweeps: r.counter("sbr_core.best_map.fft_sweeps"),
+                base_direct_sweeps: r.counter("sbr_core.best_map.base_direct_sweeps"),
+                base_fft_sweeps: r.counter("sbr_core.best_map.base_fft_sweeps"),
+                cand_direct_sweeps: r.counter("sbr_core.best_map.cand_direct_sweeps"),
+                cand_fft_sweeps: r.counter("sbr_core.best_map.cand_fft_sweeps"),
                 fft_reverified: r.counter("sbr_core.best_map.fft_reverified_shifts"),
                 base_wins: r.counter("sbr_core.best_map.base_wins"),
                 fallback_wins: r.counter("sbr_core.best_map.fallback_wins"),
                 search_probes: r.counter("sbr_core.search.probes"),
+                cache_hits: r.counter("sbr_core.probe_cache.hits"),
+                cache_misses: r.counter("sbr_core.probe_cache.misses"),
+                cache_bytes: r.gauge("sbr_core.probe_cache.bytes"),
                 base_inserted: r.counter("sbr_core.base_signal.inserted"),
                 base_evicted: r.counter("sbr_core.base_signal.evicted"),
                 tx_mapped_intervals: r.counter("sbr_core.sbr.tx_mapped_intervals"),
@@ -262,6 +294,8 @@ mod disabled {
         pub get_base_ns: Histogram,
         /// Insertion-count binary search.
         pub search_ns: Histogram,
+        /// One `Search` probe (`CalculateError` for one insertion count).
+        pub probe_ns: Histogram,
         /// One `GetIntervals` splitting pass.
         pub get_intervals_ns: Histogram,
         /// Wire-codec encode.
@@ -270,10 +304,18 @@ mod disabled {
         pub codec_decode_ns: Histogram,
         /// `BestMap` fits attempted.
         pub best_map_calls: Counter,
-        /// SSE sweeps evaluated with the direct loop.
+        /// Full SSE sweeps evaluated with the direct loop.
         pub direct_sweeps: Counter,
-        /// SSE sweeps evaluated with the FFT kernel.
+        /// Full SSE sweeps evaluated with the FFT kernel.
         pub fft_sweeps: Counter,
+        /// Base-prefix region sweeps evaluated with the direct loop.
+        pub base_direct_sweeps: Counter,
+        /// Base-prefix region sweeps evaluated with the FFT kernel.
+        pub base_fft_sweeps: Counter,
+        /// Candidate region sweeps evaluated with the direct loop.
+        pub cand_direct_sweeps: Counter,
+        /// Candidate region sweeps evaluated with the FFT kernel.
+        pub cand_fft_sweeps: Counter,
         /// Shifts exactly re-verified after the FFT filter pass.
         pub fft_reverified: Counter,
         /// Fits won by a base-signal mapping.
@@ -282,6 +324,12 @@ mod disabled {
         pub fallback_wins: Counter,
         /// `GetIntervals` probes the insertion search ran.
         pub search_probes: Counter,
+        /// Probe-cache fits served from an existing `(start, len)` entry.
+        pub cache_hits: Counter,
+        /// Probe-cache fits that had to create their `(start, len)` entry.
+        pub cache_misses: Counter,
+        /// Approximate probe-cache footprint in bytes after `Search`.
+        pub cache_bytes: Gauge,
         /// Base intervals inserted into the dictionary.
         pub base_inserted: Counter,
         /// Dictionary slots overwritten by LFU eviction.

@@ -10,8 +10,9 @@
 
 use crate::base_signal::BaseSignal;
 use crate::config::SbrConfig;
-use crate::get_intervals::get_intervals;
+use crate::get_intervals::{get_intervals, get_intervals_with};
 use crate::interval::IntervalRecord;
+use crate::probe_cache::ProbeCache;
 use crate::series::MultiSeries;
 
 /// Memoizing probe driver for one transmission's insertion-count decision.
@@ -52,26 +53,51 @@ impl<'a> SearchContext<'a> {
     /// (0 ..= candidates.len()). Binary search by default (Algorithm 7);
     /// exhaustive probing under
     /// [`SbrConfig::exhaustive_search`](crate::SbrConfig).
+    ///
+    /// Under [`SbrConfig::probe_cache`] (the default) the probes share fit
+    /// work through an incremental [`ProbeCache`]; the selected count and
+    /// the memoized errors are bit-identical to the legacy re-fit path.
     pub fn run(&mut self) -> usize {
         if self.candidates.is_empty() {
             return 0;
         }
-        if self.config.exhaustive_search {
-            self.run_exhaustive()
-        } else {
-            self.search(0, self.candidates.len())
+        if !self.config.probe_cache {
+            return if self.config.exhaustive_search {
+                self.run_exhaustive(None)
+            } else {
+                self.search(0, self.candidates.len(), None)
+            };
         }
+        // Concatenate the full dictionary once into the recycled scratch
+        // buffer; the cache borrows it for the whole search.
+        let mut buf = std::mem::take(&mut self.scratch);
+        {
+            let cands: Vec<&[f64]> = self.candidates.iter().map(Vec::as_slice).collect();
+            self.base.flat_with_appended(&cands, &mut buf);
+        }
+        let ins = {
+            let cache = ProbeCache::new(&buf, self.data, self.config, self.w, self.base.len());
+            let ins = if self.config.exhaustive_search {
+                self.run_exhaustive(Some(&cache))
+            } else {
+                self.search(0, self.candidates.len(), Some(&cache))
+            };
+            cache.publish();
+            ins
+        };
+        self.scratch = buf;
+        ins
     }
 
     /// Probe every insertion count; ground truth for the unimodality
     /// assumption behind Algorithm 7.
-    fn run_exhaustive(&mut self) -> usize {
+    fn run_exhaustive(&mut self, cache: Option<&ProbeCache>) -> usize {
         let all: Vec<usize> = (0..=self.candidates.len()).collect();
-        self.prefetch(&all);
+        self.prefetch(cache, &all);
         let mut best = 0;
-        let mut best_err = self.error_at(0);
+        let mut best_err = self.probe(cache, 0);
         for pos in 1..=self.candidates.len() {
-            let e = self.error_at(pos);
+            let e = self.probe(cache, pos);
             if e < best_err {
                 best = pos;
                 best_err = e;
@@ -87,13 +113,20 @@ impl<'a> SearchContext<'a> {
     }
 
     /// Memoized batch error after inserting the first `pos` candidates.
+    /// (Probes after [`SearchContext::run`] use the legacy path; the values
+    /// are bit-identical to cached ones either way.)
     pub fn error_at(&mut self, pos: usize) -> f64 {
+        self.probe(None, pos)
+    }
+
+    /// Memoized probe, optionally served through the probe cache.
+    fn probe(&mut self, cache: Option<&ProbeCache>, pos: usize) -> f64 {
         if let Some(e) = self.errors[pos] {
             return e;
         }
         self.probes += 1;
         let mut scratch = std::mem::take(&mut self.scratch);
-        let e = self.compute_error(pos, &mut scratch);
+        let e = self.compute_error(cache, pos, &mut scratch);
         self.scratch = scratch;
         self.errors[pos] = Some(e);
         e
@@ -102,16 +135,28 @@ impl<'a> SearchContext<'a> {
     /// The probe itself, memo-free: one full `GetIntervals` run against the
     /// would-be dictionary (or `∞` when `pos` insertions exhaust the
     /// budget). Shared by the serial memoized path and the parallel
-    /// prefetch.
-    fn compute_error(&self, pos: usize, scratch: &mut Vec<f64>) -> f64 {
+    /// prefetch. With a cache the split-tree evaluation pulls its fits from
+    /// the cache's probe-`pos` oracle instead of re-sweeping the dictionary;
+    /// `scratch` is only used by the legacy path.
+    fn compute_error(&self, cache: Option<&ProbeCache>, pos: usize, scratch: &mut Vec<f64>) -> f64 {
+        let _span = self
+            .config
+            .obs
+            .span("sbr_core.search.probe_ns", &self.config.obs.probe_ns);
         let budget = self.config.total_band.saturating_sub(pos * (self.w + 1));
         if budget / IntervalRecord::COST < self.data.n_signals() {
             // Insertions ate the whole budget; this count is infeasible.
             return f64::INFINITY;
         }
-        let cands: Vec<&[f64]> = self.candidates[..pos].iter().map(Vec::as_slice).collect();
-        let x = self.base.flat_with_appended(&cands, scratch);
-        match get_intervals(x, self.data, budget, self.w, self.config) {
+        let result = match cache {
+            Some(cache) => get_intervals_with(&cache.oracle(pos), self.data, budget, self.config),
+            None => {
+                let cands: Vec<&[f64]> = self.candidates[..pos].iter().map(Vec::as_slice).collect();
+                let x = self.base.flat_with_appended(&cands, scratch);
+                get_intervals(x, self.data, budget, self.w, self.config)
+            }
+        };
+        match result {
             Ok(a) => a.total_err,
             Err(_) => f64::INFINITY,
         }
@@ -126,7 +171,7 @@ impl<'a> SearchContext<'a> {
     /// *might* need; the selected insertion count is unaffected (the memo
     /// holds identical values either way), the search merely trades at most
     /// one extra probe per level for running them all in parallel.
-    fn prefetch(&mut self, positions: &[usize]) {
+    fn prefetch(&mut self, cache: Option<&ProbeCache>, positions: &[usize]) {
         let threads = self.config.resolved_threads();
         if threads <= 1 {
             return;
@@ -141,8 +186,16 @@ impl<'a> SearchContext<'a> {
         if missing.len() < 2 {
             return;
         }
+        // One scratch buffer per worker thread, reused across every probe
+        // that worker claims — mirrors the serial path's `self.scratch`
+        // recycling instead of allocating a fresh dictionary buffer per
+        // probe.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Vec<f64>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
         let values = crate::par::par_map(missing.len(), threads, &self.config.obs.par, |i| {
-            self.compute_error(missing[i], &mut Vec::new())
+            SCRATCH.with(|s| self.compute_error(cache, missing[i], &mut s.borrow_mut()))
         });
         for (&pos, e) in missing.iter().zip(values) {
             self.errors[pos] = Some(e);
@@ -152,27 +205,27 @@ impl<'a> SearchContext<'a> {
 
     /// Algorithm 7, verbatim (plus a speculative parallel prefetch of the
     /// level's probe positions when threading is enabled).
-    fn search(&mut self, start: usize, end: usize) -> usize {
+    fn search(&mut self, start: usize, end: usize, cache: Option<&ProbeCache>) -> usize {
         if end == start {
             return start;
         }
         let middle = (start + end) / 2;
-        self.prefetch(&[start, middle, middle + 1, end]);
-        let e_mid = self.error_at(middle);
-        let e_start = self.error_at(start);
+        self.prefetch(cache, &[start, middle, middle + 1, end]);
+        let e_mid = self.probe(cache, middle);
+        let e_start = self.probe(cache, start);
         if e_mid > e_start {
-            let e_end = self.error_at(end);
+            let e_end = self.probe(cache, end);
             if e_end > e_start {
-                self.search(start, middle)
+                self.search(start, middle, cache)
             } else {
-                self.search(middle, end)
+                self.search(middle, end, cache)
             }
         } else {
-            let e_next = self.error_at(middle + 1);
+            let e_next = self.probe(cache, middle + 1);
             if e_next < e_mid {
-                self.search(middle + 1, end)
+                self.search(middle + 1, end, cache)
             } else {
-                self.search(start, middle)
+                self.search(start, middle, cache)
             }
         }
     }

@@ -134,11 +134,23 @@ pub fn fft_beats_direct(x_len: usize, len: usize) -> bool {
     if len == 0 || len > x_len {
         return false;
     }
-    const FFT_COST_FACTOR: usize = 6;
     let m = x_len.next_power_of_two().max(2);
-    let log2m = m.trailing_zeros() as usize;
-    let direct = (x_len - len + 1) * len;
-    direct > FFT_COST_FACTOR * m * log2m
+    fft_beats_direct_span(x_len - len + 1, len, m)
+}
+
+/// The same cost model for a *region-restricted* sweep: `n_shifts` shifts
+/// of a `len`-sample window, evaluated against a plan whose padded
+/// transform length is `fft_len`. The direct loop's cost shrinks with the
+/// region, the FFT's does not (it always transforms the full padded base),
+/// so narrow regions — the probe cache's candidate regions in particular —
+/// resolve to the direct loop.
+pub fn fft_beats_direct_span(n_shifts: usize, len: usize, fft_len: usize) -> bool {
+    if len == 0 || n_shifts == 0 {
+        return false;
+    }
+    const FFT_COST_FACTOR: usize = 6;
+    let log2m = fft_len.trailing_zeros() as usize;
+    n_shifts * len > FFT_COST_FACTOR * fft_len * log2m
 }
 
 #[cfg(test)]

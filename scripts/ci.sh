@@ -29,6 +29,11 @@ echo "==> cargo build -p sbr-core --no-default-features"
 # cfg-free, so a drift here only surfaces on minimal builds).
 cargo build -p sbr-core --no-default-features --offline
 
+echo "==> probe-cache differential suite (cache on vs off, byte-identical)"
+# Guard: the Search probe cache is a pure evaluation-order optimization —
+# the cached and legacy probe paths must emit byte-identical streams.
+cargo test -q --offline --test probe_cache_diff
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --offline -- -D warnings
 
@@ -41,8 +46,9 @@ if [ "$run_bench" = 1 ]; then
   test -s BENCH_SBR.json || { echo "BENCH_SBR.json missing or empty" >&2; exit 1; }
   echo "==> sbr report (smoke run over BENCH_SBR.json)"
   report="$(cargo run -p sbr-cli --release --offline --bin sbr -- report --input BENCH_SBR.json)"
-  echo "$report" | grep -q "sbr-bench/v2" || { echo "report did not detect sbr-bench/v2" >&2; exit 1; }
+  echo "$report" | grep -q "sbr-bench/v3" || { echo "report did not detect sbr-bench/v3" >&2; exit 1; }
   echo "$report" | grep -q "BestMap calls" || { echo "report missing pipeline counters" >&2; exit 1; }
+  echo "$report" | grep -q "vs no cache" || { echo "report missing search speedup block" >&2; exit 1; }
 fi
 
 echo "CI pass complete."
