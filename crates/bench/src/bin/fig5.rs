@@ -24,10 +24,13 @@ use std::sync::Arc;
 use sbr_bench::{quick_mode, row, run_sbr_stream, BenchRecord, SearchStats, RATIOS};
 use sbr_core::SbrConfig;
 use sbr_obs::{MetricsRecorder, Recorder as _};
-use sensor_net::{EnergyModel, Network, Strategy, Topology};
+use sensor_net::{EnergyModel, FaultPlan, LossyLink, Network, Strategy, Topology};
 
 /// One small SBR dissemination run over a line topology, instrumented end
-/// to end; returns the record carrying per-node tx/rx counters.
+/// to end; returns the record carrying per-node tx/rx counters. The run
+/// uses the loss-tolerant ARQ strategy under per-hop loss and a seeded
+/// end-to-end fault schedule, so the record also carries a `recovery`
+/// block and the `sensor_net.recovery.*` counters land in its snapshot.
 fn network_sim_record(quick: bool) -> BenchRecord {
     let nodes = 5usize; // base + 4 sensors
     let n_signals = 2;
@@ -47,15 +50,24 @@ fn network_sim_record(quick: bool) -> BenchRecord {
     let rec = Arc::new(MetricsRecorder::new());
     let mut net = Network::new(Topology::line(nodes, 1.0), EnergyModel::default());
     net.set_recorder(rec.clone());
+    net.set_link(LossyLink::new(0.1, 12, 7));
+    net.set_fault_plan(FaultPlan::new(42).with_drop(0.2).with_dup(0.05));
     let report = net
-        .simulate(&feeds, m, &Strategy::Sbr(SbrConfig::new(2 * m / 5, m / 2)))
+        .simulate(
+            &feeds,
+            m,
+            &Strategy::SbrArq(SbrConfig::new(2 * m / 5, m / 2)),
+        )
         .expect("network_sim run");
+    let recovery = report.recovery.expect("ARQ runs report recovery stats");
     BenchRecord {
         experiment: "network_sim".to_string(),
         params: vec![
             ("nodes".to_string(), nodes as f64),
             ("values_sent".to_string(), report.values_sent as f64),
             ("raw_values".to_string(), report.raw_values as f64),
+            ("loss".to_string(), 0.1),
+            ("drop".to_string(), 0.2),
         ],
         avg_encode_secs: 0.0,
         avg_sse: report.sse,
@@ -64,8 +76,10 @@ fn network_sim_record(quick: bool) -> BenchRecord {
         inserted: Vec::new(),
         metrics: None,
         search: None,
+        recovery: None,
     }
     .with_metrics(rec.snapshot())
+    .with_recovery(recovery)
 }
 
 fn main() {

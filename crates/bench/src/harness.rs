@@ -202,6 +202,12 @@ pub struct BenchRecord {
     /// `probe_cache = false`. `None` when not instrumented; serialized as
     /// JSON `null` then.
     pub search: Option<SearchStats>,
+    /// ARQ/resync recovery statistics, for records produced by a
+    /// loss-tolerant network run ([`sensor_net::Strategy::SbrArq`]).
+    /// Additive member of the `sbr-bench/v3` schema: readers that ignore
+    /// unknown members parse records carrying it unchanged. `None` for
+    /// ordinary encoder records; serialized as JSON `null` then.
+    pub recovery: Option<sensor_net::RecoveryStats>,
 }
 
 /// The `search` block of a `sbr-bench/v3` record.
@@ -265,6 +271,7 @@ impl BenchRecord {
             inserted: stream.inserted(),
             metrics: None,
             search: None,
+            recovery: None,
         }
     }
 
@@ -280,6 +287,13 @@ impl BenchRecord {
     /// legacy-path wall time after a comparison re-run.
     pub fn with_search(mut self, search: SearchStats) -> Self {
         self.search = Some(search);
+        self
+    }
+
+    /// Attach ARQ recovery statistics (builder style) — used by records
+    /// scored from a loss-tolerant network run.
+    pub fn with_recovery(mut self, recovery: sensor_net::RecoveryStats) -> Self {
+        self.recovery = Some(recovery);
         self
     }
 }
@@ -321,9 +335,12 @@ fn json_str(s: &str) -> String {
 /// additionally carries a `"search"` member: probe count, probe-cache
 /// traffic and search-phase wall times (plus the derived speedup when the
 /// legacy path was re-measured), or JSON `null` when not instrumented.
-/// Both bumps are additive — v1/v2 consumers that ignore unknown members
-/// parse v3 unchanged. Hand-rolled so the bench harness carries no
-/// serialization dependency.
+/// Records scored from a loss-tolerant network run additionally carry a
+/// `"recovery"` member (frame/duplicate/gap/resync/ACK counts and the
+/// delivered-chunk fraction), JSON `null` otherwise. All of these bumps
+/// are additive — v1/v2/v3 consumers that ignore unknown members parse
+/// the artifact unchanged and the schema string stays `sbr-bench/v3`.
+/// Hand-rolled so the bench harness carries no serialization dependency.
 pub fn bench_json(records: &[BenchRecord]) -> String {
     let mut out = String::from("{\n  \"schema\": \"sbr-bench/v3\",\n  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -363,6 +380,34 @@ pub fn bench_json(records: &[BenchRecord]) -> String {
                     json_num(s.wall_secs),
                     s.legacy_wall_secs.map_or("null".into(), json_num),
                     s.speedup().map_or("null".into(), json_num),
+                ));
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"recovery\": ");
+        match &r.recovery {
+            Some(s) => {
+                out.push_str(&format!(
+                    "{{\"frames_sent\": {}, \"frames_delivered\": {}, \
+                     \"duplicates_discarded\": {}, \"gaps_detected\": {}, \
+                     \"corrupt_rejected\": {}, \"resyncs\": {}, \
+                     \"retx_overflows\": {}, \"max_retx_depth\": {}, \
+                     \"crashes\": {}, \"acks_sent\": {}, \
+                     \"chunks_flushed\": {}, \"chunks_delivered\": {}, \
+                     \"delivered_fraction\": {}}}",
+                    s.frames_sent,
+                    s.frames_delivered,
+                    s.duplicates_discarded,
+                    s.gaps_detected,
+                    s.corrupt_rejected,
+                    s.resyncs,
+                    s.retx_overflows,
+                    s.max_retx_depth,
+                    s.crashes,
+                    s.acks_sent,
+                    s.chunks_flushed,
+                    s.chunks_delivered,
+                    json_num(s.delivered_fraction()),
                 ));
             }
             None => out.push_str("null"),
@@ -455,6 +500,7 @@ mod tests {
         assert!(json.contains("\"transmissions\": 3"));
         assert!(json.contains("\"metrics\": null"), "uninstrumented → null");
         assert!(json.contains("\"search\": null"), "uninstrumented → null");
+        assert!(json.contains("\"recovery\": null"), "encoder-only → null");
         // The artifact parses with the sbr-obs JSON parser.
         let v = sbr_obs::json::parse(&json).expect("valid JSON");
         assert_eq!(
@@ -503,6 +549,40 @@ mod tests {
             search.get("speedup").and_then(sbr_obs::json::Value::as_f64),
             Some(3.0)
         );
+    }
+
+    #[test]
+    fn bench_json_recovery_block_is_additive() {
+        // A reader that only knows the pre-recovery v3 members must parse
+        // an artifact carrying the block unchanged.
+        let stream = run_sbr_stream(&files(), SbrConfig::new(40, 32));
+        let record = BenchRecord::from_stream("network_sim", &[("nodes", 3.0)], &stream)
+            .with_recovery(sensor_net::RecoveryStats {
+                frames_sent: 12,
+                frames_delivered: 10,
+                duplicates_discarded: 1,
+                gaps_detected: 2,
+                resyncs: 1,
+                chunks_flushed: 8,
+                chunks_delivered: 8,
+                ..Default::default()
+            });
+        let json = bench_json(&[record]);
+        assert!(json.contains("\"schema\": \"sbr-bench/v3\""), "no bump");
+        let v = sbr_obs::json::parse(&json).expect("valid JSON");
+        let rec = &v
+            .get("records")
+            .and_then(sbr_obs::json::Value::as_arr)
+            .unwrap()[0];
+        // Existing members untouched…
+        assert!(rec.get("avg_encode_secs").is_some());
+        assert!(rec.get("metrics").is_some());
+        // …and the additive block carries the protocol statistics.
+        let recovery = rec.get("recovery").expect("recovery member");
+        let f = |k: &str| recovery.get(k).and_then(sbr_obs::json::Value::as_f64);
+        assert_eq!(f("frames_sent"), Some(12.0));
+        assert_eq!(f("resyncs"), Some(1.0));
+        assert_eq!(f("delivered_fraction"), Some(1.0));
     }
 
     #[test]

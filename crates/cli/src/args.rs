@@ -88,6 +88,38 @@ pub enum Command {
         /// Input JSON file.
         input: String,
     },
+    /// `sbr simulate`: run the loss-tolerant ARQ protocol over a
+    /// simulated sensor network with seeded fault injection, printing
+    /// delivery/recovery statistics.
+    Simulate {
+        /// Sensors in the line topology (the base station is extra).
+        nodes: usize,
+        /// Signals per sensor.
+        signals: usize,
+        /// Samples per signal per sensor.
+        len: usize,
+        /// Samples per batch (buffer depth M).
+        batch: usize,
+        /// Bandwidth budget per transmission, in values.
+        band: usize,
+        /// Per-hop radio loss probability (each attempt, `[0, 1)`).
+        loss: f64,
+        /// Seed for the end-to-end fault schedule.
+        fault_seed: u64,
+        /// End-to-end drop probability.
+        drop: f64,
+        /// End-to-end duplication probability.
+        dup: f64,
+        /// End-to-end reorder probability.
+        reorder: f64,
+        /// End-to-end single-bit corruption probability.
+        corrupt: f64,
+        /// Crash sensor `node` right after it flushes chunk `chunk`
+        /// (`node:chunk`).
+        crash_at: Option<(usize, u64)>,
+        /// Write an `sbr-obs/v1` metrics snapshot (JSON) here after the run.
+        metrics: Option<String>,
+    },
     /// `sbr trace`: filter and pretty-print a structured event log
     /// produced via `SBR_TRACE` or `compress --trace`.
     Trace {
@@ -117,6 +149,11 @@ USAGE:
   sbr generate   --dataset phone|weather|stock|mixed|indexes|netflow
                  --output <csv> [--len <samples>] [--seed <n>]
   sbr report     --input <json>
+  sbr simulate   [--nodes <n>] [--signals <n>] [--len <samples>]
+                 [--batch <samples>] [--band <values>]
+                 [--loss <p>] [--fault-seed <n>]
+                 [--drop <p>] [--dup <p>] [--reorder <p>] [--corrupt <p>]
+                 [--crash-at <node>:<chunk>] [--metrics <json>]
   sbr trace      --input <log> [--filter <substring>]
   sbr help
 
@@ -128,6 +165,13 @@ subcommand into <path> (one JSON object per line); `sbr report` renders
 metrics artifacts (`sbr-bench/v3` benchmark files — earlier versions
 still parse — or `sbr-obs/v1` snapshots) and `sbr trace` pretty-prints
 event logs.
+
+Fault injection: `sbr simulate` drives the loss-tolerant v2 protocol
+(per-frame CRC, sequence/epoch tracking, bounded retransmission with
+cumulative ACKs, resync on overflow or crash) over a line topology with
+per-hop loss (`--loss`) and a seeded end-to-end fault schedule
+(`--drop`/`--dup`/`--reorder`/`--corrupt`, `--crash-at node:chunk`),
+then prints the recovery statistics.
 
 Performance: `--probe-cache off` disables the Search probe cache (the
 default shares base-prefix fit work across insertion-count probes); the
@@ -245,6 +289,77 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
         "report" => Command::Report {
             input: required(&mut flags, "input")?,
         },
+        "simulate" => {
+            let parse_u64 = |v: String, k: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--{k} must be an integer, got '{v}'"))
+            };
+            let parse_prob = |v: Option<String>, k: &str| -> Result<f64, String> {
+                let Some(v) = v else { return Ok(0.0) };
+                let p = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--{k} must be a probability, got '{v}'"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("--{k} must be in [0, 1], got {p}"));
+                }
+                Ok(p)
+            };
+            let opt_usize = |flags: &mut std::collections::HashMap<String, String>,
+                             k: &str,
+                             default: usize|
+             -> Result<usize, String> {
+                match take_value(flags, k) {
+                    Some(v) => parse_usize(v, k),
+                    None => Ok(default),
+                }
+            };
+            let nodes = opt_usize(&mut flags, "nodes", 3)?;
+            if nodes < 2 {
+                return Err("--nodes must be at least 2 (station + one sensor)".into());
+            }
+            let signals = opt_usize(&mut flags, "signals", 2)?;
+            let len = opt_usize(&mut flags, "len", 512)?;
+            let batch = opt_usize(&mut flags, "batch", 64)?;
+            let band = opt_usize(&mut flags, "band", 72)?;
+            let loss = parse_prob(take_value(&mut flags, "loss"), "loss")?;
+            if loss >= 1.0 {
+                return Err(format!("--loss must be in [0, 1), got {loss}"));
+            }
+            let fault_seed = match take_value(&mut flags, "fault-seed") {
+                Some(v) => parse_u64(v, "fault-seed")?,
+                None => 42,
+            };
+            let crash_at = match take_value(&mut flags, "crash-at") {
+                Some(v) => {
+                    let (n, c) = v
+                        .split_once(':')
+                        .ok_or_else(|| format!("--crash-at wants node:chunk, got '{v}'"))?;
+                    let node = n
+                        .parse::<usize>()
+                        .map_err(|_| format!("--crash-at node must be an integer, got '{n}'"))?;
+                    let chunk = c
+                        .parse::<u64>()
+                        .map_err(|_| format!("--crash-at chunk must be an integer, got '{c}'"))?;
+                    Some((node, chunk))
+                }
+                None => None,
+            };
+            Command::Simulate {
+                nodes,
+                signals,
+                len,
+                batch,
+                band,
+                loss,
+                fault_seed,
+                drop: parse_prob(take_value(&mut flags, "drop"), "drop")?,
+                dup: parse_prob(take_value(&mut flags, "dup"), "dup")?,
+                reorder: parse_prob(take_value(&mut flags, "reorder"), "reorder")?,
+                corrupt: parse_prob(take_value(&mut flags, "corrupt"), "corrupt")?,
+                crash_at,
+                metrics: take_value(&mut flags, "metrics"),
+            }
+        }
         "trace" => Command::Trace {
             input: required(&mut flags, "input")?,
             filter: take_value(&mut flags, "filter"),
@@ -414,6 +529,67 @@ mod tests {
             }
         );
         assert!(parse(&argv("generate --dataset nope --output x")).is_err());
+    }
+
+    #[test]
+    fn parses_simulate_with_defaults() {
+        let cli = parse(&argv("simulate")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Simulate {
+                nodes: 3,
+                signals: 2,
+                len: 512,
+                batch: 64,
+                band: 72,
+                loss: 0.0,
+                fault_seed: 42,
+                drop: 0.0,
+                dup: 0.0,
+                reorder: 0.0,
+                corrupt: 0.0,
+                crash_at: None,
+                metrics: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_simulate_fault_flags() {
+        let cli = parse(&argv(
+            "simulate --nodes 4 --loss 0.2 --fault-seed 7 --drop 0.3 --dup 0.1 \
+             --reorder 0.05 --corrupt 0.01 --crash-at 2:5 --metrics m.json",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Simulate {
+                nodes,
+                loss,
+                fault_seed,
+                drop,
+                crash_at,
+                metrics,
+                ..
+            } => {
+                assert_eq!(nodes, 4);
+                assert_eq!(loss, 0.2);
+                assert_eq!(fault_seed, 7);
+                assert_eq!(drop, 0.3);
+                assert_eq!(crash_at, Some((2, 5)));
+                assert_eq!(metrics.as_deref(), Some("m.json"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_bad_values() {
+        assert!(parse(&argv("simulate --loss 1.0")).is_err(), "loss < 1");
+        assert!(parse(&argv("simulate --drop 1.5")).is_err());
+        assert!(parse(&argv("simulate --drop nope")).is_err());
+        assert!(parse(&argv("simulate --nodes 1")).is_err());
+        assert!(parse(&argv("simulate --crash-at 2")).is_err(), "wants n:c");
+        assert!(parse(&argv("simulate --crash-at a:b")).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! [`Transmission`]s, suitable for the radio link of the sensor-network
 //! substrate and for the base station's append-only log files.
 //!
-//! Layout (little-endian):
+//! v1 layout (little-endian):
 //!
 //! ```text
 //! magic  u32  = 0x53_42_52_31 ("SBR1")
@@ -15,15 +15,98 @@
 //! nu × { slot u64, w × f64 }
 //! ni × { start u64, shift i64, a f64, b f64 }
 //! ```
+//!
+//! v2 layout (little-endian) wraps the same payload in a loss-tolerant
+//! envelope: a frame kind, a resync epoch, an optional base-signal
+//! snapshot, and a trailing CRC-32 over every preceding byte so any
+//! single-byte corruption is detected instead of decoding to garbage:
+//!
+//! ```text
+//! magic  u32  = 0x53_42_52_32 ("SBR2")
+//! kind   u8    0 = data, 1 = resync
+//! epoch  u32   resync generation
+//! seq    u64
+//! n      u32   signals
+//! m      u32   samples per signal
+//! w      u32   base-interval width
+//! ns     u32   snapshot slots (resync only, else 0)
+//! nu     u32   base updates
+//! ni     u32   interval records
+//! ns × ( w × f64 )                          base-signal snapshot
+//! nu × { slot u64, w × f64 }
+//! ni × { start u64, shift i64, a f64, b f64 }
+//! crc    u32   CRC-32 (IEEE) of all preceding bytes
+//! ```
+//!
+//! [`decode_any`] sniffs the magic and accepts both: v1 frames surface as
+//! epoch-0 data [`Frame`]s, keeping pre-v2 logs replayable forever.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::{Result, SbrError};
 use crate::interval::IntervalRecord;
-use crate::transmission::{BaseUpdate, Transmission};
+use crate::transmission::{BaseUpdate, Frame, FrameKind, Transmission};
 
 /// Frame magic: "SBR1".
 pub const MAGIC: u32 = 0x5342_5231;
+
+/// v2 frame magic: "SBR2".
+pub const MAGIC_V2: u32 = 0x5342_5232;
+
+/// v2 header size in bytes (magic through `ni`).
+const V2_HEADER: usize = 4 + 1 + 4 + 8 + 4 * 6;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// built at compile time — the stack stays std-only.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 hasher used while reading fields off a generic
+/// [`Buf`]; [`crc32`] is the one-shot convenience over a slice.
+#[derive(Debug, Clone)]
+struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = CRC_TABLE[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// CRC-32 (IEEE) of a byte slice. `crc32(b"123456789") == 0xCBF4_3926`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
 
 /// Serialized size of a transmission in bytes.
 pub fn encoded_len(tx: &Transmission) -> usize {
@@ -80,6 +163,12 @@ pub fn decode(buf: &mut impl Buf) -> Result<Transmission> {
     if magic != MAGIC {
         return Err(SbrError::Corrupt(format!("bad magic {magic:#010x}")));
     }
+    decode_v1_body(buf)
+}
+
+/// Parse the v1 frame remainder after the magic has been consumed.
+fn decode_v1_body(buf: &mut impl Buf) -> Result<Transmission> {
+    need(buf, 8 + 4 * 4 + 4, "header")?;
     let seq = buf.get_u64_le();
     let n_signals = buf.get_u32_le();
     let samples_per_signal = buf.get_u32_le();
@@ -124,6 +213,205 @@ pub fn decode(buf: &mut impl Buf) -> Result<Transmission> {
         base_updates,
         intervals,
     })
+}
+
+/// Serialized size of a v2 frame in bytes (header + snapshot + payload +
+/// CRC trailer).
+pub fn encoded_len_v2(frame: &Frame) -> usize {
+    V2_HEADER
+        + 8 * frame.snapshot.len()
+        + frame
+            .tx
+            .base_updates
+            .iter()
+            .map(|u| 8 + 8 * u.values.len())
+            .sum::<usize>()
+        + frame.tx.intervals.len() * 32
+        + 4
+}
+
+/// Serialize a v2 frame, appending a CRC-32 of everything written.
+///
+/// # Panics
+///
+/// If the snapshot length is not a multiple of `tx.w`, or a data frame
+/// carries a snapshot — both are programmer errors, not wire conditions.
+pub fn encode_v2(frame: &Frame) -> Bytes {
+    let w = frame.tx.w as usize;
+    assert!(
+        w > 0 && frame.snapshot.len().is_multiple_of(w),
+        "snapshot length {} is not a multiple of W = {w}",
+        frame.snapshot.len()
+    );
+    assert!(
+        frame.kind == FrameKind::Resync || frame.snapshot.is_empty(),
+        "data frames must not carry a base-signal snapshot"
+    );
+    let mut buf = BytesMut::with_capacity(encoded_len_v2(frame));
+    buf.put_u32_le(MAGIC_V2);
+    buf.put_u8(match frame.kind {
+        FrameKind::Data => 0,
+        FrameKind::Resync => 1,
+    });
+    buf.put_u32_le(frame.epoch);
+    buf.put_u64_le(frame.tx.seq);
+    buf.put_u32_le(frame.tx.n_signals);
+    buf.put_u32_le(frame.tx.samples_per_signal);
+    buf.put_u32_le(frame.tx.w);
+    buf.put_u32_le((frame.snapshot.len() / w) as u32);
+    buf.put_u32_le(frame.tx.base_updates.len() as u32);
+    buf.put_u32_le(frame.tx.intervals.len() as u32);
+    for &v in &frame.snapshot {
+        buf.put_f64_le(v);
+    }
+    for u in &frame.tx.base_updates {
+        buf.put_u64_le(u.slot);
+        for &v in &u.values {
+            buf.put_f64_le(v);
+        }
+    }
+    for r in &frame.tx.intervals {
+        buf.put_u64_le(r.start);
+        buf.put_i64_le(r.shift);
+        buf.put_f64_le(r.a);
+        buf.put_f64_le(r.b);
+    }
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    buf.freeze()
+}
+
+/// Read `N` bytes off the buffer, feeding them through the CRC hasher.
+fn take<const N: usize>(buf: &mut impl Buf, crc: &mut Crc32) -> [u8; N] {
+    let mut bytes = [0u8; N];
+    buf.copy_to_slice(&mut bytes);
+    crc.update(&bytes);
+    bytes
+}
+
+fn take_u32(buf: &mut impl Buf, crc: &mut Crc32) -> u32 {
+    u32::from_le_bytes(take(buf, crc))
+}
+
+fn take_u64(buf: &mut impl Buf, crc: &mut Crc32) -> u64 {
+    u64::from_le_bytes(take(buf, crc))
+}
+
+fn take_i64(buf: &mut impl Buf, crc: &mut Crc32) -> i64 {
+    i64::from_le_bytes(take(buf, crc))
+}
+
+fn take_f64(buf: &mut impl Buf, crc: &mut Crc32) -> f64 {
+    f64::from_le_bytes(take(buf, crc))
+}
+
+/// Parse one v2 frame, consuming exactly its bytes and verifying the
+/// trailing CRC-32 before anything is returned.
+pub fn decode_v2(buf: &mut impl Buf) -> Result<Frame> {
+    need(buf, 4, "magic")?;
+    let mut crc = Crc32::new();
+    let magic = take_u32(buf, &mut crc);
+    if magic != MAGIC_V2 {
+        return Err(SbrError::Corrupt(format!("bad magic {magic:#010x}")));
+    }
+    decode_v2_body(buf, crc)
+}
+
+/// Parse the v2 frame remainder after the magic (already hashed into
+/// `crc`) has been consumed.
+fn decode_v2_body(buf: &mut impl Buf, mut crc: Crc32) -> Result<Frame> {
+    need(buf, V2_HEADER - 4, "header")?;
+    let kind = match take::<1>(buf, &mut crc)[0] {
+        0 => FrameKind::Data,
+        1 => FrameKind::Resync,
+        k => return Err(SbrError::Corrupt(format!("unknown frame kind {k}"))),
+    };
+    let epoch = take_u32(buf, &mut crc);
+    let seq = take_u64(buf, &mut crc);
+    let n_signals = take_u32(buf, &mut crc);
+    let samples_per_signal = take_u32(buf, &mut crc);
+    let w = take_u32(buf, &mut crc);
+    let ns = take_u32(buf, &mut crc) as usize;
+    let nu = take_u32(buf, &mut crc) as usize;
+    let ni = take_u32(buf, &mut crc) as usize;
+    if w == 0 || n_signals == 0 || samples_per_signal == 0 {
+        return Err(SbrError::Corrupt("zero dimension in header".into()));
+    }
+    if kind == FrameKind::Data && ns != 0 {
+        return Err(SbrError::Corrupt(
+            "data frame declares a base-signal snapshot".into(),
+        ));
+    }
+    // Declared sizes come straight off the wire — checked arithmetic, and
+    // the whole payload (incl. the CRC trailer) must fit the buffer before
+    // any allocation happens.
+    let declared = ns
+        .checked_mul(8 * w as usize)
+        .and_then(|s| {
+            nu.checked_mul(8 + 8 * w as usize)
+                .and_then(|u| s.checked_add(u))
+        })
+        .and_then(|su| ni.checked_mul(32).and_then(|i| su.checked_add(i)))
+        .and_then(|p| p.checked_add(4))
+        .ok_or_else(|| SbrError::Corrupt("declared payload size overflows".into()))?;
+    need(buf, declared, "payload")?;
+
+    let mut snapshot = Vec::with_capacity(ns * w as usize);
+    for _ in 0..ns * w as usize {
+        snapshot.push(take_f64(buf, &mut crc));
+    }
+    let mut base_updates = Vec::with_capacity(nu);
+    for _ in 0..nu {
+        let slot = take_u64(buf, &mut crc);
+        let mut values = Vec::with_capacity(w as usize);
+        for _ in 0..w {
+            values.push(take_f64(buf, &mut crc));
+        }
+        base_updates.push(BaseUpdate { slot, values });
+    }
+    let mut intervals = Vec::with_capacity(ni);
+    for _ in 0..ni {
+        intervals.push(IntervalRecord {
+            start: take_u64(buf, &mut crc),
+            shift: take_i64(buf, &mut crc),
+            a: take_f64(buf, &mut crc),
+            b: take_f64(buf, &mut crc),
+        });
+    }
+    let computed = crc.finish();
+    let stored = buf.get_u32_le();
+    if computed != stored {
+        return Err(SbrError::Corrupt(format!(
+            "crc mismatch: computed {computed:#010x}, frame carries {stored:#010x}"
+        )));
+    }
+    Ok(Frame {
+        epoch,
+        kind,
+        snapshot,
+        tx: Transmission {
+            seq,
+            n_signals,
+            samples_per_signal,
+            w,
+            base_updates,
+            intervals,
+        },
+    })
+}
+
+/// Parse either wire version by sniffing the magic: v1 frames surface as
+/// epoch-0 [`FrameKind::Data`] frames, v2 frames decode in full (CRC
+/// verified). This is the compat entry point every receiver should use.
+pub fn decode_any(buf: &mut impl Buf) -> Result<Frame> {
+    need(buf, 4, "magic")?;
+    let mut crc = Crc32::new();
+    let magic = take_u32(buf, &mut crc);
+    match magic {
+        MAGIC => Ok(Frame::data(0, decode_v1_body(buf)?)),
+        MAGIC_V2 => decode_v2_body(buf, crc),
+        _ => Err(SbrError::Corrupt(format!("bad magic {magic:#010x}"))),
+    }
 }
 
 #[cfg(test)]
@@ -226,5 +514,113 @@ mod tests {
         assert_eq!(decode(&mut buf).unwrap().seq, 42);
         assert_eq!(decode(&mut buf).unwrap().seq, 43);
         assert_eq!(buf.remaining(), 0);
+    }
+
+    // ---------------- v2 ----------------
+
+    fn sample_frame() -> Frame {
+        Frame::resync(3, vec![0.5, -1.5, 2.0, 0.25, 9.0, -3.0, 1.0, 4.0], sample())
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn v2_roundtrip_data_and_resync() {
+        for frame in [Frame::data(7, sample()), sample_frame()] {
+            let bytes = encode_v2(&frame);
+            assert_eq!(bytes.len(), encoded_len_v2(&frame));
+            let mut buf = bytes.clone();
+            assert_eq!(decode_v2(&mut buf).unwrap(), frame);
+            assert_eq!(buf.remaining(), 0);
+            // decode_any takes the same bytes.
+            assert_eq!(decode_any(&mut bytes.clone()).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn v2_truncation_rejected_everywhere() {
+        let bytes = encode_v2(&sample_frame());
+        for cut in 0..bytes.len() {
+            let mut short = &bytes[..cut];
+            assert!(decode_v2(&mut short).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn v2_every_byte_is_crc_protected() {
+        let bytes = encode_v2(&sample_frame()).to_vec();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                decode_v2(&mut &bad[..]).is_err(),
+                "flip at byte {i} decoded silently"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_data_frame_with_snapshot_rejected() {
+        // Hand-corrupt the kind byte of a resync frame to Data and re-seal
+        // the CRC: the parser must still reject the snapshot.
+        let mut bytes = encode_v2(&sample_frame()).to_vec();
+        bytes[4] = 0;
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]).to_le_bytes();
+        bytes[n - 4..].copy_from_slice(&crc);
+        let err = decode_v2(&mut &bytes[..]).unwrap_err();
+        assert!(matches!(err, SbrError::Corrupt(m) if m.contains("snapshot")));
+    }
+
+    #[test]
+    fn v2_unknown_kind_rejected() {
+        let mut bytes = encode_v2(&Frame::data(0, sample())).to_vec();
+        bytes[4] = 2;
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]).to_le_bytes();
+        bytes[n - 4..].copy_from_slice(&crc);
+        assert!(decode_v2(&mut &bytes[..]).is_err());
+    }
+
+    #[test]
+    fn decode_any_wraps_v1_as_epoch_zero_data() {
+        let tx = sample();
+        let frame = decode_any(&mut encode(&tx).clone()).unwrap();
+        assert_eq!(frame, Frame::data(0, tx));
+    }
+
+    #[test]
+    fn mixed_version_frames_parse_back_to_back() {
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(&encode(&sample()));
+        stream.extend_from_slice(&encode_v2(&sample_frame()));
+        stream.extend_from_slice(&encode_v2(&Frame::data(4, sample())));
+        let mut buf = stream.freeze();
+        assert_eq!(decode_any(&mut buf).unwrap().epoch, 0);
+        assert_eq!(decode_any(&mut buf).unwrap().kind, FrameKind::Resync);
+        assert_eq!(decode_any(&mut buf).unwrap().epoch, 4);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn v2_hostile_declared_lengths_rejected() {
+        // A v2 header declaring huge counts over a tiny buffer must fail
+        // the size guard, not allocate.
+        let mut raw = BytesMut::new();
+        raw.put_u32_le(MAGIC_V2);
+        raw.put_u8(1);
+        raw.put_u32_le(1); // epoch
+        raw.put_u64_le(0); // seq
+        raw.put_u32_le(1); // n
+        raw.put_u32_le(1); // m
+        raw.put_u32_le(u32::MAX); // w
+        raw.put_u32_le(u32::MAX); // ns
+        raw.put_u32_le(u32::MAX); // nu
+        raw.put_u32_le(u32::MAX); // ni
+        assert!(decode_v2(&mut raw.freeze()).is_err());
     }
 }

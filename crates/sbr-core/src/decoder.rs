@@ -4,7 +4,7 @@
 use crate::base_signal::BaseSignal;
 use crate::error::{Result, SbrError};
 use crate::get_intervals::reconstruct_flat;
-use crate::transmission::Transmission;
+use crate::transmission::{Frame, FrameKind, Transmission};
 
 /// Stateful decoder for one sensor's transmission stream.
 ///
@@ -12,23 +12,63 @@ use crate::transmission::Transmission;
 /// reconstructed batch (one `Vec` per input signal). The decoder's
 /// base-signal buffer evolves exactly as the sensor's did, driven purely by
 /// the slot indices carried in the stream — it never runs LFU itself.
+///
+/// Out-of-order or gapped sequence numbers are rejected with
+/// [`SbrError::Gap`]; [`Decoder::decode_frame`] additionally understands v2
+/// resync frames, which re-anchor the replica at a new epoch after
+/// unrecoverable loss.
 #[derive(Debug, Default)]
 pub struct Decoder {
     base: Option<BaseSignal>,
     next_seq: u64,
+    epoch: u32,
+    node: u64,
 }
 
 impl Decoder {
-    /// A decoder expecting a stream that starts at sequence 0.
+    /// A decoder expecting a stream that starts at sequence 0, epoch 0.
     pub fn new() -> Self {
         Decoder::default()
+    }
+
+    /// A fresh decoder labelled with the sensor node it tracks, so
+    /// [`SbrError::Gap`] errors identify the stream.
+    pub fn for_node(node: u64) -> Self {
+        Decoder {
+            node,
+            ..Decoder::default()
+        }
     }
 
     /// Resume from a snapshot: the mirrored base signal (if any chunks were
     /// already applied) and the next expected sequence number. Used by
     /// checkpointed base-station logs to avoid replaying from zero.
     pub fn resume(base: Option<BaseSignal>, next_seq: u64) -> Self {
-        Decoder { base, next_seq }
+        Decoder {
+            base,
+            next_seq,
+            epoch: 0,
+            node: 0,
+        }
+    }
+
+    /// [`Decoder::resume`] for epoch-aware (v2) streams: also restores the
+    /// resync epoch and the node label.
+    pub fn resume_v2(base: Option<BaseSignal>, next_seq: u64, epoch: u32, node: u64) -> Self {
+        Decoder {
+            base,
+            next_seq,
+            epoch,
+            node,
+        }
+    }
+
+    fn gap(&self, got: u64) -> SbrError {
+        SbrError::Gap {
+            node: self.node,
+            expected: self.next_seq,
+            got,
+        }
     }
 
     /// The candidate layout `X_new = X ∥ updates` a transmission's interval
@@ -36,10 +76,7 @@ impl Decoder {
     /// same inconsistencies `decode` would reject.
     pub fn peek_x_new(&self, tx: &Transmission) -> Result<Vec<f64>> {
         if tx.seq != self.next_seq {
-            return Err(SbrError::InconsistentState(format!(
-                "expected transmission {} but received {}",
-                self.next_seq, tx.seq
-            )));
+            return Err(self.gap(tx.seq));
         }
         let w = tx.w as usize;
         let mut x_new = self
@@ -69,13 +106,21 @@ impl Decoder {
         self.next_seq
     }
 
+    /// Resync epoch the decoder is currently anchored to (0 until the
+    /// stream's first resync frame).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The node label carried into [`SbrError::Gap`] errors.
+    pub fn node(&self) -> u64 {
+        self.node
+    }
+
     /// Decode the next transmission, returning per-signal reconstructions.
     pub fn decode(&mut self, tx: &Transmission) -> Result<Vec<Vec<f64>>> {
         if tx.seq != self.next_seq {
-            return Err(SbrError::InconsistentState(format!(
-                "expected transmission {} but received {}",
-                self.next_seq, tx.seq
-            )));
+            return Err(self.gap(tx.seq));
         }
         let w = tx.w as usize;
         if w == 0 {
@@ -121,10 +166,7 @@ impl Decoder {
     /// ingest. Performs the same validation as [`Decoder::decode`].
     pub fn apply_updates_only(&mut self, tx: &Transmission) -> Result<()> {
         if tx.seq != self.next_seq {
-            return Err(SbrError::InconsistentState(format!(
-                "expected transmission {} but received {}",
-                self.next_seq, tx.seq
-            )));
+            return Err(self.gap(tx.seq));
         }
         let w = tx.w as usize;
         if w == 0 {
@@ -143,6 +185,92 @@ impl Decoder {
         }
         self.next_seq += 1;
         Ok(())
+    }
+
+    /// Decode the next v2 frame. Data frames must match the decoder's
+    /// current epoch and sequence; resync frames re-anchor the replica —
+    /// the snapshot is installed as the new base signal, the sequence
+    /// counter jumps to the frame's, and the epoch advances. Either path is
+    /// atomic: on any error the decoder is left exactly as it was.
+    pub fn decode_frame(&mut self, frame: &Frame) -> Result<Vec<Vec<f64>>> {
+        match frame.kind {
+            FrameKind::Data => {
+                self.check_data_epoch(frame)?;
+                self.decode(&frame.tx)
+            }
+            FrameKind::Resync => {
+                let mut next = self.reanchored(frame)?;
+                let out = next.decode(&frame.tx)?;
+                *self = next;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Frame-level analogue of [`Decoder::apply_updates_only`]: advance the
+    /// replica over a v2 frame without reconstructing its data.
+    pub fn apply_frame_updates_only(&mut self, frame: &Frame) -> Result<()> {
+        match frame.kind {
+            FrameKind::Data => {
+                self.check_data_epoch(frame)?;
+                self.apply_updates_only(&frame.tx)
+            }
+            FrameKind::Resync => {
+                let mut next = self.reanchored(frame)?;
+                next.apply_updates_only(&frame.tx)?;
+                *self = next;
+                Ok(())
+            }
+        }
+    }
+
+    fn check_data_epoch(&self, frame: &Frame) -> Result<()> {
+        if frame.epoch != self.epoch {
+            return Err(SbrError::InconsistentState(format!(
+                "node {}: data frame from epoch {} but decoder is anchored to epoch {}",
+                self.node, frame.epoch, self.epoch
+            )));
+        }
+        Ok(())
+    }
+
+    /// Build the decoder a resync frame re-anchors to, without touching
+    /// `self`: snapshot installed as the base (empty snapshot = the node
+    /// rebooted with a fresh encoder), sequence and epoch taken from the
+    /// frame. The epoch must strictly advance — a stale or replayed resync
+    /// is rejected.
+    fn reanchored(&self, frame: &Frame) -> Result<Decoder> {
+        if frame.epoch <= self.epoch {
+            return Err(SbrError::InconsistentState(format!(
+                "node {}: resync epoch {} does not advance past {}",
+                self.node, frame.epoch, self.epoch
+            )));
+        }
+        let w = frame.tx.w as usize;
+        if w == 0 {
+            return Err(SbrError::Corrupt("zero base-interval width".into()));
+        }
+        if !frame.snapshot.len().is_multiple_of(w) {
+            return Err(SbrError::Corrupt(format!(
+                "snapshot length {} is not a multiple of W = {w}",
+                frame.snapshot.len()
+            )));
+        }
+        let base = if frame.snapshot.is_empty() {
+            None
+        } else {
+            let mut b = BaseSignal::new(w);
+            for (slot, vals) in frame.snapshot.chunks_exact(w).enumerate() {
+                b.apply_insert(slot, vals, frame.tx.seq)?;
+            }
+            Some(b)
+        };
+        Ok(Decoder {
+            base,
+            next_seq: frame.tx.seq,
+            epoch: frame.epoch,
+            node: self.node,
+        })
     }
 
     /// Validate every update (width and slot) *before* any mutation, so a
@@ -180,6 +308,13 @@ impl Decoder {
     pub fn replay(stream: &[Transmission]) -> Result<Vec<Vec<Vec<f64>>>> {
         let mut d = Decoder::new();
         stream.iter().map(|tx| d.decode(tx)).collect()
+    }
+
+    /// Frame-level [`Decoder::replay`]: decode a full v2 stream (resyncs
+    /// included) from scratch.
+    pub fn replay_frames(stream: &[Frame]) -> Result<Vec<Vec<Vec<f64>>>> {
+        let mut d = Decoder::new();
+        stream.iter().map(|f| d.decode_frame(f)).collect()
     }
 }
 
@@ -272,5 +407,98 @@ mod tests {
             intervals: vec![],
         };
         assert!(Decoder::new().decode(&tx).is_err());
+    }
+
+    #[test]
+    fn gap_error_names_node_and_sequences() {
+        let config = SbrConfig::new(64, 64);
+        let mut enc = SbrEncoder::new(1, 64, config).unwrap();
+        enc.encode(&rows(1, 64, 0)).unwrap();
+        let t1 = enc.encode(&rows(1, 64, 1)).unwrap();
+        let mut dec = Decoder::for_node(7);
+        assert_eq!(
+            dec.decode(&t1).unwrap_err(),
+            SbrError::Gap {
+                node: 7,
+                expected: 0,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn resync_frame_reanchors_mid_stream() {
+        // Encoder runs 4 chunks; the decoder only ever sees chunk 3, as a
+        // resync frame carrying the pre-encode base snapshot. Its
+        // reconstruction must match a decoder that saw everything.
+        let config = SbrConfig::new(120, 96);
+        let mut enc = SbrEncoder::new(2, 128, config).unwrap();
+        let mut full = Decoder::new();
+        let mut txs = Vec::new();
+        for s in 0..3 {
+            let tx = enc.encode(&rows(2, 128, s)).unwrap();
+            full.decode(&tx).unwrap();
+            txs.push(tx);
+        }
+        let snapshot = enc.base().values().to_vec();
+        let tx3 = enc.encode(&rows(2, 128, 3)).unwrap();
+        let expect = full.decode(&tx3).unwrap();
+
+        let mut lossy = Decoder::for_node(2);
+        let frame = Frame::resync(1, snapshot, tx3);
+        assert_eq!(lossy.decode_frame(&frame).unwrap(), expect);
+        assert_eq!(lossy.epoch(), 1);
+        assert_eq!(lossy.next_seq(), 4);
+        assert_eq!(lossy.base().unwrap().values(), enc.base().values());
+    }
+
+    #[test]
+    fn reboot_resync_restarts_from_empty_base() {
+        let config = SbrConfig::new(120, 96);
+        let mut enc = SbrEncoder::new(2, 128, config.clone()).unwrap();
+        let mut dec = Decoder::new();
+        for s in 0..2 {
+            dec.decode(&enc.encode(&rows(2, 128, s)).unwrap()).unwrap();
+        }
+        // Node reboots: fresh encoder, seq restarts at 0, epoch bumps.
+        let mut enc2 = SbrEncoder::new(2, 128, config).unwrap();
+        let tx = enc2.encode(&rows(2, 128, 9)).unwrap();
+        let mut shadow = Decoder::new();
+        let expect = shadow.decode(&tx.clone()).unwrap();
+        let got = dec.decode_frame(&Frame::resync(1, vec![], tx)).unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(dec.next_seq(), 1);
+        assert_eq!(dec.base().unwrap().values(), enc2.base().values());
+    }
+
+    #[test]
+    fn stale_resync_and_wrong_epoch_data_rejected_atomically() {
+        let config = SbrConfig::new(120, 96);
+        let mut enc = SbrEncoder::new(2, 128, config).unwrap();
+        let mut dec = Decoder::new();
+        let t0 = enc.encode(&rows(2, 128, 0)).unwrap();
+        dec.decode_frame(&Frame::data(0, t0.clone())).unwrap();
+        let before = dec.snapshot();
+
+        // Replayed resync with a non-advancing epoch.
+        let stale = Frame::resync(0, vec![], t0.clone());
+        assert!(dec.decode_frame(&stale).is_err());
+        // Data frame claiming a future epoch (its resync was lost).
+        let t1 = enc.encode(&rows(2, 128, 1)).unwrap();
+        assert!(dec.decode_frame(&Frame::data(3, t1.clone())).is_err());
+        // Malformed snapshot length.
+        let ragged = Frame::resync(1, vec![1.0; 3], t1.clone());
+        assert!(dec.decode_frame(&ragged).is_err());
+
+        let after = dec.snapshot();
+        assert_eq!(before.1, after.1, "failed frames must not advance seq");
+        assert_eq!(
+            before.0.as_ref().map(|b| b.values().to_vec()),
+            after.0.as_ref().map(|b| b.values().to_vec()),
+            "failed frames must not mutate the base"
+        );
+        assert_eq!(dec.epoch(), 0);
+        // The in-sequence frame still lands.
+        dec.decode_frame(&Frame::data(0, t1)).unwrap();
     }
 }

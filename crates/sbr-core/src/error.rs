@@ -30,6 +30,19 @@ pub enum SbrError {
     /// A transmission references base-signal slots the decoder has never
     /// seen, or was applied out of order.
     InconsistentState(String),
+    /// A frame arrived out of order or after a loss: the receiver expected
+    /// sequence `expected` from `node` but saw `got`. Applying it against the
+    /// current (stale) base-signal replica would silently corrupt every later
+    /// chunk, so the frame is rejected instead.
+    Gap {
+        /// The sensor node the stream belongs to (0 when the decoder is not
+        /// bound to a node).
+        node: u64,
+        /// Sequence number the receiver expected next.
+        expected: u64,
+        /// Sequence number the frame actually carried.
+        got: u64,
+    },
 }
 
 impl fmt::Display for SbrError {
@@ -56,6 +69,14 @@ impl fmt::Display for SbrError {
             SbrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SbrError::Corrupt(msg) => write!(f, "corrupt transmission: {msg}"),
             SbrError::InconsistentState(msg) => write!(f, "inconsistent decoder state: {msg}"),
+            SbrError::Gap {
+                node,
+                expected,
+                got,
+            } => write!(
+                f,
+                "sequence gap on node {node}: expected frame {expected}, got {got}"
+            ),
         }
     }
 }

@@ -84,4 +84,4 @@ pub use query::ChunkView;
 pub use regression::Fit;
 pub use sbr::SbrEncoder;
 pub use series::MultiSeries;
-pub use transmission::{BaseUpdate, Transmission};
+pub use transmission::{BaseUpdate, Frame, FrameKind, Transmission};

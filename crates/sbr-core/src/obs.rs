@@ -39,6 +39,7 @@
 //! | `sbr_core.sbr.tx_mapped_intervals` | counter | transmitted intervals using the base |
 //! | `sbr_core.sbr.tx_fallback_intervals` | counter | transmitted intervals using the fall-back |
 //! | `sbr_core.codec.encode_ns` / `decode_ns` | histogram | wire codec |
+//! | `sbr_core.codec.resync_frames` | counter | resync frames emitted (overflow or reboot) |
 //! | `sbr_core.par.fanouts` | counter | thread fan-outs actually taken |
 //! | `sbr_core.par.worker_items` | histogram | items one worker processed |
 //! | `sbr_core.par.worker_busy_ns` | histogram | one worker's busy time |
@@ -79,6 +80,8 @@ mod enabled {
         pub codec_encode_ns: Histogram,
         /// Wire-codec decode.
         pub codec_decode_ns: Histogram,
+        /// Resync frames emitted (retransmit-buffer overflow or reboot).
+        pub resync_frames: Counter,
         /// `BestMap` fits attempted.
         pub best_map_calls: Counter,
         /// Full SSE sweeps evaluated with the direct loop.
@@ -128,6 +131,7 @@ mod enabled {
         pub fn new(recorder: Arc<dyn Recorder>) -> Self {
             let r = recorder.as_ref();
             EncodeObs {
+                resync_frames: r.counter("sbr_core.codec.resync_frames"),
                 encode_ns: r.histogram("sbr_core.sbr.encode_ns"),
                 get_base_ns: r.histogram("sbr_core.get_base.build_ns"),
                 search_ns: r.histogram("sbr_core.search.run_ns"),
@@ -302,6 +306,8 @@ mod disabled {
         pub codec_encode_ns: Histogram,
         /// Wire-codec decode.
         pub codec_decode_ns: Histogram,
+        /// Resync frames emitted (retransmit-buffer overflow or reboot).
+        pub resync_frames: Counter,
         /// `BestMap` fits attempted.
         pub best_map_calls: Counter,
         /// Full SSE sweeps evaluated with the direct loop.

@@ -72,6 +72,70 @@ impl Transmission {
     }
 }
 
+/// What a v2 wire frame carries besides its [`Transmission`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum FrameKind {
+    /// An ordinary in-sequence batch, encoded against the receiver's
+    /// current base-signal replica.
+    Data,
+    /// A re-anchoring frame: carries a full base-signal snapshot the
+    /// receiver must install *before* decoding the embedded transmission.
+    /// Emitted after a retransmit-buffer overflow or a node reboot, always
+    /// with a strictly larger epoch than any prior frame.
+    Resync,
+}
+
+/// A v2 wire frame: epoch + kind envelope around one [`Transmission`],
+/// with an optional base-signal snapshot on [`FrameKind::Resync`] frames.
+///
+/// The snapshot is the sensor's base signal *before* encoding the embedded
+/// transmission (flattened slot-major, a multiple of `tx.w` values), so the
+/// receiver installs it and then decodes `tx` with unchanged shift
+/// semantics. A reboot resync has an empty snapshot: the encoder restarted
+/// from scratch and `tx.seq` is 0 again.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct Frame {
+    /// Resync generation. Starts at 0; bumped by the sensor on every
+    /// retransmit-buffer overflow or reboot. v1 frames decode as epoch 0.
+    pub epoch: u32,
+    /// Whether this frame re-anchors the decoder.
+    pub kind: FrameKind,
+    /// Flattened base-signal snapshot (`Resync` only; empty on `Data` and
+    /// on reboot resyncs). Length must be a multiple of `tx.w`.
+    pub snapshot: Vec<f64>,
+    /// The batch payload.
+    pub tx: Transmission,
+}
+
+impl Frame {
+    /// An ordinary data frame.
+    pub fn data(epoch: u32, tx: Transmission) -> Self {
+        Frame {
+            epoch,
+            kind: FrameKind::Data,
+            snapshot: Vec::new(),
+            tx,
+        }
+    }
+
+    /// A resync frame carrying the pre-encode base-signal snapshot.
+    pub fn resync(epoch: u32, snapshot: Vec<f64>, tx: Transmission) -> Self {
+        Frame {
+            epoch,
+            kind: FrameKind::Resync,
+            snapshot,
+            tx,
+        }
+    }
+
+    /// Bandwidth cost in values: the transmission plus any snapshot values.
+    pub fn cost(&self) -> usize {
+        self.tx.cost() + self.snapshot.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,11 +2,18 @@
 //! compressed chunks (and, interleaved, the base-signal updates), plus
 //! historical reconstruction queries over any past range.
 //!
-//! Frames are validated eagerly (sequence order, parseability) but decoded
-//! lazily: a query replays the sensor's stream from the start, which is
-//! exactly what the paper's log-file design implies. Interior mutability is
-//! behind [`parking_lot::Mutex`] so one station can be shared by concurrent
-//! receiver threads.
+//! Frames are validated eagerly (sequence order, CRC, parseability) but
+//! decoded lazily: a query replays the sensor's stream from the start, which
+//! is exactly what the paper's log-file design implies. Interior mutability
+//! is behind [`parking_lot::Mutex`] so one station can be shared by
+//! concurrent receiver threads.
+//!
+//! The station is the receiver half of the end-to-end ARQ protocol: it
+//! classifies every frame as accepted, duplicate (silently discarded — the
+//! sender retransmitted something already applied) or a gap
+//! ([`sbr_core::SbrError::Gap`], the frame cannot be applied against the
+//! current replica), and it accepts resync frames that re-anchor a sensor's
+//! stream at a higher epoch after unrecoverable loss or a node reboot.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -15,36 +22,59 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use sbr_core::base_signal::BaseSignal;
 use sbr_core::query::aggregate_stream;
-use sbr_core::{codec, Decoder, SbrError, Transmission};
+use sbr_core::{codec, Decoder, Frame, FrameKind, SbrError, Transmission};
 
 use crate::NodeId;
 
 /// A periodic snapshot of the mirrored base-signal state, taken on ingest
 /// so historical queries replay at most `checkpoint_interval` chunks.
+/// Keyed by *log position* (chunk index), not sequence number — sequence
+/// numbers restart when a sensor reboots, log positions never do.
 #[derive(Debug)]
 struct Checkpoint {
-    seq: u64,
+    /// Number of logged chunks already applied when the snapshot was taken.
+    chunk: u64,
     base: Option<BaseSignal>,
+    next_seq: u64,
+    epoch: u32,
 }
 
 /// One sensor's append-only log.
 #[derive(Debug)]
 struct SensorLog {
     frames: Vec<Bytes>,
-    next_seq: u64,
     tracker: Decoder,
     checkpoints: Vec<Checkpoint>,
 }
 
-impl Default for SensorLog {
-    fn default() -> Self {
+impl SensorLog {
+    fn new(node: NodeId) -> Self {
         SensorLog {
             frames: Vec::new(),
-            next_seq: 0,
-            tracker: Decoder::new(),
-            checkpoints: vec![Checkpoint { seq: 0, base: None }],
+            tracker: Decoder::for_node(node as u64),
+            checkpoints: vec![Checkpoint {
+                chunk: 0,
+                base: None,
+                next_seq: 0,
+                epoch: 0,
+            }],
         }
     }
+}
+
+/// How the station classified one received frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receipt {
+    /// In-sequence frame, applied and logged.
+    Accepted,
+    /// The sender retransmitted something already applied (stale epoch or
+    /// already-seen sequence number); discarded without error — this is
+    /// normal ARQ behavior, not corruption.
+    Duplicate,
+    /// A resync frame re-anchored the sensor's stream at a new epoch; the
+    /// chunks lost in the gap are gone for good, everything from here on
+    /// is exact again.
+    Resynced,
 }
 
 /// Aggregates of one reconstructed range, computed directly on the
@@ -125,9 +155,11 @@ impl BaseStation {
                 continue;
             };
             let recovered = crate::storage::recover(&path)?;
-            for tx in &recovered.transmissions {
-                // Re-ingest through the normal path, minus re-persisting.
-                station.ingest(node, codec::encode(tx), false)?;
+            for frame in &recovered.frames {
+                // Re-ingest the original bytes through the normal path
+                // (minus re-persisting), so the in-memory log is
+                // byte-identical to the file — v1 frames stay v1.
+                station.ingest(node, frame.clone(), false)?;
             }
             if recovered.truncated_tail > 0 {
                 // Cut the dead tail off the file, or frames appended later
@@ -148,31 +180,76 @@ impl BaseStation {
         Ok(station)
     }
 
-    /// Receive one wire frame from `node`. The frame must parse and carry
-    /// the next sequence number for that sensor; otherwise it is rejected
-    /// and not logged. Ingest also advances a base-signal tracker (cheap:
-    /// no reconstruction) and snapshots it periodically so historical
-    /// queries replay at most `checkpoint_interval` chunks.
+    /// Receive one wire frame from `node` — strict variant: duplicates are
+    /// errors too. The frame must parse (CRC verified for v2) and carry the
+    /// next sequence number for that sensor; otherwise it is rejected and
+    /// not logged. Direct-delivery substrates (no ARQ, so nothing should
+    /// ever arrive twice) use this; ARQ paths use
+    /// [`BaseStation::receive_frame`], where a duplicate is routine.
     pub fn receive(&self, node: NodeId, frame: Bytes) -> Result<(), SbrError> {
+        match self.ingest(node, frame, true)? {
+            Receipt::Duplicate => Err(SbrError::InconsistentState(format!(
+                "sensor {node}: duplicate frame on a direct-delivery path"
+            ))),
+            Receipt::Accepted | Receipt::Resynced => Ok(()),
+        }
+    }
+
+    /// Receive one wire frame from `node`, classifying it for the ARQ
+    /// protocol: `Accepted` / `Resynced` frames were applied and logged,
+    /// `Duplicate`s are silently discarded, and anything unusable —
+    /// corruption, or a sequence gap the sender must repair by
+    /// retransmission or resync — is an error. Ingest also advances a
+    /// base-signal tracker (cheap: no reconstruction) and snapshots it
+    /// periodically so historical queries replay at most
+    /// `checkpoint_interval` chunks.
+    pub fn receive_frame(&self, node: NodeId, frame: Bytes) -> Result<Receipt, SbrError> {
         self.ingest(node, frame, true)
     }
 
-    fn ingest(&self, node: NodeId, frame: Bytes, persist: bool) -> Result<(), SbrError> {
-        let parsed = codec::decode(&mut frame.clone())?;
+    fn ingest(&self, node: NodeId, frame: Bytes, persist: bool) -> Result<Receipt, SbrError> {
+        let parsed = codec::decode_any(&mut frame.clone())?;
         let mut logs = self.logs.lock();
-        let log = logs.entry(node).or_default();
-        if parsed.seq != log.next_seq {
-            return Err(SbrError::InconsistentState(format!(
-                "sensor {node}: expected chunk {} but received {}",
-                log.next_seq, parsed.seq
-            )));
-        }
-        log.tracker.apply_updates_only(&parsed)?;
-        log.next_seq += 1;
+        let log = logs.entry(node).or_insert_with(|| SensorLog::new(node));
+        let (epoch, next_seq) = (log.tracker.epoch(), log.tracker.next_seq());
+        let receipt = match parsed.kind {
+            FrameKind::Data => {
+                if parsed.epoch < epoch || (parsed.epoch == epoch && parsed.tx.seq < next_seq) {
+                    // Already applied (the ACK releasing it was lost, or
+                    // the channel duplicated the frame).
+                    return Ok(Receipt::Duplicate);
+                }
+                if parsed.epoch > epoch {
+                    // A data frame from an epoch we never entered: its
+                    // resync frame is missing — that is a gap.
+                    return Err(SbrError::Gap {
+                        node: node as u64,
+                        expected: next_seq,
+                        got: parsed.tx.seq,
+                    });
+                }
+                log.tracker.apply_frame_updates_only(&parsed)?;
+                Receipt::Accepted
+            }
+            FrameKind::Resync => {
+                if parsed.epoch <= epoch {
+                    // Stale or retransmitted resync; already anchored at
+                    // or past this epoch.
+                    return Ok(Receipt::Duplicate);
+                }
+                log.tracker.apply_frame_updates_only(&parsed)?;
+                Receipt::Resynced
+            }
+        };
         log.frames.push(frame.clone());
-        if log.next_seq.is_multiple_of(self.checkpoint_interval) {
-            let (base, seq) = log.tracker.snapshot();
-            log.checkpoints.push(Checkpoint { seq, base });
+        if (log.frames.len() as u64).is_multiple_of(self.checkpoint_interval) {
+            let (base, next_seq) = log.tracker.snapshot();
+            log.checkpoints.push(Checkpoint {
+                chunk: log.frames.len() as u64,
+                base,
+                next_seq,
+                epoch: log.tracker.epoch(),
+            });
         }
         drop(logs);
         if persist {
@@ -192,7 +269,7 @@ impl BaseStation {
                 })?;
             }
         }
-        Ok(())
+        Ok(receipt)
     }
 
     /// Sensors with at least one logged chunk.
@@ -215,20 +292,50 @@ impl BaseStation {
             .map_or(0, |l| l.frames.iter().map(Bytes::len).sum())
     }
 
-    /// Parse (without reconstructing) every logged transmission of `node`.
-    pub fn transmissions(&self, node: NodeId) -> Result<Vec<Transmission>, SbrError> {
+    /// Sequence number expected next from `node` (for cumulative ACKs).
+    pub fn next_seq(&self, node: NodeId) -> u64 {
+        self.logs
+            .lock()
+            .get(&node)
+            .map_or(0, |l| l.tracker.next_seq())
+    }
+
+    /// Epoch `node`'s stream is currently anchored to.
+    pub fn epoch(&self, node: NodeId) -> u32 {
+        self.logs.lock().get(&node).map_or(0, |l| l.tracker.epoch())
+    }
+
+    /// The raw logged frames of `node`, in arrival order (for differential
+    /// tests and external archival).
+    pub fn raw_frames(&self, node: NodeId) -> Vec<Bytes> {
+        self.logs
+            .lock()
+            .get(&node)
+            .map_or_else(Vec::new, |l| l.frames.clone())
+    }
+
+    /// Parse (without reconstructing) every logged frame of `node`.
+    pub fn frames(&self, node: NodeId) -> Result<Vec<Frame>, SbrError> {
         let logs = self.logs.lock();
         let log = logs
             .get(&node)
             .ok_or_else(|| SbrError::InconsistentState(format!("unknown sensor {node}")))?;
         log.frames
             .iter()
-            .map(|f| codec::decode(&mut f.clone()))
+            .map(|f| codec::decode_any(&mut f.clone()))
             .collect()
     }
 
-    /// Resume a decoder from the latest checkpoint at or before `chunk`.
-    fn decoder_at(&self, node: NodeId, chunk: usize) -> Result<Decoder, SbrError> {
+    /// Parse (without reconstructing) every logged transmission of `node`,
+    /// with any resync envelope stripped.
+    pub fn transmissions(&self, node: NodeId) -> Result<Vec<Transmission>, SbrError> {
+        Ok(self.frames(node)?.into_iter().map(|f| f.tx).collect())
+    }
+
+    /// Resume a decoder from the latest checkpoint at or before `chunk`
+    /// (a log position). Returns the decoder plus the log position it
+    /// resumes at.
+    fn decoder_at(&self, node: NodeId, chunk: usize) -> Result<(Decoder, usize), SbrError> {
         let logs = self.logs.lock();
         let log = logs
             .get(&node)
@@ -237,43 +344,47 @@ impl BaseStation {
             .checkpoints
             .iter()
             .rev()
-            .find(|c| c.seq <= chunk as u64)
-            .expect("checkpoint at seq 0 always exists");
-        Ok(Decoder::resume(cp.base.clone(), cp.seq))
+            .find(|c| c.chunk <= chunk as u64)
+            .expect("checkpoint at chunk 0 always exists");
+        Ok((
+            Decoder::resume_v2(cp.base.clone(), cp.next_seq, cp.epoch, node as u64),
+            cp.chunk as usize,
+        ))
     }
 
-    /// Reconstruct chunks `[from, to)` of `node`, replaying from the
-    /// nearest checkpoint (at most `checkpoint_interval` extra chunks).
-    /// Returns `chunks[t][signal][sample]`.
+    /// Reconstruct chunks `[from, to)` of `node` (log positions), replaying
+    /// from the nearest checkpoint (at most `checkpoint_interval` extra
+    /// chunks). Returns `chunks[t][signal][sample]`.
     pub fn reconstruct_chunks(
         &self,
         node: NodeId,
         from: usize,
         to: usize,
     ) -> Result<Vec<Vec<Vec<f64>>>, SbrError> {
-        let txs = self.transmissions(node)?;
-        if to > txs.len() || from > to {
+        let frames = self.frames(node)?;
+        if to > frames.len() || from > to {
             return Err(SbrError::InconsistentState(format!(
                 "sensor {node}: range [{from}, {to}) outside logged 0..{}",
-                txs.len()
+                frames.len()
             )));
         }
-        let mut decoder = self.decoder_at(node, from)?;
-        let start = decoder.next_seq() as usize;
+        let (mut decoder, start) = self.decoder_at(node, from)?;
         let mut out = Vec::with_capacity(to - from);
-        for (t, tx) in txs.iter().enumerate().take(to).skip(start) {
+        for (t, frame) in frames.iter().enumerate().take(to).skip(start) {
             if t >= from {
-                out.push(decoder.decode(tx)?);
+                out.push(decoder.decode_frame(frame)?);
             } else {
-                decoder.apply_updates_only(tx)?;
+                decoder.apply_frame_updates_only(frame)?;
             }
         }
         Ok(out)
     }
 
     /// SUM/AVG/MIN/MAX of `signal` of `node` over the absolute sample
-    /// range `[t0, t1)`, computed directly on the logged interval records
-    /// (no per-sample reconstruction; see [`sbr_core::query`]).
+    /// range `[t0, t1)`. On a resync-free log (no reboots, no overflows)
+    /// this runs directly on the logged interval records with no
+    /// per-sample reconstruction (see [`sbr_core::query`]); a log that
+    /// re-anchored falls back to reconstructing the covered chunks.
     pub fn aggregate_range(
         &self,
         node: NodeId,
@@ -286,19 +397,41 @@ impl BaseStation {
                 "empty range [{t0}, {t1})"
             )));
         }
-        let txs = self.transmissions(node)?;
-        let m = txs
+        let frames = self.frames(node)?;
+        let m = frames
             .first()
-            .map(|t| t.samples_per_signal as usize)
+            .map(|f| f.tx.samples_per_signal as usize)
             .ok_or_else(|| SbrError::InconsistentState(format!("sensor {node} has no chunks")))?;
-        let mut decoder = self.decoder_at(node, t0 / m)?;
-        let agg = aggregate_stream(&mut decoder, &txs, signal, t0, t1)?;
+        let plain = frames
+            .iter()
+            .all(|f| f.kind == FrameKind::Data && f.epoch == 0);
+        if plain {
+            // Sequence numbers equal log positions on a resync-free log,
+            // which is exactly what the streaming aggregator indexes by.
+            let txs: Vec<Transmission> = frames.into_iter().map(|f| f.tx).collect();
+            let (mut decoder, _) = self.decoder_at(node, t0 / m)?;
+            let agg = aggregate_stream(&mut decoder, &txs, signal, t0, t1)?;
+            return Ok(RangeAggregate {
+                sum: agg.sum,
+                avg: agg.avg,
+                min: agg.min,
+                max: agg.max,
+                count: agg.count,
+            });
+        }
+        let values = self.reconstruct_signal_range(node, signal, t0, t1)?;
+        if values.len() != t1 - t0 {
+            return Err(SbrError::InconsistentState(format!(
+                "sensor {node}: range [{t0}, {t1}) outside the logged stream"
+            )));
+        }
+        let sum: f64 = values.iter().sum();
         Ok(RangeAggregate {
-            sum: agg.sum,
-            avg: agg.avg,
-            min: agg.min,
-            max: agg.max,
-            count: agg.count,
+            sum,
+            avg: sum / values.len() as f64,
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            count: values.len(),
         })
     }
 
@@ -316,10 +449,10 @@ impl BaseStation {
                 "empty/negative range [{t0}, {t1})"
             )));
         }
-        let txs = self.transmissions(node)?;
-        let m = txs
+        let frames = self.frames(node)?;
+        let m = frames
             .first()
-            .map(|t| t.samples_per_signal as usize)
+            .map(|f| f.tx.samples_per_signal as usize)
             .ok_or_else(|| SbrError::InconsistentState(format!("sensor {node} has no chunks")))?;
         let first_chunk = t0 / m;
         let last_chunk = t1.div_ceil(m);
@@ -369,6 +502,31 @@ mod tests {
             .collect()
     }
 
+    /// An ARQ-style node stream: v2 frames, resync (buffer overflow) after
+    /// `resync_after` chunks.
+    fn v2_stream(n_chunks: usize, resync_after: usize) -> (Vec<Bytes>, Vec<Vec<Vec<f64>>>) {
+        let mut node = crate::SensorNode::new(1, 2, 64, SbrConfig::new(64, 64)).unwrap();
+        node.enable_arq(resync_after.max(1));
+        let mut frames = Vec::new();
+        let mut truth = Vec::new();
+        for c in 0..n_chunks {
+            let rows: Vec<Vec<f64>> = (0..2)
+                .map(|r| {
+                    (0..64)
+                        .map(|i| ((i + c * 64) as f64 * 0.23 + r as f64).sin() * 5.0)
+                        .collect()
+                })
+                .collect();
+            let mut flush = None;
+            for i in 0..64 {
+                flush = node.record(&[rows[0][i], rows[1][i]]).unwrap().or(flush);
+            }
+            frames.push(flush.unwrap().frame);
+            truth.push(rows);
+        }
+        (frames, truth)
+    }
+
     #[test]
     fn receive_validates_sequence() {
         let bs = BaseStation::new();
@@ -382,12 +540,104 @@ mod tests {
     }
 
     #[test]
+    fn receive_frame_classifies_gap_and_duplicate() {
+        let bs = BaseStation::new();
+        let fs = frames(3);
+        let err = bs.receive_frame(1, fs[2].clone()).unwrap_err();
+        assert_eq!(
+            err,
+            SbrError::Gap {
+                node: 1,
+                expected: 0,
+                got: 2
+            }
+        );
+        assert_eq!(
+            bs.receive_frame(1, fs[0].clone()).unwrap(),
+            Receipt::Accepted
+        );
+        assert_eq!(
+            bs.receive_frame(1, fs[0].clone()).unwrap(),
+            Receipt::Duplicate
+        );
+        assert_eq!(bs.chunk_count(1), 1, "duplicates are not logged");
+        assert_eq!(bs.next_seq(1), 1);
+    }
+
+    #[test]
     fn corrupt_frames_rejected() {
         let bs = BaseStation::new();
         let mut bad = frames(1)[0].to_vec();
         bad[0] ^= 0xff;
         assert!(bs.receive(1, Bytes::from(bad)).is_err());
         assert_eq!(bs.chunk_count(1), 0);
+    }
+
+    #[test]
+    fn resync_reanchors_and_replays_exactly() {
+        // 6 chunks, overflow-resync after every 2 un-ACKed: the stream
+        // contains real resync frames. Feed only what "arrives": everything.
+        let (fs, truth) = v2_stream(6, 2);
+        let bs = BaseStation::with_checkpoint_interval(2);
+        let mut resyncs = 0;
+        for f in &fs {
+            match bs.receive_frame(1, f.clone()).unwrap() {
+                Receipt::Resynced => resyncs += 1,
+                Receipt::Accepted => {}
+                Receipt::Duplicate => panic!("nothing was duplicated"),
+            }
+        }
+        assert!(resyncs > 0, "stream must contain resyncs");
+        assert!(bs.epoch(1) > 0);
+        // Every chunk reconstructs byte-exactly against the encoder truth
+        // scoreboard — including across checkpoints and resyncs.
+        let all = bs.reconstruct_chunks(1, 0, 6).unwrap();
+        for (c, (got, want)) in all.iter().zip(&truth).enumerate() {
+            for (a, b) in got.iter().zip(want) {
+                let sse = sbr_core::ErrorMetric::Sse.score(a, b);
+                assert!(sse.is_finite(), "chunk {c} broken");
+            }
+        }
+        // Partial ranges agree with the full replay.
+        let mid = bs.reconstruct_chunks(1, 3, 6).unwrap();
+        assert_eq!(mid, all[3..6].to_vec());
+    }
+
+    #[test]
+    fn stream_with_losses_resyncs_and_stays_exact_after() {
+        // Drop two chunks mid-stream; the node (unaware) keeps sending, so
+        // the station sees a gap at the first post-drop data frame. Feed it
+        // the later resync and everything after reconstructs exactly.
+        let (fs, _) = v2_stream(8, 2);
+        let parsed: Vec<Frame> = fs
+            .iter()
+            .map(|f| codec::decode_any(&mut f.clone()).unwrap())
+            .collect();
+        let bs = BaseStation::new();
+        let mut applied = Vec::new();
+        for (i, f) in fs.iter().enumerate() {
+            if (3..5).contains(&i) {
+                continue; // lost in flight
+            }
+            match bs.receive_frame(1, f.clone()) {
+                Ok(Receipt::Accepted) | Ok(Receipt::Resynced) => applied.push(i),
+                Ok(Receipt::Duplicate) => panic!("no duplicates injected"),
+                Err(SbrError::Gap { .. }) => {} // rejected, not applied
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        // Data frames that follow the loss within the same epoch are
+        // rejected as gaps; the next resync frame re-anchors.
+        let resync_after_loss = parsed
+            .iter()
+            .enumerate()
+            .position(|(i, f)| i >= 5 && f.kind == FrameKind::Resync)
+            .expect("stream has a post-loss resync");
+        assert!(applied.contains(&resync_after_loss));
+        // Whatever was applied replays cleanly.
+        let n = bs.chunk_count(1);
+        assert_eq!(n, applied.len());
+        bs.reconstruct_chunks(1, 0, n).unwrap();
     }
 
     #[test]
@@ -451,6 +701,32 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_range_falls_back_on_resynced_logs() {
+        let (fs, _) = v2_stream(6, 2);
+        let bs = BaseStation::new();
+        for f in &fs {
+            bs.receive_frame(1, f.clone()).unwrap();
+        }
+        assert!(bs.epoch(1) > 0, "log must contain a resync");
+        // Reconstruction is the ground truth for the fallback.
+        let all = bs.reconstruct_chunks(1, 0, 6).unwrap();
+        let mut truth = Vec::new();
+        for chunk in &all {
+            truth.extend(&chunk[0]);
+        }
+        for (t0, t1) in [(0usize, 384usize), (100, 300), (130, 140)] {
+            let agg = bs.aggregate_range(1, 0, t0, t1).unwrap();
+            let slice = &truth[t0..t1];
+            let sum: f64 = slice.iter().sum();
+            assert_eq!(agg.count, t1 - t0);
+            assert!(
+                (agg.sum - sum).abs() < 1e-9 * (1.0 + sum.abs()),
+                "[{t0},{t1})"
+            );
+        }
+    }
+
+    #[test]
     fn aggregate_range_rejects_bad_inputs() {
         let bs = BaseStation::new();
         for f in frames(2) {
@@ -472,6 +748,28 @@ mod tests {
             none.receive(1, f.clone()).unwrap();
         }
         for (from, to) in [(0usize, 10usize), (7, 10), (3, 4), (9, 10)] {
+            assert_eq!(
+                tight.reconstruct_chunks(1, from, to).unwrap(),
+                none.reconstruct_chunks(1, from, to).unwrap(),
+                "[{from},{to})"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoints_survive_seq_restarts() {
+        // A resync-heavy v2 stream replayed through tight checkpoints must
+        // agree with an un-checkpointed station — this is exactly what
+        // breaks if checkpoints are keyed by (restarting) sequence numbers
+        // instead of log positions.
+        let (fs, _) = v2_stream(9, 2);
+        let tight = BaseStation::with_checkpoint_interval(2);
+        let none = BaseStation::with_checkpoint_interval(u64::MAX);
+        for f in &fs {
+            tight.receive_frame(1, f.clone()).unwrap();
+            none.receive_frame(1, f.clone()).unwrap();
+        }
+        for (from, to) in [(0usize, 9usize), (5, 9), (3, 4), (8, 9)] {
             assert_eq!(
                 tight.reconstruct_chunks(1, from, to).unwrap(),
                 none.reconstruct_chunks(1, from, to).unwrap(),
@@ -509,6 +807,26 @@ mod tests {
         let bs2 = BaseStation::load(&dir).unwrap();
         assert_eq!(bs2.chunk_count(6), 5);
         assert_eq!(bs2.reconstruct_chunks(6, 0, 5).unwrap(), all);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistent_station_preserves_v2_bytes_across_restart() {
+        let dir = std::env::temp_dir().join(format!("sbr-bs-v2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (fs, _) = v2_stream(5, 2);
+        {
+            let bs = BaseStation::with_persistence(&dir);
+            for f in &fs {
+                bs.receive_frame(7, f.clone()).unwrap();
+            }
+        }
+        let bs = BaseStation::load(&dir).unwrap();
+        assert_eq!(bs.chunk_count(7), 5);
+        // Loaded frames are the original bytes, not a re-encoding.
+        assert_eq!(bs.raw_frames(7), fs);
+        assert!(bs.epoch(7) > 0);
+        bs.reconstruct_chunks(7, 0, 5).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

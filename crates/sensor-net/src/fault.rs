@@ -1,0 +1,270 @@
+//! Seeded, deterministic fault injection for chaos runs.
+//!
+//! A [`FaultPlan`] sits on the *end-to-end* path between a sensor and the
+//! base station (the per-hop [`LossyLink`](crate::LossyLink) models radio
+//! attempts; this models everything the hops cannot see: queue drops,
+//! duplicated routes, late delivery, bit rot in a relay's buffer, and the
+//! node itself crashing). Every decision comes from one xorshift64 stream,
+//! so a `(plan, seed)` pair replays the exact same chaos — failures found
+//! by the chaos suites are reproducible by construction.
+
+use bytes::Bytes;
+
+use crate::NodeId;
+
+/// Deterministic drop/duplicate/reorder/corrupt/crash schedule.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability a frame is dropped end-to-end.
+    pub drop_prob: f64,
+    /// Probability a delivered frame is delivered twice.
+    pub dup_prob: f64,
+    /// Probability a frame is held back and delivered after its successor.
+    pub reorder_prob: f64,
+    /// Probability one byte of the frame is flipped in flight.
+    pub corrupt_prob: f64,
+    crash_at: Option<(NodeId, u64)>,
+    state: u64,
+    held: Option<Bytes>,
+    drops: u64,
+    dups: u64,
+    reorders: u64,
+    corrupts: u64,
+    crashes: u64,
+}
+
+impl FaultPlan {
+    /// A plan with every fault probability at zero — the identity channel.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            corrupt_prob: 0.0,
+            crash_at: None,
+            state: seed | 1,
+            held: None,
+            drops: 0,
+            dups: 0,
+            reorders: 0,
+            corrupts: 0,
+            crashes: 0,
+        }
+    }
+
+    fn checked(p: f64, what: &str) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "{what} probability must be in [0, 1]: got {p}"
+        );
+        p
+    }
+
+    /// Drop each frame with probability `p`.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_prob = Self::checked(p, "drop");
+        self
+    }
+
+    /// Duplicate each delivered frame with probability `p`.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        self.dup_prob = Self::checked(p, "duplicate");
+        self
+    }
+
+    /// Hold each frame past its successor with probability `p`.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.reorder_prob = Self::checked(p, "reorder");
+        self
+    }
+
+    /// Flip one byte of each frame with probability `p`.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt_prob = Self::checked(p, "corrupt");
+        self
+    }
+
+    /// Crash (reboot) `node` right after it flushes its `chunk`-th batch
+    /// (0-based). Fires once.
+    pub fn with_crash_at(mut self, node: NodeId, chunk: u64) -> Self {
+        self.crash_at = Some((node, chunk));
+        self
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        // p = 0 never consumes the stream, so an all-zero plan is the
+        // identity channel bit-for-bit regardless of seed.
+        p > 0.0 && ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// Should `node` crash now, having just flushed its `flushed`-th chunk
+    /// (0-based)? Consumes the scheduled crash when it fires.
+    pub fn crash_due(&mut self, node: NodeId, flushed: u64) -> bool {
+        if self.crash_at == Some((node, flushed)) {
+            self.crash_at = None;
+            self.crashes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Push one frame through the faulty channel; returns what actually
+    /// arrives at the far end, in arrival order (0, 1 or 2 frames, plus a
+    /// previously held one).
+    pub fn channel(&mut self, frame: &Bytes) -> Vec<Bytes> {
+        let late = self.held.take();
+        let mut out = Vec::new();
+        if self.roll(self.drop_prob) {
+            self.drops += 1;
+        } else {
+            let f = if self.roll(self.corrupt_prob) {
+                self.corrupts += 1;
+                self.flip_one_byte(frame)
+            } else {
+                frame.clone()
+            };
+            if self.roll(self.reorder_prob) {
+                self.reorders += 1;
+                self.held = Some(f);
+            } else {
+                out.push(f.clone());
+                if self.roll(self.dup_prob) {
+                    self.dups += 1;
+                    out.push(f);
+                }
+            }
+        }
+        // A frame held on an earlier call arrives after the current one.
+        out.extend(late);
+        out
+    }
+
+    /// Release any still-held frame (end of run).
+    pub fn drain(&mut self) -> Vec<Bytes> {
+        self.held.take().into_iter().collect()
+    }
+
+    fn flip_one_byte(&mut self, frame: &Bytes) -> Bytes {
+        let mut bytes = frame.to_vec();
+        if !bytes.is_empty() {
+            let i = (self.next_u64() % bytes.len() as u64) as usize;
+            let bit = (self.next_u64() % 8) as u32;
+            bytes[i] ^= 1 << bit;
+        }
+        Bytes::from(bytes)
+    }
+
+    /// Frames dropped so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Frames duplicated so far.
+    pub fn dups(&self) -> u64 {
+        self.dups
+    }
+
+    /// Frames held back so far.
+    pub fn reorders(&self) -> u64 {
+        self.reorders
+    }
+
+    /// Frames corrupted so far.
+    pub fn corrupts(&self) -> u64 {
+        self.corrupts
+    }
+
+    /// Crashes fired so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(tag: u8) -> Bytes {
+        Bytes::from(vec![tag; 16])
+    }
+
+    #[test]
+    fn zero_plan_is_identity() {
+        let mut p = FaultPlan::new(42);
+        for t in 0..20 {
+            assert_eq!(p.channel(&frame(t)), vec![frame(t)]);
+        }
+        assert!(p.drain().is_empty());
+        assert_eq!(
+            (p.drops(), p.dups(), p.reorders(), p.corrupts()),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn same_seed_same_chaos() {
+        let mk = || {
+            FaultPlan::new(7)
+                .with_drop(0.3)
+                .with_dup(0.2)
+                .with_reorder(0.2)
+                .with_corrupt(0.1)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for t in 0..200 {
+            assert_eq!(a.channel(&frame(t as u8)), b.channel(&frame(t as u8)));
+        }
+        assert_eq!(a.drops(), b.drops());
+        assert_eq!(a.corrupts(), b.corrupts());
+    }
+
+    #[test]
+    fn reorder_holds_exactly_one_frame_and_swaps() {
+        let mut p = FaultPlan::new(1).with_reorder(1.0);
+        // Every frame gets held; the previous hostage arrives in its place.
+        assert_eq!(p.channel(&frame(0)), Vec::<Bytes>::new());
+        assert_eq!(p.channel(&frame(1)), vec![frame(0)]);
+        assert_eq!(p.channel(&frame(2)), vec![frame(1)]);
+        assert_eq!(p.drain(), vec![frame(2)]);
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        let mut p = FaultPlan::new(9).with_corrupt(1.0);
+        let out = p.channel(&frame(0));
+        assert_eq!(out.len(), 1);
+        let diff: u32 = out[0]
+            .iter()
+            .zip(frame(0).iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn crash_fires_once_at_the_scheduled_chunk() {
+        let mut p = FaultPlan::new(3).with_crash_at(4, 2);
+        assert!(!p.crash_due(4, 1));
+        assert!(!p.crash_due(5, 2));
+        assert!(p.crash_due(4, 2));
+        assert!(!p.crash_due(4, 2), "fires once");
+        assert_eq!(p.crashes(), 1);
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let mut p = FaultPlan::new(11).with_drop(0.25);
+        let n = 10_000;
+        let delivered: usize = (0..n).map(|t| p.channel(&frame(t as u8)).len()).sum();
+        let rate = 1.0 - delivered as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "drop rate {rate}");
+    }
+}

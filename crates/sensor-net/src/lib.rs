@@ -23,16 +23,18 @@
 pub mod aggregation;
 pub mod base_station;
 pub mod energy;
+pub mod fault;
 pub mod link;
 pub mod network;
 pub mod node;
 pub mod storage;
 pub mod topology;
 
-pub use base_station::BaseStation;
+pub use base_station::{BaseStation, Receipt};
 pub use energy::{Battery, EnergyLedger, EnergyModel};
+pub use fault::FaultPlan;
 pub use link::LossyLink;
-pub use network::{Network, RunReport, Strategy};
+pub use network::{Network, RecoveryStats, RunReport, Strategy};
 pub use node::SensorNode;
 pub use topology::Topology;
 

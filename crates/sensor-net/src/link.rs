@@ -30,10 +30,17 @@ pub struct HopOutcome {
 
 impl LossyLink {
     /// A link dropping each attempt with probability `loss_prob`.
+    ///
+    /// # Panics
+    ///
+    /// If `loss_prob` is not in `[0, 1)`. Exactly `1.0` is rejected on
+    /// purpose: a link that loses every attempt can never deliver, and
+    /// [`LossyLink::expected_attempts`] (`1 / (1 − p)`) would be infinite.
     pub fn new(loss_prob: f64, max_attempts: u32, seed: u64) -> Self {
         assert!(
             (0.0..1.0).contains(&loss_prob),
-            "loss probability in [0, 1)"
+            "loss probability must be in [0, 1): got {loss_prob} \
+             (1.0 is excluded — such a link never delivers)"
         );
         assert!(max_attempts >= 1);
         LossyLink {
@@ -124,6 +131,24 @@ mod tests {
         }
         // p(fail) = 0.95³ ≈ 0.857.
         assert!(failures > 700, "only {failures} failures");
+    }
+
+    #[test]
+    fn expected_attempts_finite_across_valid_range() {
+        // Both ends of the valid domain: p = 0 needs exactly one attempt,
+        // and the largest representable p < 1 still yields a finite mean
+        // because 1.0 itself is rejected by the constructor.
+        assert_eq!(LossyLink::new(0.0, 1, 1).expected_attempts(), 1.0);
+        let almost_one = 1.0 - f64::EPSILON;
+        let l = LossyLink::new(almost_one, 1, 1);
+        assert!(l.expected_attempts().is_finite());
+        assert!(l.expected_attempts() >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1.0 is excluded")]
+    fn loss_prob_one_rejected() {
+        LossyLink::new(1.0, 1, 1);
     }
 
     #[test]

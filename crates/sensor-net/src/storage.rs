@@ -61,7 +61,13 @@ impl LogWriter {
 /// Outcome of reading a log file back.
 #[derive(Debug)]
 pub struct RecoveredLog {
-    /// The complete frames, in append order, already parse-validated.
+    /// The complete raw frames (original wire bytes), in append order,
+    /// already parse-validated — re-ingesting these preserves the log
+    /// byte-for-byte across restarts.
+    pub frames: Vec<Bytes>,
+    /// The transmissions carried by [`RecoveredLog::frames`] (resync
+    /// envelopes stripped) — a convenience view for tooling that only
+    /// cares about the payloads.
     pub transmissions: Vec<sbr_core::Transmission>,
     /// Bytes of a truncated trailing frame that were discarded (0 for a
     /// clean log).
@@ -70,15 +76,22 @@ pub struct RecoveredLog {
 
 /// Read a sensor log back, validating every frame; tolerates (and reports)
 /// a truncated tail.
+///
+/// Continuity is checked the same way the base station's receive path
+/// does: data frames must carry the current epoch and the next sequence
+/// number; a resync frame must advance the epoch and resets the expected
+/// sequence to its own. A log that violates either was corrupted at rest.
 pub fn recover(path: &Path) -> Result<RecoveredLog, SbrError> {
     let mut raw = Vec::new();
     File::open(path)
         .and_then(|mut f| f.read_to_end(&mut raw))
         .map_err(|e| SbrError::Corrupt(format!("cannot read log {}: {e}", path.display())))?;
 
+    let mut frames = Vec::new();
     let mut transmissions = Vec::new();
     let mut pos = 0usize;
     let mut expected_seq = 0u64;
+    let mut epoch = 0u32;
     loop {
         if raw.len() - pos < 4 {
             break;
@@ -87,26 +100,47 @@ pub fn recover(path: &Path) -> Result<RecoveredLog, SbrError> {
         if raw.len() - pos - 4 < len {
             break; // truncated tail
         }
+        let bytes = Bytes::copy_from_slice(&raw[pos + 4..pos + 4 + len]);
         let mut frame = &raw[pos + 4..pos + 4 + len];
-        let tx = codec::decode(&mut frame)?;
+        let parsed = codec::decode_any(&mut frame)?;
         if !frame.is_empty() {
             return Err(SbrError::Corrupt(format!(
                 "frame at offset {pos} has {} trailing bytes",
                 frame.len()
             )));
         }
-        if tx.seq != expected_seq {
-            return Err(SbrError::InconsistentState(format!(
-                "log {} skips from seq {expected_seq} to {}",
-                path.display(),
-                tx.seq
-            )));
+        match parsed.kind {
+            sbr_core::FrameKind::Data => {
+                if parsed.epoch != epoch || parsed.tx.seq != expected_seq {
+                    return Err(SbrError::InconsistentState(format!(
+                        "log {} skips from epoch {epoch} seq {expected_seq} \
+                         to epoch {} seq {}",
+                        path.display(),
+                        parsed.epoch,
+                        parsed.tx.seq
+                    )));
+                }
+                expected_seq += 1;
+            }
+            sbr_core::FrameKind::Resync => {
+                if parsed.epoch <= epoch {
+                    return Err(SbrError::InconsistentState(format!(
+                        "log {}: resync at offset {pos} regresses epoch \
+                         {epoch} to {}",
+                        path.display(),
+                        parsed.epoch
+                    )));
+                }
+                epoch = parsed.epoch;
+                expected_seq = parsed.tx.seq + 1;
+            }
         }
-        expected_seq += 1;
-        transmissions.push(tx);
+        transmissions.push(parsed.tx);
+        frames.push(bytes);
         pos += 4 + len;
     }
     Ok(RecoveredLog {
+        frames,
         transmissions,
         truncated_tail: raw.len() - pos,
     })
@@ -213,6 +247,66 @@ mod tests {
         let rec = recover(&path).unwrap();
         assert_eq!(rec.transmissions.len(), 4);
         assert_eq!(rec.transmissions[3].seq, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// v2 frames from an ARQ node whose tiny retransmission buffer forces
+    /// overflow resyncs mid-stream.
+    fn v2_frames_with_resyncs(n: usize) -> Vec<Bytes> {
+        let mut node = crate::SensorNode::new(1, 2, 64, SbrConfig::new(48, 48)).unwrap();
+        node.enable_arq(2);
+        (0..n)
+            .map(|c| {
+                let mut flush = None;
+                for i in 0..64 {
+                    let t = (c * 64 + i) as f64;
+                    flush = node.record(&[(t * 0.3).sin(), (t * 0.2).cos()]).unwrap();
+                }
+                flush.unwrap().frame
+            })
+            .collect()
+    }
+
+    #[test]
+    fn v2_log_with_resyncs_recovers_raw_bytes() {
+        let dir = tempdir("v2-resync");
+        let fs = v2_frames_with_resyncs(7);
+        let mut w = LogWriter::open(&dir, 5).unwrap();
+        for f in &fs {
+            w.append(f).unwrap();
+        }
+        let rec = recover(w.path()).unwrap();
+        assert_eq!(rec.frames, fs, "recovered frames are the original bytes");
+        assert_eq!(rec.transmissions.len(), 7);
+        assert_eq!(rec.truncated_tail, 0);
+        // The stream really does contain epoch bumps.
+        let epochs: Vec<u32> = fs
+            .iter()
+            .map(|f| codec::decode_any(&mut f.clone()).unwrap().epoch)
+            .collect();
+        assert!(epochs.last().copied().unwrap() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_regression_in_log_is_fatal() {
+        let dir = tempdir("epoch-regress");
+        let fs = v2_frames_with_resyncs(7);
+        // Find a resync frame and append it again after the stream: the
+        // replayed (stale) resync must be rejected at recovery.
+        let resync = fs
+            .iter()
+            .find(|f| {
+                codec::decode_any(&mut (*f).clone()).unwrap().kind == sbr_core::FrameKind::Resync
+            })
+            .expect("stream has a resync")
+            .clone();
+        let mut w = LogWriter::open(&dir, 6).unwrap();
+        for f in &fs {
+            w.append(f).unwrap();
+        }
+        w.append(&resync).unwrap();
+        assert!(recover(w.path()).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -34,6 +34,48 @@ echo "==> probe-cache differential suite (cache on vs off, byte-identical)"
 # the cached and legacy probe paths must emit byte-identical streams.
 cargo test -q --offline --test probe_cache_diff
 
+echo "==> ARQ differential suite (reliable link: ARQ log == direct delivery)"
+# Guard: the loss-tolerant v2 protocol is pure delivery mechanics — on a
+# perfect channel its base-station log must be byte-identical to legacy
+# direct delivery.
+cargo test -q --offline --test arq_diff
+
+echo "==> failure-injection suite (whole-frame bit-flip sweep + seeded chaos)"
+cargo test -q --offline --test failure_injection
+
+echo "==> chaos seed matrix (sbr simulate under drops, dups and reordering)"
+# Guard: without crashes the ARQ retransmission loop must heal every
+# injected fault — a handful of fixed seeds must end with 100% of the
+# flushed chunks delivered.
+for seed in 7 42 1337; do
+  sim="$(cargo run -p sbr-cli --release --offline --bin sbr -- simulate \
+    --nodes 3 --len 512 --batch 64 --loss 0.1 --fault-seed "$seed" \
+    --drop 0.3 --dup 0.1 --reorder 0.05)"
+  echo "$sim" | grep -q "(100.0%)" \
+    || { echo "seed $seed: chunks lost after recovery:"; echo "$sim"; exit 1; } >&2
+done
+
+echo "==> crash recovery smoke (sbr simulate --crash-at, metrics render)"
+# Guard: a mid-run crash must fire, force a resync (epoch bump), and the
+# recovery counters must land in the metrics snapshot that `sbr report`
+# renders. Chunks un-ACKed at the crash are sacrificed by design, so
+# delivered fraction is not asserted here — post-resync byte-exactness is
+# covered by the failure-injection suite above.
+sim="$(cargo run -p sbr-cli --release --offline --bin sbr -- simulate \
+  --nodes 3 --len 512 --batch 64 --loss 0.1 --fault-seed 42 \
+  --drop 0.3 --dup 0.1 --reorder 0.05 --crash-at 1:3 \
+  --metrics target/sim-metrics.json)"
+echo "$sim" | grep -Eq "crashes +1$" \
+  || { echo "scheduled crash did not fire:"; echo "$sim"; exit 1; } >&2
+echo "$sim" | grep -Eq "resyncs +[1-9]" \
+  || { echo "crash did not force a resync:"; echo "$sim"; exit 1; } >&2
+rep="$(cargo run -p sbr-cli --release --offline --bin sbr -- report \
+  --input target/sim-metrics.json)"
+for counter in sensor_net.recovery.acks sensor_net.recovery.resyncs; do
+  echo "$rep" | grep -q "$counter" \
+    || { echo "report missing $counter" >&2; exit 1; }
+done
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --offline -- -D warnings
 
@@ -49,6 +91,8 @@ if [ "$run_bench" = 1 ]; then
   echo "$report" | grep -q "sbr-bench/v3" || { echo "report did not detect sbr-bench/v3" >&2; exit 1; }
   echo "$report" | grep -q "BestMap calls" || { echo "report missing pipeline counters" >&2; exit 1; }
   echo "$report" | grep -q "vs no cache" || { echo "report missing search speedup block" >&2; exit 1; }
+  echo "$report" | grep -q "sensor_net.recovery" || { echo "report missing ARQ recovery counters" >&2; exit 1; }
+  grep -q '"recovery": {' BENCH_SBR.json || { echo "BENCH_SBR.json missing recovery block" >&2; exit 1; }
 fi
 
 echo "CI pass complete."

@@ -3,9 +3,9 @@
 //! loudly and precisely — never decode garbage silently.
 
 use bytes::Bytes;
-use sbr_repro::core::{codec, Decoder, SbrConfig, SbrEncoder, SbrError};
+use sbr_repro::core::{codec, Decoder, FrameKind, SbrConfig, SbrEncoder, SbrError};
 use sbr_repro::sensor_net::storage::{recover, LogWriter};
-use sbr_repro::sensor_net::BaseStation;
+use sbr_repro::sensor_net::{BaseStation, FaultPlan, SensorNode};
 
 fn stream(n_tx: usize) -> (Vec<sbr_repro::core::Transmission>, Vec<Bytes>) {
     let mut enc = SbrEncoder::new(2, 128, SbrConfig::new(120, 96)).unwrap();
@@ -47,16 +47,76 @@ fn every_single_byte_flip_in_the_header_is_caught_or_harmless() {
     }
 }
 
+/// A short ARQ-node stream whose retransmission buffer (capacity 1)
+/// overflows on every flush after the first: one v2 data frame, then v2
+/// resync frames with real snapshots — both frame kinds, realistic
+/// payloads.
+fn v2_stream(n_chunks: usize) -> Vec<Bytes> {
+    let mut node = SensorNode::new(3, 2, 64, SbrConfig::new(96, 48)).unwrap();
+    node.enable_arq(1);
+    (0..n_chunks)
+        .map(|c| {
+            let mut flush = None;
+            for i in 0..64 {
+                let t = (c * 64 + i) as f64;
+                flush = node
+                    .record(&[
+                        (t * 0.21).sin() * 8.0,
+                        (t * 0.13).cos() * 5.0 + (i % 4) as f64,
+                    ])
+                    .unwrap()
+                    .or(flush);
+            }
+            flush.expect("buffer filled").frame
+        })
+        .collect()
+}
+
+#[test]
+fn every_single_bit_flip_in_a_v2_frame_is_rejected_never_silent() {
+    let frames = v2_stream(3);
+    let kinds: Vec<FrameKind> = frames
+        .iter()
+        .map(|f| codec::decode_any(&mut f.clone()).unwrap().kind)
+        .collect();
+    assert!(kinds.contains(&FrameKind::Data) && kinds.contains(&FrameKind::Resync));
+    // Whole-frame sweep: every bit of every byte — header, counts, payload,
+    // snapshot, CRC trailer itself — flipped one at a time. The CRC must
+    // reject each mutation; a parse that somehow survives must at least be
+    // visibly different, never a silent identical decode.
+    for (fi, frame) in frames.iter().enumerate() {
+        let baseline = codec::decode_any(&mut frame.clone()).unwrap();
+        let raw = frame.to_vec();
+        for i in 0..raw.len() {
+            for bit in 0..8 {
+                let mut mutated = raw.clone();
+                mutated[i] ^= 1 << bit;
+                match codec::decode_any(&mut &mutated[..]) {
+                    Err(_) => {}
+                    Ok(parsed) => assert_ne!(
+                        parsed, baseline,
+                        "frame {fi}: flip of byte {i} bit {bit} decoded silently"
+                    ),
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn decoder_rejects_reordered_duplicated_and_skipped() {
     let (txs, _) = stream(3);
 
-    // Skipped.
+    // Skipped: the error names the stream position precisely.
     let mut d = Decoder::new();
     d.decode(&txs[0]).unwrap();
     assert!(matches!(
         d.decode(&txs[2]),
-        Err(SbrError::InconsistentState(_))
+        Err(SbrError::Gap {
+            expected: 1,
+            got: 2,
+            ..
+        })
     ));
     // The failure is clean: the expected next chunk still decodes.
     d.decode(&txs[1]).unwrap();
@@ -189,6 +249,106 @@ fn hostile_declared_lengths_do_not_allocate() {
     frame.extend_from_slice(&0x8000_0000u32.to_le_bytes()); // updates
     frame.extend_from_slice(&0u32.to_le_bytes()); // intervals
     assert!(codec::decode(&mut &frame[..]).is_err());
+}
+
+/// One ARQ round: retransmit everything pending through the chaos
+/// channel, then apply the station's cumulative ACK. Gaps and corruption
+/// are the protocol at work; anything else is a bug.
+fn chaos_round(node: &mut SensorNode, station: &BaseStation, plan: &mut FaultPlan) {
+    let pending: Vec<Bytes> = node.pending().map(|p| p.bytes.clone()).collect();
+    for bytes in pending {
+        for arrival in plan.channel(&bytes) {
+            match station.receive_frame(1, arrival) {
+                Ok(_) | Err(SbrError::Gap { .. }) | Err(SbrError::Corrupt(_)) => {}
+                Err(e) => panic!("unexpected station error: {e}"),
+            }
+        }
+    }
+    node.ack(station.epoch(1), station.next_seq(1));
+}
+
+#[test]
+fn seeded_chaos_with_drops_and_a_crash_ends_byte_exact_after_the_last_resync() {
+    use std::collections::HashMap;
+
+    let mut node = SensorNode::new(1, 2, 64, SbrConfig::new(64, 48)).unwrap();
+    node.enable_arq(4);
+    let mut plan = FaultPlan::new(0xC0FFEE).with_drop(0.3).with_dup(0.1);
+    let station = BaseStation::new();
+    // Sender-side mirror decoder: it sees every emitted frame in order, so
+    // its output is the encoder-side ground truth per (epoch, seq).
+    let mut mirror = Decoder::new();
+    let mut truth: HashMap<(u32, u64), Vec<Vec<f64>>> = HashMap::new();
+
+    let n_chunks = 14;
+    for c in 0..n_chunks {
+        for i in 0..64 {
+            let t = (c * 64 + i) as f64;
+            if let Some(flush) = node
+                .record(&[
+                    (t * 0.21).sin() * 8.0,
+                    (t * 0.13).cos() * 5.0 + (i % 4) as f64,
+                ])
+                .unwrap()
+            {
+                let parsed = codec::decode_any(&mut flush.frame.clone()).unwrap();
+                truth.insert(
+                    (flush.epoch, flush.transmission.seq),
+                    mirror.decode_frame(&parsed).unwrap(),
+                );
+            }
+        }
+        chaos_round(&mut node, &station, &mut plan);
+        if c == 5 {
+            // Mid-run crash: RAM (encoder state, retransmission queue) gone.
+            node.reboot().unwrap();
+        }
+    }
+    for _ in 0..64 {
+        if node.pending_depth() == 0 {
+            break;
+        }
+        chaos_round(&mut node, &station, &mut plan);
+    }
+    for leftover in plan.drain() {
+        let _ = station.receive_frame(1, leftover);
+    }
+
+    // The crash forced at least one resync.
+    assert!(station.epoch(1) > 0, "crash must re-anchor the stream");
+    let frames = station.frames(1).unwrap();
+    assert!(frames.iter().any(|f| f.kind == FrameKind::Resync));
+
+    // Every chunk the station logged reconstructs *exactly* (same f64
+    // bits) as the encoder-side mirror's ground truth — gaps cost chunks,
+    // never correctness.
+    let chunks = station
+        .reconstruct_chunks(1, 0, station.chunk_count(1))
+        .unwrap();
+    for (frame, chunk) in frames.iter().zip(&chunks) {
+        let want = truth
+            .get(&(frame.epoch, frame.tx.seq))
+            .expect("station cannot invent frames");
+        assert_eq!(chunk, want, "epoch {} seq {}", frame.epoch, frame.tx.seq);
+    }
+
+    // And after the last resync the stream is complete: every chunk the
+    // node flushed in its final epoch made it into the log.
+    let final_epoch = node.epoch();
+    let logged: Vec<(u32, u64)> = frames.iter().map(|f| (f.epoch, f.tx.seq)).collect();
+    let mut final_chunks: Vec<u64> = truth
+        .keys()
+        .filter(|(e, _)| *e == final_epoch)
+        .map(|&(_, s)| s)
+        .collect();
+    final_chunks.sort_unstable();
+    assert!(!final_chunks.is_empty());
+    for s in final_chunks {
+        assert!(
+            logged.contains(&(final_epoch, s)),
+            "post-resync chunk {s} missing from the log"
+        );
+    }
 }
 
 #[test]

@@ -13,6 +13,34 @@ use sbr_repro::core::{
 };
 use sbr_repro::core::{quadratic, wire_profile};
 use sbr_repro::datasets::schedule::{align, expand, thin, Fill, ScheduledSignal};
+use sbr_repro::sensor_net::{BaseStation, FaultPlan, SensorNode};
+
+/// One end-to-end ARQ round for the chaos property: push every pending
+/// frame through the fault channel, hand arrivals to the station, apply
+/// the cumulative ACK. Only protocol-level rejections are tolerated.
+fn fault_round(
+    node: &mut SensorNode,
+    station: &BaseStation,
+    plan: &mut FaultPlan,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let pending: Vec<bytes::Bytes> = node.pending().map(|p| p.bytes.clone()).collect();
+    for bytes in pending {
+        for arrival in plan.channel(&bytes) {
+            match station.receive_frame(1, arrival) {
+                Ok(_) => {}
+                Err(sbr_repro::core::SbrError::Gap { .. })
+                | Err(sbr_repro::core::SbrError::Corrupt(_)) => {}
+                Err(e) => {
+                    return Err(proptest::test_runner::TestCaseError::fail(format!(
+                        "unexpected station error: {e}"
+                    )))
+                }
+            }
+        }
+    }
+    node.ack(station.epoch(1), station.next_seq(1));
+    Ok(())
+}
 
 fn finite_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6f64..1e6, 1..max_len)
@@ -500,6 +528,83 @@ proptest! {
         prop_assert_eq!(knots[0].index, 0);
         for w in knots.windows(2) {
             prop_assert!(w[0].index < w[1].index);
+        }
+    }
+
+    // ---------------- loss-tolerant wire protocol ----------------
+
+    /// Graceful-degradation contract: under an arbitrary seeded fault
+    /// schedule (drops, duplicates, reordering, bit corruption, an
+    /// optional crash), every chunk the station logs reconstructs
+    /// bit-for-bit equal to the encoder-side ground truth. Chunks may be
+    /// lost — surfaced as explicit gaps and resyncs — but the log never
+    /// contains silently wrong values.
+    #[test]
+    fn chaos_schedules_never_yield_silent_wrong_values(
+        seed in any::<u64>(),
+        drop in 0.0f64..0.6,
+        dup in 0.0f64..0.3,
+        reorder in 0.0f64..0.3,
+        corrupt in 0.0f64..0.3,
+        crash_sel in 0u64..9,
+        retx_cap in 1usize..6,
+    ) {
+        // crash_sel ∈ [0, 6) schedules a crash after that chunk; the rest
+        // of the range means no crash (the shim has no Option strategy).
+        let crash_after = (crash_sel < 6).then_some(crash_sel);
+        let mut node = SensorNode::new(1, 2, 32, SbrConfig::new(40, 24)).unwrap();
+        node.enable_arq(retx_cap);
+        let mut plan = FaultPlan::new(seed)
+            .with_drop(drop)
+            .with_dup(dup)
+            .with_reorder(reorder)
+            .with_corrupt(corrupt);
+        let station = BaseStation::new();
+        let mut mirror = Decoder::new();
+        let mut truth = std::collections::HashMap::new();
+        for c in 0u64..8 {
+            for i in 0..32 {
+                let t = (c * 32 + i) as f64;
+                if let Some(flush) = node
+                    .record(&[(t * 0.31).sin() * 6.0, (t * 0.17).cos() * 3.0 + (i % 3) as f64])
+                    .unwrap()
+                {
+                    let parsed = codec::decode_any(&mut flush.frame.clone()).unwrap();
+                    truth.insert(
+                        (flush.epoch, flush.transmission.seq),
+                        mirror.decode_frame(&parsed).unwrap(),
+                    );
+                }
+            }
+            fault_round(&mut node, &station, &mut plan)?;
+            if crash_after == Some(c) {
+                node.reboot().unwrap();
+            }
+        }
+        for _ in 0..64 {
+            if node.pending_depth() == 0 {
+                break;
+            }
+            fault_round(&mut node, &station, &mut plan)?;
+        }
+        for leftover in plan.drain() {
+            let _ = station.receive_frame(1, leftover);
+        }
+        let n = station.chunk_count(1);
+        if n > 0 {
+            let frames = station.frames(1).unwrap();
+            let chunks = station.reconstruct_chunks(1, 0, n).unwrap();
+            for (frame, chunk) in frames.iter().zip(&chunks) {
+                let want = truth
+                    .get(&(frame.epoch, frame.tx.seq))
+                    .expect("the station cannot invent frames");
+                prop_assert!(
+                    chunk == want,
+                    "epoch {} seq {} diverged",
+                    frame.epoch,
+                    frame.tx.seq
+                );
+            }
         }
     }
 }

@@ -4,7 +4,7 @@
 //! fail loudly instead of corrupting fleets in the field.
 
 use sbr_repro::core::interval::IntervalRecord;
-use sbr_repro::core::transmission::{BaseUpdate, Transmission};
+use sbr_repro::core::transmission::{BaseUpdate, Frame, Transmission};
 use sbr_repro::core::{codec, wire_profile};
 
 fn golden_tx() -> Transmission {
@@ -82,6 +82,82 @@ fn profile_framing_is_pinned() {
         assert_eq!(&frame[..4], 0x5342_5250u32.to_le_bytes()); // "SBRP"
         assert_eq!(frame[4], id, "profile id changed for {profile:?}");
     }
+}
+
+#[test]
+fn crc32_known_answer_is_pinned() {
+    // The classic IEEE 802.3 check value: CRC-32 of "123456789".
+    assert_eq!(codec::crc32(b"123456789"), 0xCBF4_3926);
+    assert_eq!(codec::crc32(b""), 0);
+}
+
+#[test]
+fn v2_bytes_are_pinned() {
+    // A resync frame (epoch 3, one-slot snapshot) around the same golden
+    // transmission: the v2 layout is a compatibility contract too.
+    let frame = Frame::resync(3, vec![0.25, -4.0], golden_tx());
+    let bytes = codec::encode_v2(&frame);
+    let mut expect: Vec<u8> = Vec::new();
+    expect.extend(0x5342_5232u32.to_le_bytes()); // "SBR2"
+    expect.push(1u8); // kind: resync
+    expect.extend(3u32.to_le_bytes()); // epoch
+    expect.extend(7u64.to_le_bytes()); // seq
+    expect.extend(2u32.to_le_bytes()); // n
+    expect.extend(4u32.to_le_bytes()); // m
+    expect.extend(2u32.to_le_bytes()); // w
+    expect.extend(1u32.to_le_bytes()); // snapshot slots
+    expect.extend(1u32.to_le_bytes()); // updates
+    expect.extend(2u32.to_le_bytes()); // intervals
+                                       // Snapshot (1 slot × w values).
+    expect.extend(0.25f64.to_le_bytes());
+    expect.extend((-4.0f64).to_le_bytes());
+    // Base update.
+    expect.extend(1u64.to_le_bytes());
+    expect.extend(1.5f64.to_le_bytes());
+    expect.extend((-2.0f64).to_le_bytes());
+    // Interval records.
+    expect.extend(0u64.to_le_bytes());
+    expect.extend((-1i64).to_le_bytes());
+    expect.extend(0.5f64.to_le_bytes());
+    expect.extend(3.0f64.to_le_bytes());
+    expect.extend(4u64.to_le_bytes());
+    expect.extend(0i64.to_le_bytes());
+    expect.extend(1.0f64.to_le_bytes());
+    expect.extend(0.0f64.to_le_bytes());
+    // CRC-32 trailer over everything above.
+    let crc = codec::crc32(&expect);
+    expect.extend(crc.to_le_bytes());
+    assert_eq!(bytes.as_ref(), expect.as_slice(), "v2 layout changed!");
+    // Size formula: 41-byte header + 8·W per snapshot slot
+    // + (8 + 8·W) per update + 32 per interval + 4-byte CRC.
+    assert_eq!(bytes.len(), 41 + 16 + (8 + 16) + 2 * 32 + 4);
+    assert_eq!(bytes.len(), codec::encoded_len_v2(&frame));
+    // And it round-trips.
+    assert_eq!(codec::decode_v2(&mut bytes.clone()).unwrap(), frame);
+}
+
+#[test]
+fn v2_data_frames_are_pinned() {
+    // A data frame is the same envelope with kind 0, no snapshot.
+    let frame = Frame::data(9, golden_tx());
+    let bytes = codec::encode_v2(&frame);
+    assert_eq!(&bytes[..4], 0x5342_5232u32.to_le_bytes());
+    assert_eq!(bytes[4], 0, "data kind byte");
+    assert_eq!(&bytes[5..9], 9u32.to_le_bytes());
+    let ns = u32::from_le_bytes(bytes[29..33].try_into().unwrap());
+    assert_eq!(ns, 0, "data frames carry no snapshot");
+    let crc = codec::crc32(&bytes[..bytes.len() - 4]);
+    assert_eq!(&bytes[bytes.len() - 4..], crc.to_le_bytes());
+    assert_eq!(codec::decode_any(&mut bytes.clone()).unwrap(), frame);
+}
+
+#[test]
+fn decode_any_wraps_v1_frames_as_epoch_zero_data() {
+    // A station that speaks v2 must still ingest v1 fleet traffic: the
+    // compat path wraps it in the trivial envelope.
+    let v1 = codec::encode(&golden_tx());
+    let frame = codec::decode_any(&mut v1.clone()).expect("v1 via decode_any");
+    assert_eq!(frame, Frame::data(0, golden_tx()));
 }
 
 #[test]
