@@ -58,6 +58,7 @@ pub fn build(values: &[f64], n_buckets: usize, policy: Bucketing) -> Vec<Bucket>
             .collect::<Vec<_>>(),
         Bucketing::EquiDepth => {
             let total: f64 = values.iter().map(|v| v.abs()).sum();
+            // lint:allow(float-eq): exact zero-sum sentinel; a tolerance would change bucket boundaries
             if total == 0.0 {
                 (0..=n_buckets).map(|b| b * n / n_buckets).collect()
             } else {

@@ -79,6 +79,7 @@ pub fn approximate(data: &MultiSeries, budget_values: usize) -> Vec<QuadInterval
             }
         };
         let Some(worst) = worst else { break };
+        // lint:allow(float-eq): exact-fit early exit; tolerance would change segment splits
         if worst.fit.err == 0.0 {
             heap.push(HeapItem(worst));
             break;

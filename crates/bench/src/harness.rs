@@ -156,6 +156,7 @@ pub fn row(label: &str, cells: &[String]) -> String {
 
 /// Format a float compactly for table cells.
 pub fn fmt(v: f64) -> String {
+    // lint:allow(float-eq): display-only exact-zero shortcut in a formatter
     if v == 0.0 {
         "0".into()
     } else if v.abs() >= 1000.0 {

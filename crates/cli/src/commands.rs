@@ -194,11 +194,15 @@ fn compress(
         let rows: Vec<Vec<f64>> = table
             .columns
             .iter()
+            // lint:allow(index): b < n_batches = total_rows / batch, so the slice is in bounds
             .map(|c| c[b * batch..(b + 1) * batch].to_vec())
             .collect();
         let tx = encoder.encode(&rows).map_err(|e| e.to_string())?;
         total_cost += tx.cost();
-        total_err += encoder.last_stats().expect("stats").total_err;
+        total_err += encoder
+            .last_stats()
+            .ok_or_else(|| CliError::Runtime("encoder produced no batch stats".into()))?
+            .total_err;
         let frame = codec::encode(&tx);
         w.write_all(&(frame.len() as u32).to_le_bytes())
             .and_then(|()| w.write_all(&frame))
@@ -228,11 +232,11 @@ fn compress(
 
 fn decompress(input: &str, output: &str) -> Result<String, CliError> {
     let log = recover(Path::new(input)).map_err(|e| e.to_string())?;
-    if log.transmissions.is_empty() {
+    let Some(first) = log.transmissions.first() else {
         return Err(format!("{input}: no complete transmissions").into());
-    }
+    };
     let mut decoder = Decoder::new();
-    let n_signals = log.transmissions[0].n_signals as usize;
+    let n_signals = first.n_signals as usize;
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n_signals];
     for tx in &log.transmissions {
         let rec = decoder.decode(tx).map_err(|e| e.to_string())?;
@@ -595,9 +599,9 @@ fn simulate(
     let report = net
         .simulate(&data, batch, &Strategy::SbrArq(SbrConfig::new(band, band)))
         .map_err(|e| e.to_string())?;
-    let stats = report
-        .recovery
-        .expect("SbrArq runs always report recovery stats");
+    let stats = report.recovery.ok_or_else(|| {
+        CliError::Runtime("simulation reported no recovery stats for an ARQ run".into())
+    })?;
 
     let mut out = format!(
         "simulated {} sensor(s) × {signals} signal(s) × {len} samples \
@@ -765,6 +769,48 @@ mod tests {
         }
         let energy: f64 = orig.columns.iter().flatten().map(|v| v * v).sum();
         assert!(sse < 0.05 * energy, "sse {sse} vs energy {energy}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The failure modes a deployment actually hits — malformed input
+    /// data, missing artifacts, empty streams — must come back as typed
+    /// runtime errors (exit 1), never as panics, and usage mistakes as
+    /// exit 2. `main` routes both through `trace_error` (`cli.error`).
+    #[test]
+    fn operational_failures_are_typed_errors_not_panics() {
+        let dir = tempdir("typed-errors");
+
+        // Malformed CSV: a non-numeric cell mid-file.
+        let bad_csv = dir.join("bad.csv");
+        std::fs::write(&bad_csv, "a,b\n1.0,2.0\noops,3.0\n").unwrap();
+        let err = run_argv(&format!(
+            "compress --input {} --output {} --band 8 --batch 2",
+            bad_csv.display(),
+            dir.join("out.sbr").display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1, "{err:?}");
+
+        // Unreadable metrics artifact for `report`.
+        let err = run_argv(&format!("report --input {}/absent.json", dir.display())).unwrap_err();
+        assert_eq!(err.exit_code(), 1, "{err:?}");
+        assert!(err.message().contains("cannot open"), "{err:?}");
+
+        // A stream with no complete transmissions decompresses to an error.
+        let empty = dir.join("empty.sbr");
+        std::fs::write(&empty, b"").unwrap();
+        let err = run_argv(&format!(
+            "decompress --input {} --output {}",
+            empty.display(),
+            dir.join("rec.csv").display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1, "{err:?}");
+
+        // A bad --crash-at spec is a usage error (exit 2), caught at parse.
+        let err = run_argv("simulate --crash-at nonsense").unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err:?}");
+
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

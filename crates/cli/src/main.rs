@@ -28,6 +28,21 @@ fn trace_error(err: &CliError) {
     }
 }
 
+/// Print the command's output, tolerating a closed stdout (`sbr trace |
+/// head` sends SIGPIPE-as-EPIPE once `head` exits) — `println!` would
+/// panic there, turning a healthy pipeline into exit 101.
+fn print_output(out: &str) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut handle = stdout.lock();
+    if let Err(e) = writeln!(handle, "{out}").and_then(|()| handle.flush()) {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            eprintln!("error: cannot write output: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cli = match sbr_cli::args::parse(&argv) {
@@ -40,7 +55,7 @@ fn main() {
         }
     };
     match sbr_cli::run(&cli) {
-        Ok(out) => println!("{out}"),
+        Ok(out) => print_output(&out),
         Err(err) => {
             eprintln!("error: {err}");
             trace_error(&err);

@@ -28,6 +28,7 @@ pub fn correlation(a: &[f64], b: &[f64]) -> f64 {
         da += (x - ma) * (x - ma);
         db += (y - mb) * (y - mb);
     }
+    // lint:allow(float-eq): degenerate-variance guard; exact zero is the only unsafe divisor
     if da == 0.0 || db == 0.0 {
         0.0
     } else {
@@ -70,6 +71,7 @@ pub fn summarize(v: &[f64]) -> Summary {
         std: var.sqrt(),
         min: v.iter().copied().fold(f64::INFINITY, f64::min),
         max: v.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        // lint:allow(float-eq): exact zero variance is the only division hazard here
         roughness: if var == 0.0 {
             0.0
         } else {

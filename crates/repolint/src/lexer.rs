@@ -1,0 +1,416 @@
+//! A small, exact Rust lexer: enough surface syntax to walk real source
+//! without misparsing the cases that break naive scanners — nested block
+//! comments, raw strings with hashes, char literals holding `"` or `//`,
+//! byte and raw-byte strings, lifetimes vs chars.
+//!
+//! The rules engine works on this token stream; comments are not tokens
+//! but are scanned for `// lint:allow(<rule>): <reason>` suppressions.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also raw identifiers, prefix stripped).
+    Ident,
+    /// Numeric literal; `float` is true for floating-point literals.
+    Num {
+        /// Whether the literal is floating-point (`1.0`, `1e3`, `2f64`).
+        float: bool,
+    },
+    /// String literal (`"…"`); text holds the raw (unescaped) contents.
+    Str,
+    /// Raw string literal (`r"…"`, `r#"…"#`).
+    RawStr,
+    /// Byte or raw-byte string (`b"…"`, `br#"…"#`).
+    ByteStr,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation, maximal munch (`==`, `::`, `..=`, `[`, …).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text: identifier name, number spelling, string *contents*
+    /// (without quotes/prefix), or punctuation characters.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// An inline suppression: `// lint:allow(rule): reason`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// The justification after the colon (may be empty — that is itself
+    /// reported by the engine).
+    pub reason: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+}
+
+/// Full lex result for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The significant tokens in order.
+    pub tokens: Vec<Tok>,
+    /// Inline suppression comments found anywhere in the file.
+    pub allows: Vec<Allow>,
+    /// Number of lines in the file.
+    pub lines: u32,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn eat_while(&mut self, f: impl Fn(u8) -> bool) -> String {
+        let start = self.pos;
+        while self.pos < self.src.len() && f(self.peek(0)) {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Parse `lint:allow(rule): reason` out of a comment body.
+fn parse_allow(body: &str, line: u32) -> Option<Allow> {
+    let rest = body.trim_start().strip_prefix("lint:allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let reason = rest[close + 1..]
+        .trim_start()
+        .strip_prefix(':')
+        .map(|r| r.trim().to_string())
+        .unwrap_or_default();
+    Some(Allow { rule, reason, line })
+}
+
+/// Lex one Rust source file.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while cur.pos < cur.src.len() {
+        let line = cur.line;
+        let c = cur.peek(0);
+
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Line comment (also doc comments). May carry a suppression.
+        if c == b'/' && cur.peek(1) == b'/' {
+            let body = cur.eat_while(|c| c != b'\n');
+            let body = body.trim_start_matches('/').trim_start_matches('!');
+            if let Some(a) = parse_allow(body, line) {
+                out.allows.push(a);
+            }
+            continue;
+        }
+
+        // Block comment, nested. Suppressions inside are honoured too.
+        if c == b'/' && cur.peek(1) == b'*' {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            let start = cur.pos;
+            while cur.pos < cur.src.len() && depth > 0 {
+                if cur.peek(0) == b'/' && cur.peek(1) == b'*' {
+                    depth += 1;
+                    cur.bump();
+                    cur.bump();
+                } else if cur.peek(0) == b'*' && cur.peek(1) == b'/' {
+                    depth -= 1;
+                    cur.bump();
+                    cur.bump();
+                } else {
+                    cur.bump();
+                }
+            }
+            let end = cur.pos.saturating_sub(2).max(start);
+            let body = String::from_utf8_lossy(&cur.src[start..end]);
+            if let Some(a) = parse_allow(&body, line) {
+                out.allows.push(a);
+            }
+            continue;
+        }
+
+        // Identifiers, keywords, and literal prefixes (r"", b"", br"", b'').
+        if is_ident_start(c) {
+            let ident = cur.eat_while(is_ident_cont);
+            match ident.as_str() {
+                "r" | "br" | "b" if cur.peek(0) == b'"' || cur.peek(0) == b'#' => {
+                    let raw = ident != "b";
+                    if raw {
+                        let hashes = cur.eat_while(|c| c == b'#').len();
+                        if cur.peek(0) != b'"' {
+                            // `r#ident` — a raw identifier, hashes consumed.
+                            let name = cur.eat_while(is_ident_cont);
+                            out.tokens.push(Tok {
+                                kind: TokKind::Ident,
+                                text: name,
+                                line,
+                            });
+                            continue;
+                        }
+                        cur.bump(); // opening quote
+                        let text = raw_str_body(&mut cur, hashes);
+                        out.tokens.push(Tok {
+                            kind: if ident == "br" {
+                                TokKind::ByteStr
+                            } else {
+                                TokKind::RawStr
+                            },
+                            text,
+                            line,
+                        });
+                    } else {
+                        // `b"…"` (c == '"' here; `b#` is not valid Rust).
+                        cur.bump();
+                        let text = escaped_str_body(&mut cur, b'"');
+                        out.tokens.push(Tok {
+                            kind: TokKind::ByteStr,
+                            text,
+                            line,
+                        });
+                    }
+                }
+                "b" if cur.peek(0) == b'\'' => {
+                    cur.bump();
+                    let text = escaped_str_body(&mut cur, b'\'');
+                    out.tokens.push(Tok {
+                        kind: TokKind::Char,
+                        text,
+                        line,
+                    });
+                }
+                _ => out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: ident,
+                    line,
+                }),
+            }
+            continue;
+        }
+
+        // Plain string literal.
+        if c == b'"' {
+            cur.bump();
+            let text = escaped_str_body(&mut cur, b'"');
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            cur.bump();
+            let next = cur.peek(0);
+            if next == b'\\' {
+                let text = escaped_str_body(&mut cur, b'\'');
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                });
+            } else if is_ident_start(next) && cur.peek(1) != b'\'' {
+                let name = cur.eat_while(is_ident_cont);
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: name,
+                    line,
+                });
+            } else {
+                let text = escaped_str_body(&mut cur, b'\'');
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                });
+            }
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let tok = lex_number(&mut cur, line);
+            out.tokens.push(tok);
+            continue;
+        }
+
+        // Punctuation, maximal munch.
+        let three = &cur.src[cur.pos..(cur.pos + 3).min(cur.src.len())];
+        let two = &three[..three.len().min(2)];
+        const THREE: &[&[u8]] = &[b"..=", b"...", b"<<=", b">>="];
+        const TWO: &[&[u8]] = &[
+            b"==", b"!=", b"<=", b">=", b"&&", b"||", b"::", b"..", b"->", b"=>", b"+=", b"-=",
+            b"*=", b"/=", b"^=", b"|=", b"&=", b"%=", b"<<", b">>",
+        ];
+        let text = if THREE.contains(&three) {
+            (0..3).for_each(|_| {
+                cur.bump();
+            });
+            String::from_utf8_lossy(three).into_owned()
+        } else if TWO.contains(&two) {
+            (0..2).for_each(|_| {
+                cur.bump();
+            });
+            String::from_utf8_lossy(two).into_owned()
+        } else {
+            (cur.bump() as char).to_string()
+        };
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text,
+            line,
+        });
+    }
+
+    out.lines = cur.line;
+    out
+}
+
+/// Body of a raw (byte) string after the opening quote: runs to a `"`
+/// followed by `hashes` `#` characters. No escapes.
+fn raw_str_body(cur: &mut Cursor<'_>, hashes: usize) -> String {
+    let start = cur.pos;
+    loop {
+        if cur.pos >= cur.src.len() {
+            return String::from_utf8_lossy(&cur.src[start..]).into_owned();
+        }
+        if cur.peek(0) == b'"' {
+            let all = (0..hashes).all(|i| cur.peek(1 + i) == b'#');
+            if all {
+                let body = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                cur.bump();
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                return body;
+            }
+        }
+        cur.bump();
+    }
+}
+
+/// Body of an escaped string/char after the opening quote, up to the
+/// unescaped `close` quote. Returns the raw contents, escapes included.
+fn escaped_str_body(cur: &mut Cursor<'_>, close: u8) -> String {
+    let start = cur.pos;
+    loop {
+        if cur.pos >= cur.src.len() {
+            return String::from_utf8_lossy(&cur.src[start..]).into_owned();
+        }
+        let c = cur.peek(0);
+        if c == b'\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if c == close {
+            let body = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+            cur.bump();
+            return body;
+        }
+        cur.bump();
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>, line: u32) -> Tok {
+    let start = cur.pos;
+    let mut float = false;
+    if cur.peek(0) == b'0' && matches!(cur.peek(1), b'x' | b'o' | b'b') {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+    } else {
+        cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+        // A `.` continues the number only when it is not `..` (range) and
+        // not a method call on the literal (`1.max(2)`).
+        if cur.peek(0) == b'.' && cur.peek(1) != b'.' && !is_ident_start(cur.peek(1)) {
+            float = true;
+            cur.bump();
+            cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+        }
+        if matches!(cur.peek(0), b'e' | b'E')
+            && (cur.peek(1).is_ascii_digit()
+                || (matches!(cur.peek(1), b'+' | b'-') && cur.peek(2).is_ascii_digit()))
+        {
+            float = true;
+            cur.bump();
+            if matches!(cur.peek(0), b'+' | b'-') {
+                cur.bump();
+            }
+            cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+        }
+        // Type suffix (`1f64`, `2u32`).
+        let suffix = cur.eat_while(is_ident_cont);
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+    }
+    Tok {
+        kind: TokKind::Num { float },
+        text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+        line,
+    }
+}
+
+/// Compact one-line-per-token dump used by the golden lexer tests.
+pub fn dump(lexed: &Lexed) -> String {
+    let mut out = String::new();
+    for t in &lexed.tokens {
+        let kind = match &t.kind {
+            TokKind::Ident => "ident",
+            TokKind::Num { float: true } => "float",
+            TokKind::Num { float: false } => "int",
+            TokKind::Str => "str",
+            TokKind::RawStr => "rawstr",
+            TokKind::ByteStr => "bytestr",
+            TokKind::Char => "char",
+            TokKind::Lifetime => "lifetime",
+            TokKind::Punct => "punct",
+        };
+        out.push_str(&format!("{}:{kind}:{}\n", t.line, t.text));
+    }
+    out
+}

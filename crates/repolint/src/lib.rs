@@ -1,0 +1,136 @@
+//! `repolint` — workspace-native static analysis for the SBR repo.
+//!
+//! A std-only pass that lexes the workspace's Rust sources (comment,
+//! string, raw-string and char-literal aware — no `syn`, consistent with
+//! the vendored-deps policy) and enforces the invariants the test suite
+//! cannot see per-commit:
+//!
+//! | rule | what it enforces |
+//! |------|------------------|
+//! | `panic-free` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in the decode/network-facing zones |
+//! | `index` | no unguarded slice/array subscripts in those zones |
+//! | `float-eq` | no `==`/`!=` against float literals outside tests |
+//! | `atomics` | raw atomics confined to `sbr-obs` (facade elsewhere) |
+//! | `obs-gate` | `sbr_obs::` paths in `sbr-core` sit behind `cfg(feature = "obs")` |
+//! | `wire-drift` | codec constants == golden bytes == DESIGN.md §3b table |
+//! | `manifest` | every locked package vendored or local; uniform `[lints]` wall |
+//! | `bad-suppression` | every `lint:allow` carries a reason |
+//!
+//! Inline escape hatch: `// lint:allow(<rule>): <reason>` on the
+//! offending line or the line above. Findings are emitted human-readable
+//! plus as `LINT_REPORT.json` (schema `repolint/v1`); the process exits
+//! non-zero when any finding survives.
+
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+pub mod wire;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (`panic-free`, `index`, …).
+    pub rule: String,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line (0 for whole-file findings).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A finding silenced by a reasoned `lint:allow`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppressed {
+    /// Rule name.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the suppressed finding.
+    pub line: u32,
+    /// The justification the suppression carried.
+    pub reason: String,
+}
+
+/// Outcome of a full lint pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving findings, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Reasoned suppressions that fired.
+    pub suppressed: Vec<Suppressed>,
+    /// Rust source files scanned by the token rules.
+    pub files_scanned: usize,
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Run every rule against the workspace at `root`.
+pub fn run(root: &Path) -> Report {
+    let mut rep = Report::default();
+
+    // Token rules over every crate's production sources (src/ only — unit
+    // test modules are excluded by region, integration tests by path).
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect()
+        })
+        .unwrap_or_default();
+    crate_dirs.sort();
+    for crate_dir in &crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut files = Vec::new();
+        rust_files(&crate_dir.join("src"), &mut files);
+        for file in files {
+            let Ok(src) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let ctx = rules::FileCtx {
+                path: &rel,
+                crate_dir: &crate_name,
+            };
+            let scan = rules::scan_source(&ctx, &src);
+            rep.findings.extend(scan.findings);
+            rep.suppressed.extend(scan.suppressed);
+            rep.files_scanned += 1;
+        }
+    }
+
+    // Cross-artifact rules.
+    rep.findings.extend(wire::check(root));
+    rep.findings.extend(manifest::check(root));
+
+    rep.findings
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    rep
+}

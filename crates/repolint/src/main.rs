@@ -1,0 +1,80 @@
+//! CLI entry point: `cargo run -p repolint --offline [-- --root <dir>]`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+repolint — workspace-native static analysis
+
+USAGE:
+  repolint [--root <dir>] [--json <path>] [--quiet]
+
+  --root <dir>    workspace root to lint (default: .)
+  --json <path>   where to write the repolint/v1 report
+                  (default: <root>/LINT_REPORT.json)
+  --quiet         suppress per-finding lines; print only the summary
+
+Exit codes: 0 clean, 1 findings, 2 usage or I/O error.";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root requires a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json requires a value"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "repolint: {} has no Cargo.toml — wrong --root?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = repolint::run(&root);
+    if !quiet {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+    }
+    println!(
+        "repolint: {} finding(s), {} suppression(s), {} file(s) scanned",
+        report.findings.len(),
+        report.suppressed.len(),
+        report.files_scanned
+    );
+
+    let json_path = json.unwrap_or_else(|| root.join("LINT_REPORT.json"));
+    if let Err(e) = std::fs::write(&json_path, repolint::report::to_json(&report)) {
+        eprintln!("repolint: cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("repolint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,150 @@
+//! Manifest audit: the offline-build contract and the lint wall.
+//!
+//! * Every package in `Cargo.lock` is either a workspace member or has a
+//!   vendored source under `vendor/` (the build must never want the
+//!   network), and every vendored crate is actually in the lock (no dead
+//!   vendor dirs).
+//! * The root `Cargo.toml` declares a `[workspace.lints]` wall and every
+//!   crate under `crates/` inherits it (`[lints] workspace = true`), so
+//!   deny-level hygiene is uniform — no crate quietly opts out.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::Finding;
+
+fn fail(path: String, message: String) -> Finding {
+    Finding {
+        rule: "manifest".into(),
+        path,
+        line: 0,
+        message,
+    }
+}
+
+/// First `name = "…"` value in a manifest (the `[package]` name).
+fn package_name(toml: &str) -> Option<String> {
+    toml.lines().find_map(|l| {
+        l.trim()
+            .strip_prefix("name")?
+            .trim_start()
+            .strip_prefix('=')?
+            .trim()
+            .strip_prefix('"')?
+            .split('"')
+            .next()
+            .map(str::to_string)
+    })
+}
+
+/// Whether a manifest contains a `[lints]` table with `workspace = true`.
+fn inherits_lints(toml: &str) -> bool {
+    let mut in_lints = false;
+    for line in toml.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_lints = t == "[lints]";
+        } else if in_lints && t.replace(' ', "") == "workspace=true" {
+            return true;
+        }
+    }
+    false
+}
+
+/// Run the manifest audit against a workspace root.
+pub fn check(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let read = |rel: &str| std::fs::read_to_string(root.join(rel)).unwrap_or_default();
+
+    let root_toml = read("Cargo.toml");
+    if root_toml.is_empty() {
+        out.push(fail(
+            "Cargo.toml".into(),
+            "cannot read workspace manifest".into(),
+        ));
+        return out;
+    }
+    if !root_toml.contains("[workspace.lints") {
+        out.push(fail(
+            "Cargo.toml".into(),
+            "no [workspace.lints] wall — crate-level lint levels drift apart".into(),
+        ));
+    }
+    if !inherits_lints(&root_toml) {
+        out.push(fail(
+            "Cargo.toml".into(),
+            "root package does not inherit the wall ([lints] workspace = true)".into(),
+        ));
+    }
+
+    // Workspace member names, from crates/*/Cargo.toml plus the root.
+    let mut members: BTreeSet<String> = package_name(&root_toml).into_iter().collect();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        for entry in entries.flatten() {
+            let manifest = entry.path().join("Cargo.toml");
+            let rel = format!("crates/{}/Cargo.toml", entry.file_name().to_string_lossy());
+            let Ok(toml) = std::fs::read_to_string(&manifest) else {
+                continue;
+            };
+            match package_name(&toml) {
+                Some(name) => {
+                    members.insert(name);
+                }
+                None => out.push(fail(rel.clone(), "no package name".into())),
+            }
+            if !inherits_lints(&toml) {
+                out.push(fail(
+                    rel,
+                    "crate does not inherit the lint wall ([lints] workspace = true)".into(),
+                ));
+            }
+        }
+    } else {
+        out.push(fail("crates".into(), "cannot list crates/".into()));
+    }
+
+    // Vendored crates actually present on disk.
+    let mut vendored: BTreeSet<String> = BTreeSet::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("vendor")) {
+        for entry in entries.flatten() {
+            if entry.path().is_dir() {
+                vendored.insert(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+    }
+
+    // Every locked package resolves offline; every vendor dir is live.
+    let lock = read("Cargo.lock");
+    if lock.is_empty() {
+        out.push(fail(
+            "Cargo.lock".into(),
+            "missing or unreadable lockfile".into(),
+        ));
+        return out;
+    }
+    let mut locked: BTreeSet<String> = BTreeSet::new();
+    for package in lock.split("[[package]]").skip(1) {
+        if let Some(name) = package_name(package) {
+            locked.insert(name);
+        }
+    }
+    for name in &locked {
+        if !members.contains(name) && !vendored.contains(name) {
+            out.push(fail(
+                "Cargo.lock".into(),
+                format!("locked package '{name}' is neither a workspace member nor vendored — offline builds would need the network"),
+            ));
+        }
+    }
+    for name in &vendored {
+        if !locked.contains(name) {
+            out.push(fail(
+                format!("vendor/{name}"),
+                "vendored crate absent from Cargo.lock — dead code or a missing dependency edge"
+                    .into(),
+            ));
+        }
+    }
+    out
+}

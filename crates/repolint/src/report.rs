@@ -1,0 +1,59 @@
+//! `LINT_REPORT.json` emission — hand-rolled JSON (the linter is
+//! dependency-free), schema `repolint/v1`:
+//!
+//! ```text
+//! {
+//!   "schema": "repolint/v1",
+//!   "files_scanned": <int>,
+//!   "findings": [ {"rule", "path", "line", "message"}, … ],
+//!   "suppressed": [ {"rule", "path", "line", "reason"}, … ]
+//! }
+//! ```
+
+use crate::Report;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the report as the stable `repolint/v1` JSON document.
+pub fn to_json(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"repolint/v1\",\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    s.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            esc(&f.rule),
+            esc(&f.path),
+            f.line,
+            esc(&f.message)
+        ));
+    }
+    s.push_str("\n  ],\n  \"suppressed\": [");
+    for (i, a) in report.suppressed.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}",
+            esc(&a.rule),
+            esc(&a.path),
+            a.line,
+            esc(&a.reason)
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}

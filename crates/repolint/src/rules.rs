@@ -1,0 +1,359 @@
+//! Token-stream rules: panic-freedom zones, unguarded indexing, the
+//! float-eq ban, atomics confinement and `obs` feature-gate hygiene.
+//!
+//! Every rule honours `// lint:allow(<rule>): <reason>` on the finding's
+//! line or the line directly above. A suppression with an empty reason is
+//! itself a finding (`bad-suppression`): the escape hatch exists, but it
+//! must say why.
+
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+use crate::{Finding, Suppressed};
+
+/// Source files in which *any* panic path (and unguarded indexing) is a
+/// finding: the decode/network-facing surface whose contract is "fails
+/// explicitly, never silently wrong" — a malformed frame must map to
+/// `SbrError`, not take down the node.
+pub const PANIC_FREE_ZONES: &[&str] = &[
+    "crates/sbr-core/src/codec.rs",
+    "crates/sbr-core/src/decoder.rs",
+    "crates/sbr-core/src/transmission.rs",
+    "crates/sbr-core/src/error.rs",
+    "crates/sensor-net/src/base_station.rs",
+    "crates/sensor-net/src/storage.rs",
+    "crates/sensor-net/src/node.rs",
+    "crates/sensor-net/src/fault.rs",
+    "crates/cli/src/commands.rs",
+];
+
+/// Keywords that can directly precede a `[` without it being an index
+/// expression (`return [..]`, `match [a, b] {..}`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "in", "if", "else", "match", "return", "break", "continue", "for", "as", "dyn",
+    "where", "move", "ref", "pub", "use", "crate", "type", "const", "static", "enum", "struct",
+    "trait", "fn", "impl", "mod", "unsafe", "loop", "while", "await", "box",
+];
+
+/// Per-file context the token rules run under.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path (`crates/x/src/y.rs`), `/`-separated.
+    pub path: &'a str,
+    /// The crate directory name (`sbr-core`, `cli`, …).
+    pub crate_dir: &'a str,
+}
+
+/// Result of scanning one file's source.
+#[derive(Debug, Default)]
+pub struct ScanOut {
+    /// Findings that survived suppression.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a reasoned `lint:allow`.
+    pub suppressed: Vec<Suppressed>,
+}
+
+/// Line ranges (1-based, inclusive) covered by `#[cfg(test)]` / `#[test]`
+/// items, and separately by `#[cfg(feature = "obs")]` items.
+#[derive(Debug, Default)]
+struct Regions {
+    test: Vec<(u32, u32)>,
+    obs_gated: Vec<(u32, u32)>,
+}
+
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Find the line span of the item an attribute at `toks[i..]` is attached
+/// to: skip any further attributes, then run to the matching `}` of the
+/// first open brace, or to a `;` if one comes first.
+fn item_span(toks: &[Tok], mut i: usize) -> (u32, u32) {
+    let start = toks[i].line;
+    let mut depth = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return (start, t.line);
+                    }
+                }
+                ";" if depth == 0 => return (start, t.line),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    (start, toks.last().map_or(start, |t| t.line))
+}
+
+/// Walk the token stream for `#[…]` attributes and record the regions the
+/// interesting ones cover.
+fn find_regions(toks: &[Tok]) -> Regions {
+    let mut regions = Regions::default();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        let is_attr = toks[i].kind == TokKind::Punct
+            && toks[i].text == "#"
+            && toks[i + 1].kind == TokKind::Punct
+            && toks[i + 1].text == "[";
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut body: Vec<&Tok> = Vec::new();
+        while j < toks.len() && depth > 0 {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+            }
+            if depth > 0 {
+                body.push(t);
+            }
+            j += 1;
+        }
+        let is_ident = |t: &&Tok, name: &str| t.kind == TokKind::Ident && t.text == name;
+        let is_test_attr = body.first().is_some_and(|t| is_ident(t, "test"))
+            || (body.first().is_some_and(|t| is_ident(t, "cfg"))
+                && body.iter().any(|t| is_ident(t, "test")));
+        let is_obs_gate = body.first().is_some_and(|t| is_ident(t, "cfg"))
+            && body.iter().any(|t| is_ident(t, "feature"))
+            && body
+                .iter()
+                .any(|t| t.kind == TokKind::Str && t.text == "obs");
+        if is_test_attr {
+            regions.test.push(item_span(toks, j));
+        } else if is_obs_gate {
+            regions.obs_gated.push(item_span(toks, j));
+        }
+        i = j;
+    }
+    regions
+}
+
+/// Run every token rule over one source file.
+pub fn scan_source(ctx: &FileCtx<'_>, src: &str) -> ScanOut {
+    let lexed = lex(src);
+    let regions = find_regions(&lexed.tokens);
+    let mut out = ScanOut::default();
+    let zone = PANIC_FREE_ZONES.contains(&ctx.path);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if in_ranges(&regions.test, t.line) {
+            continue; // every rule here is production-code-only
+        }
+        let prev = i.checked_sub(1).map(|p| &toks[p]);
+        let next = toks.get(i + 1);
+
+        if zone {
+            panic_free(ctx, t, prev, next, &mut raw);
+            index_guard(ctx, t, prev, &mut raw);
+        }
+        float_eq(ctx, t, prev, next, toks.get(i + 2), &mut raw);
+        if ctx.crate_dir != "sbr-obs" {
+            atomics(ctx, t, prev, next, &mut raw);
+        }
+        if ctx.crate_dir == "sbr-core" && ctx.path != "crates/sbr-core/src/obs.rs" {
+            obs_gate(ctx, t, &regions, &mut raw);
+        }
+    }
+
+    // Apply suppressions: an allow on the finding's line or the line above.
+    for f in raw {
+        let hit = lexed
+            .allows
+            .iter()
+            .find(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line));
+        match hit {
+            Some(a) if !a.reason.is_empty() => out.suppressed.push(Suppressed {
+                rule: f.rule,
+                path: f.path,
+                line: f.line,
+                reason: a.reason.clone(),
+            }),
+            _ => out.findings.push(f),
+        }
+    }
+    // Reason-less suppressions are findings in their own right.
+    for a in &lexed.allows {
+        if a.reason.is_empty() {
+            out.findings.push(Finding {
+                rule: "bad-suppression".into(),
+                path: ctx.path.into(),
+                line: a.line,
+                message: format!(
+                    "lint:allow({}) without a reason — every escape hatch must say why",
+                    a.rule
+                ),
+            });
+        }
+    }
+    out.findings.sort_by_key(|f| f.line);
+    out
+}
+
+fn finding(ctx: &FileCtx<'_>, rule: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule: rule.into(),
+        path: ctx.path.into(),
+        line,
+        message,
+    }
+}
+
+/// `panic-free`: no `.unwrap()` / `.expect(…)` / `panic!` /
+/// `unreachable!` / `todo!` / `unimplemented!` in the zones.
+fn panic_free(
+    ctx: &FileCtx<'_>,
+    t: &Tok,
+    prev: Option<&Tok>,
+    next: Option<&Tok>,
+    out: &mut Vec<Finding>,
+) {
+    if t.kind != TokKind::Ident {
+        return;
+    }
+    let next_is = |s: &str| next.is_some_and(|n| n.kind == TokKind::Punct && n.text == s);
+    let prev_is_dot = prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == ".");
+    match t.text.as_str() {
+        "unwrap" | "expect" if prev_is_dot && next_is("(") => out.push(finding(
+            ctx,
+            "panic-free",
+            t.line,
+            format!(
+                ".{}() in a panic-freedom zone — return a typed SbrError instead",
+                t.text
+            ),
+        )),
+        "panic" | "unreachable" | "todo" | "unimplemented" if next_is("!") => out.push(finding(
+            ctx,
+            "panic-free",
+            t.line,
+            format!(
+                "{}! in a panic-freedom zone — malformed input must fail explicitly, not abort",
+                t.text
+            ),
+        )),
+        _ => {}
+    }
+}
+
+/// `index`: `expr[…]` indexing in the zones — any out-of-range subscript
+/// panics, so zone code must bounds-check (`get`/`get_mut`) or carry a
+/// reasoned `lint:allow(index)` proving the index in range.
+fn index_guard(ctx: &FileCtx<'_>, t: &Tok, prev: Option<&Tok>, out: &mut Vec<Finding>) {
+    if t.kind != TokKind::Punct || t.text != "[" {
+        return;
+    }
+    let Some(p) = prev else { return };
+    let indexable = match p.kind {
+        TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+        TokKind::Punct => p.text == ")" || p.text == "]",
+        _ => false,
+    };
+    if indexable {
+        out.push(finding(
+            ctx,
+            "index",
+            t.line,
+            "unguarded slice/array index in a panic-freedom zone — use .get()/.get_mut() or justify with lint:allow(index)".into(),
+        ));
+    }
+}
+
+/// `float-eq`: `==`/`!=` with a floating-point literal operand, anywhere
+/// outside tests. Exact float comparison is occasionally intentional
+/// (zero-variance guards); those sites carry a reasoned suppression so
+/// the byte-identity story stays auditable.
+fn float_eq(
+    ctx: &FileCtx<'_>,
+    t: &Tok,
+    prev: Option<&Tok>,
+    next: Option<&Tok>,
+    next2: Option<&Tok>,
+    out: &mut Vec<Finding>,
+) {
+    if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+        return;
+    }
+    let is_float =
+        |t: Option<&Tok>| matches!(t, Some(t) if t.kind == (TokKind::Num { float: true }));
+    let next_neg_float =
+        next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "-") && is_float(next2);
+    if is_float(prev) || is_float(next) || next_neg_float {
+        out.push(finding(
+            ctx,
+            "float-eq",
+            t.line,
+            format!(
+                "`{}` against a float literal — exact float comparison; justify with lint:allow(float-eq) or compare with a tolerance",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// `atomics`: raw atomic types / `std::sync::atomic` confined to
+/// `sbr-obs`; every other crate records through the `sbr_core::obs`
+/// facade handles so metrics stay swappable and orderings live in one
+/// audited place.
+fn atomics(
+    ctx: &FileCtx<'_>,
+    t: &Tok,
+    prev: Option<&Tok>,
+    next: Option<&Tok>,
+    out: &mut Vec<Finding>,
+) {
+    if t.kind != TokKind::Ident {
+        return;
+    }
+    let is_atomic_type = t.text.starts_with("Atomic")
+        && t.text
+            .as_bytes()
+            .get(6)
+            .is_some_and(|c| c.is_ascii_uppercase() || c.is_ascii_digit());
+    let is_atomic_path = t.text == "atomic"
+        && prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == "::")
+        && next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "::");
+    if is_atomic_type || is_atomic_path {
+        out.push(finding(
+            ctx,
+            "atomics",
+            t.line,
+            format!(
+                "`{}` outside sbr-obs — metrics go through the sbr_core::obs facade; other uses need lint:allow(atomics)",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// `obs-gate`: inside `sbr-core`, direct `sbr_obs::` paths outside the
+/// facade module must sit under `#[cfg(feature = "obs")]`, or
+/// `--no-default-features` builds break.
+fn obs_gate(ctx: &FileCtx<'_>, t: &Tok, regions: &Regions, out: &mut Vec<Finding>) {
+    if t.kind == TokKind::Ident && t.text == "sbr_obs" && !in_ranges(&regions.obs_gated, t.line) {
+        out.push(finding(
+            ctx,
+            "obs-gate",
+            t.line,
+            "direct sbr_obs:: path outside the obs facade without #[cfg(feature = \"obs\")] — breaks --no-default-features".into(),
+        ));
+    }
+}
+
+/// Expose the parsed token stream (used by the wire-drift rule and the
+/// lexer tests).
+pub fn lex_file(src: &str) -> Lexed {
+    lex(src)
+}

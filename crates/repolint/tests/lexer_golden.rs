@@ -1,0 +1,118 @@
+//! Golden tests for the repolint lexer: every fixture is lexed and the
+//! full `line:kind:text` dump is compared verbatim, so any drift in
+//! tokenization (kinds, contents, line accounting) fails loudly.
+
+use repolint::lexer::{dump, lex};
+
+fn golden(src: &str, expected: &str) {
+    let got = dump(&lex(src));
+    assert_eq!(
+        got, expected,
+        "lexer dump drifted for fixture:\n---\n{src}\n---"
+    );
+}
+
+#[test]
+fn nested_block_comments_are_skipped_entirely() {
+    golden(
+        "a /* one /* two */ still comment */ b\n/* unwrap() in a comment */ c\n",
+        "1:ident:a\n1:ident:b\n2:ident:c\n",
+    );
+}
+
+#[test]
+fn raw_strings_with_hashes_do_not_end_early() {
+    // The `"#` inside the body must not close an `r##`-delimited string,
+    // and code-looking contents (`x.unwrap()`) must stay inside Str-kind
+    // tokens rather than leaking identifiers.
+    golden(
+        r####"let s = r##"quote "# inside x.unwrap()"##; done"####,
+        "1:ident:let\n1:ident:s\n1:punct:=\n1:rawstr:quote \"# inside x.unwrap()\n1:punct:;\n1:ident:done\n",
+    );
+}
+
+#[test]
+fn char_literals_holding_quote_and_slashes_are_chars() {
+    // A '"' char must not open a string, and '/' '/' must not start a
+    // line comment that swallows the rest of the line.
+    golden(
+        "if c == '\"' || c == '/' { slash() } '/'\n",
+        "1:ident:if\n1:ident:c\n1:punct:==\n1:char:\"\n1:punct:||\n1:ident:c\n\
+         1:punct:==\n1:char:/\n1:punct:{\n1:ident:slash\n1:punct:(\n1:punct:)\n\
+         1:punct:}\n1:char:/\n",
+    );
+}
+
+#[test]
+fn byte_and_raw_byte_strings_lex_as_bytestr() {
+    golden(
+        "let a = b\"raw\\n\"; let b2 = br#\"has \"quote\"#;\n",
+        "1:ident:let\n1:ident:a\n1:punct:=\n1:bytestr:raw\\n\n1:punct:;\n\
+         1:ident:let\n1:ident:b2\n1:punct:=\n1:bytestr:has \"quote\n1:punct:;\n",
+    );
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    golden(
+        "fn f<'a>(x: &'a str) -> &'static str { 'b' ; x }\n",
+        "1:ident:fn\n1:ident:f\n1:punct:<\n1:lifetime:a\n1:punct:>\n1:punct:(\n\
+         1:ident:x\n1:punct::\n1:punct:&\n1:lifetime:a\n1:ident:str\n1:punct:)\n\
+         1:punct:->\n1:punct:&\n1:lifetime:static\n1:ident:str\n1:punct:{\n\
+         1:char:b\n1:punct:;\n1:ident:x\n1:punct:}\n",
+    );
+}
+
+#[test]
+fn float_detection_covers_dot_exponent_and_suffix() {
+    // `1.0`, `1e3`, `2f64` are floats; `3`, `0xFF` are ints; `a.0` is a
+    // tuple-field access, `1..2` is a range — neither makes a float.
+    golden(
+        "1.0 1e3 2f64 3 0xFF a.0 1..2\n",
+        "1:float:1.0\n1:float:1e3\n1:float:2f64\n1:int:3\n1:int:0xFF\n\
+         1:ident:a\n1:punct:.\n1:int:0\n1:int:1\n1:punct:..\n1:int:2\n",
+    );
+}
+
+#[test]
+fn raw_identifiers_strip_the_prefix() {
+    golden("r#match r#try\n", "1:ident:match\n1:ident:try\n");
+}
+
+#[test]
+fn line_numbers_survive_multiline_tokens() {
+    golden(
+        "a\n/* two\nlines */ b\nr#\"raw\nbody\"# c\n",
+        "1:ident:a\n3:ident:b\n4:rawstr:raw\nbody\n5:ident:c\n",
+    );
+}
+
+#[test]
+fn allow_comments_parse_rule_and_reason() {
+    let lexed = lex(
+        "// lint:allow(index): bounded by the loop guard\nx[i] = 0;\n\
+         // lint:allow(float-eq):\ny == 0.0;\n// not an allow\n",
+    );
+    assert_eq!(lexed.allows.len(), 2);
+    assert_eq!(lexed.allows[0].rule, "index");
+    assert_eq!(lexed.allows[0].reason, "bounded by the loop guard");
+    assert_eq!(lexed.allows[0].line, 1);
+    assert_eq!(lexed.allows[1].rule, "float-eq");
+    assert_eq!(lexed.allows[1].reason, "");
+    assert_eq!(lexed.allows[1].line, 3);
+}
+
+#[test]
+fn strings_do_not_hide_or_invent_allows() {
+    // An allow spelled inside a string literal is data, not a directive.
+    let lexed = lex("let s = \"// lint:allow(index): nope\";\n");
+    assert!(lexed.allows.is_empty());
+    assert_eq!(
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| t.text.contains("lint"))
+            .count(),
+        1
+    );
+}

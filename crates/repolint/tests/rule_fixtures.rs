@@ -1,0 +1,271 @@
+//! Per-rule fixtures: each rule is fed a small synthetic source file and
+//! must flag exactly the seeded violations — and nothing else. These are
+//! the linter's own regression suite; if a rule loosens or overreaches,
+//! a fixture here breaks before the workspace sweep does.
+
+use repolint::rules::{scan_source, FileCtx};
+
+/// A path inside the panic-freedom zones.
+fn zone() -> FileCtx<'static> {
+    FileCtx {
+        path: "crates/sbr-core/src/decoder.rs",
+        crate_dir: "sbr-core",
+    }
+}
+
+/// A path outside the zones (global rules still run).
+fn non_zone() -> FileCtx<'static> {
+    FileCtx {
+        path: "crates/baselines/src/histogram.rs",
+        crate_dir: "baselines",
+    }
+}
+
+fn rules_hit(ctx: &FileCtx<'_>, src: &str) -> Vec<(String, u32)> {
+    scan_source(ctx, src)
+        .findings
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn panic_free_flags_every_panic_form() {
+    let src = "\
+fn f(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    x.unwrap();
+    r.expect(\"boom\");
+    panic!(\"no\");
+    unreachable!();
+    todo!();
+    unimplemented!()
+}
+";
+    let hits = rules_hit(&zone(), src);
+    assert_eq!(
+        hits,
+        (2..=7)
+            .map(|l| ("panic-free".to_string(), l))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn panic_free_skips_test_regions_and_non_method_idents() {
+    let src = "\
+fn unwrap(x: u32) -> u32 { x } // a free fn named unwrap is fine
+fn g() { let _ = unwrap(3); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        None::<u32>.unwrap();
+        panic!(\"tests may panic\");
+    }
+}
+";
+    assert!(rules_hit(&zone(), src).is_empty());
+}
+
+#[test]
+fn panic_free_and_index_only_fire_inside_the_zones() {
+    let src = "fn f(v: &[u32]) -> u32 { v[0] + None::<u32>.unwrap() }\n";
+    let in_zone = rules_hit(&zone(), src);
+    assert_eq!(
+        in_zone,
+        vec![("index".to_string(), 1), ("panic-free".to_string(), 1)]
+    );
+    assert!(rules_hit(&non_zone(), src).is_empty());
+}
+
+#[test]
+fn index_ignores_literals_macros_and_get() {
+    let src = "\
+fn f(v: &[u32], i: usize) -> u32 {
+    for x in [1, 2, 3] {}
+    let a = vec![0u32; 4];
+    let b: [u32; 2] = [0, 1];
+    v.get(i).copied().unwrap_or(0)
+}
+";
+    assert!(rules_hit(&zone(), src).is_empty());
+}
+
+#[test]
+fn index_flags_chained_subscripts() {
+    // Indexing the result of a call or another subscript panics too.
+    let src = "fn f(v: &[Vec<u32>]) -> u32 { v[0][1] + make(v)[2] }\nfn make(v: &[Vec<u32>]) -> Vec<u32> { v.concat() }\n";
+    let hits = rules_hit(&zone(), src);
+    assert_eq!(hits, vec![("index".to_string(), 1); 3]);
+}
+
+#[test]
+fn reasoned_allow_suppresses_and_is_reported() {
+    let src = "\
+fn f(v: &[u32]) -> u32 {
+    // lint:allow(index): caller guarantees non-empty via the type invariant
+    v[0]
+}
+";
+    let out = scan_source(&zone(), src);
+    assert!(out.findings.is_empty());
+    assert_eq!(out.suppressed.len(), 1);
+    assert_eq!(out.suppressed[0].rule, "index");
+    assert_eq!(
+        out.suppressed[0].reason,
+        "caller guarantees non-empty via the type invariant"
+    );
+}
+
+#[test]
+fn same_line_allow_works_and_wrong_rule_does_not() {
+    let both = "fn f(v: &[u32]) -> u32 { v[0] } // lint:allow(index): single-element invariant\n";
+    assert!(scan_source(&zone(), both).findings.is_empty());
+    // An allow for a different rule must not silence the finding.
+    let wrong = "\
+fn f(v: &[u32]) -> u32 {
+    // lint:allow(panic-free): wrong rule name
+    v[0]
+}
+";
+    let out = scan_source(&zone(), wrong);
+    assert_eq!(rules_hit(&zone(), wrong), vec![("index".to_string(), 3)]);
+    assert!(out.suppressed.is_empty());
+}
+
+#[test]
+fn reasonless_allow_is_itself_a_finding() {
+    let src = "\
+fn f(v: &[u32]) -> u32 {
+    // lint:allow(index):
+    v[0]
+}
+";
+    let hits = rules_hit(&zone(), src);
+    assert_eq!(
+        hits,
+        vec![("bad-suppression".to_string(), 2), ("index".to_string(), 3)]
+    );
+}
+
+#[test]
+fn float_eq_flags_literal_comparisons_everywhere() {
+    let src = "\
+fn f(a: f64, b: f64) -> bool {
+    let x = a == 0.0;
+    let y = 1.5 != b;
+    let z = a == -1.0;
+    let ok = a == b;
+    x && y && z && ok
+}
+";
+    // Runs outside the zones too — it is a global rule.
+    let hits = rules_hit(&non_zone(), src);
+    assert_eq!(
+        hits,
+        (2..=4)
+            .map(|l| ("float-eq".to_string(), l))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn float_eq_skips_tests_and_integer_literals() {
+    let src = "\
+fn f(n: usize) -> bool { n == 0 }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { assert!(super::g() == 0.25); }
+}
+";
+    assert!(rules_hit(&non_zone(), src).is_empty());
+}
+
+#[test]
+fn atomics_flag_types_and_paths_outside_sbr_obs() {
+    let src = "\
+use std::sync::atomic::{AtomicUsize, Ordering};
+fn f() -> usize {
+    let n = AtomicUsize::new(0);
+    n.load(Ordering::Relaxed)
+}
+";
+    let hits = rules_hit(&non_zone(), src);
+    // Line 1: the `::atomic::` path plus the AtomicUsize import;
+    // line 3: the constructor. `Ordering` alone never matches (it is also
+    // cmp::Ordering all over the codebase).
+    assert_eq!(
+        hits,
+        vec![
+            ("atomics".to_string(), 1),
+            ("atomics".to_string(), 1),
+            ("atomics".to_string(), 3)
+        ]
+    );
+    let obs = FileCtx {
+        path: "crates/sbr-obs/src/metrics.rs",
+        crate_dir: "sbr-obs",
+    };
+    assert!(rules_hit(&obs, src).is_empty());
+}
+
+#[test]
+fn cmp_ordering_is_not_an_atomic() {
+    let src = "use std::cmp::Ordering;\nfn f(a: u32, b: u32) -> Ordering { a.cmp(&b) }\n";
+    assert!(rules_hit(&non_zone(), src).is_empty());
+}
+
+#[test]
+fn obs_gate_requires_cfg_feature_in_sbr_core() {
+    let ungated = "pub fn hot() { sbr_obs::trace(\"x\"); }\n";
+    assert_eq!(
+        rules_hit(&zone(), ungated),
+        vec![("obs-gate".to_string(), 1)]
+    );
+
+    let gated = "\
+#[cfg(feature = \"obs\")]
+pub fn hot() {
+    sbr_obs::trace(\"x\");
+}
+";
+    assert!(rules_hit(&zone(), gated).is_empty());
+
+    // The facade module itself and other crates are exempt.
+    let facade = FileCtx {
+        path: "crates/sbr-core/src/obs.rs",
+        crate_dir: "sbr-core",
+    };
+    assert!(rules_hit(&facade, ungated).is_empty());
+    let sensor_net = FileCtx {
+        path: "crates/sensor-net/src/node.rs",
+        crate_dir: "sensor-net",
+    };
+    assert!(rules_hit(&sensor_net, ungated).is_empty());
+}
+
+#[test]
+fn report_json_escapes_and_carries_both_lists() {
+    let mut rep = repolint::Report::default();
+    rep.files_scanned = 2;
+    rep.findings.push(repolint::Finding {
+        rule: "panic-free".into(),
+        path: "crates/x/src/a.rs".into(),
+        line: 7,
+        message: "quote \" backslash \\ newline \n end".into(),
+    });
+    rep.suppressed.push(repolint::Suppressed {
+        rule: "index".into(),
+        path: "crates/x/src/b.rs".into(),
+        line: 9,
+        reason: "tab\there".into(),
+    });
+    let json = repolint::report::to_json(&rep);
+    assert!(json.contains("\"schema\": \"repolint/v1\""));
+    assert!(json.contains("\"files_scanned\": 2"));
+    assert!(json.contains("quote \\\" backslash \\\\ newline \\n end"));
+    assert!(json.contains("tab\\there"));
+    assert!(json.contains("\"line\": 7"));
+    assert!(json.contains("\"line\": 9"));
+}

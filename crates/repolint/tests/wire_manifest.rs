@@ -1,0 +1,168 @@
+//! Self-tests for the cross-artifact rules: the real workspace must be
+//! clean, and a seeded drift in any of the three wire-format sources
+//! (codec, golden bytes, DESIGN.md table) must be caught. Mutated copies
+//! live in a throwaway temp directory; the real tree is never touched.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/repolint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Copy the three wire artifacts into a scratch root, applying `mutate`
+/// to the file at `rel`.
+fn scratch_wire_root(tag: &str, rel: &str, mutate: impl Fn(String) -> String) -> PathBuf {
+    let root = repo_root();
+    let dir = std::env::temp_dir().join(format!("repolint-wire-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for file in [
+        "crates/sbr-core/src/codec.rs",
+        "tests/wire_compat.rs",
+        "DESIGN.md",
+    ] {
+        let mut text = std::fs::read_to_string(root.join(file)).unwrap();
+        if file == rel {
+            let before = text.clone();
+            text = mutate(text);
+            assert_ne!(before, text, "mutation did not change {rel}");
+        }
+        let dst = dir.join(file);
+        std::fs::create_dir_all(dst.parent().unwrap()).unwrap();
+        std::fs::write(dst, text).unwrap();
+    }
+    dir
+}
+
+#[test]
+fn the_real_workspace_has_no_wire_drift() {
+    let findings = repolint::wire::check(&repo_root());
+    assert!(findings.is_empty(), "unexpected drift: {findings:?}");
+}
+
+#[test]
+fn the_real_workspace_passes_the_manifest_audit() {
+    let findings = repolint::manifest::check(&repo_root());
+    assert!(
+        findings.is_empty(),
+        "unexpected audit failures: {findings:?}"
+    );
+}
+
+#[test]
+fn full_lint_run_on_the_real_workspace_is_clean() {
+    let report = repolint::run(&repo_root());
+    assert!(
+        report.findings.is_empty(),
+        "workspace regressed: {:?}",
+        report.findings
+    );
+    assert!(report.files_scanned > 50, "walker lost the crates");
+    // Every suppression in the tree carries a reason (reasonless ones
+    // would have surfaced as bad-suppression findings above).
+    assert!(report.suppressed.iter().all(|s| !s.reason.is_empty()));
+}
+
+#[test]
+fn codec_magic_drift_is_caught() {
+    let dir = scratch_wire_root("magic", "crates/sbr-core/src/codec.rs", |s| {
+        s.replacen("0x5342_5232", "0x5342_5233", 1)
+    });
+    let findings = repolint::wire::check(&dir);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "wire-drift" && f.message.contains("v2 magic")),
+        "changed MAGIC_V2 not caught: {findings:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn design_table_offset_drift_is_caught() {
+    // Widen the epoch field in the documented layout: the running-sum
+    // offsets after it no longer match, and the field-width check fires.
+    let dir = scratch_wire_root("epoch", "DESIGN.md", |s| {
+        s.replacen("| 5 | 4 | epoch", "| 5 | 8 | epoch", 1)
+    });
+    let findings = repolint::wire::check(&dir);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.path == "DESIGN.md" && f.message.contains("epoch")),
+        "widened epoch field not caught: {findings:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn golden_test_losing_the_header_size_is_caught() {
+    // If the golden file stops pinning the 41-byte header the contract
+    // is no longer enforced by tests — repolint must notice.
+    let dir = scratch_wire_root("golden", "tests/wire_compat.rs", |s| {
+        s.replace("41", "READACTED")
+    });
+    let findings = repolint::wire::check(&dir);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.path == "tests/wire_compat.rs" && f.message.contains("header size")),
+        "unpinned header size not caught: {findings:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_lint_wall_fails_the_manifest_audit() {
+    let dir = std::env::temp_dir().join(format!("repolint-wall-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[package]\nname = \"scratch\"\nversion = \"0.0.0\"\n",
+    )
+    .unwrap();
+    let findings = repolint::manifest::check(&dir);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("[workspace.lints]")),
+        "missing wall not reported: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("[lints] workspace = true")),
+        "missing inheritance not reported: {findings:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crate_opting_out_of_the_wall_is_caught() {
+    // Clone the real root manifest + lock, then give the scratch root a
+    // single crate whose manifest drops the `[lints]` inheritance.
+    let root = repo_root();
+    let dir = std::env::temp_dir().join(format!("repolint-optout-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("crates/rogue")).unwrap();
+    for file in ["Cargo.toml", "Cargo.lock"] {
+        std::fs::copy(root.join(file), dir.join(file)).unwrap();
+    }
+    std::fs::write(
+        dir.join("crates/rogue/Cargo.toml"),
+        "[package]\nname = \"sbr-core\"\nversion = \"0.0.0\"\n",
+    )
+    .unwrap();
+    let findings = repolint::manifest::check(&dir);
+    assert!(
+        findings.iter().any(|f| {
+            f.path == "crates/rogue/Cargo.toml" && f.message.contains("does not inherit")
+        }),
+        "opted-out crate not reported: {findings:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -72,6 +72,7 @@ const CRC_TABLE: [u32; 256] = {
             };
             k += 1;
         }
+        // lint:allow(index): const-eval loop, i < 256 by the while bound
         table[i] = c;
         i += 1;
     }
@@ -92,6 +93,7 @@ impl Crc32 {
 
     fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
+            // lint:allow(index): subscript is masked with & 0xFF into a [u32; 256] table
             self.state = CRC_TABLE[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
         }
     }
@@ -321,6 +323,7 @@ pub fn decode_v2(buf: &mut impl Buf) -> Result<Frame> {
 /// `crc`) has been consumed.
 fn decode_v2_body(buf: &mut impl Buf, mut crc: Crc32) -> Result<Frame> {
     need(buf, V2_HEADER - 4, "header")?;
+    // lint:allow(index): take::<1> returns [u8; 1], index 0 always exists
     let kind = match take::<1>(buf, &mut crc)[0] {
         0 => FrameKind::Data,
         1 => FrameKind::Resync,

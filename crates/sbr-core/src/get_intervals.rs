@@ -176,6 +176,7 @@ pub fn get_intervals_with<O: FitOracle>(
             }
         };
         let Some(worst) = worst else { break };
+        // lint:allow(float-eq): exact-fit early exit pinned by the differential byte-identity suite
         if worst.err == 0.0 {
             // Everything remaining is already exact; splitting cannot help.
             heap.push(HeapItem(worst));

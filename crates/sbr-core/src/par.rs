@@ -9,6 +9,7 @@
 //! byte-identical results, which the `determinism` integration tests pin
 //! down.
 
+// lint:allow(atomics): work-stealing chunk counter for scoped threads, not a metrics channel
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Evaluate `f(0), f(1), …, f(n-1)` and return the results in index order,
@@ -31,6 +32,7 @@ where
     }
     obs.fanouts.inc();
     let workers = threads.min(n);
+    // lint:allow(atomics): shared cursor for the scoped-thread fan-out, not observability state
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {

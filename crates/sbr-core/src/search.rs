@@ -91,7 +91,7 @@ impl<'a> SearchContext<'a> {
 
     /// Probe every insertion count; ground truth for the unimodality
     /// assumption behind Algorithm 7.
-    fn run_exhaustive(&mut self, cache: Option<&ProbeCache>) -> usize {
+    fn run_exhaustive(&mut self, cache: Option<&ProbeCache<'_>>) -> usize {
         let all: Vec<usize> = (0..=self.candidates.len()).collect();
         self.prefetch(cache, &all);
         let mut best = 0;
@@ -120,7 +120,7 @@ impl<'a> SearchContext<'a> {
     }
 
     /// Memoized probe, optionally served through the probe cache.
-    fn probe(&mut self, cache: Option<&ProbeCache>, pos: usize) -> f64 {
+    fn probe(&mut self, cache: Option<&ProbeCache<'_>>, pos: usize) -> f64 {
         if let Some(e) = self.errors[pos] {
             return e;
         }
@@ -138,7 +138,12 @@ impl<'a> SearchContext<'a> {
     /// prefetch. With a cache the split-tree evaluation pulls its fits from
     /// the cache's probe-`pos` oracle instead of re-sweeping the dictionary;
     /// `scratch` is only used by the legacy path.
-    fn compute_error(&self, cache: Option<&ProbeCache>, pos: usize, scratch: &mut Vec<f64>) -> f64 {
+    fn compute_error(
+        &self,
+        cache: Option<&ProbeCache<'_>>,
+        pos: usize,
+        scratch: &mut Vec<f64>,
+    ) -> f64 {
         let _span = self
             .config
             .obs
@@ -171,7 +176,7 @@ impl<'a> SearchContext<'a> {
     /// *might* need; the selected insertion count is unaffected (the memo
     /// holds identical values either way), the search merely trades at most
     /// one extra probe per level for running them all in parallel.
-    fn prefetch(&mut self, cache: Option<&ProbeCache>, positions: &[usize]) {
+    fn prefetch(&mut self, cache: Option<&ProbeCache<'_>>, positions: &[usize]) {
         let threads = self.config.resolved_threads();
         if threads <= 1 {
             return;
@@ -205,7 +210,7 @@ impl<'a> SearchContext<'a> {
 
     /// Algorithm 7, verbatim (plus a speculative parallel prefetch of the
     /// level's probe positions when threading is enabled).
-    fn search(&mut self, start: usize, end: usize, cache: Option<&ProbeCache>) -> usize {
+    fn search(&mut self, start: usize, end: usize, cache: Option<&ProbeCache<'_>>) -> usize {
         if end == start {
             return start;
         }

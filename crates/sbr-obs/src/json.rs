@@ -115,6 +115,7 @@ impl fmt::Display for Value {
 pub fn format_num(n: f64) -> String {
     if !n.is_finite() {
         "null".to_string()
+    // lint:allow(float-eq): fract()==0.0 is the exact integrality test for JSON int formatting
     } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
         format!("{}", n as i64)
     } else {

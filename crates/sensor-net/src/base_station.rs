@@ -345,7 +345,11 @@ impl BaseStation {
             .iter()
             .rev()
             .find(|c| c.chunk <= chunk as u64)
-            .expect("checkpoint at chunk 0 always exists");
+            .ok_or_else(|| {
+                SbrError::InconsistentState(format!(
+                    "sensor {node} has no checkpoint at or before chunk {chunk}"
+                ))
+            })?;
         Ok((
             Decoder::resume_v2(cp.base.clone(), cp.next_seq, cp.epoch, node as u64),
             cp.chunk as usize,

@@ -157,7 +157,9 @@ impl FaultPlan {
         if !bytes.is_empty() {
             let i = (self.next_u64() % bytes.len() as u64) as usize;
             let bit = (self.next_u64() % 8) as u32;
-            bytes[i] ^= 1 << bit;
+            if let Some(b) = bytes.get_mut(i) {
+                *b ^= 1 << bit;
+            }
         }
         Bytes::from(bytes)
     }

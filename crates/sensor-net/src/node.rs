@@ -95,7 +95,7 @@ impl SensorNode {
 
     /// Number of samples currently buffered per signal.
     pub fn buffered(&self) -> usize {
-        self.buffer[0].len()
+        self.buffer.first().map_or(0, Vec::len)
     }
 
     /// Immutable access to the embedded encoder (base-signal state, stats).

@@ -92,16 +92,17 @@ pub fn recover(path: &Path) -> Result<RecoveredLog, SbrError> {
     let mut pos = 0usize;
     let mut expected_seq = 0u64;
     let mut epoch = 0u32;
-    loop {
-        if raw.len() - pos < 4 {
-            break;
-        }
-        let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        if raw.len() - pos - 4 < len {
+    // Stops at the first truncated length prefix or body (crash mid-append).
+    while let Some(header) = raw
+        .get(pos..pos + 4)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+    {
+        let len = u32::from_le_bytes(header) as usize;
+        let Some(body) = raw.get(pos + 4..pos + 4 + len) else {
             break; // truncated tail
-        }
-        let bytes = Bytes::copy_from_slice(&raw[pos + 4..pos + 4 + len]);
-        let mut frame = &raw[pos + 4..pos + 4 + len];
+        };
+        let bytes = Bytes::copy_from_slice(body);
+        let mut frame = body;
         let parsed = codec::decode_any(&mut frame)?;
         if !frame.is_empty() {
             return Err(SbrError::Corrupt(format!(
@@ -307,6 +308,37 @@ mod tests {
         }
         w.append(&resync).unwrap();
         assert!(recover(w.path()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_append_is_an_error_not_a_panic() {
+        let dir = tempdir("garbage");
+        let fs = frames(2);
+        let mut w = LogWriter::open(&dir, 9).unwrap();
+        for f in &fs {
+            w.append(f).unwrap();
+        }
+        let path = w.path().to_path_buf();
+        drop(w);
+        // A length prefix that parses followed by a body that doesn't:
+        // recover must surface Corrupt, never panic.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&8u32.to_le_bytes());
+        raw.extend_from_slice(&[0xA5; 8]);
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(recover(&path), Err(SbrError::Corrupt(_))));
+
+        // A length prefix pointing past EOF is a truncated tail, kept
+        // frames survive.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.truncate(raw.len() - 12);
+        raw.extend_from_slice(&(u32::MAX).to_le_bytes());
+        raw.push(0x42);
+        std::fs::write(&path, &raw).unwrap();
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.transmissions.len(), 2);
+        assert_eq!(rec.truncated_tail, 5);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -82,6 +82,36 @@ cargo clippy --workspace --offline -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> repolint (workspace static analysis, LINT_REPORT.json archived)"
+# Guard: the invariants DESIGN.md §7b lists — panic-freedom zones, wire
+# constant agreement, atomics/obs confinement, manifest audit. The report
+# is written next to the other CI artifacts.
+cargo run -p repolint --release --offline -- --json target/LINT_REPORT.json
+test -s target/LINT_REPORT.json \
+  || { echo "LINT_REPORT.json missing or empty" >&2; exit 1; }
+grep -q '"schema": "repolint/v1"' target/LINT_REPORT.json \
+  || { echo "LINT_REPORT.json lost its schema tag" >&2; exit 1; }
+
+echo "==> repolint negative smoke (a seeded violation must exit 1)"
+# Guard: a linter that silently passes everything is worse than none.
+# Seed one unguarded panic into a scratch copy of a zone file and require
+# exit code 1 plus the finding in the scratch report.
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+cp -r crates tests DESIGN.md Cargo.toml Cargo.lock "$smoke/"
+mkdir -p "$smoke/vendor"
+for v in vendor/*/; do mkdir "$smoke/$v"; done
+printf '\npub fn repolint_smoke() { let x: Option<u32> = None; x.unwrap(); }\n' \
+  >> "$smoke/crates/sensor-net/src/storage.rs"
+if cargo run -p repolint --release --offline -- \
+    --root "$smoke" --quiet --json "$smoke/LINT_REPORT.json"; then
+  echo "repolint passed a tree with a seeded unwrap" >&2; exit 1
+fi
+grep -q '"rule": "panic-free"' "$smoke/LINT_REPORT.json" \
+  || { echo "seeded violation missing from the scratch report" >&2; exit 1; }
+rm -rf "$smoke"
+trap - EXIT
+
 if [ "$run_bench" = 1 ]; then
   echo "==> fig5 --quick (emits BENCH_SBR.json)"
   cargo run -p sbr-bench --release --offline --bin fig5 -- --quick
