@@ -9,8 +9,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use sbr_core::best_map::MapContext;
-use sbr_core::get_base::{get_base, get_base_threaded};
+use sbr_core::fit_cache::FitCache;
+use sbr_core::get_base::{get_base, get_base_cached, get_base_threaded};
 use sbr_core::get_intervals::get_intervals;
+use sbr_core::obs::EncodeObs;
 use sbr_core::regression::{fit_maxabs, fit_relative, fit_sse};
 use sbr_core::xcorr::{sliding_dot_direct, XcorrPlan};
 use sbr_core::{ErrorMetric, Interval, MultiSeries, SbrConfig, ShiftStrategy};
@@ -167,6 +169,48 @@ fn bench_get_base(c: &mut Criterion) {
     g.finish();
 }
 
+/// The incremental `GetBase`: the legacy fused-fit matrix vs the cached
+/// path (factored moments + per-batch memo), and the cached path again
+/// with a warm cross-batch carry-over (every window interned by the
+/// previous call, so the matrix build fits nothing fresh). The
+/// `legacy`/`cached_cold` ratio is the matrix-build speedup fig5's
+/// `get_base.speedup` member measures end to end.
+fn bench_get_base_cached(c: &mut Criterion) {
+    let mut g = c.benchmark_group("get_base_cached");
+    g.sample_size(10);
+    let obs = EncodeObs::default();
+    for n in [2048usize, 8192] {
+        let rows: Vec<Vec<f64>> = (0..4).map(|s| signal(n / 4, s as u64)).collect();
+        let data = MultiSeries::from_rows(&rows).unwrap();
+        let w = data.default_w();
+        g.bench_with_input(BenchmarkId::new("legacy", n), &n, |b, _| {
+            b.iter(|| get_base(black_box(&data), w, 8, ErrorMetric::Sse).len())
+        });
+        g.bench_with_input(BenchmarkId::new("cached_cold", n), &n, |b, _| {
+            b.iter(|| {
+                get_base_cached(black_box(&data), w, 8, ErrorMetric::Sse, 1, &obs, None).len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cached_warm", n), &n, |b, _| {
+            let mut cache = FitCache::new();
+            get_base_cached(&data, w, 8, ErrorMetric::Sse, 1, &obs, Some(&mut cache));
+            b.iter(|| {
+                get_base_cached(
+                    black_box(&data),
+                    w,
+                    8,
+                    ErrorMetric::Sse,
+                    1,
+                    &obs,
+                    Some(&mut cache),
+                )
+                .len()
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_regression,
@@ -175,6 +219,7 @@ criterion_group!(
     bench_best_map_strategies,
     bench_get_intervals,
     bench_get_base,
+    bench_get_base_cached,
     bench_get_base_parallel
 );
 criterion_main!(benches);

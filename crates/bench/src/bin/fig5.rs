@@ -21,7 +21,7 @@
 
 use std::sync::Arc;
 
-use sbr_bench::{quick_mode, row, run_sbr_stream, BenchRecord, SearchStats, RATIOS};
+use sbr_bench::{quick_mode, row, run_sbr_stream, BenchRecord, GetBaseStats, SearchStats, RATIOS};
 use sbr_core::SbrConfig;
 use sbr_obs::{MetricsRecorder, Recorder as _};
 use sensor_net::{EnergyModel, FaultPlan, LossyLink, Network, Strategy, Topology};
@@ -76,6 +76,7 @@ fn network_sim_record(quick: bool) -> BenchRecord {
         inserted: Vec::new(),
         metrics: None,
         search: None,
+        get_base: None,
         recovery: None,
     }
     .with_metrics(rec.snapshot())
@@ -113,18 +114,23 @@ fn main() {
             let config = SbrConfig::new(band as usize, 1024).with_recorder(rec.clone());
             let stream = run_sbr_stream(&files, config.clone());
             col.push(stream.avg_encode_time().as_secs_f64());
-            // Probe-cache-off control run of the same configuration: its
-            // search-phase wall time is the v3 `speedup` denominator.
+            // Caches-off control run of the same configuration (legacy
+            // probe path *and* legacy GetBase path): its per-phase wall
+            // times are the v3 `speedup` denominators.
             let legacy_rec = Arc::new(MetricsRecorder::new());
             run_sbr_stream(
                 &files,
                 config
                     .without_probe_cache()
+                    .without_fit_cache()
                     .with_recorder(legacy_rec.clone()),
             );
-            let legacy_wall = SearchStats::from_snapshot(&legacy_rec.snapshot()).wall_secs;
+            let legacy_snap = legacy_rec.snapshot();
+            let legacy_wall = SearchStats::from_snapshot(&legacy_snap).wall_secs;
+            let legacy_gb_wall = GetBaseStats::from_snapshot(&legacy_snap).wall_secs;
             let snapshot = rec.snapshot();
             let search = SearchStats::from_snapshot(&snapshot).with_legacy_wall(legacy_wall);
+            let get_base = GetBaseStats::from_snapshot(&snapshot).with_legacy_wall(legacy_gb_wall);
             records.push(
                 BenchRecord::from_stream(
                     "fig5",
@@ -136,7 +142,8 @@ fn main() {
                     &stream,
                 )
                 .with_metrics(snapshot)
-                .with_search(search),
+                .with_search(search)
+                .with_get_base(get_base),
             );
         }
         columns.push(col);
@@ -146,5 +153,10 @@ fn main() {
         println!("{}", row(&format!("{:.0}%", ratio * 100.0), &cells));
     }
     records.push(network_sim_record(quick));
+    // Canonical artifact at the workspace root (what ROADMAP/ci.sh
+    // promise), plus the schema-versioned copy archived under results/.
     sbr_bench::write_bench_json("BENCH_SBR.json", &records).expect("write BENCH_SBR.json");
+    std::fs::create_dir_all("results").expect("create results/");
+    sbr_bench::write_bench_json("results/BENCH_SBR_v3.json", &records)
+        .expect("write results/BENCH_SBR_v3.json");
 }

@@ -203,6 +203,13 @@ pub struct BenchRecord {
     /// `probe_cache = false`. `None` when not instrumented; serialized as
     /// JSON `null` then.
     pub search: Option<SearchStats>,
+    /// GetBase-phase statistics: benefit-matrix size, fit-cache traffic
+    /// and build wall time, plus the legacy-path wall time when the
+    /// configuration was re-measured with `get_base_fit_cache = false`.
+    /// Additive member of the `sbr-bench/v3` schema (readers that ignore
+    /// unknown members parse records carrying it unchanged). `None` when
+    /// not instrumented; serialized as JSON `null` then.
+    pub get_base: Option<GetBaseStats>,
     /// ARQ/resync recovery statistics, for records produced by a
     /// loss-tolerant network run ([`sensor_net::Strategy::SbrArq`]).
     /// Additive member of the `sbr-bench/v3` schema: readers that ignore
@@ -259,6 +266,58 @@ impl SearchStats {
     }
 }
 
+/// The `get_base` block of a `sbr-bench/v3` record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GetBaseStats {
+    /// `K×K` benefit-matrix size of the last `GetBase` run.
+    pub matrix_cells: u64,
+    /// Pair errors served from the fit-cache memo.
+    pub fit_cache_hits: u64,
+    /// Pair errors that required a fresh fit.
+    pub fit_cache_misses: u64,
+    /// Total `GetBase` build wall time across the stream, seconds.
+    pub wall_secs: f64,
+    /// `GetBase` wall time of the same configuration re-run with the
+    /// legacy `get_base_fit_cache = false` path; `None` when not measured.
+    pub legacy_wall_secs: Option<f64>,
+}
+
+impl GetBaseStats {
+    /// Extract the GetBase-phase statistics from an instrumented run's
+    /// snapshot.
+    pub fn from_snapshot(snap: &sbr_obs::Snapshot) -> Self {
+        let wall_ns = snap
+            .histogram("sbr_core.get_base.build_ns")
+            .map(|h| h.sum)
+            .unwrap_or(0);
+        GetBaseStats {
+            matrix_cells: snap.gauge("sbr_core.get_base.matrix_cells").unwrap_or(0.0) as u64,
+            fit_cache_hits: snap
+                .counter("sbr_core.get_base.fit_cache.hits")
+                .unwrap_or(0),
+            fit_cache_misses: snap
+                .counter("sbr_core.get_base.fit_cache.misses")
+                .unwrap_or(0),
+            wall_secs: wall_ns as f64 / 1e9,
+            legacy_wall_secs: None,
+        }
+    }
+
+    /// Attach the legacy-path wall time (builder style).
+    pub fn with_legacy_wall(mut self, secs: f64) -> Self {
+        self.legacy_wall_secs = Some(secs);
+        self
+    }
+
+    /// Legacy-over-cached GetBase speedup, when both sides were measured.
+    pub fn speedup(&self) -> Option<f64> {
+        match self.legacy_wall_secs {
+            Some(legacy) if self.wall_secs > 0.0 => Some(legacy / self.wall_secs),
+            _ => None,
+        }
+    }
+}
+
 impl BenchRecord {
     /// Score `stream` into a record for `experiment` under `params`.
     pub fn from_stream(experiment: &str, params: &[(&str, f64)], stream: &SbrStream) -> Self {
@@ -272,14 +331,17 @@ impl BenchRecord {
             inserted: stream.inserted(),
             metrics: None,
             search: None,
+            get_base: None,
             recovery: None,
         }
     }
 
     /// Attach a metrics snapshot (builder style). Also derives the
-    /// record's `search` block from the snapshot's search-phase metrics.
+    /// record's `search` and `get_base` blocks from the snapshot's
+    /// per-phase metrics.
     pub fn with_metrics(mut self, metrics: sbr_obs::Snapshot) -> Self {
         self.search = Some(SearchStats::from_snapshot(&metrics));
+        self.get_base = Some(GetBaseStats::from_snapshot(&metrics));
         self.metrics = Some(metrics);
         self
     }
@@ -288,6 +350,13 @@ impl BenchRecord {
     /// legacy-path wall time after a comparison re-run.
     pub fn with_search(mut self, search: SearchStats) -> Self {
         self.search = Some(search);
+        self
+    }
+
+    /// Attach an explicit `get_base` block (builder style) — used to add
+    /// the legacy-path wall time after a comparison re-run.
+    pub fn with_get_base(mut self, get_base: GetBaseStats) -> Self {
+        self.get_base = Some(get_base);
         self
     }
 
@@ -338,9 +407,13 @@ fn json_str(s: &str) -> String {
 /// legacy path was re-measured), or JSON `null` when not instrumented.
 /// Records scored from a loss-tolerant network run additionally carry a
 /// `"recovery"` member (frame/duplicate/gap/resync/ACK counts and the
-/// delivered-chunk fraction), JSON `null` otherwise. All of these bumps
-/// are additive — v1/v2/v3 consumers that ignore unknown members parse
-/// the artifact unchanged and the schema string stays `sbr-bench/v3`.
+/// delivered-chunk fraction), JSON `null` otherwise. Instrumented records
+/// also carry a `"get_base"` member: benefit-matrix size, fit-cache
+/// traffic and GetBase wall times (plus the derived speedup when the
+/// legacy path was re-measured), or JSON `null` when not instrumented.
+/// All of these bumps are additive — v1/v2/v3 consumers that ignore
+/// unknown members parse the artifact unchanged and the schema string
+/// stays `sbr-bench/v3`.
 /// Hand-rolled so the bench harness carries no serialization dependency.
 pub fn bench_json(records: &[BenchRecord]) -> String {
     let mut out = String::from("{\n  \"schema\": \"sbr-bench/v3\",\n  \"records\": [\n");
@@ -381,6 +454,23 @@ pub fn bench_json(records: &[BenchRecord]) -> String {
                     json_num(s.wall_secs),
                     s.legacy_wall_secs.map_or("null".into(), json_num),
                     s.speedup().map_or("null".into(), json_num),
+                ));
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"get_base\": ");
+        match &r.get_base {
+            Some(g) => {
+                out.push_str(&format!(
+                    "{{\"matrix_cells\": {}, \"fit_cache_hits\": {}, \
+                     \"fit_cache_misses\": {}, \"wall_secs\": {}, \
+                     \"legacy_wall_secs\": {}, \"speedup\": {}}}",
+                    g.matrix_cells,
+                    g.fit_cache_hits,
+                    g.fit_cache_misses,
+                    json_num(g.wall_secs),
+                    g.legacy_wall_secs.map_or("null".into(), json_num),
+                    g.speedup().map_or("null".into(), json_num),
                 ));
             }
             None => out.push_str("null"),
@@ -501,6 +591,7 @@ mod tests {
         assert!(json.contains("\"transmissions\": 3"));
         assert!(json.contains("\"metrics\": null"), "uninstrumented → null");
         assert!(json.contains("\"search\": null"), "uninstrumented → null");
+        assert!(json.contains("\"get_base\": null"), "uninstrumented → null");
         assert!(json.contains("\"recovery\": null"), "encoder-only → null");
         // The artifact parses with the sbr-obs JSON parser.
         let v = sbr_obs::json::parse(&json).expect("valid JSON");
@@ -550,6 +641,58 @@ mod tests {
             search.get("speedup").and_then(sbr_obs::json::Value::as_f64),
             Some(3.0)
         );
+    }
+
+    #[test]
+    fn bench_json_get_base_block_is_additive() {
+        // A reader that only knows the earlier v3 members must parse an
+        // artifact carrying the get_base block unchanged.
+        let stream = run_sbr_stream(&files(), SbrConfig::new(40, 32));
+        let record = BenchRecord::from_stream("fig5", &[("n", 128.0)], &stream).with_get_base(
+            GetBaseStats {
+                matrix_cells: 100,
+                fit_cache_hits: 500,
+                fit_cache_misses: 90,
+                wall_secs: 0.25,
+                legacy_wall_secs: None,
+            }
+            .with_legacy_wall(0.75),
+        );
+        let json = bench_json(&[record]);
+        assert!(json.contains("\"schema\": \"sbr-bench/v3\""), "no bump");
+        let v = sbr_obs::json::parse(&json).expect("valid JSON");
+        let rec = &v
+            .get("records")
+            .and_then(sbr_obs::json::Value::as_arr)
+            .unwrap()[0];
+        // Existing members untouched…
+        assert!(rec.get("avg_encode_secs").is_some());
+        assert!(rec.get("search").is_some());
+        // …and the additive block carries the GetBase-phase statistics.
+        let gb = rec.get("get_base").expect("get_base member");
+        let f = |k: &str| gb.get(k).and_then(sbr_obs::json::Value::as_f64);
+        assert_eq!(f("matrix_cells"), Some(100.0));
+        assert_eq!(f("fit_cache_hits"), Some(500.0));
+        assert_eq!(f("fit_cache_misses"), Some(90.0));
+        assert_eq!(f("speedup"), Some(3.0));
+    }
+
+    #[test]
+    fn instrumented_metrics_derive_the_get_base_block() {
+        use sbr_obs::{MetricsRecorder, Recorder as _};
+        use std::sync::Arc;
+        let rec = Arc::new(MetricsRecorder::new());
+        let config = SbrConfig::new(40, 32).with_recorder(rec.clone());
+        let stream = run_sbr_stream(&files(), config);
+        let record =
+            BenchRecord::from_stream("fig5", &[("n", 128.0)], &stream).with_metrics(rec.snapshot());
+        let gb = record.get_base.expect("derived from snapshot");
+        assert!(gb.wall_secs > 0.0, "build span must be recorded");
+        assert!(
+            gb.fit_cache_hits > 0,
+            "default config runs the cached GetBase path"
+        );
+        assert!(gb.matrix_cells > 0);
     }
 
     #[test]

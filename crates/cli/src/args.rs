@@ -30,6 +30,10 @@ pub enum Command {
         /// transmission-scoped probe cache (default true; the output
         /// stream is byte-identical either way).
         probe_cache: bool,
+        /// Memoize `GetBase` pair fits and carry them across transmissions
+        /// via the content-addressed fit cache (default true; the output
+        /// stream is byte-identical either way).
+        fit_cache: bool,
         /// Write an `sbr-obs/v1` metrics snapshot (JSON) here after the run.
         metrics: Option<String>,
         /// Write a line-delimited structured trace log here during the run
@@ -140,7 +144,7 @@ USAGE:
   sbr compress   --input <csv> --output <file> --band <values>
                  [--mbase <values>] [--batch <samples>]
                  [--metric sse|relative|maxabs]
-                 [--probe-cache on|off]
+                 [--probe-cache on|off] [--fit-cache on|off]
                  [--metrics <json>] [--trace <log>]
   sbr decompress --input <file> --output <csv>
   sbr info       --input <file>
@@ -174,7 +178,9 @@ per-hop loss (`--loss`) and a seeded end-to-end fault schedule
 then prints the recovery statistics.
 
 Performance: `--probe-cache off` disables the Search probe cache (the
-default shares base-prefix fit work across insertion-count probes); the
+default shares base-prefix fit work across insertion-count probes), and
+`--fit-cache off` disables the incremental GetBase fit cache (the
+default memoizes pair fits and carries them across transmissions); the
 compressed stream is byte-identical either way.
 
 Exit codes: 0 success, 1 runtime failure, 2 usage error.";
@@ -232,6 +238,11 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 Some("off") => false,
                 Some(v) => return Err(format!("--probe-cache must be on|off, got '{v}'")),
             };
+            let fit_cache = match take_value(&mut flags, "fit-cache").as_deref() {
+                None | Some("on") => true,
+                Some("off") => false,
+                Some(v) => return Err(format!("--fit-cache must be on|off, got '{v}'")),
+            };
             Command::Compress {
                 input,
                 output,
@@ -240,6 +251,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 batch,
                 metric,
                 probe_cache,
+                fit_cache,
                 metrics: take_value(&mut flags, "metrics"),
                 trace: take_value(&mut flags, "trace"),
             }
@@ -394,6 +406,7 @@ mod tests {
                 batch: None,
                 metric: "sse".into(),
                 probe_cache: true,
+                fit_cache: true,
                 metrics: None,
                 trace: None,
             }
@@ -421,6 +434,33 @@ mod tests {
         assert!(
             parse(&argv(
                 "compress --input a --output b --band 64 --probe-cache maybe"
+            ))
+            .is_err(),
+            "only on|off are accepted"
+        );
+    }
+
+    #[test]
+    fn parses_fit_cache_flag() {
+        let off = parse(&argv(
+            "compress --input a --output b --band 64 --fit-cache off",
+        ))
+        .unwrap();
+        match off.command {
+            Command::Compress { fit_cache, .. } => assert!(!fit_cache),
+            other => panic!("wrong command {other:?}"),
+        }
+        let on = parse(&argv(
+            "compress --input a --output b --band 64 --fit-cache on",
+        ))
+        .unwrap();
+        match on.command {
+            Command::Compress { fit_cache, .. } => assert!(fit_cache),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(
+            parse(&argv(
+                "compress --input a --output b --band 64 --fit-cache maybe"
             ))
             .is_err(),
             "only on|off are accepted"

@@ -30,6 +30,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             batch,
             metric,
             probe_cache,
+            fit_cache,
             metrics,
             trace,
         } => compress(
@@ -40,6 +41,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             *batch,
             metric,
             *probe_cache,
+            *fit_cache,
             metrics.as_deref(),
             trace.as_deref(),
         ),
@@ -136,6 +138,7 @@ fn compress(
     batch: Option<usize>,
     metric: &str,
     probe_cache: bool,
+    fit_cache: bool,
     metrics_out: Option<&str>,
     trace_out: Option<&str>,
 ) -> Result<String, CliError> {
@@ -172,7 +175,8 @@ fn compress(
 
     let mut config = SbrConfig::new(band, m_base)
         .with_metric(metric_of(metric))
-        .with_probe_cache(probe_cache);
+        .with_probe_cache(probe_cache)
+        .with_fit_cache(fit_cache);
     if let Some(rec) = &recorder {
         config = config.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
     }
@@ -403,9 +407,19 @@ fn render_snapshot(snap: &Snapshot, out: &mut String) {
         ("  cand-region FFT", "sbr_core.best_map.cand_fft_sweeps"),
         ("  base-mapped wins", "sbr_core.best_map.base_wins"),
         ("  fallback wins", "sbr_core.best_map.fallback_wins"),
+        (
+            "  f32 pre-screens",
+            "sbr_core.best_map.f32_prescreen_sweeps",
+        ),
+        (
+            "  f32 re-verified",
+            "sbr_core.best_map.f32_reverified_shifts",
+        ),
         ("Search probes", "sbr_core.search.probes"),
         ("Probe-cache hits", "sbr_core.probe_cache.hits"),
         ("Probe-cache misses", "sbr_core.probe_cache.misses"),
+        ("Fit-cache hits", "sbr_core.get_base.fit_cache.hits"),
+        ("Fit-cache misses", "sbr_core.get_base.fit_cache.misses"),
         ("Base inserted", "sbr_core.base_signal.inserted"),
         ("Base evicted", "sbr_core.base_signal.evicted"),
         ("Tx mapped intervals", "sbr_core.sbr.tx_mapped_intervals"),
@@ -424,6 +438,9 @@ fn render_snapshot(snap: &Snapshot, out: &mut String) {
     }
     if let Some(bytes) = snap.gauge("sbr_core.probe_cache.bytes") {
         out.push_str(&format!("  {:<24} {bytes:.0}\n", "Probe-cache bytes"));
+    }
+    if let Some(bytes) = snap.gauge("sbr_core.get_base.fit_cache.bytes") {
+        out.push_str(&format!("  {:<24} {bytes:.0}\n", "Fit-cache bytes"));
     }
     // Sensor-network metrics, when the artifact came from a network run.
     let mut net: Vec<String> = Vec::new();
@@ -498,6 +515,22 @@ fn report(input: &str) -> Result<String, CliError> {
                         f("probes").unwrap_or(0.0),
                         f("cache_hits").unwrap_or(0.0),
                         f("cache_misses").unwrap_or(0.0),
+                        f("wall_secs").unwrap_or(0.0) * 1e3,
+                    ));
+                    if let Some(x) = f("speedup") {
+                        out.push_str(&format!(" ({x:.2}x vs no cache)"));
+                    }
+                    out.push('\n');
+                }
+                // v3 get_base block (additive): matrix size, fit-cache
+                // traffic, and the speedup over the fit-cache-off control.
+                if let Some(gb) = r.get("get_base").filter(|s| !matches!(s, Value::Null)) {
+                    let f = |k: &str| gb.get(k).and_then(Value::as_f64);
+                    out.push_str(&format!(
+                        "  get_base: {} cell(s), fit cache {}/{} hit/miss, {:.1} ms",
+                        f("matrix_cells").unwrap_or(0.0),
+                        f("fit_cache_hits").unwrap_or(0.0),
+                        f("fit_cache_misses").unwrap_or(0.0),
                         f("wall_secs").unwrap_or(0.0) * 1e3,
                     ));
                     if let Some(x) = f("speedup") {
@@ -1057,6 +1090,33 @@ mod tests {
             std::fs::read(&on).unwrap(),
             std::fs::read(&off).unwrap(),
             "probe cache must not change the stream bytes"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fit_cache_off_writes_identical_stream() {
+        let dir = tempdir("fcache");
+        let csv_in = dir.join("in.csv");
+        write_sample_csv(&csv_in, 256);
+        let on = dir.join("on.sbr");
+        let off = dir.join("off.sbr");
+        run_argv(&format!(
+            "compress --input {} --output {} --band 96 --batch 128 --fit-cache on",
+            csv_in.display(),
+            on.display()
+        ))
+        .unwrap();
+        run_argv(&format!(
+            "compress --input {} --output {} --band 96 --batch 128 --fit-cache off",
+            csv_in.display(),
+            off.display()
+        ))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&on).unwrap(),
+            std::fs::read(&off).unwrap(),
+            "fit cache must not change the stream bytes"
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

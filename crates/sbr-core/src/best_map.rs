@@ -8,6 +8,11 @@ use crate::obs::EncodeObs;
 use crate::regression::{self, PrefixStats};
 use crate::xcorr::{self, XcorrPlan};
 
+/// Shortest span (in shifts) the `f32` pre-screen will take over from the
+/// blocked f64 sweep: two passes (rank + re-verify survivors) only pay for
+/// themselves when there are enough shifts for the ranking to prune.
+const F32_PRESCREEN_MIN_SHIFTS: usize = 32;
+
 /// Which stretch of the concatenated dictionary a region-restricted sweep
 /// covers — only used to attribute the direct-vs-FFT decision to the right
 /// observability counters (the fit itself is region-agnostic).
@@ -44,6 +49,13 @@ pub struct MapContext<'a> {
     /// strategy is [`ShiftStrategy::Direct`], the metric is not SSE, or the
     /// base signal is empty.
     pub xcorr: Option<XcorrPlan>,
+    /// `X` converted to `f32` once per context for the reduced-precision
+    /// pre-screening sweep; `None` unless the `wire_profile` feature is
+    /// compiled in **and** [`SbrConfig::f32_prescreen`] is set (off by
+    /// default). The prescreen only *ranks* shifts — winners are always
+    /// re-verified with the exact f64 summation, so enabling it never
+    /// changes the selected fit.
+    pub x_f32: Option<Vec<f32>>,
     /// Observability handles (cloned from the configuration); counts
     /// fits, strategy decisions and FFT re-verifications. Never affects
     /// the fit itself.
@@ -61,6 +73,15 @@ impl<'a> MapContext<'a> {
         } else {
             None
         };
+        let x_f32 = if cfg!(feature = "wire_profile")
+            && config.f32_prescreen
+            && config.metric == ErrorMetric::Sse
+            && !x.is_empty()
+        {
+            Some(x.iter().map(|&v| v as f32).collect())
+        } else {
+            None
+        };
         MapContext {
             x,
             x_stats: PrefixStats::new(x),
@@ -71,6 +92,7 @@ impl<'a> MapContext<'a> {
             max_shift_len: config.max_shift_len_factor.saturating_mul(w),
             shift_strategy: config.shift_strategy,
             xcorr,
+            x_f32,
             obs: config.obs.clone(),
         }
     }
@@ -197,12 +219,53 @@ impl<'a> MapContext<'a> {
         }
     }
 
-    /// Direct SSE sweep over shifts `lo..=hi`: one `Σ x·y` pass per shift.
+    /// Direct SSE sweep over shifts `lo..=hi`, evaluated in blocks of
+    /// [`xcorr::DOT_BLOCK`] consecutive shifts.
+    ///
+    /// The window statistics `Σy`, `Σy²` are hoisted once per sweep and
+    /// `Σx`, `Σx²` come from prefix sums, so only `Σ x·y` varies per shift;
+    /// [`xcorr::dot_block`] evaluates eight of those at once as
+    /// straight-line f64 mul-adds over one contiguous stretch of `X`. Each
+    /// block lane accumulates in the exact index order of the scalar
+    /// [`xcorr::dot`], and lanes are folded into `interval` in ascending
+    /// shift order with the same strict `<`, so the selected
+    /// `(shift, a, b, err)` is bit-identical to the one-shift-at-a-time
+    /// loop this replaces. Trailing shifts that do not fill a block use the
+    /// scalar dot.
+    ///
+    /// When the reduced-precision prescreen is armed (see
+    /// [`MapContext::x_f32`]) and the span is long enough to amortize two
+    /// passes, the sweep first ranks all shifts in f32 and exactly
+    /// re-verifies the survivors — same result, fewer f64 passes.
     fn shift_loop_sse_direct(&self, interval: &mut Interval, yw: &[f64], lo: usize, hi: usize) {
+        if let Some(x32) = &self.x_f32 {
+            if hi - lo + 1 >= F32_PRESCREEN_MIN_SHIFTS {
+                return self.shift_loop_sse_f32(interval, yw, x32, lo, hi);
+            }
+        }
         let len = interval.length;
         let sum_y = self.y_stats.window_sum(interval.start, len);
         let sum_y2 = self.y_stats.window_sum_sq(interval.start, len);
-        for shift in lo..=hi {
+        let mut shift = lo;
+        let mut dots = [0.0; xcorr::DOT_BLOCK];
+        while shift + xcorr::DOT_BLOCK - 1 <= hi {
+            xcorr::dot_block(
+                &self.x[shift..shift + len + xcorr::DOT_BLOCK - 1],
+                yw,
+                &mut dots,
+            );
+            for (b, &sum_xy) in dots.iter().enumerate() {
+                let f = self.fit_at(shift + b, len, sum_y, sum_y2, sum_xy);
+                if f.err < interval.err {
+                    interval.shift = (shift + b) as i64;
+                    interval.a = f.a;
+                    interval.b = f.b;
+                    interval.err = f.err;
+                }
+            }
+            shift += xcorr::DOT_BLOCK;
+        }
+        for shift in shift..=hi {
             let sum_xy = xcorr::dot(&self.x[shift..shift + len], yw);
             let f = self.fit_at(shift, len, sum_y, sum_y2, sum_xy);
             if f.err < interval.err {
@@ -215,22 +278,15 @@ impl<'a> MapContext<'a> {
     }
 
     /// FFT SSE sweep: all `Σ x·y` values at once via cross-correlation,
-    /// then an exact re-verification pass.
+    /// then the exact re-verification pass of [`Self::filter_and_reverify`].
     ///
-    /// The FFT dot products carry roundoff, so selecting directly on them
-    /// could flip near-ties against the direct path. The FFT pass is
-    /// therefore a *filter*: each shift's approximate error is bracketed by
-    /// a per-shift uncertainty interval, every shift whose lower bracket
-    /// reaches the smallest upper bracket is re-evaluated with the exact
-    /// direct summation, in ascending shift order with the same strict `<`
-    /// as the direct sweep. The exact winner always survives the filter
-    /// (its interval contains its exact error, which is the minimum), so
-    /// the selected `(shift, a, b, err)` is bit-identical to
-    /// [`Self::shift_loop_sse_direct`]. In non-degenerate cases the
-    /// brackets are ~`1e-9` relative and the candidate set is a handful of
-    /// genuine near-ties; a pathological base (near-constant windows
-    /// amplifying `s_xy/s_xx`) only widens the set, degrading speed, never
-    /// correctness.
+    /// The per-shift error bound is the classic `O(ε·log m·‖x‖₂·‖y‖₂)` FFT
+    /// convolution bound, inflated by ~1e4 for slack (ε ≈ 2.2e-16, so the
+    /// 1e-12 head already includes the log factor's constant many times
+    /// over). In non-degenerate cases the brackets are ~`1e-9` relative and
+    /// the re-verified set is a handful of genuine near-ties; a
+    /// pathological base (near-constant windows amplifying `s_xy/s_xx`)
+    /// only widens the set, degrading speed, never correctness.
     fn shift_loop_sse_fft(
         &self,
         interval: &mut Interval,
@@ -240,17 +296,95 @@ impl<'a> MapContext<'a> {
         hi: usize,
     ) {
         let len = interval.length;
-        let sum_y = self.y_stats.window_sum(interval.start, len);
         let sum_y2 = self.y_stats.window_sum_sq(interval.start, len);
         let approx_xy = plan.sliding_dot(yw);
-
-        // Bound on the FFT's absolute error in any Σx·y: the classic
-        // `O(ε·log m·‖x‖₂·‖y‖₂)` FFT convolution bound, inflated by ~1e4
-        // for slack (ε ≈ 2.2e-16, so the 1e-12 head already includes the
-        // log factor's constant many times over).
         let norm_x2 = self.x_stats.window_sum_sq(0, self.x.len());
         let log_m = (usize::BITS - plan.fft_len().leading_zeros()) as f64;
         let d_xy = 1e-12 * log_m * (norm_x2 * sum_y2).sqrt();
+        self.filter_and_reverify(
+            interval,
+            yw,
+            lo,
+            &approx_xy[lo..=hi],
+            d_xy,
+            &self.obs.fft_reverified,
+        );
+    }
+
+    /// Reduced-precision prescreen sweep: rank every shift with a blocked
+    /// f32 `Σ x·y`, then exactly re-verify the candidates that could win.
+    ///
+    /// Ships behind the `wire_profile` feature (the f32 lane of the wire
+    /// profiles) and the off-by-default [`SbrConfig::f32_prescreen`] knob.
+    /// `d_xy` bounds the conversion-plus-summation error of an f32 dot of
+    /// `len` products via Cauchy–Schwarz (`Σ|x·y| ≤ ‖x‖₂·‖y‖₂`, with the
+    /// whole-dictionary `‖x‖₂` as a uniform upper bound over windows):
+    /// each converted product is off by at most ~3ε₃₂ relative and the
+    /// naive summation adds at most `len·ε₃₂` more, inflated 8× for slack.
+    /// Non-finite f32 sums (overflow on extreme data) produce NaN/∞ errors
+    /// whose brackets never exclude a shift, so every shift is then
+    /// re-verified exactly — slower, never wrong.
+    fn shift_loop_sse_f32(
+        &self,
+        interval: &mut Interval,
+        yw: &[f64],
+        x32: &[f32],
+        lo: usize,
+        hi: usize,
+    ) {
+        thread_local! {
+            static Y32: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        self.obs.f32_prescreens.inc();
+        let len = interval.length;
+        let sum_y2 = self.y_stats.window_sum_sq(interval.start, len);
+        let approx_xy: Vec<f64> = Y32.with(|cell| {
+            let mut y32 = cell.borrow_mut();
+            y32.clear();
+            y32.extend(yw.iter().map(|&v| v as f32));
+            (lo..=hi)
+                .map(|shift| {
+                    let xw = &x32[shift..shift + len];
+                    let mut acc = 0.0f32;
+                    for (xi, yi) in xw.iter().zip(y32.iter()) {
+                        acc += xi * yi;
+                    }
+                    acc as f64
+                })
+                .collect()
+        });
+        const EPS32: f64 = 5.960_464_477_539_063e-8; // 2⁻²⁴
+        let norm_x2 = self.x_stats.window_sum_sq(0, self.x.len());
+        let d_xy = 8.0 * (len as f64 + 4.0) * EPS32 * (norm_x2 * sum_y2).sqrt();
+        self.filter_and_reverify(interval, yw, lo, &approx_xy, d_xy, &self.obs.f32_reverified);
+    }
+
+    /// Shared filter-and-reverify core of the approximate sweeps (FFT and
+    /// f32 prescreen): bracket each shift's approximate error, then
+    /// re-evaluate the possible winners with the exact direct summation.
+    ///
+    /// `approx_xy[off]` approximates `Σ x·y` at shift `lo + off` with
+    /// absolute error at most `d_xy`. Selecting directly on approximations
+    /// could flip near-ties against the direct path, so they only *filter*:
+    /// pass 1 brackets each shift's error by a per-shift uncertainty
+    /// interval, pass 2 re-evaluates every shift whose lower bracket
+    /// reaches the smallest upper bracket, in ascending shift order with
+    /// the same strict `<` as the direct sweep. The exact winner always
+    /// survives the filter (its interval contains its exact error, which is
+    /// the minimum), so the selected `(shift, a, b, err)` is bit-identical
+    /// to [`Self::shift_loop_sse_direct`].
+    fn filter_and_reverify(
+        &self,
+        interval: &mut Interval,
+        yw: &[f64],
+        lo: usize,
+        approx_xy: &[f64],
+        d_xy: f64,
+        reverified_ctr: &crate::obs::Counter,
+    ) {
+        let len = interval.length;
+        let sum_y = self.y_stats.window_sum(interval.start, len);
+        let sum_y2 = self.y_stats.window_sum_sq(interval.start, len);
 
         // Pass 1: approximate error + uncertainty bracket per shift.
         // The fit's constant-base branch triggers on s_xx alone, which is
@@ -258,9 +392,10 @@ impl<'a> MapContext<'a> {
         // branch ignores Σx·y entirely, so its uncertainty is zero.
         // Otherwise err = s_yy − (s_xy)²/s_xx, so a perturbation δ of Σx·y
         // moves it by at most (2·|s_xy|·δ + δ²)/s_xx.
-        let mut approx = Vec::with_capacity(hi - lo + 1);
+        let mut approx = Vec::with_capacity(approx_xy.len());
         let mut min_upper = f64::INFINITY;
-        for (shift, &sum_xy) in approx_xy.iter().enumerate().take(hi + 1).skip(lo) {
+        for (off, &sum_xy) in approx_xy.iter().enumerate() {
+            let shift = lo + off;
             let f = self.fit_at(shift, len, sum_y, sum_y2, sum_xy);
             let sum_x = self.x_stats.window_sum(shift, len);
             let sum_x2 = self.x_stats.window_sum_sq(shift, len);
@@ -276,7 +411,8 @@ impl<'a> MapContext<'a> {
         }
 
         // Pass 2: exact re-evaluation of every shift that could be the true
-        // minimum.
+        // minimum. NaN brackets (non-finite approximations) compare false
+        // here and are therefore always re-verified.
         let mut reverified = 0u64;
         for (shift, &(err, u)) in approx.iter().enumerate().map(|(i, v)| (lo + i, v)) {
             if err - u > min_upper {
@@ -292,7 +428,7 @@ impl<'a> MapContext<'a> {
                 interval.err = f.err;
             }
         }
-        self.obs.fft_reverified.add(reverified);
+        reverified_ctr.add(reverified);
     }
 
     /// Closed-form SSE fit for one shift from the window statistics.

@@ -74,6 +74,22 @@ pub struct SbrConfig {
     /// legacy re-fit-everything path, kept as the differential-testing
     /// oracle.
     pub probe_cache: bool,
+    /// Memoize per-pair `fit(cbi_i, cbi_j).err` values in `GetBase` through
+    /// the incremental [`FitCache`](crate::fit_cache::FitCache) (on by
+    /// default). Within one batch the greedy loop re-reads memoized rows
+    /// instead of re-fitting them; across transmission batches fits for
+    /// unchanged candidate content are carried over via content hashes. The
+    /// encoded stream is byte-identical either way; `false` selects the
+    /// legacy re-fit-everything path, kept as the differential-testing
+    /// oracle.
+    pub get_base_fit_cache: bool,
+    /// Rank `BestMap` shift sweeps with a reduced-precision `f32` Σx·y
+    /// pre-screen before re-verifying the candidates exactly in `f64` (the
+    /// same filter-and-reverify pattern as the FFT kernel, so the output is
+    /// still bit-identical). Off by default; requires the `wire_profile`
+    /// feature — without it the knob is inert. Only the SSE metric has the
+    /// factored sufficient-statistics sweep, so other metrics ignore it.
+    pub f32_prescreen: bool,
     /// Worker threads for the independent `BestMap`/`GetBase` fan-out.
     /// `0` (the default) means one thread per available CPU; `1` disables
     /// threading. Results are deterministic and identical for every value —
@@ -101,6 +117,8 @@ impl SbrConfig {
             update_base: true,
             shift_strategy: ShiftStrategy::default(),
             probe_cache: true,
+            get_base_fit_cache: true,
+            f32_prescreen: false,
             num_threads: 0,
             obs: crate::obs::EncodeObs::default(),
         }
@@ -159,6 +177,26 @@ impl SbrConfig {
     /// [`SbrConfig::with_probe_cache`]`(false)`.
     pub fn without_probe_cache(self) -> Self {
         self.with_probe_cache(false)
+    }
+
+    /// Enable or disable the incremental `GetBase` fit cache (builder
+    /// style); see [`SbrConfig::get_base_fit_cache`].
+    pub fn with_fit_cache(mut self, fit_cache: bool) -> Self {
+        self.get_base_fit_cache = fit_cache;
+        self
+    }
+
+    /// Select the legacy `GetBase` re-fit-everything path (builder style);
+    /// shorthand for [`SbrConfig::with_fit_cache`]`(false)`.
+    pub fn without_fit_cache(self) -> Self {
+        self.with_fit_cache(false)
+    }
+
+    /// Enable or disable the `f32` shift-sweep pre-screen (builder style);
+    /// see [`SbrConfig::f32_prescreen`].
+    pub fn with_f32_prescreen(mut self, f32_prescreen: bool) -> Self {
+        self.f32_prescreen = f32_prescreen;
+        self
     }
 
     /// Set the worker-thread count (builder style); `0` = auto, `1` =
@@ -263,6 +301,27 @@ pub trait BaseBuilder {
     ) -> Vec<Vec<f64>> {
         let _ = obs;
         self.build_threaded(data, w, max_ins, metric, threads)
+    }
+
+    /// Like [`BaseBuilder::build_with_obs`] but handed the encoder's
+    /// cross-batch [`FitCache`](crate::fit_cache::FitCache), so builders
+    /// that fit candidate pairs can memoize those fits within the batch and
+    /// carry them to the next one. Implementations must return the same
+    /// output with and without the cache; the default ignores it, so
+    /// external builders keep working unchanged.
+    #[allow(clippy::too_many_arguments)]
+    fn build_cached(
+        &self,
+        data: &MultiSeries,
+        w: usize,
+        max_ins: usize,
+        metric: ErrorMetric,
+        threads: usize,
+        obs: &crate::obs::EncodeObs,
+        cache: Option<&mut crate::fit_cache::FitCache>,
+    ) -> Vec<Vec<f64>> {
+        let _ = cache;
+        self.build_with_obs(data, w, max_ins, metric, threads, obs)
     }
 }
 

@@ -3,10 +3,17 @@
 //! severely memory-constrained nodes.
 
 use crate::config::BaseBuilder;
+use crate::fit_cache::FitCache;
 use crate::metric::ErrorMetric;
 use crate::obs::{EncodeObs, ParObs};
 use crate::regression;
 use crate::series::MultiSeries;
+
+/// Fresh matrix cells fit per blocked `Σx·y` pass in the cached build:
+/// 8 independent accumulator chains hide the FP-add latency that bounds a
+/// single-accumulator pass (same trick as `xcorr::DOT_BLOCK`, applied
+/// across *pairs* instead of shifts).
+const PAIR_BLOCK: usize = 8;
 
 /// Split the batch into `K = n/W` non-overlapping candidate base intervals
 /// (CBIs) of width `w`. A trailing partial window (when `M` is not a
@@ -135,6 +142,220 @@ pub fn get_base_with_obs(
             }
         }
     }
+    selected
+}
+
+/// [`get_base_with_obs`] with the error matrix built *through* a
+/// [`FitCache`] memo — the incremental `GetBase` path.
+///
+/// Three layers of reuse, none of which changes the output:
+///
+/// 1. **Within the matrix build** (SSE only), each pair's fit is factored
+///    into per-window moments (`Σx`, `Σx²` — computed once per CBI) plus a
+///    single `Σx·y` pass per pair, instead of the fused five-accumulator
+///    loop of [`regression::fit_sse`]. Each accumulator still sees the
+///    identical sequence of adds in the identical order, so the factored
+///    errors are bit-identical to the fused ones.
+/// 2. **Across greedy steps**, the benefit scans and the post-selection
+///    `best_err` refresh are pure re-reductions over the memoized matrix —
+///    no pair is ever fit twice in one batch (the low-memory legacy re-fits
+///    all `K×K` pairs per step; see [`get_base_low_memory_with_obs`]).
+/// 3. **Across transmission batches**, pair errors are carried in `cache`
+///    keyed by window *content* (see [`FitCache`]): windows repeated from
+///    the previous batch skip their `Σx·y` passes entirely.
+///
+/// `obs` reports the reuse through `sbr_core.get_base.fit_cache.{hits,
+/// misses,bytes}`: a hit is any pair-error evaluation served by the memo
+/// (carried-over build cells plus every greedy re-reduction read), a miss
+/// is a fresh fit. Passing `cache = None` still memoizes within the batch
+/// (layers 1–2) but carries nothing over.
+#[allow(clippy::too_many_arguments)]
+pub fn get_base_cached(
+    data: &MultiSeries,
+    w: usize,
+    max_ins: usize,
+    metric: ErrorMetric,
+    threads: usize,
+    obs: &EncodeObs,
+    cache: Option<&mut FitCache>,
+) -> Vec<Vec<f64>> {
+    let cbis = candidate_intervals(data, w);
+    let k = cbis.len();
+    if k == 0 || max_ins == 0 {
+        return Vec::new();
+    }
+
+    let mut local = FitCache::new();
+    let cache = cache.unwrap_or(&mut local);
+    cache.begin_batch(metric);
+    let mut ids: Vec<u32> = Vec::with_capacity(k);
+    // Carried-over windows are the only ones that can have memoized pairs;
+    // cells touching a fresh window skip the lookup entirely.
+    let mut carried: Vec<bool> = Vec::with_capacity(k);
+    for c in &cbis {
+        let (id, known) = cache.intern(c);
+        ids.push(id);
+        carried.push(known);
+    }
+
+    // Per-window moments for the factored SSE fit: the same accumulation
+    // order as `fit_sse`'s fused loop, so the factored fit is bit-identical.
+    let moments: Vec<(f64, f64)> = if metric == ErrorMetric::Sse {
+        cbis.iter()
+            .map(|c| {
+                let mut sum = 0.0;
+                let mut sum_sq = 0.0;
+                for &v in *c {
+                    sum += v;
+                    sum_sq += v * v;
+                }
+                (sum, sum_sq)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let fit_pair = |i: usize, j: usize| -> f64 {
+        if metric == ErrorMetric::Sse {
+            let (sum_x, sum_x2) = moments[i];
+            let (sum_y, sum_y2) = moments[j];
+            let mut sum_xy = 0.0;
+            for (xi, yi) in cbis[i].iter().zip(cbis[j]) {
+                sum_xy += xi * yi;
+            }
+            regression::fit_sse_with_stats(w, sum_x, sum_x2, sum_y, sum_y2, sum_xy).err
+        } else {
+            regression::fit(metric, cbis[i], cbis[j]).err
+        }
+    };
+    // Fresh SSE cells are fit `PAIR_BLOCK` data windows at a time: one
+    // pass over the base window feeds 8 independent `Σx·y` accumulators,
+    // hiding the FP-add latency a single accumulator chain serializes on.
+    // Each lane still sums its own pair in ascending index order, so every
+    // cell is bit-identical to the scalar `fit_pair` (and to the legacy
+    // fused `fit_sse` loop).
+    let fit_block = |i: usize, js: &[usize]| -> [f64; PAIR_BLOCK] {
+        debug_assert_eq!(js.len(), PAIR_BLOCK);
+        let xi = cbis[i];
+        let n = xi.len();
+        let ys: [&[f64]; PAIR_BLOCK] = std::array::from_fn(|b| &cbis[js[b]][..n]);
+        let mut sums = [0.0f64; PAIR_BLOCK];
+        for (t, &xv) in xi.iter().enumerate() {
+            for b in 0..PAIR_BLOCK {
+                sums[b] += xv * ys[b][t];
+            }
+        }
+        let (sum_x, sum_x2) = moments[i];
+        std::array::from_fn(|b| {
+            let (sum_y, sum_y2) = moments[js[b]];
+            regression::fit_sse_with_stats(w, sum_x, sum_x2, sum_y, sum_y2, sums[b]).err
+        })
+    };
+
+    let mut best_err: Vec<f64> = cbis
+        .iter()
+        .map(|c| regression::fit_linear(metric, c).err)
+        .collect();
+    // Row build through the memo: workers read the cache immutably and
+    // report which cells they had to fit fresh; misses are folded back in
+    // serially afterwards (ids are per-content, so two equal-content CBIs
+    // in one batch share their row/column cells too).
+    let cache_ro: &FitCache = cache;
+    let rows: Vec<Vec<(f64, bool)>> = crate::par::par_map(k, threads, &obs.par, |i| {
+        let mut row: Vec<(f64, bool)> = Vec::with_capacity(k);
+        let mut fresh_js: Vec<usize> = Vec::with_capacity(k);
+        for j in 0..k {
+            if i == j {
+                row.push((0.0, false));
+            } else if carried[i] && carried[j] {
+                match cache_ro.get(ids[i], ids[j]) {
+                    Some(e) => row.push((e, false)),
+                    None => {
+                        row.push((f64::NAN, true));
+                        fresh_js.push(j);
+                    }
+                }
+            } else {
+                row.push((f64::NAN, true));
+                fresh_js.push(j);
+            }
+        }
+        if metric == ErrorMetric::Sse {
+            let mut b = 0;
+            while b + PAIR_BLOCK <= fresh_js.len() {
+                let js = &fresh_js[b..b + PAIR_BLOCK];
+                let errs = fit_block(i, js);
+                for (l, &j) in js.iter().enumerate() {
+                    row[j].0 = errs[l];
+                }
+                b += PAIR_BLOCK;
+            }
+            for &j in &fresh_js[b..] {
+                row[j].0 = fit_pair(i, j);
+            }
+        } else {
+            for &j in &fresh_js {
+                row[j].0 = fit_pair(i, j);
+            }
+        }
+        row
+    });
+    let mut build_hits = 0u64;
+    let mut build_misses = 0u64;
+    let mut err: Vec<f64> = Vec::with_capacity(k * k);
+    for (i, row) in rows.into_iter().enumerate() {
+        for (j, (e, fresh)) in row.into_iter().enumerate() {
+            if i != j {
+                if fresh {
+                    build_misses += 1;
+                } else {
+                    build_hits += 1;
+                }
+            }
+            err.push(e);
+        }
+    }
+    obs.fit_cache_misses.add(build_misses);
+
+    let mut selected_flags = vec![false; k];
+    let mut selected: Vec<Vec<f64>> = Vec::with_capacity(max_ins.min(k));
+    let mut memo_reads = build_hits;
+    for _ in 0..max_ins.min(k) {
+        let mut best_i = None;
+        let mut best_benefit = 0.0f64;
+        for i in 0..k {
+            if selected_flags[i] {
+                continue;
+            }
+            let mut benefit = 0.0;
+            for j in 0..k {
+                let e = err[i * k + j];
+                if e < best_err[j] {
+                    benefit += best_err[j] - e;
+                }
+            }
+            memo_reads += k as u64;
+            if best_i.is_none() || benefit > best_benefit {
+                best_i = Some(i);
+                best_benefit = benefit;
+            }
+        }
+        let Some(c) = best_i else { break };
+        selected_flags[c] = true;
+        selected.push(cbis[c].to_vec());
+        for j in 0..k {
+            let e = err[c * k + j];
+            if e < best_err[j] {
+                best_err[j] = e;
+            }
+        }
+        memo_reads += k as u64;
+    }
+    // Hand the whole matrix to the cache in one move — the next batch's
+    // carried windows serve their pairs straight out of it.
+    cache.store_matrix(&ids, err);
+    obs.fit_cache_hits.add(memo_reads);
+    obs.fit_cache_bytes.set(cache.footprint_bytes() as f64);
     selected
 }
 
@@ -271,6 +492,19 @@ impl BaseBuilder for GetBaseBuilder {
     ) -> Vec<Vec<f64>> {
         get_base_with_obs(data, w, max_ins, metric, threads, &obs.par)
     }
+
+    fn build_cached(
+        &self,
+        data: &MultiSeries,
+        w: usize,
+        max_ins: usize,
+        metric: ErrorMetric,
+        threads: usize,
+        obs: &EncodeObs,
+        cache: Option<&mut FitCache>,
+    ) -> Vec<Vec<f64>> {
+        get_base_cached(data, w, max_ins, metric, threads, obs, cache)
+    }
 }
 
 /// [`BaseBuilder`] wrapping [`get_base_low_memory`].
@@ -309,6 +543,29 @@ impl BaseBuilder for LowMemoryGetBase {
         obs: &EncodeObs,
     ) -> Vec<Vec<f64>> {
         get_base_low_memory_with_obs(data, w, max_ins, metric, threads, &obs.par)
+    }
+
+    /// With a fit cache the memo already holds every pair error, so the
+    /// per-step re-fitting (and with it the `O(√n)` space bound — the memo
+    /// is the trade) has nothing left to save: the cached low-memory build
+    /// *is* [`get_base_cached`]. Output stays identical — the low-memory
+    /// greedy selects exactly what the full-matrix greedy selects (pinned
+    /// by `low_memory_variant_matches_full_variant`) — and the
+    /// post-selection `best_err` refresh reads the memoized row instead of
+    /// re-fitting row `c` a second time. Disable the cache
+    /// ([`crate::SbrConfig::without_fit_cache`]) to keep the
+    /// paper-faithful `O(√n)`-space oracle.
+    fn build_cached(
+        &self,
+        data: &MultiSeries,
+        w: usize,
+        max_ins: usize,
+        metric: ErrorMetric,
+        threads: usize,
+        obs: &EncodeObs,
+        cache: Option<&mut FitCache>,
+    ) -> Vec<Vec<f64>> {
+        get_base_cached(data, w, max_ins, metric, threads, obs, cache)
     }
 }
 

@@ -49,6 +49,7 @@ pub mod codec;
 pub mod config;
 pub mod decoder;
 pub mod error;
+pub mod fit_cache;
 pub mod get_base;
 pub mod get_intervals;
 pub mod interval;
@@ -62,6 +63,7 @@ pub mod sbr;
 pub mod search;
 pub mod series;
 pub mod transmission;
+#[cfg(feature = "wire_profile")]
 pub mod wire_profile;
 pub mod xcorr;
 
@@ -73,6 +75,7 @@ pub use bounds::{BoundedEncoding, ErrorBoundSpec};
 pub use config::{BaseBuilder, SbrConfig, ShiftStrategy};
 pub use decoder::Decoder;
 pub use error::SbrError;
+pub use fit_cache::FitCache;
 pub use get_base::{GetBaseBuilder, LowMemoryGetBase};
 pub use get_intervals::FitOracle;
 pub use interval::{Interval, IntervalRecord};

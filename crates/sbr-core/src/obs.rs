@@ -16,6 +16,9 @@
 //! | `sbr_core.sbr.encode_ns` | histogram | whole `encode` call |
 //! | `sbr_core.get_base.build_ns` | histogram | candidate construction |
 //! | `sbr_core.get_base.matrix_cells` | gauge | `K×K` benefit-matrix size |
+//! | `sbr_core.get_base.fit_cache.hits` | counter | pair errors served from the memoized matrix |
+//! | `sbr_core.get_base.fit_cache.misses` | counter | pair errors that required a fresh fit |
+//! | `sbr_core.get_base.fit_cache.bytes` | gauge | approximate fit-cache footprint after `GetBase` |
 //! | `sbr_core.search.run_ns` | histogram | insertion-count search |
 //! | `sbr_core.search.probes` | counter | `GetIntervals` probes run |
 //! | `sbr_core.search.probe_ns` | histogram | one `Search` probe (`CalculateError`) |
@@ -31,6 +34,8 @@
 //! | `sbr_core.best_map.cand_direct_sweeps` | counter | candidate region sweeps, direct path |
 //! | `sbr_core.best_map.cand_fft_sweeps` | counter | candidate region sweeps, FFT path |
 //! | `sbr_core.best_map.fft_reverified_shifts` | counter | shifts exactly re-checked after the FFT filter |
+//! | `sbr_core.best_map.f32_prescreen_sweeps` | counter | sweeps ranked by the `f32` pre-screen |
+//! | `sbr_core.best_map.f32_reverified_shifts` | counter | shifts exactly re-checked after the `f32` filter |
 //! | `sbr_core.best_map.base_wins` | counter | fits won by a base mapping |
 //! | `sbr_core.best_map.fallback_wins` | counter | fits won by the linear fall-back |
 //! | `sbr_core.base_signal.inserted` | counter | base intervals inserted |
@@ -98,6 +103,10 @@ mod enabled {
         pub cand_fft_sweeps: Counter,
         /// Shifts exactly re-verified after the FFT filter pass.
         pub fft_reverified: Counter,
+        /// Sweeps ranked by the `f32` pre-screen before exact re-verification.
+        pub f32_prescreens: Counter,
+        /// Shifts exactly re-verified after the `f32` filter pass.
+        pub f32_reverified: Counter,
         /// Fits won by a base-signal mapping.
         pub base_wins: Counter,
         /// Fits won by the linear fall-back.
@@ -110,6 +119,12 @@ mod enabled {
         pub cache_misses: Counter,
         /// Approximate probe-cache footprint in bytes after `Search`.
         pub cache_bytes: Gauge,
+        /// `GetBase` pair errors served from the memoized matrix.
+        pub fit_cache_hits: Counter,
+        /// `GetBase` pair errors that required a fresh fit.
+        pub fit_cache_misses: Counter,
+        /// Approximate fit-cache footprint in bytes after `GetBase`.
+        pub fit_cache_bytes: Gauge,
         /// Base intervals inserted into the dictionary.
         pub base_inserted: Counter,
         /// Dictionary slots overwritten by LFU eviction.
@@ -147,12 +162,17 @@ mod enabled {
                 cand_direct_sweeps: r.counter("sbr_core.best_map.cand_direct_sweeps"),
                 cand_fft_sweeps: r.counter("sbr_core.best_map.cand_fft_sweeps"),
                 fft_reverified: r.counter("sbr_core.best_map.fft_reverified_shifts"),
+                f32_prescreens: r.counter("sbr_core.best_map.f32_prescreen_sweeps"),
+                f32_reverified: r.counter("sbr_core.best_map.f32_reverified_shifts"),
                 base_wins: r.counter("sbr_core.best_map.base_wins"),
                 fallback_wins: r.counter("sbr_core.best_map.fallback_wins"),
                 search_probes: r.counter("sbr_core.search.probes"),
                 cache_hits: r.counter("sbr_core.probe_cache.hits"),
                 cache_misses: r.counter("sbr_core.probe_cache.misses"),
                 cache_bytes: r.gauge("sbr_core.probe_cache.bytes"),
+                fit_cache_hits: r.counter("sbr_core.get_base.fit_cache.hits"),
+                fit_cache_misses: r.counter("sbr_core.get_base.fit_cache.misses"),
+                fit_cache_bytes: r.gauge("sbr_core.get_base.fit_cache.bytes"),
                 base_inserted: r.counter("sbr_core.base_signal.inserted"),
                 base_evicted: r.counter("sbr_core.base_signal.evicted"),
                 tx_mapped_intervals: r.counter("sbr_core.sbr.tx_mapped_intervals"),
@@ -324,6 +344,10 @@ mod disabled {
         pub cand_fft_sweeps: Counter,
         /// Shifts exactly re-verified after the FFT filter pass.
         pub fft_reverified: Counter,
+        /// Sweeps ranked by the `f32` pre-screen before exact re-verification.
+        pub f32_prescreens: Counter,
+        /// Shifts exactly re-verified after the `f32` filter pass.
+        pub f32_reverified: Counter,
         /// Fits won by a base-signal mapping.
         pub base_wins: Counter,
         /// Fits won by the linear fall-back.
@@ -336,6 +360,12 @@ mod disabled {
         pub cache_misses: Counter,
         /// Approximate probe-cache footprint in bytes after `Search`.
         pub cache_bytes: Gauge,
+        /// `GetBase` pair errors served from the memoized matrix.
+        pub fit_cache_hits: Counter,
+        /// `GetBase` pair errors that required a fresh fit.
+        pub fit_cache_misses: Counter,
+        /// Approximate fit-cache footprint in bytes after `GetBase`.
+        pub fit_cache_bytes: Gauge,
         /// Base intervals inserted into the dictionary.
         pub base_inserted: Counter,
         /// Dictionary slots overwritten by LFU eviction.

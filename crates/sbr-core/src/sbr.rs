@@ -4,6 +4,7 @@
 use crate::base_signal::BaseSignal;
 use crate::config::{BaseBuilder, SbrConfig};
 use crate::error::{Result, SbrError};
+use crate::fit_cache::FitCache;
 use crate::get_base::GetBaseBuilder;
 use crate::get_intervals::get_intervals;
 use crate::search::SearchContext;
@@ -37,6 +38,11 @@ pub struct SbrEncoder {
     capacity_slots: usize,
     base: BaseSignal,
     builder: Box<dyn BaseBuilder + Send>,
+    /// Cross-batch memo of `GetBase` pair-fit errors, handed to the builder
+    /// when [`SbrConfig::get_base_fit_cache`] is on. Windows repeated from
+    /// the previous batch skip their fits entirely; see
+    /// [`crate::fit_cache`].
+    fit_cache: FitCache,
     seq: u64,
     last_stats: Option<EncodeStats>,
 }
@@ -76,6 +82,7 @@ impl SbrEncoder {
             config,
             base: BaseSignal::new(w),
             builder,
+            fit_cache: FitCache::new(),
             seq: 0,
             last_stats: None,
         })
@@ -156,14 +163,26 @@ impl SbrEncoder {
             obs.matrix_cells.set((k * k) as f64);
             let candidates = {
                 let _s = obs.span("sbr_core.get_base.build_ns", &obs.get_base_ns);
-                self.builder.build_with_obs(
-                    data,
-                    self.w,
-                    max_ins,
-                    self.config.metric,
-                    self.config.resolved_threads(),
-                    &obs,
-                )
+                if self.config.get_base_fit_cache {
+                    self.builder.build_cached(
+                        data,
+                        self.w,
+                        max_ins,
+                        self.config.metric,
+                        self.config.resolved_threads(),
+                        &obs,
+                        Some(&mut self.fit_cache),
+                    )
+                } else {
+                    self.builder.build_with_obs(
+                        data,
+                        self.w,
+                        max_ins,
+                        self.config.metric,
+                        self.config.resolved_threads(),
+                        &obs,
+                    )
+                }
             };
             let mut search =
                 SearchContext::new(&self.base, &candidates, data, self.w, &self.config);

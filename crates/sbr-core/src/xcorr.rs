@@ -118,6 +118,33 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     acc
 }
 
+/// Shifts evaluated per block by [`dot_block`] — sized so the straight-line
+/// inner loop fills the host's SIMD lanes (8 f64 = one AVX-512 register,
+/// two AVX2 registers) while the working set of `x` stays register-resident.
+pub const DOT_BLOCK: usize = 8;
+
+/// Evaluate [`DOT_BLOCK`] *consecutive* shifts of `y` over `x` at once:
+/// `out[b] = Σ_i x[b + i]·y[i]` for `b` in `0..DOT_BLOCK`.
+///
+/// Requires `x.len() == y.len() + DOT_BLOCK - 1` (the block's last shift
+/// ends exactly at `x`'s end). Each accumulator `out[b]` adds the products
+/// `x[b+i]·y[i]` in ascending `i` — the summation order of [`dot`] — so
+/// every lane is **bit-identical** to the scalar `dot(&x[b..b+len], y)`.
+/// The win is instruction-level: one serial dot is a latency-bound chain of
+/// dependent adds, while eight interleaved chains give the autovectorizer
+/// straight-line mul-adds over contiguous `x` loads with a broadcast `y`.
+#[inline]
+pub fn dot_block(x: &[f64], y: &[f64], out: &mut [f64; DOT_BLOCK]) {
+    debug_assert_eq!(x.len(), y.len() + DOT_BLOCK - 1);
+    *out = [0.0; DOT_BLOCK];
+    for (i, &yi) in y.iter().enumerate() {
+        let xw = &x[i..i + DOT_BLOCK];
+        for b in 0..DOT_BLOCK {
+            out[b] += xw[b] * yi;
+        }
+    }
+}
+
 /// Cost-model crossover: `true` when the FFT path is expected to beat the
 /// direct loop for a window of `len` samples against a base of `x_len`.
 ///
@@ -207,6 +234,31 @@ mod tests {
     #[should_panic]
     fn window_longer_than_base_panics() {
         XcorrPlan::new(&[1.0, 2.0]).sliding_dot(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dot_block_lanes_are_bit_identical_to_scalar_dot() {
+        // The blocked sweep replaces per-shift scalar dots; every lane must
+        // reproduce the scalar accumulation bit for bit, including awkward
+        // magnitudes where a different summation order would round away.
+        for (len, seed) in [(1usize, 5u64), (7, 6), (64, 7), (143, 8)] {
+            let x = signal(len + DOT_BLOCK - 1, seed);
+            let y: Vec<f64> = signal(len, seed + 100)
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| v * 10f64.powi((i % 7) as i32 - 3))
+                .collect();
+            let mut out = [0.0; DOT_BLOCK];
+            dot_block(&x, &y, &mut out);
+            for (b, &v) in out.iter().enumerate() {
+                let exact = dot(&x[b..b + len], &y);
+                assert_eq!(
+                    v.to_bits(),
+                    exact.to_bits(),
+                    "lane {b} of len {len} diverged from scalar dot"
+                );
+            }
+        }
     }
 
     #[test]

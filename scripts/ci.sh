@@ -34,6 +34,12 @@ echo "==> probe-cache differential suite (cache on vs off, byte-identical)"
 # the cached and legacy probe paths must emit byte-identical streams.
 cargo test -q --offline --test probe_cache_diff
 
+echo "==> GetBase fit-cache differential suite (cache on vs off, byte-identical)"
+# Guard: the incremental GetBase fit cache (and the wire_profile f32
+# pre-screen) only reorder evaluation — cached, legacy and pre-screened
+# paths must emit byte-identical streams.
+cargo test -q --offline --test get_base_incremental_diff
+
 echo "==> ARQ differential suite (reliable link: ARQ log == direct delivery)"
 # Guard: the loss-tolerant v2 protocol is pure delivery mechanics — on a
 # perfect channel its base-station log must be byte-identical to legacy
@@ -123,6 +129,26 @@ if [ "$run_bench" = 1 ]; then
   echo "$report" | grep -q "vs no cache" || { echo "report missing search speedup block" >&2; exit 1; }
   echo "$report" | grep -q "sensor_net.recovery" || { echo "report missing ARQ recovery counters" >&2; exit 1; }
   grep -q '"recovery": {' BENCH_SBR.json || { echo "BENCH_SBR.json missing recovery block" >&2; exit 1; }
+
+  echo "==> perf smoke (get_base block: fit cache must actually engage)"
+  # Guard: every fig5 record must carry the additive get_base block, and
+  # the fit cache must report real traffic — hits == 0 would mean the
+  # cached GetBase path silently stopped being exercised.
+  grep -q '"get_base": {' BENCH_SBR.json \
+    || { echo "BENCH_SBR.json missing get_base block" >&2; exit 1; }
+  echo "$report" | grep -q "get_base:" \
+    || { echo "report missing get_base block" >&2; exit 1; }
+  # Records are one JSON object per line; sum fit_cache_hits across the
+  # fig5 records and fail on zero.
+  hits="$(grep -o '"fit_cache_hits": [0-9]*' BENCH_SBR.json \
+    | awk -F': ' '{s += $2} END {print s+0}')"
+  if [ "$hits" -eq 0 ]; then
+    echo "fit_cache.hits == 0 on the quick fig5 sweep: incremental GetBase is not engaging" >&2
+    exit 1
+  fi
+  echo "    fit_cache_hits total: $hits"
+  test -s results/BENCH_SBR_v3.json \
+    || { echo "results/BENCH_SBR_v3.json copy missing" >&2; exit 1; }
 fi
 
 echo "CI pass complete."
