@@ -76,9 +76,10 @@ fn bench_obs_overhead(c: &mut Criterion) {
     // The sbr-obs contract: with no recorder attached every handle is one
     // branch and no span reads the clock, so the default (noop) encode
     // must sit within noise of the pre-instrumentation pipeline. Compare
-    // the three operating points side by side — noop, live metrics, live
-    // metrics + discarding trace sink — on an identical workload.
-    use sbr_obs::MetricsRecorder;
+    // the four operating points side by side — noop, live metrics, live
+    // metrics + discarding trace sink, live metrics + frame-lifecycle
+    // timeline — on an identical workload.
+    use sbr_obs::{MetricsRecorder, Timeline, DEFAULT_TIMELINE_CAPACITY};
     use std::sync::Arc;
 
     let n = 5120usize;
@@ -105,6 +106,17 @@ fn bench_obs_overhead(c: &mut Criterion) {
                 Box::new(std::io::sink()),
             ));
             let config = SbrConfig::new(n / 10, 1024).with_recorder(rec);
+            let mut enc = SbrEncoder::new(10, n / 10, config).unwrap();
+            enc.encode(black_box(&rows)).unwrap().cost()
+        })
+    });
+    g.bench_function("live_metrics_and_timeline", |b| {
+        b.iter(|| {
+            let rec = Arc::new(MetricsRecorder::new());
+            let timeline = Timeline::with_recorder(rec.as_ref(), DEFAULT_TIMELINE_CAPACITY);
+            let config = SbrConfig::new(n / 10, 1024)
+                .with_recorder(rec)
+                .with_timeline(timeline);
             let mut enc = SbrEncoder::new(10, n / 10, config).unwrap();
             enc.encode(black_box(&rows)).unwrap().cost()
         })

@@ -34,7 +34,7 @@ pub enum Command {
         /// via the content-addressed fit cache (default true; the output
         /// stream is byte-identical either way).
         fit_cache: bool,
-        /// Write an `sbr-obs/v1` metrics snapshot (JSON) here after the run.
+        /// Write an `sbr-obs/v2` metrics snapshot (JSON) here after the run.
         metrics: Option<String>,
         /// Write a line-delimited structured trace log here during the run
         /// (same format as the `SBR_TRACE` environment variable).
@@ -86,7 +86,7 @@ pub enum Command {
     },
     /// `sbr report`: render a metrics artifact (a `BENCH_SBR.json` in the
     /// `sbr-bench/v3` schema — earlier v1/v2 artifacts still parse — or a
-    /// raw `sbr-obs/v1` snapshot) as per-phase time / error / bandwidth
+    /// raw `sbr-obs/v2` snapshot — v1 still parses) as per-phase time / error / bandwidth
     /// tables.
     Report {
         /// Input JSON file.
@@ -121,7 +121,7 @@ pub enum Command {
         /// Crash sensor `node` right after it flushes chunk `chunk`
         /// (`node:chunk`).
         crash_at: Option<(usize, u64)>,
-        /// Write an `sbr-obs/v1` metrics snapshot (JSON) here after the run.
+        /// Write an `sbr-obs/v2` metrics snapshot (JSON) here after the run.
         metrics: Option<String>,
     },
     /// `sbr trace`: filter and pretty-print a structured event log
@@ -131,6 +131,26 @@ pub enum Command {
         input: String,
         /// Only show events whose name contains this substring.
         filter: Option<String>,
+        /// Only show frame-lifecycle events for this frame
+        /// (`node:epoch:seq`, validated at parse time).
+        frame: Option<sbr_obs::FrameId>,
+        /// Only show frame-lifecycle events from this sensor node.
+        node: Option<u32>,
+        /// Only show frame-lifecycle events of this kind (`tx`, `retx`,
+        /// `acked`, ... — validated at parse time).
+        kind: Option<sbr_obs::EventKind>,
+    },
+    /// `sbr perf diff`: compare two `BENCH_SBR.json` artifacts and fail
+    /// on wall-time regressions beyond a tolerance.
+    PerfDiff {
+        /// Baseline benchmark artifact.
+        baseline: String,
+        /// Candidate benchmark artifact.
+        candidate: String,
+        /// Allowed relative wall-time growth (0.25 = +25%).
+        tolerance: f64,
+        /// Also write the full diff report here.
+        report: Option<String>,
     },
     /// `sbr help`.
     Help,
@@ -159,6 +179,11 @@ USAGE:
                  [--drop <p>] [--dup <p>] [--reorder <p>] [--corrupt <p>]
                  [--crash-at <node>:<chunk>] [--metrics <json>]
   sbr trace      --input <log> [--filter <substring>]
+                 [--frame <node>:<epoch>:<seq>] [--node <n>]
+                 [--kind encoded|queued|tx|retx|dropped|dup|corrupt|
+                         acked|decoded|persisted|resynced]
+  sbr perf diff  <baseline.json> <candidate.json>
+                 [--tolerance <frac>] [--report <txt>]
   sbr help
 
 The CSV has one column per signal and one row per sample; an optional
@@ -167,8 +192,13 @@ header row names the signals.
 Observability: set SBR_TRACE=<path> to stream structured events from any
 subcommand into <path> (one JSON object per line); `sbr report` renders
 metrics artifacts (`sbr-bench/v3` benchmark files — earlier versions
-still parse — or `sbr-obs/v1` snapshots) and `sbr trace` pretty-prints
-event logs.
+still parse — or `sbr-obs/v2` snapshots, v1 accepted) and `sbr trace` pretty-prints
+event logs. With a frame-lifecycle timeline attached (`sbr simulate`
+under SBR_TRACE), `sbr trace` narrows to one frame (`--frame
+node:epoch:seq`), one sensor (`--node`) or one lifecycle step
+(`--kind`); `sbr perf diff` compares the encode/search/get_base walls,
+cache hit rates and recovery counters of two benchmark artifacts and
+exits 1 when a wall regresses beyond `--tolerance` (default 0.25).
 
 Fault injection: `sbr simulate` drives the loss-tolerant v2 protocol
 (per-frame CRC, sequence/epoch tracking, bounded retransmission with
@@ -197,7 +227,17 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
         });
     };
     let mut flags = std::collections::HashMap::new();
+    // `perf` takes positionals (`perf diff <baseline> <candidate>`)
+    // before its flags; every other subcommand is pure --flag value
+    // pairs.
+    let mut positionals: Vec<String> = Vec::new();
     let mut i = 1;
+    if sub == "perf" {
+        while i < argv.len() && !argv[i].starts_with("--") {
+            positionals.push(argv[i].clone());
+            i += 1;
+        }
+    }
     while i < argv.len() {
         let key = argv[i]
             .strip_prefix("--")
@@ -372,10 +412,69 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 metrics: take_value(&mut flags, "metrics"),
             }
         }
-        "trace" => Command::Trace {
-            input: required(&mut flags, "input")?,
-            filter: take_value(&mut flags, "filter"),
-        },
+        "trace" => {
+            let frame = match take_value(&mut flags, "frame") {
+                Some(v) => Some(
+                    v.parse::<sbr_obs::FrameId>()
+                        .map_err(|e| format!("--frame: {e}"))?,
+                ),
+                None => None,
+            };
+            let node = match take_value(&mut flags, "node") {
+                Some(v) => Some(
+                    v.parse::<u32>()
+                        .map_err(|_| format!("--node must be a sensor id, got '{v}'"))?,
+                ),
+                None => None,
+            };
+            let kind = match take_value(&mut flags, "kind") {
+                Some(v) => Some(sbr_obs::EventKind::parse(&v).ok_or_else(|| {
+                    format!("--kind: unknown lifecycle event '{v}' (try tx, retx, acked, ...)")
+                })?),
+                None => None,
+            };
+            Command::Trace {
+                input: required(&mut flags, "input")?,
+                filter: take_value(&mut flags, "filter"),
+                frame,
+                node,
+                kind,
+            }
+        }
+        "perf" => {
+            let mut pos = positionals.into_iter();
+            match pos.next().as_deref() {
+                Some("diff") => {}
+                Some(other) => {
+                    return Err(format!("unknown perf action '{other}' (expected 'diff')"))
+                }
+                None => return Err("usage: sbr perf diff <baseline.json> <candidate.json>".into()),
+            }
+            let (Some(baseline), Some(candidate), None) = (pos.next(), pos.next(), pos.next())
+            else {
+                return Err(
+                    "perf diff wants exactly two files: <baseline.json> <candidate.json>".into(),
+                );
+            };
+            let tolerance = match take_value(&mut flags, "tolerance") {
+                Some(v) => {
+                    let t = v
+                        .parse::<f64>()
+                        .map_err(|_| format!("--tolerance must be a fraction, got '{v}'"))?;
+                    if !t.is_finite() || t < 0.0 {
+                        return Err(format!("--tolerance must be non-negative, got {t}"));
+                    }
+                    t
+                }
+                None => 0.25,
+            };
+            Command::PerfDiff {
+                baseline,
+                candidate,
+                tolerance,
+                report: take_value(&mut flags, "report"),
+            }
+        }
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     };
@@ -499,9 +598,80 @@ mod tests {
             Command::Trace {
                 input: "t.log".into(),
                 filter: Some("best_map".into()),
+                frame: None,
+                node: None,
+                kind: None,
             }
         );
         assert!(parse(&argv("report")).is_err(), "report needs --input");
+    }
+
+    #[test]
+    fn parses_trace_lifecycle_filters() {
+        let cli = parse(&argv(
+            "trace --input t.log --frame 2:1:17 --node 2 --kind retx",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Trace {
+                frame, node, kind, ..
+            } => {
+                assert_eq!(frame, Some(sbr_obs::FrameId::new(2, 1, 17)));
+                assert_eq!(node, Some(2));
+                assert_eq!(kind, Some(sbr_obs::EventKind::Retx));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_rejects_malformed_lifecycle_filters() {
+        // Exit code 2 in main: parse errors map to CliError::Usage.
+        assert!(parse(&argv("trace --input t.log --frame 2:1")).is_err());
+        assert!(parse(&argv("trace --input t.log --frame a:b:c")).is_err());
+        assert!(parse(&argv("trace --input t.log --node minus-one")).is_err());
+        assert!(parse(&argv("trace --input t.log --kind teleported")).is_err());
+    }
+
+    #[test]
+    fn parses_perf_diff() {
+        assert_eq!(
+            parse(&argv("perf diff base.json cand.json"))
+                .unwrap()
+                .command,
+            Command::PerfDiff {
+                baseline: "base.json".into(),
+                candidate: "cand.json".into(),
+                tolerance: 0.25,
+                report: None,
+            }
+        );
+        let cli = parse(&argv(
+            "perf diff base.json cand.json --tolerance 0.1 --report d.txt",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::PerfDiff {
+                tolerance, report, ..
+            } => {
+                assert_eq!(tolerance, 0.1);
+                assert_eq!(report.as_deref(), Some("d.txt"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perf_diff_rejects_bad_grammar() {
+        assert!(parse(&argv("perf")).is_err(), "wants an action");
+        assert!(parse(&argv("perf smash a b")).is_err(), "only diff");
+        assert!(parse(&argv("perf diff base.json")).is_err(), "two files");
+        assert!(parse(&argv("perf diff a b c")).is_err(), "exactly two");
+        assert!(
+            parse(&argv("perf diff a b --tolerance -0.5")).is_err(),
+            "tolerance >= 0"
+        );
+        assert!(parse(&argv("perf diff a b --tolerance much")).is_err());
     }
 
     #[test]

@@ -9,7 +9,10 @@ use sbr_baselines::Compressor;
 use sbr_core::query::aggregate_stream;
 use sbr_core::{codec, Decoder, ErrorMetric, MultiSeries, SbrConfig, SbrEncoder};
 use sbr_obs::json::Value;
-use sbr_obs::{HistogramSnapshot, MetricsRecorder, Recorder, Snapshot};
+use sbr_obs::{
+    EventKind, FrameId, HistogramSnapshot, MetricsRecorder, Recorder, Snapshot, Timeline,
+    DEFAULT_TIMELINE_CAPACITY,
+};
 use sensor_net::network::{Network, Strategy};
 use sensor_net::storage::{recover, LogWriter};
 use sensor_net::{EnergyModel, FaultPlan, LossyLink, Topology};
@@ -87,7 +90,19 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             *crash_at,
             metrics.as_deref(),
         ),
-        Command::Trace { input, filter } => trace_log(input, filter.as_deref()),
+        Command::Trace {
+            input,
+            filter,
+            frame,
+            node,
+            kind,
+        } => trace_log(input, filter.as_deref(), *frame, *node, *kind),
+        Command::PerfDiff {
+            baseline,
+            candidate,
+            tolerance,
+            report,
+        } => perf_diff(baseline, candidate, *tolerance, report.as_deref()),
     }
 }
 
@@ -373,16 +388,19 @@ fn render_snapshot(snap: &Snapshot, out: &mut String) {
         .collect();
     if !timed.is_empty() {
         out.push_str(&format!(
-            "  {:<18} {:>8} {:>12} {:>12} {:>12}\n",
-            "phase", "calls", "total-ms", "mean-ms", "max-ms"
+            "  {:<18} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "phase", "calls", "total-ms", "mean-ms", "p50-ms", "p90-ms", "p99-ms", "max-ms"
         ));
         for (label, h) in timed {
             out.push_str(&format!(
-                "  {:<18} {:>8} {:>12} {:>12} {:>12}\n",
+                "  {:<18} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
                 label,
                 h.count,
                 ms(h.sum as f64),
                 ms(h.mean()),
+                ms(h.p50() as f64),
+                ms(h.p90() as f64),
+                ms(h.p99() as f64),
                 ms(h.max as f64)
             ));
         }
@@ -451,9 +469,15 @@ fn render_snapshot(snap: &Snapshot, out: &mut String) {
         match value {
             sbr_obs::MetricValue::Counter(n) => net.push(format!("  {name:<40} {n}")),
             sbr_obs::MetricValue::Gauge(g) => net.push(format!("  {name:<40} {g:.0}")),
-            sbr_obs::MetricValue::Histogram(h) => {
-                net.push(format!("  {name:<40} n={} mean={}", h.count, h.mean()))
-            }
+            sbr_obs::MetricValue::Histogram(h) => net.push(format!(
+                "  {name:<40} n={} mean={:.1} p50={} p90={} p99={} max={}",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max
+            )),
         }
     }
     if !net.is_empty() {
@@ -472,7 +496,7 @@ fn report(input: &str) -> Result<String, CliError> {
     let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
     let mut out = String::new();
     match schema {
-        "sbr-obs/v1" => {
+        "sbr-obs/v1" | "sbr-obs/v2" => {
             let snap = Snapshot::from_json(&text).map_err(|e| format!("{input}: {e}"))?;
             out.push_str(&format!("metrics snapshot {input}\n"));
             render_snapshot(&snap, &mut out);
@@ -619,14 +643,25 @@ fn simulate(
     }
     net.set_fault_plan(plan);
 
-    let recorder: Option<Arc<MetricsRecorder>> = match metrics_out {
-        Some(_) => Some(Arc::new(
+    // A recorder (and a frame-lifecycle timeline feeding it) is built
+    // whenever someone will read it: --metrics or the SBR_TRACE
+    // environment variable. The timeline mirrors every frame event into
+    // the trace log, so `sbr trace --frame/--node/--kind` can follow one
+    // frame through the pipeline.
+    let env_trace = std::env::var(sbr_obs::TRACE_ENV).is_ok_and(|v| !v.is_empty());
+    let recorder: Option<Arc<MetricsRecorder>> = if metrics_out.is_some() || env_trace {
+        Some(Arc::new(
             MetricsRecorder::from_env().map_err(|e| e.to_string())?,
-        )),
-        None => None,
+        ))
+    } else {
+        None
     };
     if let Some(rec) = &recorder {
         net.set_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+        net.set_timeline(Timeline::with_recorder(
+            rec.as_ref(),
+            DEFAULT_TIMELINE_CAPACITY,
+        ));
     }
 
     let report = net
@@ -681,10 +716,21 @@ fn simulate(
 }
 
 /// `sbr trace`: pretty-print a line-delimited structured event log.
-fn trace_log(input: &str, filter: Option<&str>) -> Result<String, CliError> {
+/// The lifecycle filters (`--frame`, `--node`, `--kind`) match the
+/// fields `sensor_net.timeline.*` events carry; events without the
+/// field are hidden while that filter is active.
+fn trace_log(
+    input: &str,
+    filter: Option<&str>,
+    frame: Option<FrameId>,
+    node: Option<u32>,
+    kind: Option<EventKind>,
+) -> Result<String, CliError> {
     let text = std::fs::read_to_string(input).map_err(|e| format!("cannot open {input}: {e}"))?;
     let mut out = String::new();
     let (mut shown, mut total, mut bad) = (0usize, 0usize, 0usize);
+    let field_is =
+        |v: &Value, key: &str, want: &str| v.get(key).and_then(Value::as_str) == Some(want);
     for line in text.lines() {
         if line.trim().is_empty() {
             continue;
@@ -697,6 +743,21 @@ fn trace_log(input: &str, filter: Option<&str>) -> Result<String, CliError> {
         let name = v.get("name").and_then(Value::as_str).unwrap_or("?");
         if let Some(f) = filter {
             if !name.contains(f) {
+                continue;
+            }
+        }
+        if let Some(f) = frame {
+            if !field_is(&v, "frame", &f.to_string()) {
+                continue;
+            }
+        }
+        if let Some(n) = node {
+            if !field_is(&v, "node", &n.to_string()) {
+                continue;
+            }
+        }
+        if let Some(k) = kind {
+            if !field_is(&v, "kind", k.as_str()) {
                 continue;
             }
         }
@@ -722,6 +783,196 @@ fn trace_log(input: &str, filter: Option<&str>) -> Result<String, CliError> {
     out.push_str(&format!(
         "{shown} of {total} event(s) shown ({bad} unparseable)\n"
     ));
+    Ok(out)
+}
+
+/// Walls this short on both sides are timer noise: `perf diff` prints
+/// them but never lets them fail the gate.
+const PERF_MIN_WALL_SECS: f64 = 1e-3;
+
+/// Load a `sbr-bench/*` artifact as `(record key, record)` pairs. The
+/// key is the experiment name plus its sorted params, so the same
+/// configuration lines up across two runs regardless of record order.
+fn bench_records(path: &str) -> Result<Vec<(String, Value)>, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let v = sbr_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+    if !schema.starts_with("sbr-bench/") {
+        return Err(format!("{path}: not a benchmark artifact (schema '{schema}')").into());
+    }
+    let records = v
+        .get("records")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{path}: no records array"))?;
+    let mut out = Vec::new();
+    for r in records {
+        let exp = r.get("experiment").and_then(Value::as_str).unwrap_or("?");
+        let mut key = exp.to_string();
+        if let Some(ps) = r.get("params").and_then(Value::as_obj) {
+            let mut kv: Vec<String> = ps.iter().map(|(k, pv)| format!("{k}={pv}")).collect();
+            kv.sort();
+            for s in kv {
+                key.push(' ');
+                key.push_str(&s);
+            }
+        }
+        out.push((key, r.clone()));
+    }
+    Ok(out)
+}
+
+/// The wall-clock scalars of one bench record, labelled.
+fn bench_walls(r: &Value) -> Vec<(&'static str, f64)> {
+    let nested = |outer: &str, inner: &str| {
+        r.get(outer)
+            .filter(|s| !matches!(s, Value::Null))
+            .and_then(|s| s.get(inner))
+            .and_then(Value::as_f64)
+    };
+    let mut walls = Vec::new();
+    if let Some(v) = r.get("avg_encode_secs").and_then(Value::as_f64) {
+        walls.push(("encode wall", v));
+    }
+    if let Some(v) = nested("search", "wall_secs") {
+        walls.push(("search wall", v));
+    }
+    if let Some(v) = nested("get_base", "wall_secs") {
+        walls.push(("get_base wall", v));
+    }
+    walls
+}
+
+/// The cache hit rates of one bench record, labelled, in `[0, 1]`.
+fn bench_hit_rates(r: &Value) -> Vec<(&'static str, f64)> {
+    let rate = |outer: &str, hits: &str, misses: &str| {
+        let block = r.get(outer).filter(|s| !matches!(s, Value::Null))?;
+        let h = block.get(hits).and_then(Value::as_f64)?;
+        let m = block.get(misses).and_then(Value::as_f64)?;
+        (h + m > 0.0).then_some(h / (h + m))
+    };
+    let mut rates = Vec::new();
+    if let Some(v) = rate("search", "cache_hits", "cache_misses") {
+        rates.push(("probe-cache hit rate", v));
+    }
+    if let Some(v) = rate("get_base", "fit_cache_hits", "fit_cache_misses") {
+        rates.push(("fit-cache hit rate", v));
+    }
+    rates
+}
+
+/// `sbr perf diff`: compare two benchmark artifacts record-by-record.
+/// Wall times gate (relative growth beyond `tolerance` fails, exit 1),
+/// cache hit rates gate on absolute drops beyond `tolerance`, and
+/// recovery counters are reported when they change (they are seeded and
+/// deterministic, so a change means the protocol behaved differently).
+fn perf_diff(
+    baseline_path: &str,
+    candidate_path: &str,
+    tolerance: f64,
+    report_out: Option<&str>,
+) -> Result<String, CliError> {
+    let base = bench_records(baseline_path)?;
+    let cand = bench_records(candidate_path)?;
+    let cand_map: std::collections::HashMap<&str, &Value> =
+        cand.iter().map(|(k, r)| (k.as_str(), r)).collect();
+
+    let mut out = format!(
+        "perf diff: {baseline_path} (baseline) vs {candidate_path} (candidate), \
+         tolerance +{:.0}%\n",
+        tolerance * 100.0
+    );
+    let (mut compared, mut regressions, mut missing) = (0usize, 0usize, 0usize);
+    for (key, br) in &base {
+        let Some(cr) = cand_map.get(key.as_str()) else {
+            missing += 1;
+            continue;
+        };
+        compared += 1;
+        out.push_str(&format!("\n{key}\n"));
+        let cand_walls = bench_walls(cr);
+        for (label, bv) in bench_walls(br) {
+            let Some(&(_, cv)) = cand_walls.iter().find(|(l, _)| *l == label) else {
+                out.push_str(&format!("  {label:<22} missing in candidate\n"));
+                continue;
+            };
+            let delta = if bv > 0.0 { (cv - bv) / bv } else { 0.0 };
+            let verdict = if bv < PERF_MIN_WALL_SECS && cv < PERF_MIN_WALL_SECS {
+                "ok (below noise floor)"
+            } else if delta > tolerance {
+                regressions += 1;
+                "REGRESSION"
+            } else if delta < -tolerance {
+                "improved"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "  {label:<22} {:>9.3} ms -> {:>9.3} ms  {:>+7.1}%  {verdict}\n",
+                bv * 1e3,
+                cv * 1e3,
+                delta * 100.0
+            ));
+        }
+        let cand_rates = bench_hit_rates(cr);
+        for (label, bv) in bench_hit_rates(br) {
+            let Some(&(_, cv)) = cand_rates.iter().find(|(l, _)| *l == label) else {
+                out.push_str(&format!("  {label:<22} missing in candidate\n"));
+                continue;
+            };
+            let verdict = if bv - cv > tolerance {
+                regressions += 1;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "  {label:<22} {:>8.1} %  -> {:>8.1} %   {:>+7.1}pp  {verdict}\n",
+                bv * 100.0,
+                cv * 100.0,
+                (cv - bv) * 100.0
+            ));
+        }
+        // Recovery counters are informational: seeded runs reproduce them
+        // exactly, so any drift is worth a line but not a failure.
+        if let (Some(bo), Some(co)) = (
+            br.get("recovery").and_then(Value::as_obj),
+            cr.get("recovery").and_then(Value::as_obj),
+        ) {
+            for (k, bv) in bo {
+                let (Some(b), Some(c)) = (
+                    bv.as_f64(),
+                    co.iter()
+                        .find(|(ck, _)| ck == k)
+                        .and_then(|(_, cv)| cv.as_f64()),
+                ) else {
+                    continue;
+                };
+                if b != c {
+                    out.push_str(&format!("  recovery.{k:<31} {b} -> {c}  changed\n"));
+                }
+            }
+        }
+    }
+    if missing > 0 {
+        out.push_str(&format!(
+            "\n{missing} baseline record(s) had no matching candidate record\n"
+        ));
+    }
+    if compared == 0 {
+        return Err(format!(
+            "perf diff: no overlapping records between {baseline_path} and {candidate_path}"
+        )
+        .into());
+    }
+    out.push_str(&format!(
+        "\ncompared {compared} record(s): {regressions} regression(s) beyond tolerance\n"
+    ));
+    if let Some(p) = report_out {
+        std::fs::write(p, &out).map_err(|e| format!("cannot write report {p}: {e}"))?;
+    }
+    if regressions > 0 {
+        return Err(CliError::Runtime(out));
+    }
     Ok(out)
 }
 
@@ -1036,7 +1287,7 @@ mod tests {
         .unwrap();
         assert!(msg.contains("wrote metrics snapshot"), "{msg}");
 
-        // The snapshot is a valid sbr-obs/v1 document with pipeline data.
+        // The snapshot is a valid sbr-obs/v2 document with pipeline data.
         let snap = Snapshot::from_json(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
         assert!(snap.counter("sbr_core.best_map.calls").unwrap() > 0);
         assert_eq!(
@@ -1045,10 +1296,13 @@ mod tests {
             "one encode span per batch"
         );
 
-        // `report` renders the per-phase table from it.
+        // `report` renders the per-phase table from it, with the
+        // bounded-error quantile columns.
         let rep = run_argv(&format!("report --input {}", metrics.display())).unwrap();
         assert!(rep.contains("encode (total)"), "{rep}");
         assert!(rep.contains("BestMap calls"), "{rep}");
+        assert!(rep.contains("p50-ms"), "{rep}");
+        assert!(rep.contains("p99-ms"), "{rep}");
 
         // `trace` pretty-prints the event log; spans landed there too.
         let tr = run_argv(&format!("trace --input {}", trace.display())).unwrap();
@@ -1151,8 +1405,29 @@ mod tests {
         let snap = Snapshot::from_json(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
         assert!(snap.counter("sensor_net.recovery.acks").unwrap() > 0);
         assert!(snap.counter("sensor_net.recovery.resyncs").unwrap() > 0);
+        // The frame-lifecycle timeline fed the quantile histograms and
+        // its overflow counter reports an uncontended ring.
+        assert!(
+            snap.histogram("sensor_net.recovery.retx_depth_per_round")
+                .unwrap()
+                .count
+                > 0
+        );
+        assert!(
+            snap.histogram("sensor_net.recovery.ack_rtt_rounds")
+                .unwrap()
+                .count
+                > 0
+        );
+        assert_eq!(snap.counter(sbr_obs::TIMELINE_DROPPED_METRIC), Some(0));
         let rep = run_argv(&format!("report --input {}", metrics.display())).unwrap();
         assert!(rep.contains("sensor_net.recovery.acks"), "{rep}");
+        // Quantiles render for the network histograms.
+        assert!(
+            rep.contains("sensor_net.recovery.retx_depth_per_round"),
+            "{rep}"
+        );
+        assert!(rep.contains("p99="), "{rep}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1166,6 +1441,137 @@ mod tests {
         assert_eq!(e.exit_code(), 2, "{e:?}");
         let e = run_argv("simulate --nodes 3 --crash-at 5:2").unwrap_err();
         assert_eq!(e.exit_code(), 2, "{e:?}");
+    }
+
+    /// A tiny `sbr-bench/v3` artifact with one fig5-shaped record whose
+    /// walls are scaled by `scale` (1.0 = the baseline).
+    fn bench_fixture(scale: f64) -> String {
+        format!(
+            "{{\n  \"schema\": \"sbr-bench/v3\",\n  \"records\": [\n    \
+             {{\"experiment\": \"fig5\", \"params\": {{\"n\": 5120, \"ratio\": 0.05}}, \
+             \"avg_encode_secs\": {}, \
+             \"search\": {{\"probes\": 30, \"cache_hits\": 900, \"cache_misses\": 1100, \"wall_secs\": {}}}, \
+             \"get_base\": {{\"matrix_cells\": 4900, \"fit_cache_hits\": 147000, \"fit_cache_misses\": 48300, \"wall_secs\": {}}}, \
+             \"recovery\": null, \"metrics\": null}}\n  ]\n}}\n",
+            0.010 * scale,
+            0.008 * scale,
+            0.006 * scale
+        )
+    }
+
+    #[test]
+    fn perf_diff_detects_seeded_regression() {
+        let dir = tempdir("perfdiff");
+        let base = dir.join("base.json");
+        let slow = dir.join("slow.json");
+        let report = dir.join("diff.txt");
+        std::fs::write(&base, bench_fixture(1.0)).unwrap();
+        std::fs::write(&slow, bench_fixture(1.3)).unwrap();
+
+        // A 30% wall regression trips the default 25% tolerance: exit 1,
+        // and the report file is still written for archival.
+        let e = run_argv(&format!(
+            "perf diff {} {} --report {}",
+            base.display(),
+            slow.display(),
+            report.display()
+        ))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 1, "{e:?}");
+        assert!(e.message().contains("REGRESSION"), "{e:?}");
+        assert!(e.message().contains("encode wall"), "{e:?}");
+        let saved = std::fs::read_to_string(&report).unwrap();
+        assert!(saved.contains("REGRESSION"), "{saved}");
+
+        // Widening the tolerance past the regression passes it.
+        let ok = run_argv(&format!(
+            "perf diff {} {} --tolerance 0.5",
+            base.display(),
+            slow.display()
+        ))
+        .unwrap();
+        assert!(ok.contains("0 regression(s)"), "{ok}");
+
+        // And comparing a run against itself is always clean.
+        let ok = run_argv(&format!("perf diff {} {}", base.display(), base.display())).unwrap();
+        assert!(ok.contains("0 regression(s)"), "{ok}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn perf_diff_improvements_do_not_fail() {
+        let dir = tempdir("perfgain");
+        let base = dir.join("base.json");
+        let fast = dir.join("fast.json");
+        std::fs::write(&base, bench_fixture(1.0)).unwrap();
+        std::fs::write(&fast, bench_fixture(0.5)).unwrap();
+        let ok = run_argv(&format!("perf diff {} {}", base.display(), fast.display())).unwrap();
+        assert!(ok.contains("improved"), "{ok}");
+        assert!(ok.contains("0 regression(s)"), "{ok}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn perf_diff_rejects_non_bench_artifacts() {
+        let dir = tempdir("perfbad");
+        let snap = dir.join("snap.json");
+        std::fs::write(&snap, "{\"schema\": \"sbr-obs/v2\", \"metrics\": {}}").unwrap();
+        let e = run_argv(&format!("perf diff {} {}", snap.display(), snap.display())).unwrap_err();
+        assert_eq!(e.exit_code(), 1, "{e:?}");
+        assert!(e.message().contains("not a benchmark artifact"), "{e:?}");
+        // Disjoint record sets cannot be compared.
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        std::fs::write(&a, bench_fixture(1.0)).unwrap();
+        std::fs::write(
+            &b,
+            "{\"schema\": \"sbr-bench/v3\", \"records\": [{\"experiment\": \"other\"}]}",
+        )
+        .unwrap();
+        let e = run_argv(&format!("perf diff {} {}", a.display(), b.display())).unwrap_err();
+        assert!(e.message().contains("no overlapping records"), "{e:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_lifecycle_filters_narrow_to_one_frame() {
+        let dir = tempdir("tracefilter");
+        let log = dir.join("t.log");
+        // The shape `NetObs::frame_event` mirrors into the trace sink.
+        std::fs::write(
+            &log,
+            concat!(
+                "{\"ts_ns\":10,\"name\":\"sensor_net.timeline.tx\",\"frame\":\"1:0:3\",\"node\":\"1\",\"kind\":\"tx\",\"value\":\"0\"}\n",
+                "{\"ts_ns\":20,\"name\":\"sensor_net.timeline.retx\",\"frame\":\"1:0:3\",\"node\":\"1\",\"kind\":\"retx\",\"value\":\"1\"}\n",
+                "{\"ts_ns\":30,\"name\":\"sensor_net.timeline.tx\",\"frame\":\"2:0:3\",\"node\":\"2\",\"kind\":\"tx\",\"value\":\"0\"}\n",
+                "{\"ts_ns\":40,\"name\":\"sensor_net.timeline.acked\",\"frame\":\"2:0:3\",\"node\":\"2\",\"kind\":\"acked\",\"value\":\"0\"}\n",
+                "{\"ts_ns\":50,\"name\":\"sbr_core.sbr.encode_ns\",\"dur_ns\":900}\n",
+            ),
+        )
+        .unwrap();
+        let l = log.display();
+
+        let one = run_argv(&format!("trace --input {l} --frame 1:0:3")).unwrap();
+        assert!(one.contains("2 of 5 event(s)"), "{one}");
+        assert!(one.contains("retx"), "{one}");
+        assert!(!one.contains("acked"), "{one}");
+
+        let node2 = run_argv(&format!("trace --input {l} --node 2")).unwrap();
+        assert!(node2.contains("2 of 5 event(s)"), "{node2}");
+        assert!(node2.contains("frame=\"2:0:3\""), "{node2}");
+
+        let acked = run_argv(&format!("trace --input {l} --kind acked")).unwrap();
+        assert!(acked.contains("1 of 5 event(s)"), "{acked}");
+
+        // Filters compose; a frame that never acked yields nothing.
+        let none = run_argv(&format!("trace --input {l} --frame 1:0:3 --kind acked")).unwrap();
+        assert!(none.contains("0 of 5 event(s)"), "{none}");
+
+        // Events without lifecycle fields are hidden while a lifecycle
+        // filter is active, but still render unfiltered.
+        let all = run_argv(&format!("trace --input {l}")).unwrap();
+        assert!(all.contains("sbr_core.sbr.encode_ns"), "{all}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -246,6 +246,39 @@ pub fn hot() {
 }
 
 #[test]
+fn obs_gate_covers_timeline_shaped_uses() {
+    // The frame-lifecycle timeline hooks follow the same contract as the
+    // metric handles: `sbr_obs::Timeline` in a signature or body of
+    // `sbr-core` must sit under `cfg(feature = "obs")`.
+    let ungated_sig = "pub fn with_timeline(t: sbr_obs::Timeline) {}\n";
+    assert_eq!(
+        rules_hit(&zone(), ungated_sig),
+        vec![("obs-gate".to_string(), 1)]
+    );
+
+    let gated_sig = "\
+#[cfg(feature = \"obs\")]
+pub fn with_timeline(mut self, timeline: sbr_obs::Timeline) -> Self {
+    self.obs.set_timeline(timeline);
+    self
+}
+";
+    assert!(rules_hit(&zone(), gated_sig).is_empty());
+
+    // An ungated use *after* a gated item is still flagged: the gate
+    // covers exactly one item, not the rest of the file.
+    let trailing = "\
+#[cfg(feature = \"obs\")]
+pub fn gated() { sbr_obs::Timeline::noop(); }
+pub fn leaked() { sbr_obs::Timeline::noop(); }
+";
+    assert_eq!(
+        rules_hit(&zone(), trailing),
+        vec![("obs-gate".to_string(), 3)]
+    );
+}
+
+#[test]
 fn report_json_escapes_and_carries_both_lists() {
     let mut rep = repolint::Report::default();
     rep.files_scanned = 2;

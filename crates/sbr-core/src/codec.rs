@@ -283,6 +283,23 @@ pub fn encode_v2(frame: &Frame) -> Bytes {
     buf.freeze()
 }
 
+/// Peek a v2 frame's trace identity — `(is_resync, epoch, seq)` — from
+/// its first 17 header bytes, without a full parse or CRC check. Returns
+/// `None` for short buffers or a non-v2 magic. Observability layers use
+/// this to attribute lifecycle events to a `(node, epoch, seq)` frame id
+/// without paying for a decode; a corrupted frame may yield a garbled
+/// identity, which is exactly what a corruption event should report.
+pub fn peek_v2_identity(bytes: &[u8]) -> Option<(bool, u32, u64)> {
+    let magic = u32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?);
+    if magic != MAGIC_V2 {
+        return None;
+    }
+    let kind = *bytes.get(4)?;
+    let epoch = u32::from_le_bytes(bytes.get(5..9)?.try_into().ok()?);
+    let seq = u64::from_le_bytes(bytes.get(9..17)?.try_into().ok()?);
+    Some((kind == 1, epoch, seq))
+}
+
 /// Read `N` bytes off the buffer, feeding them through the CRC hasher.
 fn take<const N: usize>(buf: &mut impl Buf, crc: &mut Crc32) -> [u8; N] {
     let mut bytes = [0u8; N];
@@ -587,6 +604,23 @@ mod tests {
         let crc = crc32(&bytes[..n - 4]).to_le_bytes();
         bytes[n - 4..].copy_from_slice(&crc);
         assert!(decode_v2(&mut &bytes[..]).is_err());
+    }
+
+    #[test]
+    fn peek_identity_matches_full_decode() {
+        let data = encode_v2(&Frame::data(7, sample()));
+        let seq = sample().seq;
+        assert_eq!(peek_v2_identity(&data), Some((false, 7, seq)));
+        let resync = encode_v2(&sample_frame());
+        let parsed = decode_v2(&mut resync.clone()).unwrap();
+        assert_eq!(
+            peek_v2_identity(&resync),
+            Some((true, parsed.epoch, parsed.tx.seq))
+        );
+        // Short buffers and foreign magics peek as None, never panic.
+        assert_eq!(peek_v2_identity(&data[..10]), None);
+        assert_eq!(peek_v2_identity(&[]), None);
+        assert_eq!(peek_v2_identity(&encode(&sample())), None); // v1 frame
     }
 
     #[test]

@@ -48,6 +48,15 @@
 //! | `sbr_core.par.fanouts` | counter | thread fan-outs actually taken |
 //! | `sbr_core.par.worker_items` | histogram | items one worker processed |
 //! | `sbr_core.par.worker_busy_ns` | histogram | one worker's busy time |
+//!
+//! [`EncodeObs`] also carries a frame-lifecycle [`Timeline`] (disabled by
+//! default; attach with
+//! [`SbrConfig::with_timeline`](crate::SbrConfig::with_timeline)). The
+//! encoder itself never names frames — the sensor-network layer, which
+//! knows the `(node, epoch, seq)` identity, records through this handle
+//! so encode-side events share the ring (and its
+//! `obs.timeline.dropped_events` overflow counter) with the link and
+//! base-station events.
 
 #[cfg(not(feature = "obs"))]
 pub use disabled::*;
@@ -59,7 +68,8 @@ mod enabled {
     use std::sync::Arc;
 
     pub use sbr_obs::{
-        Counter, Gauge, Histogram, MetricsRecorder, NoopRecorder, Recorder, Snapshot, Span,
+        Counter, EventKind, FrameId, Gauge, Histogram, MetricsRecorder, NoopRecorder, Recorder,
+        Snapshot, Span, Timeline, TimelineEvent, DEFAULT_TIMELINE_CAPACITY,
     };
 
     /// Pre-registered handles for every encode-pipeline metric.
@@ -139,6 +149,9 @@ mod enabled {
         pub matrix_cells: Gauge,
         /// Fan-out metrics for `par_map`.
         pub par: ParObs,
+        /// Frame-lifecycle event ring (disabled unless attached with
+        /// [`SbrConfig::with_timeline`](crate::SbrConfig::with_timeline)).
+        pub timeline: Timeline,
     }
 
     impl EncodeObs {
@@ -180,8 +193,16 @@ mod enabled {
                 base_slots: r.gauge("sbr_core.base_signal.slots"),
                 matrix_cells: r.gauge("sbr_core.get_base.matrix_cells"),
                 par: ParObs::new(r),
+                timeline: Timeline::noop(),
                 recorder: Some(recorder),
             }
+        }
+
+        /// Share `timeline` with this bundle, so the encode side of the
+        /// pipeline records frame-lifecycle events into the same ring as
+        /// the network layer.
+        pub fn set_timeline(&mut self, timeline: Timeline) {
+            self.timeline = timeline;
         }
 
         /// Whether a live recorder is attached.
@@ -309,6 +330,22 @@ mod disabled {
         }
     }
 
+    /// Inert frame-lifecycle timeline (the `obs` feature is off).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Timeline;
+
+    impl Timeline {
+        /// A timeline that does nothing.
+        pub fn noop() -> Self {
+            Timeline
+        }
+        /// Always false.
+        #[inline]
+        pub fn is_enabled(&self) -> bool {
+            false
+        }
+    }
+
     /// Inert metric bundle (the `obs` feature is off).
     #[derive(Clone, Copy, Debug, Default)]
     pub struct EncodeObs {
@@ -380,6 +417,8 @@ mod disabled {
         pub matrix_cells: Gauge,
         /// Fan-out metrics for `par_map`.
         pub par: ParObs,
+        /// Inert frame-lifecycle timeline.
+        pub timeline: Timeline,
     }
 
     impl EncodeObs {
@@ -388,6 +427,9 @@ mod disabled {
         pub fn enabled(&self) -> bool {
             false
         }
+
+        /// No-op.
+        pub fn set_timeline(&mut self, _timeline: Timeline) {}
 
         /// An inert span.
         #[inline]

@@ -10,17 +10,37 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
-/// holds `2^(i-1) ≤ v < 2^i`, bucket 64 holds `v ≥ 2^63`.
-pub const NUM_BUCKETS: usize = 65;
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets, bounding the relative quantile error
+/// at `2^-SUB_BITS` (6.25%).
+pub const SUB_BITS: u32 = 4;
+
+/// Sub-buckets per octave (`2^SUB_BITS`).
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// Number of histogram buckets under the log-linear scheme:
+///
+/// * buckets `0..32` hold their index exactly (zero included);
+/// * above that, each power-of-two octave `[2^p, 2^(p+1))` for
+///   `p ∈ 5..=63` is split into 16 linear sub-buckets.
+///
+/// `32 + 59·16 = 976` buckets total (~7.8 KiB of atomics per histogram),
+/// giving every bucket a width ≤ 1/16 of its lower bound — the
+/// bounded-error property quantile estimates rely on.
+pub const NUM_BUCKETS: usize = 32 + 59 * 16;
 
 /// The bucket a value lands in (see [`NUM_BUCKETS`]).
 #[inline]
 pub fn bucket_index(v: u64) -> usize {
-    if v == 0 {
-        0
+    if v < 2 * SUB_COUNT {
+        // Zero and the sub-32 values are exact: index == value.
+        v as usize
     } else {
-        (64 - v.leading_zeros()) as usize
+        let p = 63 - v.leading_zeros(); // v >= 32, so p >= 5
+        let shift = p - SUB_BITS;
+        2 * SUB_COUNT as usize
+            + ((p - SUB_BITS - 1) as usize) * SUB_COUNT as usize
+            + ((v >> shift) - SUB_COUNT) as usize
     }
 }
 
@@ -31,10 +51,27 @@ pub fn bucket_index(v: u64) -> usize {
 #[inline]
 pub fn bucket_lower_bound(i: usize) -> u64 {
     assert!(i < NUM_BUCKETS, "bucket index {i} out of range");
-    if i == 0 {
-        0
+    if i < 2 * SUB_COUNT as usize {
+        i as u64
     } else {
-        1u64 << (i - 1)
+        let k = i - 2 * SUB_COUNT as usize;
+        let p = SUB_BITS + 1 + (k / SUB_COUNT as usize) as u32;
+        let off = (k % SUB_COUNT as usize) as u64;
+        (SUB_COUNT + off) << (p - SUB_BITS)
+    }
+}
+
+/// Exclusive upper bound of bucket `i` (the next bucket's lower bound;
+/// `u64::MAX` for the top bucket).
+///
+/// # Panics
+/// If `i >= NUM_BUCKETS`.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 < NUM_BUCKETS {
+        bucket_lower_bound(i + 1)
+    } else {
+        u64::MAX
     }
 }
 
@@ -141,7 +178,8 @@ impl HistogramCore {
     }
 }
 
-/// A log2-bucketed histogram of `u64` samples (latencies, sizes).
+/// A log-linear-bucketed histogram of `u64` samples (latencies, sizes)
+/// supporting bounded-error quantile estimates (relative error ≤ 1/16).
 #[derive(Clone, Debug, Default)]
 pub struct Histogram(Option<Arc<HistogramCore>>);
 
@@ -192,23 +230,25 @@ mod tests {
 
     #[test]
     fn bucket_edges() {
-        // Zero gets its own bucket.
-        assert_eq!(bucket_index(0), 0);
-        // Powers of two open a new bucket; their predecessors close one.
-        assert_eq!(bucket_index(1), 1);
-        assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        for k in 0..64 {
-            let p = 1u64 << k;
-            assert_eq!(bucket_index(p), k as usize + 1, "2^{k}");
-            if p > 1 {
-                assert_eq!(bucket_index(p - 1), k as usize, "2^{k} - 1");
-            }
+        // The first 32 values are exact: index == value.
+        for v in 0..32u64 {
+            assert_eq!(bucket_index(v), v as usize, "exact bucket for {v}");
         }
-        // The top bucket absorbs everything from 2^63 up.
-        assert_eq!(bucket_index(u64::MAX), 64);
-        assert_eq!(bucket_index(1u64 << 63), 64);
+        // Each octave above that starts a fresh run of 16 sub-buckets.
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(33), 32); // [32, 34) share a bucket
+        assert_eq!(bucket_index(34), 33);
+        assert_eq!(bucket_index(63), 47);
+        assert_eq!(bucket_index(64), 48);
+        for p in 5..64u32 {
+            let lo = 1u64 << p;
+            let idx = 32 + (p as usize - 5) * 16;
+            assert_eq!(bucket_index(lo), idx, "2^{p}");
+            assert_eq!(bucket_index(lo - 1), idx - 1, "2^{p} - 1");
+        }
+        // The top bucket absorbs everything from 31·2^59 up.
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(31u64 << 59), NUM_BUCKETS - 1);
     }
 
     #[test]
@@ -218,6 +258,21 @@ mod tests {
             let lo = bucket_lower_bound(i);
             assert_eq!(bucket_index(lo), i);
             assert_eq!(bucket_index(lo - 1), i - 1);
+        }
+    }
+
+    #[test]
+    fn bucket_relative_width_is_bounded() {
+        // Every non-exact bucket's width is at most 1/16 of its lower
+        // bound: the bounded-error contract behind quantile estimates.
+        for i in 32..NUM_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            let hi = bucket_upper_bound(i);
+            let width = hi - lo;
+            assert!(
+                width as f64 <= lo as f64 / 16.0 + 1.0,
+                "bucket {i}: [{lo}, {hi}) too wide"
+            );
         }
     }
 
@@ -233,9 +288,12 @@ mod tests {
         assert_eq!(core.max.load(Ordering::Relaxed), u64::MAX);
         assert_eq!(core.buckets[0].load(Ordering::Relaxed), 1); // the zero
         assert_eq!(core.buckets[1].load(Ordering::Relaxed), 2); // the ones
-        assert_eq!(core.buckets[3].load(Ordering::Relaxed), 1); // 7
-        assert_eq!(core.buckets[11].load(Ordering::Relaxed), 1); // 1024
-        assert_eq!(core.buckets[64].load(Ordering::Relaxed), 1); // u64::MAX
+        assert_eq!(core.buckets[7].load(Ordering::Relaxed), 1); // 7, exact
+        assert_eq!(core.buckets[bucket_index(1024)].load(Ordering::Relaxed), 1);
+        assert_eq!(
+            core.buckets[NUM_BUCKETS - 1].load(Ordering::Relaxed),
+            1 // u64::MAX
+        );
     }
 
     #[test]

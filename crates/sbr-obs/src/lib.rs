@@ -6,8 +6,13 @@
 //!   wrappers around shared atomics. A *disabled* handle (the default) is
 //!   an `Option::None` and every operation on it is a single branch, so
 //!   instrumented code paths cost nothing when no recorder is attached.
-//!   Histograms bucket values by `log2` (65 buckets: one for zero, one per
-//!   power of two), which is plenty for latencies and sizes.
+//!   Histograms bucket values log-linearly (976 buckets: values below 32
+//!   exact, then 16 linear sub-buckets per power-of-two octave), bounding
+//!   quantile estimates (p50/p90/p99) to ≤ 6.25% relative error.
+//! * **Timelines** — [`Timeline`] is a bounded ring of per-frame
+//!   lifecycle events keyed on [`FrameId`] `(node, epoch, seq)`, so any
+//!   v2 frame's full `encoded → … → acked/decoded` history is
+//!   reconstructable after a run without touching the wire format.
 //! * **Recorders** — the [`Recorder`] trait hands out handles by
 //!   fully-qualified name (convention: `crate.module.name`) and receives
 //!   structured trace events. [`MetricsRecorder`] interns handles in a
@@ -15,8 +20,8 @@
 //!   (see [`TRACE_ENV`]); [`NoopRecorder`] does nothing.
 //! * **Snapshots** — [`Snapshot`] freezes every registered metric into a
 //!   `BTreeMap` and serializes it with the hand-rolled [`json`] module
-//!   (schema `sbr-obs/v1`), so benchmark output and CLI reports need no
-//!   external serialization crates.
+//!   (schema `sbr-obs/v2`; v1 documents still parse), so benchmark output
+//!   and CLI reports need no external serialization crates.
 //!
 //! Timing uses [`Span`], a drop guard that records elapsed nanoseconds
 //! into a histogram and emits a trace event; spans nest naturally because
@@ -45,10 +50,17 @@ pub mod json;
 mod handles;
 mod recorder;
 mod snapshot;
+mod timeline;
 
-pub use handles::{bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, NUM_BUCKETS};
+pub use handles::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Counter, Gauge, Histogram, NUM_BUCKETS,
+    SUB_BITS,
+};
 pub use recorder::{MetricsRecorder, NoopRecorder, Recorder, Span};
-pub use snapshot::{HistogramSnapshot, MetricValue, Snapshot, SNAPSHOT_SCHEMA};
+pub use snapshot::{HistogramSnapshot, MetricValue, Snapshot, SNAPSHOT_SCHEMA, SNAPSHOT_SCHEMA_V1};
+pub use timeline::{
+    EventKind, FrameId, Timeline, TimelineEvent, DEFAULT_TIMELINE_CAPACITY, TIMELINE_DROPPED_METRIC,
+};
 
 /// Environment variable naming a file to append JSON-line trace events to.
 ///

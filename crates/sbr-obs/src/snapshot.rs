@@ -3,11 +3,19 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 
-use crate::handles::{bucket_lower_bound, Histogram};
+use crate::handles::{bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram};
 use crate::json::{self, Value};
 
-/// Schema tag written by [`Snapshot::to_json`].
-pub const SNAPSHOT_SCHEMA: &str = "sbr-obs/v1";
+/// Schema tag written by [`Snapshot::to_json`]. v2 adds precomputed
+/// `p50`/`p90`/`p99` members to every histogram object; the bucket layout
+/// moved from log2 to log-linear (see [`crate::bucket_index`]).
+pub const SNAPSHOT_SCHEMA: &str = "sbr-obs/v2";
+
+/// The previous schema tag, still accepted by [`Snapshot::from_json`]:
+/// v1 documents differ only in bucket granularity and the absence of the
+/// quantile members, both of which parse fine (quantiles are recomputed
+/// from buckets, never parsed back).
+pub const SNAPSHOT_SCHEMA_V1: &str = "sbr-obs/v1";
 
 /// Frozen histogram statistics.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -34,6 +42,50 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Bounded-error quantile estimate for `q ∈ [0, 1]`.
+    ///
+    /// Walks the buckets until the cumulative count covers `q·count`, then
+    /// returns that bucket's midpoint clamped to `[min, max]`, so the
+    /// relative error is bounded by the bucket width (≤ 1/16 of the value;
+    /// exact below 32). `q = 1.0` returns `max` exactly; an empty
+    /// histogram returns 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q.max(0.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(lo, n) in &self.buckets {
+            cum += n;
+            if cum >= target {
+                let hi = bucket_upper_bound(bucket_index(lo));
+                // Midpoint of the inclusive range [lo, hi-1]; exact
+                // buckets (width 1) return lo itself.
+                let mid = lo + (hi - lo - 1) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
     }
 
     pub(crate) fn from_histogram(h: &Histogram) -> Self {
@@ -70,6 +122,12 @@ impl HistogramSnapshot {
             ("sum".into(), Value::Num(self.sum as f64)),
             ("min".into(), Value::Num(self.min as f64)),
             ("max".into(), Value::Num(self.max as f64)),
+            // Derived quantiles, precomputed for direct consumers (jq,
+            // dashboards). Parsing recomputes them from the buckets, so
+            // they never drift from the data they summarize.
+            ("p50".into(), Value::Num(self.p50() as f64)),
+            ("p90".into(), Value::Num(self.p90() as f64)),
+            ("p99".into(), Value::Num(self.p99() as f64)),
             (
                 "buckets".into(),
                 Value::Arr(
@@ -157,7 +215,7 @@ impl Snapshot {
         )
     }
 
-    /// Serialize as a standalone `sbr-obs/v1` document.
+    /// Serialize as a standalone `sbr-obs/v2` document.
     pub fn to_json(&self) -> String {
         Value::Obj(vec![
             ("schema".into(), Value::Str(SNAPSHOT_SCHEMA.into())),
@@ -227,7 +285,7 @@ impl Snapshot {
     pub fn from_json(text: &str) -> Result<Snapshot, String> {
         let v = json::parse(text)?;
         match v.get("schema").and_then(Value::as_str) {
-            Some(SNAPSHOT_SCHEMA) => {}
+            Some(SNAPSHOT_SCHEMA) | Some(SNAPSHOT_SCHEMA_V1) => {}
             Some(other) => return Err(format!("unsupported snapshot schema '{other}'")),
             None => return Err("missing snapshot schema".to_string()),
         }
@@ -258,6 +316,74 @@ mod tests {
         assert_eq!(hist.count, 4);
         assert_eq!(hist.min, 0);
         assert_eq!(hist.max, 1 << 20);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let rec = MetricsRecorder::new();
+        let h = rec.histogram("q.test.ns");
+        // 1..=1000: true p50 = 500, p90 = 900, p99 = 990, max = 1000.
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = rec.snapshot();
+        let hist = snap.histogram("q.test.ns").unwrap();
+        for (q, truth) in [(0.50, 500.0), (0.90, 900.0), (0.99, 990.0)] {
+            let est = hist.quantile(q) as f64;
+            let rel = (est - truth).abs() / truth;
+            assert!(rel <= 1.0 / 16.0, "q={q}: est {est} vs {truth} (rel {rel})");
+        }
+        assert_eq!(hist.quantile(1.0), 1000);
+        assert_eq!(hist.quantile(0.0), 1); // clamped to min
+        assert!(HistogramSnapshot::default().quantile(0.5) == 0);
+    }
+
+    #[test]
+    fn quantiles_are_exact_for_small_values() {
+        let rec = MetricsRecorder::new();
+        let h = rec.histogram("q.small.depth");
+        for v in [0u64, 0, 0, 1, 1, 2, 3, 5, 8, 13] {
+            h.record(v);
+        }
+        let snap = rec.snapshot();
+        let hist = snap.histogram("q.small.depth").unwrap();
+        // Values below 32 land in exact buckets, so quantiles are exact.
+        assert_eq!(hist.p50(), 1);
+        assert_eq!(hist.p90(), 8);
+        assert_eq!(hist.quantile(1.0), 13);
+    }
+
+    #[test]
+    fn json_carries_precomputed_quantiles() {
+        let rec = MetricsRecorder::new();
+        let h = rec.histogram("q.json.ns");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = rec.snapshot();
+        let doc = snap.to_json();
+        assert!(doc.contains("\"sbr-obs/v2\""), "{doc}");
+        assert!(doc.contains("\"p50\""), "{doc}");
+        assert!(doc.contains("\"p99\""), "{doc}");
+        // Round trip: quantiles are derived, so equality still holds.
+        let back = Snapshot::from_json(&doc).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        let doc = concat!(
+            "{\"schema\": \"sbr-obs/v1\", \"metrics\": {",
+            "\"a.b.calls\": {\"type\": \"counter\", \"value\": 3}, ",
+            "\"a.b.ns\": {\"type\": \"histogram\", \"count\": 2, \"sum\": 12, ",
+            "\"min\": 4, \"max\": 8, \"buckets\": [[4, 1], [8, 1]]}}}"
+        );
+        let snap = Snapshot::from_json(doc).unwrap();
+        assert_eq!(snap.counter("a.b.calls"), Some(3));
+        let h = snap.histogram("a.b.ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.quantile(1.0), 8);
+        assert!(Snapshot::from_json("{\"schema\": \"sbr-obs/v99\", \"metrics\": {}}").is_err());
     }
 
     #[test]

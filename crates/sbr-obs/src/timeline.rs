@@ -1,0 +1,398 @@
+//! Frame-lifecycle timeline: a bounded in-memory ring of timestamped
+//! per-frame events.
+//!
+//! Aggregate counters say *how many* frames were dropped or resynced;
+//! the timeline says *which* frame, *where* in the
+//! node → link → base-station path, and *when*. Every v2 frame is
+//! identified by [`FrameId`] `(node, epoch, seq)` — a purely
+//! observer-side identity: nothing here touches the wire format, and the
+//! differential suites pin the stream bytes to stay identical whether a
+//! timeline is attached or not.
+//!
+//! The ring is bounded ([`DEFAULT_TIMELINE_CAPACITY`] events by default)
+//! so a 100k-node simulation cannot grow it without limit; overflow
+//! evicts the oldest event and increments the
+//! `obs.timeline.dropped_events` counter instead of allocating.
+//!
+//! Like the metric handles, a disabled (`None`) timeline is a single
+//! branch per call — the zero-overhead contract instrumented code relies
+//! on when tracing is off.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::handles::Counter;
+use crate::recorder::Recorder;
+
+/// Default event capacity of a live timeline (~64k events, ≈ 3 MiB).
+pub const DEFAULT_TIMELINE_CAPACITY: usize = 65_536;
+
+/// Name of the overflow counter a recorder-backed timeline registers.
+pub const TIMELINE_DROPPED_METRIC: &str = "obs.timeline.dropped_events";
+
+/// Observer-side identity of one v2 frame: which sensor emitted it, in
+/// which ARQ epoch, at which stream sequence number. Never serialized to
+/// the wire; rendered and parsed as `node:epoch:seq`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId {
+    /// Originating sensor node id.
+    pub node: u32,
+    /// ARQ epoch the frame was encoded under (bumped on resync).
+    pub epoch: u32,
+    /// Transmission sequence number within the stream.
+    pub seq: u64,
+}
+
+impl FrameId {
+    /// Construct from the three components.
+    pub fn new(node: u32, epoch: u32, seq: u64) -> Self {
+        FrameId { node, epoch, seq }
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.node, self.epoch, self.seq)
+    }
+}
+
+impl FromStr for FrameId {
+    type Err = String;
+
+    /// Parse the `node:epoch:seq` form (the one `Display` emits and the
+    /// CLI `--frame` filter accepts).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(':');
+        let (Some(node), Some(epoch), Some(seq), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("frame id '{s}' is not node:epoch:seq"));
+        };
+        let node = node
+            .parse::<u32>()
+            .map_err(|_| format!("frame id '{s}': bad node '{node}'"))?;
+        let epoch = epoch
+            .parse::<u32>()
+            .map_err(|_| format!("frame id '{s}': bad epoch '{epoch}'"))?;
+        let seq = seq
+            .parse::<u64>()
+            .map_err(|_| format!("frame id '{s}': bad seq '{seq}'"))?;
+        Ok(FrameId { node, epoch, seq })
+    }
+}
+
+/// One step of a frame's life. The `value` member of
+/// [`TimelineEvent`] qualifies the kinds that need a number (retransmit
+/// depth, hop index, round).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// The SBR encoder produced the frame's transmission.
+    Encoded,
+    /// The frame entered the node's retransmission queue.
+    Queued,
+    /// First radio transmission attempt.
+    Tx,
+    /// Retransmission; `value` carries the attempt number (1-based).
+    Retx,
+    /// The channel dropped the frame this round.
+    Dropped,
+    /// The base station discarded it as a duplicate.
+    Dup,
+    /// The base station rejected it as corrupt (CRC mismatch).
+    Corrupt,
+    /// A cumulative ACK released it from the retx queue; `value` carries
+    /// the RTT in ARQ rounds since first transmission.
+    Acked,
+    /// The base station decoded its payload.
+    Decoded,
+    /// The decoded chunks were appended to base-station storage.
+    Persisted,
+    /// The frame triggered (or carried) an epoch resync.
+    Resynced,
+}
+
+impl EventKind {
+    /// Canonical lowercase name (stable: used in trace logs and filters).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::Encoded => "encoded",
+            EventKind::Queued => "queued",
+            EventKind::Tx => "tx",
+            EventKind::Retx => "retx",
+            EventKind::Dropped => "dropped",
+            EventKind::Dup => "dup",
+            EventKind::Corrupt => "corrupt",
+            EventKind::Acked => "acked",
+            EventKind::Decoded => "decoded",
+            EventKind::Persisted => "persisted",
+            EventKind::Resynced => "resynced",
+        }
+    }
+
+    /// Inverse of [`EventKind::as_str`].
+    pub fn parse(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "encoded" => EventKind::Encoded,
+            "queued" => EventKind::Queued,
+            "tx" => EventKind::Tx,
+            "retx" => EventKind::Retx,
+            "dropped" => EventKind::Dropped,
+            "dup" => EventKind::Dup,
+            "corrupt" => EventKind::Corrupt,
+            "acked" => EventKind::Acked,
+            "decoded" => EventKind::Decoded,
+            "persisted" => EventKind::Persisted,
+            "resynced" => EventKind::Resynced,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One timestamped lifecycle event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Nanoseconds since the timeline was created.
+    pub ts_ns: u64,
+    /// The frame this event belongs to.
+    pub frame: FrameId,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific qualifier (retx attempt, ACK RTT in rounds, hop
+    /// index); 0 when the kind carries no number.
+    pub value: u64,
+}
+
+/// Shared storage behind a live [`Timeline`].
+#[derive(Debug)]
+struct TimelineCore {
+    origin: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<TimelineEvent>>,
+    dropped: Counter,
+}
+
+/// A bounded ring buffer of [`TimelineEvent`]s, cheap to clone and share
+/// across the network simulation. The default (`None`) form is disabled:
+/// every operation is a single branch.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline(Option<Arc<TimelineCore>>);
+
+impl Timeline {
+    /// A disabled timeline; all operations are a single branch.
+    pub fn noop() -> Self {
+        Timeline(None)
+    }
+
+    /// A live timeline holding at most `capacity` events (oldest evicted
+    /// first). The overflow counter is private; prefer
+    /// [`Timeline::with_recorder`] so overflow lands in snapshots.
+    pub fn live(capacity: usize) -> Self {
+        Timeline(Some(Arc::new(TimelineCore {
+            origin: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+            dropped: Counter::live(),
+        })))
+    }
+
+    /// A live timeline whose overflow counter is registered with
+    /// `recorder` as [`TIMELINE_DROPPED_METRIC`], so snapshots report how
+    /// many events the ring evicted.
+    pub fn with_recorder(recorder: &dyn Recorder, capacity: usize) -> Self {
+        let dropped = recorder.counter(TIMELINE_DROPPED_METRIC);
+        Timeline(Some(Arc::new(TimelineCore {
+            origin: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+            dropped,
+        })))
+    }
+
+    /// Whether this handle is backed by storage.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record an event with no qualifier.
+    #[inline]
+    pub fn record(&self, frame: FrameId, kind: EventKind) {
+        self.record_value(frame, kind, 0);
+    }
+
+    /// Record an event with a kind-specific qualifier (retx attempt, RTT
+    /// in rounds, hop index).
+    #[inline]
+    pub fn record_value(&self, frame: FrameId, kind: EventKind, value: u64) {
+        let Some(core) = &self.0 else { return };
+        let ts_ns = core.origin.elapsed().as_nanos() as u64;
+        let mut ring = core.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() >= core.capacity {
+            ring.pop_front();
+            core.dropped.inc();
+        }
+        ring.push_back(TimelineEvent {
+            ts_ns,
+            frame,
+            kind,
+            value,
+        });
+    }
+
+    /// All buffered events, oldest first (empty when disabled).
+    pub fn events(&self) -> Vec<TimelineEvent> {
+        self.0.as_ref().map_or_else(Vec::new, |core| {
+            core.ring
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .copied()
+                .collect()
+        })
+    }
+
+    /// The buffered history of one frame, oldest first.
+    pub fn frame_history(&self, frame: FrameId) -> Vec<TimelineEvent> {
+        self.0.as_ref().map_or_else(Vec::new, |core| {
+            core.ring
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .filter(|e| e.frame == frame)
+                .copied()
+                .collect()
+        })
+    }
+
+    /// Number of currently buffered events.
+    pub fn len(&self) -> usize {
+        self.0.as_ref().map_or(0, |core| {
+            core.ring
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len()
+        })
+    }
+
+    /// Whether no events are buffered (also true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events the ring has evicted to stay within capacity.
+    pub fn dropped_events(&self) -> u64 {
+        self.0.as_ref().map_or(0, |core| core.dropped.get())
+    }
+
+    /// The configured capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.0.as_ref().map_or(0, |core| core.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRecorder;
+
+    fn fid(node: u32, epoch: u32, seq: u64) -> FrameId {
+        FrameId::new(node, epoch, seq)
+    }
+
+    #[test]
+    fn frame_id_round_trips_through_display() {
+        let id = fid(3, 1, 42);
+        assert_eq!(id.to_string(), "3:1:42");
+        assert_eq!("3:1:42".parse::<FrameId>().unwrap(), id);
+        for bad in ["", "1:2", "1:2:3:4", "a:2:3", "1:b:3", "1:2:c", ":::"] {
+            assert!(bad.parse::<FrameId>().is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        use EventKind::*;
+        for k in [
+            Encoded, Queued, Tx, Retx, Dropped, Dup, Corrupt, Acked, Decoded, Persisted, Resynced,
+        ] {
+            assert_eq!(EventKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(EventKind::parse("warp"), None);
+    }
+
+    #[test]
+    fn records_and_reconstructs_frame_history() {
+        let tl = Timeline::live(128);
+        let a = fid(1, 0, 0);
+        let b = fid(2, 0, 0);
+        tl.record(a, EventKind::Encoded);
+        tl.record(b, EventKind::Encoded);
+        tl.record(a, EventKind::Tx);
+        tl.record_value(a, EventKind::Retx, 1);
+        tl.record_value(a, EventKind::Acked, 2);
+        let hist = tl.frame_history(a);
+        let kinds: Vec<_> = hist.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                EventKind::Encoded,
+                EventKind::Tx,
+                EventKind::Retx,
+                EventKind::Acked
+            ]
+        );
+        assert_eq!(hist[2].value, 1);
+        assert_eq!(hist[3].value, 2);
+        // Timestamps are monotone within the buffer.
+        let all = tl.events();
+        assert!(all.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert_eq!(tl.len(), 5);
+        assert_eq!(tl.dropped_events(), 0);
+    }
+
+    #[test]
+    fn ring_caps_memory_and_counts_overflow() {
+        let rec = MetricsRecorder::new();
+        let tl = Timeline::with_recorder(&rec, 8);
+        for seq in 0..20u64 {
+            tl.record(fid(1, 0, seq), EventKind::Tx);
+        }
+        assert_eq!(tl.len(), 8);
+        assert_eq!(tl.dropped_events(), 12);
+        // Oldest events were evicted; the ring holds the newest 8.
+        let first = tl.events()[0];
+        assert_eq!(first.frame.seq, 12);
+        // The overflow counter is a registered metric.
+        assert_eq!(rec.snapshot().counter(TIMELINE_DROPPED_METRIC), Some(12));
+    }
+
+    #[test]
+    fn disabled_timeline_is_inert() {
+        let tl = Timeline::noop();
+        tl.record(fid(1, 0, 0), EventKind::Tx);
+        assert!(!tl.is_enabled());
+        assert!(tl.is_empty());
+        assert_eq!(tl.events(), []);
+        assert_eq!(tl.dropped_events(), 0);
+        assert_eq!(tl.capacity(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let tl = Timeline::live(16);
+        let tl2 = tl.clone();
+        tl.record(fid(1, 0, 0), EventKind::Tx);
+        tl2.record(fid(1, 0, 0), EventKind::Acked);
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl2.frame_history(fid(1, 0, 0)).len(), 2);
+    }
+}

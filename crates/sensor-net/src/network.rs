@@ -8,10 +8,11 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::Bytes;
-use sbr_core::{ErrorMetric, SbrConfig, SbrError};
-use sbr_obs::{Counter, Gauge, Recorder};
+use sbr_core::{codec, ErrorMetric, SbrConfig, SbrError};
+use sbr_obs::{Counter, EventKind, FrameId, Gauge, Histogram, Recorder, Timeline};
 
 use crate::base_station::{BaseStation, Receipt};
 use crate::energy::{EnergyLedger, EnergyModel};
@@ -43,6 +44,16 @@ use crate::NodeId;
 /// | `sensor_net.recovery.retx_overflows` | counter | sensor retransmission-buffer overflows |
 /// | `sensor_net.recovery.acks` | counter | cumulative ACK rounds sent by the base |
 /// | `sensor_net.recovery.retx_depth` | gauge | retransmission-queue depth after the latest ACK |
+/// | `sensor_net.recovery.retx_depth_per_round` | histogram | retransmission-queue depth sampled every ARQ round |
+/// | `sensor_net.recovery.ack_rtt_rounds` | histogram | ARQ rounds between a frame's first tx and its ACK |
+/// | `sensor_net.station.decode_batch_ns` | histogram | station time decoding one round's arrivals |
+///
+/// With a [`Timeline`] attached ([`Network::set_timeline`]), every v2
+/// frame additionally gets per-frame lifecycle events (`encoded`,
+/// `queued`, `tx`, `retx`, `dropped`, `dup`, `corrupt`, `acked`,
+/// `decoded`, `persisted`, `resynced`), mirrored into the recorder's
+/// trace sink as `sensor_net.timeline.<kind>` events so `sbr trace` can
+/// filter them by frame, node or kind.
 #[derive(Debug, Clone, Default)]
 struct NetObs {
     recorder: Option<Arc<dyn Recorder>>,
@@ -64,6 +75,10 @@ struct NetObs {
     recovery_retx_overflows: Counter,
     recovery_acks: Counter,
     retx_depth: Gauge,
+    retx_depth_hist: Histogram,
+    ack_rtt_rounds: Histogram,
+    decode_batch_ns: Histogram,
+    timeline: Timeline,
 }
 
 impl NetObs {
@@ -96,6 +111,33 @@ impl NetObs {
             recovery_retx_overflows: c("sensor_net.recovery.retx_overflows".into()),
             recovery_acks: c("sensor_net.recovery.acks".into()),
             retx_depth: g("sensor_net.recovery.retx_depth".into()),
+            retx_depth_hist: recorder.histogram("sensor_net.recovery.retx_depth_per_round"),
+            ack_rtt_rounds: recorder.histogram("sensor_net.recovery.ack_rtt_rounds"),
+            decode_batch_ns: recorder.histogram("sensor_net.station.decode_batch_ns"),
+            timeline: Timeline::noop(),
+        }
+    }
+
+    /// Record one lifecycle event for `frame` into the timeline, mirroring
+    /// it to the recorder's trace sink (`sensor_net.timeline.<kind>`) so
+    /// `sbr trace` filters can replay it from the log. One branch when no
+    /// timeline is attached.
+    fn frame_event(&self, node: NodeId, frame: FrameId, kind: EventKind, value: u64) {
+        if !self.timeline.is_enabled() {
+            return;
+        }
+        self.timeline.record_value(frame, kind, value);
+        if let Some(rec) = &self.recorder {
+            rec.emit(
+                &format!("sensor_net.timeline.{kind}"),
+                None,
+                &[
+                    ("frame", &frame.to_string()),
+                    ("node", &node.to_string()),
+                    ("kind", kind.as_str()),
+                    ("value", &value.to_string()),
+                ],
+            );
         }
     }
 
@@ -135,6 +177,28 @@ impl NetObs {
         self.energy_overhear.set(oh);
         self.energy_idle.set(idle);
         self.energy_cpu.set(cpu);
+    }
+}
+
+/// Per-sensor ARQ bookkeeping for frame-lifecycle attribution: which
+/// round each in-flight frame first flew and how many attempts it has
+/// cost, keyed by `(epoch, seq)`. Only maintained when a timeline or the
+/// ACK-RTT histogram is live (`enabled`), so untraced runs skip the map
+/// traffic entirely.
+#[derive(Debug, Default)]
+struct ArqTrace {
+    enabled: bool,
+    round: u64,
+    attempts: HashMap<(u32, u64), u64>,
+    first_round: HashMap<(u32, u64), u64>,
+}
+
+impl ArqTrace {
+    fn new(enabled: bool) -> Self {
+        ArqTrace {
+            enabled,
+            ..ArqTrace::default()
+        }
     }
 }
 
@@ -299,7 +363,27 @@ impl Network {
     /// thread the recorder into each sensor's encoder so the
     /// `sbr_core.*` pipeline metrics land in the same snapshot.
     pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        let timeline = self.obs.timeline.clone();
         self.obs = NetObs::new(recorder, self.topology.len());
+        self.obs.timeline = timeline;
+    }
+
+    /// Attach a frame-lifecycle timeline: every v2 frame's
+    /// `encoded → queued → tx/retx → … → decoded/persisted` history is
+    /// recorded into the bounded ring, and mirrored to the recorder's
+    /// trace sink when one is attached. Prefer
+    /// [`Timeline::with_recorder`] so ring overflow lands in snapshots as
+    /// `obs.timeline.dropped_events`. Never affects delivery — the
+    /// differential suites pin the station logs byte-identical with and
+    /// without a timeline.
+    pub fn set_timeline(&mut self, timeline: Timeline) {
+        self.obs.timeline = timeline;
+    }
+
+    /// The attached frame-lifecycle timeline (disabled unless
+    /// [`Network::set_timeline`] was called).
+    pub fn timeline(&self) -> &Timeline {
+        &self.obs.timeline
     }
 
     /// The base station (for queries after a run).
@@ -411,24 +495,56 @@ impl Network {
         frame: Bytes,
         stats: &mut RecoveryStats,
     ) -> Result<(), SbrError> {
+        // Trace identity comes from a header peek, not the full decode: a
+        // bit-flipped frame should still be attributable (with whatever
+        // garbled identity it now claims) when the station rejects it.
+        let id = self
+            .obs
+            .timeline
+            .is_enabled()
+            .then(|| codec::peek_v2_identity(&frame))
+            .flatten()
+            .map(|(_, epoch, seq)| FrameId::new(node as u32, epoch, seq));
         match self.station.receive_frame(node, frame) {
-            Ok(Receipt::Accepted) => stats.frames_delivered += 1,
+            Ok(Receipt::Accepted) => {
+                stats.frames_delivered += 1;
+                if let Some(id) = id {
+                    self.obs.frame_event(node, id, EventKind::Decoded, 0);
+                    self.obs.frame_event(node, id, EventKind::Persisted, 0);
+                }
+            }
             Ok(Receipt::Resynced) => {
                 stats.frames_delivered += 1;
                 stats.resyncs += 1;
                 self.obs.recovery_resyncs.inc();
+                if let Some(id) = id {
+                    self.obs.frame_event(node, id, EventKind::Decoded, 0);
+                    self.obs.frame_event(node, id, EventKind::Resynced, 0);
+                    self.obs.frame_event(node, id, EventKind::Persisted, 0);
+                }
             }
             Ok(Receipt::Duplicate) => {
                 stats.duplicates_discarded += 1;
                 self.obs.recovery_duplicates.inc();
+                if let Some(id) = id {
+                    self.obs.frame_event(node, id, EventKind::Dup, 0);
+                }
             }
             Err(SbrError::Gap { .. }) => {
                 stats.gaps_detected += 1;
                 self.obs.recovery_gaps.inc();
+                // `dropped` with value 1: rejected at the station for a
+                // missing predecessor (value 0 = dropped on the link).
+                if let Some(id) = id {
+                    self.obs.frame_event(node, id, EventKind::Dropped, 1);
+                }
             }
             Err(SbrError::Corrupt(_)) => {
                 stats.corrupt_rejected += 1;
                 self.obs.recovery_corrupt.inc();
+                if let Some(id) = id {
+                    self.obs.frame_event(node, id, EventKind::Corrupt, 0);
+                }
             }
             Err(e) => return Err(e),
         }
@@ -444,28 +560,88 @@ impl Network {
         sensor: &mut SensorNode,
         plan: &mut FaultPlan,
         stats: &mut RecoveryStats,
+        trace: &mut ArqTrace,
     ) -> Result<(), SbrError> {
         let node = sensor.id();
-        let pending: Vec<Bytes> = sensor.pending().map(|p| p.bytes.clone()).collect();
-        for bytes in pending {
+        trace.round += 1;
+        let pending: Vec<(u32, u64, Bytes)> = sensor
+            .pending()
+            .map(|p| (p.epoch, p.seq, p.bytes.clone()))
+            .collect();
+        for (epoch, seq, bytes) in pending {
             stats.frames_sent += 1;
+            let id = FrameId::new(node as u32, epoch, seq);
+            if trace.enabled {
+                let attempts = trace.attempts.entry((epoch, seq)).or_insert(0);
+                *attempts += 1;
+                if *attempts == 1 {
+                    trace.first_round.insert((epoch, seq), trace.round);
+                    self.obs.frame_event(node, id, EventKind::Tx, 0);
+                } else {
+                    self.obs
+                        .frame_event(node, id, EventKind::Retx, *attempts - 1);
+                }
+            }
             // Energy is charged in value units; the v2 frame's wire bytes
             // (header, snapshot, CRC) are what actually crosses the radio.
             let cost = bytes.len().div_ceil(8);
             if !self.charge_route(node, cost) {
+                self.obs.frame_event(node, id, EventKind::Dropped, 0);
                 continue; // a hop gave up; the frame stays pending
             }
-            for arrival in plan.channel(&bytes) {
+            let arrivals = plan.channel(&bytes);
+            let t0 = self.obs.decode_batch_ns.is_enabled().then(Instant::now);
+            for arrival in arrivals {
                 self.deliver(node, arrival, stats)?;
+            }
+            if let Some(t0) = t0 {
+                self.obs
+                    .decode_batch_ns
+                    .record(t0.elapsed().as_nanos() as u64);
             }
         }
         stats.acks_sent += 1;
         self.obs.recovery_acks.inc();
         if self.charge_ack_route(node) {
-            sensor.ack(self.station.epoch(node), self.station.next_seq(node));
+            let ack_epoch = self.station.epoch(node);
+            let next_seq = self.station.next_seq(node);
+            sensor.ack(ack_epoch, next_seq);
+            if trace.enabled {
+                // Everything the cumulative ACK covers is done flying:
+                // attribute the RTT (in rounds since first transmission)
+                // and forget the bookkeeping.
+                let acked: Vec<(u32, u64)> = trace
+                    .attempts
+                    .keys()
+                    .copied()
+                    .filter(|&(e, s)| e == ack_epoch && s < next_seq)
+                    .collect();
+                for key in acked {
+                    let first = trace.first_round.remove(&key).unwrap_or(trace.round);
+                    trace.attempts.remove(&key);
+                    let rtt = trace.round - first;
+                    self.obs.ack_rtt_rounds.record(rtt);
+                    self.obs.frame_event(
+                        node,
+                        FrameId::new(node as u32, key.0, key.1),
+                        EventKind::Acked,
+                        rtt,
+                    );
+                }
+            }
+        }
+        if trace.enabled {
+            // Frames abandoned by an epoch bump (overflow, reboot) will
+            // never be ACKed; drop their bookkeeping too.
+            let current = sensor.epoch();
+            trace.attempts.retain(|&(e, _), _| e >= current);
+            trace.first_round.retain(|&(e, _), _| e >= current);
         }
         stats.max_retx_depth = stats.max_retx_depth.max(sensor.pending_depth());
         self.obs.retx_depth.set(sensor.pending_depth() as f64);
+        self.obs
+            .retx_depth_hist
+            .record(sensor.pending_depth() as u64);
         Ok(())
     }
 
@@ -544,10 +720,13 @@ impl Network {
                 // Thread the network's recorder into every sensor's encoder
                 // so pipeline metrics land in the same snapshot. Never
                 // changes what is encoded — only what is measured.
-                let config = match &self.obs.recorder {
+                let mut config = match &self.obs.recorder {
                     Some(rec) => config.clone().with_recorder(rec.clone()),
                     None => config.clone(),
                 };
+                if self.obs.timeline.is_enabled() {
+                    config = config.with_timeline(self.obs.timeline.clone());
+                }
                 for (i, feed) in feeds.iter().enumerate() {
                     let node = i + 1;
                     let mut sensor =
@@ -594,10 +773,13 @@ impl Network {
                 }
             }
             Strategy::SbrArq(config) => {
-                let config = match &self.obs.recorder {
+                let mut config = match &self.obs.recorder {
                     Some(rec) => config.clone().with_recorder(rec.clone()),
                     None => config.clone(),
                 };
+                if self.obs.timeline.is_enabled() {
+                    config = config.with_timeline(self.obs.timeline.clone());
+                }
                 // No plan installed = the identity channel (same seed-free
                 // determinism as no chaos at all).
                 let mut plan = self.fault_plan.take().unwrap_or_else(|| FaultPlan::new(0));
@@ -608,11 +790,14 @@ impl Network {
                 // Rounds of pure retransmission allowed after the feed ends
                 // before the run declares whatever is left undeliverable.
                 const DRAIN_ROUNDS: usize = 64;
+                let tracing =
+                    self.obs.timeline.is_enabled() || self.obs.ack_rtt_rounds.is_enabled();
                 for (i, feed) in feeds.iter().enumerate() {
                     let node = i + 1;
                     let mut sensor =
                         SensorNode::new(node, n_signals, samples_per_batch, config.clone())?;
                     sensor.enable_arq(RETX_CAPACITY);
+                    let mut arq_trace = ArqTrace::new(tracing);
                     // Ground truth per frame identity: what the sensor
                     // actually buffered for (epoch, seq) — survives crashes
                     // shifting chunk boundaries against the feed.
@@ -636,7 +821,7 @@ impl Network {
                             );
                             let batch = flushed;
                             flushed += 1;
-                            self.arq_round(&mut sensor, &mut plan, &mut stats)?;
+                            self.arq_round(&mut sensor, &mut plan, &mut stats, &mut arq_trace)?;
                             if plan.crash_due(node, batch) {
                                 stats.crashes += 1;
                                 sensor.reboot()?;
@@ -651,7 +836,7 @@ impl Network {
                         if sensor.pending_depth() == 0 {
                             break;
                         }
-                        self.arq_round(&mut sensor, &mut plan, &mut stats)?;
+                        self.arq_round(&mut sensor, &mut plan, &mut stats, &mut arq_trace)?;
                     }
                     // A frame the channel still holds hostage arrives now.
                     for leftover in plan.drain() {
@@ -951,6 +1136,140 @@ mod tests {
         }
         assert!((r.sse - c.sse).abs() < 1e-12);
         assert!(r.total_energy() > c.total_energy(), "chaos costs energy");
+    }
+
+    #[test]
+    fn timeline_under_chaos_is_consistent_with_recovery_stats() {
+        use sbr_obs::MetricsRecorder;
+        use std::collections::BTreeMap;
+        let data = feeds(2, 2, 512);
+        let cfg = SbrConfig::new(48, 32);
+        let rec = Arc::new(MetricsRecorder::new());
+        let mut net = network(3);
+        net.set_recorder(rec.clone());
+        // Capacity far above the event volume: nothing may be evicted, or
+        // the per-frame assertions below would see partial histories.
+        net.set_timeline(Timeline::with_recorder(rec.as_ref(), 1 << 20));
+        net.set_fault_plan(
+            FaultPlan::new(42)
+                .with_drop(0.3)
+                .with_dup(0.15)
+                .with_reorder(0.1)
+                .with_corrupt(0.1)
+                .with_crash_at(1, 4),
+        );
+        let r = net.simulate(&data, 64, &Strategy::SbrArq(cfg)).unwrap();
+        let stats = r.recovery.unwrap();
+        assert!(
+            stats.duplicates_discarded > 0 && stats.resyncs > 0,
+            "{stats:?}"
+        );
+        let events = net.timeline().events();
+        assert_eq!(net.timeline().dropped_events(), 0, "ring must not wrap");
+        let mut by_frame: BTreeMap<FrameId, Vec<&sbr_obs::TimelineEvent>> = BTreeMap::new();
+        for e in &events {
+            by_frame.entry(e.frame).or_default().push(e);
+        }
+        // Aggregate consistency: timeline totals equal the RecoveryStats
+        // the run reported.
+        let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count() as u64;
+        assert_eq!(count(EventKind::Dup), stats.duplicates_discarded);
+        assert_eq!(count(EventKind::Resynced), stats.resyncs);
+        // A bit flip can land in the 17 header bytes the identity peek
+        // reads, leaving that rejection unattributable — so `corrupt`
+        // events bound the stat from below, and chaos this heavy must
+        // still have attributed some.
+        assert!(count(EventKind::Corrupt) <= stats.corrupt_rejected);
+        assert!(count(EventKind::Corrupt) > 0);
+        assert_eq!(
+            count(EventKind::Tx) + count(EventKind::Retx),
+            stats.frames_sent
+        );
+        assert_eq!(
+            count(EventKind::Decoded),
+            stats.frames_delivered,
+            "every delivered frame decodes exactly once"
+        );
+        // Per-frame consistency: ordered histories. A `decoded` frame must
+        // have a `tx` strictly before it; every `resynced` verdict must be
+        // preceded by its trigger (the resync frame's own `encoded`).
+        let mut decoded_frames = 0;
+        for (frame, hist) in &by_frame {
+            let pos = |k: EventKind| hist.iter().position(|e| e.kind == k);
+            if let Some(d) = pos(EventKind::Decoded) {
+                decoded_frames += 1;
+                let t = pos(EventKind::Tx)
+                    .unwrap_or_else(|| panic!("{frame} decoded without tx: {hist:?}"));
+                assert!(t < d, "{frame}: decoded before tx: {hist:?}");
+                assert!(
+                    pos(EventKind::Encoded).unwrap() < t,
+                    "{frame}: tx before encoded"
+                );
+            }
+            if let Some(rs) = pos(EventKind::Resynced) {
+                let enc = pos(EventKind::Encoded)
+                    .unwrap_or_else(|| panic!("{frame} resynced without encoded: {hist:?}"));
+                assert!(enc < rs, "{frame}: resynced before its trigger");
+            }
+        }
+        assert_eq!(decoded_frames as u64, stats.frames_delivered);
+        // The quantile histograms saw real traffic.
+        let snap = rec.snapshot();
+        let rtt = snap
+            .histogram("sensor_net.recovery.ack_rtt_rounds")
+            .unwrap();
+        assert!(rtt.count > 0);
+        assert!(rtt.p99() >= rtt.p50());
+        assert!(
+            snap.histogram("sensor_net.recovery.retx_depth_per_round")
+                .unwrap()
+                .count
+                > 0
+        );
+        assert!(
+            snap.histogram("sensor_net.station.decode_batch_ns")
+                .unwrap()
+                .count
+                > 0
+        );
+        assert_eq!(snap.counter(sbr_obs::TIMELINE_DROPPED_METRIC), Some(0));
+    }
+
+    #[test]
+    fn timeline_active_changes_no_bytes() {
+        use sbr_obs::MetricsRecorder;
+        let data = feeds(2, 2, 512);
+        let cfg = SbrConfig::new(48, 32);
+        let chaos = || {
+            FaultPlan::new(42)
+                .with_drop(0.3)
+                .with_dup(0.15)
+                .with_reorder(0.1)
+                .with_corrupt(0.1)
+        };
+        let mut plain = network(3);
+        plain.set_fault_plan(chaos());
+        let p = plain
+            .simulate(&data, 64, &Strategy::SbrArq(cfg.clone()))
+            .unwrap();
+        let rec = Arc::new(MetricsRecorder::new());
+        let mut traced = network(3);
+        traced.set_recorder(rec.clone());
+        traced.set_timeline(Timeline::with_recorder(rec.as_ref(), 1 << 20));
+        traced.set_fault_plan(chaos());
+        let t = traced.simulate(&data, 64, &Strategy::SbrArq(cfg)).unwrap();
+        // Observation is free of observable effect: identical station
+        // logs, byte for byte, and identical recovery stats.
+        for node in 1..3 {
+            assert_eq!(
+                plain.station().raw_frames(node),
+                traced.station().raw_frames(node),
+                "node {node} log diverged under tracing"
+            );
+        }
+        assert_eq!(p.recovery, t.recovery);
+        assert!((p.sse - t.sse).abs() < 1e-12);
+        assert!(!traced.timeline().is_empty(), "tracing actually happened");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::collections::VecDeque;
 
 use sbr_core::codec;
 use sbr_core::{Frame, SbrConfig, SbrEncoder, SbrError, Transmission};
+use sbr_obs::{EventKind, FrameId};
 
 use crate::NodeId;
 
@@ -225,12 +226,20 @@ impl SensorNode {
             codec::encode_v2(&wire)
         };
         self.needs_resync = false;
+        // Lifecycle attribution: the encoder's timeline (shared with the
+        // network's when one is attached) learns the frame exists. A
+        // resync frame's `encoded` event is the trigger preceding the
+        // station's eventual `resynced` verdict.
+        let timeline = &self.encoder.config().obs.timeline;
+        let frame_id = FrameId::new(self.id as u32, self.epoch, tx.seq);
+        timeline.record(frame_id, EventKind::Encoded);
         if self.retx_capacity.is_some() {
             self.retx.push_back(PendingFrame {
                 epoch: self.epoch,
                 seq: tx.seq,
                 bytes: frame.clone(),
             });
+            timeline.record(frame_id, EventKind::Queued);
         }
         Ok(Some(Flush {
             transmission: tx,

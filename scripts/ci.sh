@@ -119,6 +119,12 @@ rm -rf "$smoke"
 trap - EXIT
 
 if [ "$run_bench" = 1 ]; then
+  echo "==> perf baseline snapshot (fig5 overwrites results/BENCH_SBR_v3.json)"
+  # The committed baseline must be captured before fig5 runs, or the
+  # regression gate below would compare the fresh run against itself.
+  mkdir -p target
+  cp results/BENCH_SBR_v3.json target/PERF_BASELINE.json
+
   echo "==> fig5 --quick (emits BENCH_SBR.json)"
   cargo run -p sbr-bench --release --offline --bin fig5 -- --quick
   test -s BENCH_SBR.json || { echo "BENCH_SBR.json missing or empty" >&2; exit 1; }
@@ -149,6 +155,39 @@ if [ "$run_bench" = 1 ]; then
   echo "    fit_cache_hits total: $hits"
   test -s results/BENCH_SBR_v3.json \
     || { echo "results/BENCH_SBR_v3.json copy missing" >&2; exit 1; }
+
+  echo "==> sbr perf diff (fresh fig5 --quick vs committed baseline, +25% gate)"
+  # Guard: the regression gate compares the encode/search/get_base walls,
+  # cache hit rates and recovery counters of the fresh quick run against
+  # the committed baseline; a wall more than 25% over fails the build.
+  # The full diff report is archived next to the other CI artifacts.
+  cargo run -p sbr-cli --release --offline --bin sbr -- perf diff \
+    target/PERF_BASELINE.json BENCH_SBR.json \
+    --tolerance 0.25 --report target/PERF_DIFF.txt
+  test -s target/PERF_DIFF.txt \
+    || { echo "PERF_DIFF.txt missing or empty" >&2; exit 1; }
+
+  echo "==> perf diff negative smoke (a seeded 30% wall regression must exit 1)"
+  # Guard: a gate that passes everything is worse than none. Scale every
+  # wall in a scratch candidate by 1.3x and require exit code 1 plus the
+  # regression verdict in the archived report.
+  awk '{
+    out = ""; rest = $0
+    while (match(rest, /"(avg_encode_secs|wall_secs)": [0-9.eE+-]+/)) {
+      seg = substr(rest, RSTART, RLENGTH)
+      sep = index(seg, ": ")
+      out = out substr(rest, 1, RSTART - 1) substr(seg, 1, sep + 1) substr(seg, sep + 2) * 1.3
+      rest = substr(rest, RSTART + RLENGTH)
+    }
+    print out rest
+  }' target/PERF_BASELINE.json > target/PERF_REGRESSED.json
+  if cargo run -p sbr-cli --release --offline --bin sbr -- perf diff \
+      target/PERF_BASELINE.json target/PERF_REGRESSED.json \
+      --report target/PERF_DIFF_SMOKE.txt; then
+    echo "perf diff passed a candidate with a seeded 30% wall regression" >&2; exit 1
+  fi
+  grep -q "REGRESSION" target/PERF_DIFF_SMOKE.txt \
+    || { echo "seeded regression missing from the smoke report" >&2; exit 1; }
 fi
 
 echo "CI pass complete."
