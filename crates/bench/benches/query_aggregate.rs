@@ -1,0 +1,79 @@
+//! Compressed-domain range-aggregate benchmarks: cold index build + first
+//! query, warm plan-cache steady state, and the full-decode
+//! [`aggregate_stream`] baseline the `QueryEngine` replaces — the
+//! Criterion-grade counterpart of the `query` block in `BENCH_SBR.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sbr_core::query::aggregate_stream;
+use sbr_core::{Aggregate, Decoder, QueryEngine, SbrConfig, SbrEncoder, Transmission};
+
+fn files(n_signals: usize, m: usize) -> Vec<Vec<f64>> {
+    (0..n_signals)
+        .map(|s| {
+            (0..m)
+                .map(|i| ((i as f64 * 0.11) + s as f64).sin() * 5.0 + (i % 29) as f64 * 0.3)
+                .collect()
+        })
+        .collect()
+}
+
+/// A 16-chunk stream of 4 signals × 256 samples, drifting per chunk so
+/// the base signal keeps evolving (realistic update-log shape).
+fn stream() -> Vec<Transmission> {
+    let (n_signals, m, chunks) = (4usize, 256usize, 16usize);
+    let mut enc =
+        SbrEncoder::new(n_signals, m, SbrConfig::new(n_signals * m / 5, m)).expect("config");
+    (0..chunks)
+        .map(|c| {
+            let mut rows = files(n_signals, m);
+            for row in &mut rows {
+                for (i, v) in row.iter_mut().enumerate() {
+                    *v += (c as f64 * 0.7) + (i as f64 * 0.01 * c as f64).cos();
+                }
+            }
+            enc.encode(&rows).expect("encode")
+        })
+        .collect()
+}
+
+fn bench_query_aggregate(c: &mut Criterion) {
+    let txs = stream();
+    let total = 16 * 256;
+    let mut g = c.benchmark_group("query_aggregate");
+    g.sample_size(20);
+
+    // Cold: build the chunk index from the raw log, then answer one
+    // unaligned range (what the first query after recovery costs).
+    g.bench_function("cold_index", |b| {
+        b.iter(|| {
+            let mut qe = QueryEngine::from_transmissions(black_box(&txs)).expect("index");
+            qe.query(1, 37, total - 19, Aggregate::Sum).expect("query")
+        })
+    });
+
+    // Warm: the plan-cache steady state a dashboard replaying canned
+    // queries sits in — one hit per iteration.
+    let mut warm = QueryEngine::from_transmissions(&txs).expect("index");
+    warm.query(1, 37, total - 19, Aggregate::Sum).expect("seed");
+    g.bench_function("warm_plan_cache", |b| {
+        b.iter(|| {
+            warm.query(black_box(1), 37, total - 19, Aggregate::Sum)
+                .expect("query")
+        })
+    });
+
+    // Baseline: the same range answered by replaying the decoder over the
+    // whole log (the pre-engine `sbr aggregate` path).
+    g.bench_function("full_decode", |b| {
+        b.iter(|| {
+            let mut decoder = Decoder::new();
+            aggregate_stream(&mut decoder, black_box(&txs), 1, 37, total - 19).expect("baseline")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_query_aggregate);
+criterion_main!(benches);

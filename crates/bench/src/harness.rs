@@ -216,6 +216,13 @@ pub struct BenchRecord {
     /// unknown members parse records carrying it unchanged. `None` for
     /// ordinary encoder records; serialized as JSON `null` then.
     pub recovery: Option<sensor_net::RecoveryStats>,
+    /// Compressed-domain query-engine statistics: query count, plan-cache
+    /// traffic, interval fold/boundary counts and wall times for the
+    /// engine and the full-decode baseline. Additive member of the
+    /// `sbr-bench/v3` schema: readers that ignore unknown members parse
+    /// records carrying it unchanged. `None` for records not produced by
+    /// a query sweep; serialized as JSON `null` then.
+    pub query: Option<QueryStats>,
 }
 
 /// The `search` block of a `sbr-bench/v3` record.
@@ -318,6 +325,72 @@ impl GetBaseStats {
     }
 }
 
+/// The `query` block of a `sbr-bench/v3` record: one compressed-domain
+/// query sweep against its full-decode baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryStats {
+    /// Range queries the compressed-domain engine answered.
+    pub queries: u64,
+    /// Queries served from a cached plan.
+    pub plan_cache_hits: u64,
+    /// Queries that resolved and cached a fresh plan.
+    pub plan_cache_misses: u64,
+    /// Intervals whose contribution came from precomputed moments.
+    pub intervals_folded: u64,
+    /// Intervals a range split mid-way (only their window was evaluated).
+    pub boundary_decodes: u64,
+    /// Total compressed-engine wall time across the sweep, seconds.
+    pub wall_secs: f64,
+    /// Queries re-run through the full-decode baseline (a subsample — the
+    /// baseline is too slow to run the full sweep).
+    pub decode_queries: u64,
+    /// Full-decode baseline wall time across `decode_queries`, seconds;
+    /// `None` when the baseline was not measured.
+    pub decode_wall_secs: Option<f64>,
+}
+
+impl QueryStats {
+    /// Extract the query-engine statistics from an instrumented sweep's
+    /// snapshot.
+    pub fn from_snapshot(snap: &sbr_obs::Snapshot) -> Self {
+        let (queries, wall_ns) = snap
+            .histogram("sbr_core.query.query_ns")
+            .map(|h| (h.count, h.sum))
+            .unwrap_or((0, 0));
+        QueryStats {
+            queries,
+            plan_cache_hits: snap.counter("sbr_core.query.plan_cache.hits").unwrap_or(0),
+            plan_cache_misses: snap
+                .counter("sbr_core.query.plan_cache.misses")
+                .unwrap_or(0),
+            intervals_folded: snap.counter("sbr_core.query.intervals_folded").unwrap_or(0),
+            boundary_decodes: snap.counter("sbr_core.query.boundary_decodes").unwrap_or(0),
+            wall_secs: wall_ns as f64 / 1e9,
+            decode_queries: 0,
+            decode_wall_secs: None,
+        }
+    }
+
+    /// Attach the full-decode baseline measurement (builder style).
+    pub fn with_decode_baseline(mut self, queries: u64, wall_secs: f64) -> Self {
+        self.decode_queries = queries;
+        self.decode_wall_secs = Some(wall_secs);
+        self
+    }
+
+    /// Per-query decode-over-compressed speedup, when both sides were
+    /// measured (each side normalized by its own query count).
+    pub fn speedup(&self) -> Option<f64> {
+        let decode = self.decode_wall_secs?;
+        if self.queries == 0 || self.decode_queries == 0 || self.wall_secs <= 0.0 {
+            return None;
+        }
+        let per_fast = self.wall_secs / self.queries as f64;
+        let per_slow = decode / self.decode_queries as f64;
+        (per_fast > 0.0).then(|| per_slow / per_fast)
+    }
+}
+
 impl BenchRecord {
     /// Score `stream` into a record for `experiment` under `params`.
     pub fn from_stream(experiment: &str, params: &[(&str, f64)], stream: &SbrStream) -> Self {
@@ -333,6 +406,7 @@ impl BenchRecord {
             search: None,
             get_base: None,
             recovery: None,
+            query: None,
         }
     }
 
@@ -364,6 +438,13 @@ impl BenchRecord {
     /// scored from a loss-tolerant network run.
     pub fn with_recovery(mut self, recovery: sensor_net::RecoveryStats) -> Self {
         self.recovery = Some(recovery);
+        self
+    }
+
+    /// Attach a `query` block (builder style) — used by records scored
+    /// from a compressed-domain query sweep.
+    pub fn with_query(mut self, query: QueryStats) -> Self {
+        self.query = Some(query);
         self
     }
 }
@@ -411,6 +492,10 @@ fn json_str(s: &str) -> String {
 /// also carry a `"get_base"` member: benefit-matrix size, fit-cache
 /// traffic and GetBase wall times (plus the derived speedup when the
 /// legacy path was re-measured), or JSON `null` when not instrumented.
+/// Records produced by a compressed-domain query sweep additionally carry
+/// a `"query"` member: query count, plan-cache traffic, interval
+/// fold/boundary counts and both engines' wall times (plus the derived
+/// per-query speedup), JSON `null` otherwise.
 /// All of these bumps are additive — v1/v2/v3 consumers that ignore
 /// unknown members parse the artifact unchanged and the schema string
 /// stays `sbr-bench/v3`.
@@ -499,6 +584,28 @@ pub fn bench_json(records: &[BenchRecord]) -> String {
                     s.chunks_flushed,
                     s.chunks_delivered,
                     json_num(s.delivered_fraction()),
+                ));
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"query\": ");
+        match &r.query {
+            Some(q) => {
+                out.push_str(&format!(
+                    "{{\"queries\": {}, \"plan_cache_hits\": {}, \
+                     \"plan_cache_misses\": {}, \"intervals_folded\": {}, \
+                     \"boundary_decodes\": {}, \"wall_secs\": {}, \
+                     \"decode_queries\": {}, \"decode_wall_secs\": {}, \
+                     \"speedup\": {}}}",
+                    q.queries,
+                    q.plan_cache_hits,
+                    q.plan_cache_misses,
+                    q.intervals_folded,
+                    q.boundary_decodes,
+                    json_num(q.wall_secs),
+                    q.decode_queries,
+                    q.decode_wall_secs.map_or("null".into(), json_num),
+                    q.speedup().map_or("null".into(), json_num),
                 ));
             }
             None => out.push_str("null"),
@@ -727,6 +834,59 @@ mod tests {
         assert_eq!(f("frames_sent"), Some(12.0));
         assert_eq!(f("resyncs"), Some(1.0));
         assert_eq!(f("delivered_fraction"), Some(1.0));
+    }
+
+    #[test]
+    fn bench_json_query_block_is_additive() {
+        // A reader that only knows the pre-query v3 members must parse an
+        // artifact carrying the block unchanged.
+        let stream = run_sbr_stream(&files(), SbrConfig::new(40, 32));
+        let record = BenchRecord::from_stream("query_sweep", &[("queries", 1e6)], &stream)
+            .with_query(
+                QueryStats {
+                    queries: 1_000_000,
+                    plan_cache_hits: 900_000,
+                    plan_cache_misses: 100_000,
+                    intervals_folded: 5_000_000,
+                    boundary_decodes: 150_000,
+                    wall_secs: 0.5,
+                    ..Default::default()
+                }
+                .with_decode_baseline(2_000, 2.0),
+            );
+        let json = bench_json(&[record]);
+        assert!(json.contains("\"schema\": \"sbr-bench/v3\""), "no bump");
+        let v = sbr_obs::json::parse(&json).expect("valid JSON");
+        let rec = &v
+            .get("records")
+            .and_then(sbr_obs::json::Value::as_arr)
+            .unwrap()[0];
+        // Existing members untouched…
+        assert!(rec.get("avg_encode_secs").is_some());
+        assert!(rec.get("search").is_some());
+        assert!(rec.get("recovery").is_some());
+        // …and the additive block carries the query-sweep statistics.
+        let q = rec.get("query").expect("query member");
+        let f = |k: &str| q.get(k).and_then(sbr_obs::json::Value::as_f64);
+        assert_eq!(f("queries"), Some(1e6));
+        assert_eq!(f("plan_cache_hits"), Some(9e5));
+        assert_eq!(f("boundary_decodes"), Some(1.5e5));
+        assert_eq!(f("decode_queries"), Some(2e3));
+        // Per-query: 0.5µs compressed vs 1ms decode → 2000x.
+        let speedup = f("speedup").expect("speedup derived");
+        assert!((speedup - 2000.0).abs() < 1e-9, "{speedup}");
+    }
+
+    #[test]
+    fn query_stats_speedup_requires_both_sides() {
+        let qs = QueryStats {
+            queries: 100,
+            wall_secs: 0.1,
+            ..Default::default()
+        };
+        assert_eq!(qs.speedup(), None, "no baseline measured");
+        let qs = QueryStats::default().with_decode_baseline(10, 1.0);
+        assert_eq!(qs.speedup(), None, "no compressed side measured");
     }
 
     #[test]

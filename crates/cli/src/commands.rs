@@ -17,7 +17,7 @@ use sensor_net::network::{Network, Strategy};
 use sensor_net::storage::{recover, LogWriter};
 use sensor_net::{EnergyModel, FaultPlan, LossyLink, Topology};
 
-use crate::args::{Cli, Command, USAGE};
+use crate::args::{Cli, Command, EngineKind, USAGE};
 use crate::csv::{self, Table};
 use crate::error::CliError;
 
@@ -56,7 +56,8 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             signal,
             from,
             to,
-        } => aggregate(input, *signal, *from, *to),
+            engine,
+        } => aggregate(input, *signal, *from, *to, *engine),
         Command::Generate {
             dataset,
             output,
@@ -338,21 +339,48 @@ fn compare(input: &str, band: usize) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Range aggregates straight off the compressed stream: no per-sample
-/// reconstruction (see `sbr_core::query`).
-fn aggregate(input: &str, signal: usize, from: usize, to: usize) -> Result<String, CliError> {
+/// Range aggregates straight off the compressed stream: the
+/// compressed-domain query engine by default (closed-form interval
+/// moments, see `sbr_core::QueryEngine`), or the full-decode streaming
+/// baseline with `--engine decode` for A/B comparison.
+fn aggregate(
+    input: &str,
+    signal: usize,
+    from: usize,
+    to: usize,
+    engine: EngineKind,
+) -> Result<String, CliError> {
     if to <= from {
-        return Err(CliError::Usage(format!("empty range [{from}, {to})")));
+        return Err(CliError::Usage(format!(
+            "empty range [{from}, {to}): --from must be below --to"
+        )));
     }
     let log = recover(Path::new(input)).map_err(|e| e.to_string())?;
-    if log.transmissions.is_empty() {
+    let Some(first) = log.transmissions.first() else {
         return Err(format!("{input}: no complete transmissions").into());
+    };
+    let total = log.transmissions.len() * first.samples_per_signal as usize;
+    if to > total {
+        return Err(CliError::Runtime(format!(
+            "{input}: range [{from}, {to}) runs past the {total} logged samples"
+        )));
     }
-    let mut decoder = Decoder::new();
-    let agg = aggregate_stream(&mut decoder, &log.transmissions, signal, from, to)
-        .map_err(|e| e.to_string())?;
+    let (agg, label) = match engine {
+        EngineKind::Compressed => {
+            let mut qe = sbr_core::QueryEngine::from_transmissions(&log.transmissions)
+                .map_err(|e| e.to_string())?;
+            let agg = qe.aggregate(signal, from, to).map_err(|e| e.to_string())?;
+            (agg, "compressed")
+        }
+        EngineKind::Decode => {
+            let mut decoder = Decoder::new();
+            let agg = aggregate_stream(&mut decoder, &log.transmissions, signal, from, to)
+                .map_err(|e| e.to_string())?;
+            (agg, "decode")
+        }
+    };
     Ok(format!(
-        "signal {signal}, samples [{from}, {to}) — {} values
+        "signal {signal}, samples [{from}, {to}) — {} values ({label} engine)
 \
          sum {:.6}
 avg {:.6}
@@ -373,6 +401,7 @@ const PHASES: &[(&str, &str)] = &[
     ("codec encode", "sbr_core.codec.encode_ns"),
     ("codec decode", "sbr_core.codec.decode_ns"),
     ("par worker busy", "sbr_core.par.worker_busy_ns"),
+    ("query", "sbr_core.query.query_ns"),
 ];
 
 fn ms(ns: f64) -> String {
@@ -438,6 +467,10 @@ fn render_snapshot(snap: &Snapshot, out: &mut String) {
         ("Probe-cache misses", "sbr_core.probe_cache.misses"),
         ("Fit-cache hits", "sbr_core.get_base.fit_cache.hits"),
         ("Fit-cache misses", "sbr_core.get_base.fit_cache.misses"),
+        ("Plan-cache hits", "sbr_core.query.plan_cache.hits"),
+        ("Plan-cache misses", "sbr_core.query.plan_cache.misses"),
+        ("Intervals folded", "sbr_core.query.intervals_folded"),
+        ("Boundary decodes", "sbr_core.query.boundary_decodes"),
         ("Base inserted", "sbr_core.base_signal.inserted"),
         ("Base evicted", "sbr_core.base_signal.evicted"),
         ("Tx mapped intervals", "sbr_core.sbr.tx_mapped_intervals"),
@@ -559,6 +592,25 @@ fn report(input: &str) -> Result<String, CliError> {
                     ));
                     if let Some(x) = f("speedup") {
                         out.push_str(&format!(" ({x:.2}x vs no cache)"));
+                    }
+                    out.push('\n');
+                }
+                // v3 query block (additive): compressed-domain sweep size,
+                // plan-cache traffic, and the speedup over full decode.
+                if let Some(q) = r.get("query").filter(|s| !matches!(s, Value::Null)) {
+                    let f = |k: &str| q.get(k).and_then(Value::as_f64);
+                    out.push_str(&format!(
+                        "  query: {} query(ies), plan cache {}/{} hit/miss, \
+                         {} folded / {} boundary, {:.1} ms",
+                        f("queries").unwrap_or(0.0),
+                        f("plan_cache_hits").unwrap_or(0.0),
+                        f("plan_cache_misses").unwrap_or(0.0),
+                        f("intervals_folded").unwrap_or(0.0),
+                        f("boundary_decodes").unwrap_or(0.0),
+                        f("wall_secs").unwrap_or(0.0) * 1e3,
+                    ));
+                    if let Some(x) = f("speedup") {
+                        out.push_str(&format!(" ({x:.0}x vs full decode)"));
                     }
                     out.push('\n');
                 }
@@ -839,6 +891,9 @@ fn bench_walls(r: &Value) -> Vec<(&'static str, f64)> {
     if let Some(v) = nested("get_base", "wall_secs") {
         walls.push(("get_base wall", v));
     }
+    if let Some(v) = nested("query", "wall_secs") {
+        walls.push(("query wall", v));
+    }
     walls
 }
 
@@ -856,6 +911,9 @@ fn bench_hit_rates(r: &Value) -> Vec<(&'static str, f64)> {
     }
     if let Some(v) = rate("get_base", "fit_cache_hits", "fit_cache_misses") {
         rates.push(("fit-cache hit rate", v));
+    }
+    if let Some(v) = rate("query", "plan_cache_hits", "plan_cache_misses") {
+        rates.push(("plan-cache hit rate", v));
     }
     rates
 }
@@ -1185,12 +1243,75 @@ mod tests {
         ))
         .unwrap();
         let s = stream.display();
-        assert!(run_argv(&format!("aggregate --input {s} --signal 0 --from 9 --to 9")).is_err());
-        assert!(run_argv(&format!("aggregate --input {s} --signal 7 --from 0 --to 9")).is_err());
-        assert!(run_argv(&format!(
+        // Inverted/empty range: the invocation is wrong → usage, exit 2.
+        let e = run_argv(&format!("aggregate --input {s} --signal 0 --from 9 --to 9")).unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e:?}");
+        assert!(e.message().contains("--from must be below --to"), "{e}");
+        let e = run_argv(&format!(
+            "aggregate --input {s} --signal 0 --from 20 --to 9"
+        ))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e:?}");
+        // Unknown signal: well-formed command, the work fails → runtime.
+        let e = run_argv(&format!("aggregate --input {s} --signal 7 --from 0 --to 9")).unwrap_err();
+        assert_eq!(e.exit_code(), 1, "{e:?}");
+        // Range past the stream: runtime, with a clear out-of-range message.
+        let e = run_argv(&format!(
             "aggregate --input {s} --signal 0 --from 0 --to 999"
         ))
-        .is_err());
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 1, "{e:?}");
+        assert!(
+            e.message().contains("runs past the 128 logged samples"),
+            "{e}"
+        );
+        // The decode engine classifies identically.
+        let e = run_argv(&format!(
+            "aggregate --input {s} --signal 0 --from 0 --to 999 --engine decode"
+        ))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 1, "{e:?}");
+        assert!(e.message().contains("runs past the"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn aggregate_engines_agree() {
+        let dir = tempdir("aggab");
+        let csv_in = dir.join("in.csv");
+        let stream = dir.join("out.sbr");
+        write_sample_csv(&csv_in, 256);
+        run_argv(&format!(
+            "compress --input {} --output {} --band 96 --batch 128",
+            csv_in.display(),
+            stream.display()
+        ))
+        .unwrap();
+        let s = stream.display();
+        for (from, to) in [(0usize, 256usize), (50, 200), (130, 140)] {
+            let fast = run_argv(&format!(
+                "aggregate --input {s} --signal 1 --from {from} --to {to}"
+            ))
+            .unwrap();
+            let slow = run_argv(&format!(
+                "aggregate --input {s} --signal 1 --from {from} --to {to} --engine decode"
+            ))
+            .unwrap();
+            assert!(fast.contains("(compressed engine)"), "{fast}");
+            assert!(slow.contains("(decode engine)"), "{slow}");
+            // The four value lines must agree to the printed precision.
+            let values = |out: &str| -> Vec<String> {
+                out.lines()
+                    .filter(|l| {
+                        ["sum", "avg", "min", "max"]
+                            .iter()
+                            .any(|p| l.starts_with(p))
+                    })
+                    .map(str::to_string)
+                    .collect()
+            };
+            assert_eq!(values(&fast), values(&slow), "[{from},{to})");
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -80,10 +80,10 @@ pub use get_base::{GetBaseBuilder, LowMemoryGetBase};
 pub use get_intervals::FitOracle;
 pub use interval::{Interval, IntervalRecord};
 pub use metric::ErrorMetric;
-pub use obs::EncodeObs;
+pub use obs::{EncodeObs, QueryObs};
 pub use probe_cache::ProbeCache;
 pub use quadratic::QuadFit;
-pub use query::ChunkView;
+pub use query::{Aggregate, ChunkSummary, ChunkView, FoldCounts, QueryEngine, StreamAggregate};
 pub use regression::Fit;
 pub use sbr::SbrEncoder;
 pub use series::MultiSeries;

@@ -48,6 +48,11 @@
 //! | `sbr_core.par.fanouts` | counter | thread fan-outs actually taken |
 //! | `sbr_core.par.worker_items` | histogram | items one worker processed |
 //! | `sbr_core.par.worker_busy_ns` | histogram | one worker's busy time |
+//! | `sbr_core.query.query_ns` | histogram | one compressed-domain range query |
+//! | `sbr_core.query.plan_cache.hits` | counter | queries served from a cached plan |
+//! | `sbr_core.query.plan_cache.misses` | counter | queries that computed a fresh plan |
+//! | `sbr_core.query.intervals_folded` | counter | intervals answered from precomputed moments |
+//! | `sbr_core.query.boundary_decodes` | counter | intervals a range split mid-way (partial scan) |
 //!
 //! [`EncodeObs`] also carries a frame-lifecycle [`Timeline`] (disabled by
 //! default; attach with
@@ -220,6 +225,45 @@ mod enabled {
         /// the attached recorder.
         pub fn span(&self, name: &'static str, hist: &Histogram) -> Span {
             Span::start(name, hist, self.recorder.as_ref())
+        }
+    }
+
+    /// Pre-registered handles for the compressed-domain query engine
+    /// ([`QueryEngine`](crate::query::QueryEngine)).
+    ///
+    /// The default is fully disabled (every operation one branch); attach
+    /// a live recorder by constructing with [`QueryObs::new`].
+    #[derive(Clone, Debug, Default)]
+    pub struct QueryObs {
+        /// One compressed-domain range query end to end.
+        pub query_ns: Histogram,
+        /// Queries answered from a cached plan.
+        pub plan_hits: Counter,
+        /// Queries that resolved and cached a fresh plan.
+        pub plan_misses: Counter,
+        /// Intervals whose contribution came from precomputed moments.
+        pub intervals_folded: Counter,
+        /// Intervals a range split mid-way: only their covered window is
+        /// decoded (scanned), never the whole chunk.
+        pub boundary_decodes: Counter,
+    }
+
+    impl QueryObs {
+        /// Register every query-engine metric on `recorder`.
+        pub fn new(r: &dyn Recorder) -> Self {
+            QueryObs {
+                query_ns: r.histogram("sbr_core.query.query_ns"),
+                plan_hits: r.counter("sbr_core.query.plan_cache.hits"),
+                plan_misses: r.counter("sbr_core.query.plan_cache.misses"),
+                intervals_folded: r.counter("sbr_core.query.intervals_folded"),
+                boundary_decodes: r.counter("sbr_core.query.boundary_decodes"),
+            }
+        }
+
+        /// Whether per-query timing should be collected.
+        #[inline]
+        pub fn enabled(&self) -> bool {
+            self.query_ns.is_enabled()
         }
     }
 
@@ -435,6 +479,29 @@ mod disabled {
         #[inline]
         pub fn span(&self, _name: &'static str, _hist: &Histogram) -> Span {
             Span
+        }
+    }
+
+    /// Inert query-engine metric bundle (the `obs` feature is off).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct QueryObs {
+        /// One compressed-domain range query end to end.
+        pub query_ns: Histogram,
+        /// Queries answered from a cached plan.
+        pub plan_hits: Counter,
+        /// Queries that resolved and cached a fresh plan.
+        pub plan_misses: Counter,
+        /// Intervals whose contribution came from precomputed moments.
+        pub intervals_folded: Counter,
+        /// Intervals a range split mid-way (partial scan).
+        pub boundary_decodes: Counter,
+    }
+
+    impl QueryObs {
+        /// Always false.
+        #[inline]
+        pub fn enabled(&self) -> bool {
+            false
         }
     }
 

@@ -22,7 +22,9 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use sbr_core::base_signal::BaseSignal;
 use sbr_core::query::aggregate_stream;
-use sbr_core::{codec, Decoder, Frame, FrameKind, SbrError, Transmission};
+use sbr_core::{
+    codec, ChunkSummary, Decoder, Frame, FrameKind, QueryEngine, QueryObs, SbrError, Transmission,
+};
 
 use crate::NodeId;
 
@@ -45,10 +47,16 @@ struct SensorLog {
     frames: Vec<Bytes>,
     tracker: Decoder,
     checkpoints: Vec<Checkpoint>,
+    /// Compressed-domain chunk index: one [`ChunkSummary`] per logged frame
+    /// (aligned with `frames`; `None` marks a chunk whose summary could not
+    /// be built — queries touching it fall back to the decode path).
+    engine: QueryEngine,
 }
 
 impl SensorLog {
-    fn new(node: NodeId) -> Self {
+    fn new(node: NodeId, obs: QueryObs) -> Self {
+        let mut engine = QueryEngine::new();
+        engine.set_obs(obs);
         SensorLog {
             frames: Vec::new(),
             tracker: Decoder::for_node(node as u64),
@@ -58,6 +66,7 @@ impl SensorLog {
                 next_seq: 0,
                 epoch: 0,
             }],
+            engine,
         }
     }
 }
@@ -100,6 +109,7 @@ pub struct BaseStation {
     checkpoint_interval: u64,
     persist_dir: Option<PathBuf>,
     writers: Mutex<HashMap<NodeId, crate::storage::LogWriter>>,
+    query_obs: QueryObs,
 }
 
 impl Default for BaseStation {
@@ -109,6 +119,7 @@ impl Default for BaseStation {
             checkpoint_interval: 8,
             persist_dir: None,
             writers: Mutex::new(HashMap::new()),
+            query_obs: QueryObs::default(),
         }
     }
 }
@@ -136,6 +147,17 @@ impl BaseStation {
             persist_dir: Some(dir.into()),
             ..BaseStation::default()
         }
+    }
+
+    /// Attach pre-registered query metrics: every sensor's compressed-domain
+    /// query engine records plan-cache hit/miss and interval-fold counters
+    /// on `recorder`. Chainable after any constructor.
+    pub fn with_recorder(mut self, recorder: &dyn sbr_obs::Recorder) -> Self {
+        self.query_obs = QueryObs::new(recorder);
+        for log in self.logs.lock().values_mut() {
+            log.engine.set_obs(self.query_obs.clone());
+        }
+        self
     }
 
     /// Rebuild a station from the log files a persistent station wrote to
@@ -210,8 +232,17 @@ impl BaseStation {
     fn ingest(&self, node: NodeId, frame: Bytes, persist: bool) -> Result<Receipt, SbrError> {
         let parsed = codec::decode_any(&mut frame.clone())?;
         let mut logs = self.logs.lock();
-        let log = logs.entry(node).or_insert_with(|| SensorLog::new(node));
+        let log = logs
+            .entry(node)
+            .or_insert_with(|| SensorLog::new(node, self.query_obs.clone()));
         let (epoch, next_seq) = (log.tracker.epoch(), log.tracker.next_seq());
+        // The X_new layout this frame's records reference must be captured
+        // *before* the updates are applied (the post-apply base has already
+        // absorbed them): a data frame extends the current base.
+        let peeked_x_new = match parsed.kind {
+            FrameKind::Data => log.tracker.peek_x_new(&parsed.tx).ok(),
+            FrameKind::Resync => None,
+        };
         let receipt = match parsed.kind {
             FrameKind::Data => {
                 if parsed.epoch < epoch || (parsed.epoch == epoch && parsed.tx.seq < next_seq) {
@@ -241,6 +272,22 @@ impl BaseStation {
                 Receipt::Resynced
             }
         };
+        // Index the accepted chunk in the compressed domain. A resync frame
+        // re-anchors on its own snapshot (followed by its updates) — either
+        // way the summary is self-contained, so epoch bumps never
+        // invalidate earlier chunks.
+        let x_new = match parsed.kind {
+            FrameKind::Data => peeked_x_new,
+            FrameKind::Resync => {
+                let mut x = parsed.snapshot.clone();
+                for u in &parsed.tx.base_updates {
+                    x.extend_from_slice(&u.values);
+                }
+                Some(x)
+            }
+        };
+        log.engine
+            .push_chunk(x_new.and_then(|x| ChunkSummary::from_transmission(&parsed.tx, x).ok()));
         log.frames.push(frame.clone());
         if (log.frames.len() as u64).is_multiple_of(self.checkpoint_interval) {
             let (base, next_seq) = log.tracker.snapshot();
@@ -340,11 +387,14 @@ impl BaseStation {
         let log = logs
             .get(&node)
             .ok_or_else(|| SbrError::InconsistentState(format!("unknown sensor {node}")))?;
-        let cp = log
-            .checkpoints
-            .iter()
-            .rev()
-            .find(|c| c.chunk <= chunk as u64)
+        // Checkpoints are position-sorted (appended at monotonically
+        // growing log positions), so the latest one at or before `chunk`
+        // is found by binary search: `partition_point` yields the first
+        // checkpoint *past* `chunk`, and the one before it is the answer.
+        let idx = log.checkpoints.partition_point(|c| c.chunk <= chunk as u64);
+        let cp = idx
+            .checked_sub(1)
+            .and_then(|i| log.checkpoints.get(i))
             .ok_or_else(|| {
                 SbrError::InconsistentState(format!(
                     "sensor {node} has no checkpoint at or before chunk {chunk}"
@@ -385,11 +435,43 @@ impl BaseStation {
     }
 
     /// SUM/AVG/MIN/MAX of `signal` of `node` over the absolute sample
-    /// range `[t0, t1)`. On a resync-free log (no reboots, no overflows)
-    /// this runs directly on the logged interval records with no
-    /// per-sample reconstruction (see [`sbr_core::query`]); a log that
-    /// re-anchored falls back to reconstructing the covered chunks.
+    /// range `[t0, t1)`. Served from the compressed-domain chunk index
+    /// maintained at ingest (see [`sbr_core::QueryEngine`]) whenever it
+    /// covers the range — O(#intervals touched), no frame replay, cached
+    /// plans for repeated queries, and valid across resyncs because every
+    /// chunk summary is epoch-self-contained. Ranges touching a chunk the
+    /// index could not summarize fall back to
+    /// [`BaseStation::aggregate_range_decode`].
     pub fn aggregate_range(
+        &self,
+        node: NodeId,
+        signal: usize,
+        t0: usize,
+        t1: usize,
+    ) -> Result<RangeAggregate, SbrError> {
+        {
+            let mut logs = self.logs.lock();
+            if let Some(log) = logs.get_mut(&node) {
+                if log.engine.covers(signal, t0, t1) {
+                    let agg = log.engine.aggregate(signal, t0, t1)?;
+                    return Ok(RangeAggregate {
+                        sum: agg.sum,
+                        avg: agg.avg,
+                        min: agg.min,
+                        max: agg.max,
+                        count: agg.count,
+                    });
+                }
+            }
+        }
+        self.aggregate_range_decode(node, signal, t0, t1)
+    }
+
+    /// The full-decode baseline behind [`BaseStation::aggregate_range`]:
+    /// answers the same query without the chunk index, either streaming
+    /// over the logged interval records (resync-free logs) or
+    /// reconstructing the covered chunks. Kept public for A/B comparison.
+    pub fn aggregate_range_decode(
         &self,
         node: NodeId,
         signal: usize,
@@ -869,5 +951,138 @@ mod tests {
         }
         assert_eq!(bs.log_bytes(4), total);
         assert_eq!(bs.sensors(), vec![4]);
+    }
+
+    #[test]
+    fn decoder_at_pins_checkpoint_boundaries() {
+        // Interval 4 over 10 chunks → checkpoints at log positions 0
+        // (initial), 4 and 8. The binary search must pick the *latest*
+        // checkpoint at or before the requested chunk, on both sides of
+        // every boundary.
+        let bs = BaseStation::with_checkpoint_interval(4);
+        for f in frames(10) {
+            bs.receive(1, f).unwrap();
+        }
+        for (chunk, resume_at) in [
+            (0usize, 0usize),
+            (1, 0),
+            (3, 0),
+            (4, 4),
+            (5, 4),
+            (7, 4),
+            (8, 8),
+            (9, 8),
+            (100, 8),
+        ] {
+            let (decoder, start) = bs.decoder_at(1, chunk).unwrap();
+            assert_eq!(start, resume_at, "chunk {chunk}");
+            assert_eq!(decoder.next_seq(), resume_at as u64, "chunk {chunk}");
+        }
+        assert!(bs.decoder_at(99, 0).is_err(), "unknown sensor");
+    }
+
+    #[test]
+    fn aggregate_range_serves_from_compressed_index() {
+        let bs = BaseStation::new();
+        for f in frames(4) {
+            bs.receive(3, f).unwrap();
+        }
+        // The ingest path must have indexed every chunk.
+        {
+            let mut logs = bs.logs.lock();
+            let log = logs.get_mut(&3).unwrap();
+            assert_eq!(log.engine.len(), 4);
+            assert!(log.engine.covers(1, 0, 256));
+            assert_eq!(log.engine.plan_cache_len(), 0);
+        }
+        for (t0, t1) in [(0usize, 256usize), (10, 60), (60, 200), (255, 256)] {
+            let fast = bs.aggregate_range(3, 1, t0, t1).unwrap();
+            let slow = bs.aggregate_range_decode(3, 1, t0, t1).unwrap();
+            assert_eq!(fast.count, slow.count, "[{t0},{t1})");
+            assert!((fast.sum - slow.sum).abs() < 1e-9 * (1.0 + slow.sum.abs()));
+            assert_eq!(fast.min.to_bits(), slow.min.to_bits(), "[{t0},{t1}) min");
+            assert_eq!(fast.max.to_bits(), slow.max.to_bits(), "[{t0},{t1}) max");
+        }
+        // The engine path resolved those queries (plans were cached).
+        let mut logs = bs.logs.lock();
+        assert!(logs.get_mut(&3).unwrap().engine.plan_cache_len() > 0);
+    }
+
+    #[test]
+    fn compressed_index_spans_resyncs() {
+        // Chunk summaries are epoch-self-contained (a resync chunk anchors
+        // on its own snapshot), so the index keeps serving across epoch
+        // bumps — no fallback needed.
+        let (fs, _) = v2_stream(6, 2);
+        let bs = BaseStation::new();
+        for f in &fs {
+            bs.receive_frame(1, f.clone()).unwrap();
+        }
+        assert!(bs.epoch(1) > 0, "log must contain a resync");
+        {
+            let mut logs = bs.logs.lock();
+            assert!(logs.get_mut(&1).unwrap().engine.covers(0, 0, 384));
+        }
+        let all = bs.reconstruct_chunks(1, 0, 6).unwrap();
+        let mut truth = Vec::new();
+        for chunk in &all {
+            truth.extend(&chunk[0]);
+        }
+        for (t0, t1) in [(0usize, 384usize), (100, 300), (130, 140), (383, 384)] {
+            let agg = bs.aggregate_range(1, 0, t0, t1).unwrap();
+            let slice = &truth[t0..t1];
+            let sum: f64 = slice.iter().sum();
+            let min = slice.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = slice.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(agg.count, t1 - t0);
+            assert!(
+                (agg.sum - sum).abs() < 1e-9 * (1.0 + sum.abs()),
+                "[{t0},{t1})"
+            );
+            assert_eq!(agg.min.to_bits(), min.to_bits(), "[{t0},{t1}) min");
+            assert_eq!(agg.max.to_bits(), max.to_bits(), "[{t0},{t1}) max");
+        }
+    }
+
+    #[test]
+    fn station_query_metrics_reach_the_recorder() {
+        use sbr_obs::Recorder as _;
+        let recorder = sbr_obs::MetricsRecorder::new();
+        let bs = BaseStation::new().with_recorder(&recorder);
+        for f in frames(3) {
+            bs.receive(5, f).unwrap();
+        }
+        bs.aggregate_range(5, 0, 10, 150).unwrap();
+        bs.aggregate_range(5, 0, 10, 150).unwrap();
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("sbr_core.query.plan_cache.misses"), Some(1));
+        assert_eq!(snap.counter("sbr_core.query.plan_cache.hits"), Some(1));
+        assert!(snap.counter("sbr_core.query.intervals_folded").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn loaded_station_rebuilds_query_index() {
+        let dir = std::env::temp_dir().join(format!("sbr-bs-qidx-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = frames(4);
+        {
+            let bs = BaseStation::with_persistence(&dir);
+            for f in &fs {
+                bs.receive(6, f.clone()).unwrap();
+            }
+        } // "crash"
+        let bs = BaseStation::load(&dir).unwrap();
+        {
+            let mut logs = bs.logs.lock();
+            let log = logs.get_mut(&6).unwrap();
+            assert_eq!(log.engine.len(), 4, "recover() must rebuild the index");
+            assert!(log.engine.covers(0, 0, 256));
+        }
+        let fast = bs.aggregate_range(6, 0, 33, 222).unwrap();
+        let slow = bs.aggregate_range_decode(6, 0, 33, 222).unwrap();
+        assert!((fast.sum - slow.sum).abs() < 1e-9 * (1.0 + slow.sum.abs()));
+        assert_eq!(fast.min.to_bits(), slow.min.to_bits());
+        assert_eq!(fast.max.to_bits(), slow.max.to_bits());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -40,6 +40,13 @@ echo "==> GetBase fit-cache differential suite (cache on vs off, byte-identical)
 # paths must emit byte-identical streams.
 cargo test -q --offline --test get_base_incremental_diff
 
+echo "==> query differential suite (compressed-domain engine vs full decode)"
+# Guard: the compressed-domain query engine answers from closed-form
+# interval moments — min/max must match the decode-then-scan baseline bit
+# for bit, sums within 1e-9 relative, across metrics, strategies, thread
+# counts and recovered station indexes.
+cargo test -q --offline --test query_diff
+
 echo "==> ARQ differential suite (reliable link: ARQ log == direct delivery)"
 # Guard: the loss-tolerant v2 protocol is pure delivery mechanics — on a
 # perfect channel its base-station log must be byte-identical to legacy
@@ -153,6 +160,22 @@ if [ "$run_bench" = 1 ]; then
     exit 1
   fi
   echo "    fit_cache_hits total: $hits"
+
+  echo "==> perf smoke (query block: plan cache must actually engage)"
+  # Guard: the query_sweep record must carry the additive query block and
+  # the plan cache must report real traffic — hits == 0 would mean the
+  # compressed-domain engine silently stopped serving repeated queries.
+  grep -q '"query": {' BENCH_SBR.json \
+    || { echo "BENCH_SBR.json missing query block" >&2; exit 1; }
+  echo "$report" | grep -q "query:" \
+    || { echo "report missing query block" >&2; exit 1; }
+  qhits="$(grep -o '"plan_cache_hits": [0-9]*' BENCH_SBR.json \
+    | awk -F': ' '{s += $2} END {print s+0}')"
+  if [ "$qhits" -eq 0 ]; then
+    echo "plan_cache.hits == 0 on the quick query sweep: the plan cache is not engaging" >&2
+    exit 1
+  fi
+  echo "    plan_cache_hits total: $qhits"
   test -s results/BENCH_SBR_v3.json \
     || { echo "results/BENCH_SBR_v3.json copy missing" >&2; exit 1; }
 

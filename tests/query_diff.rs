@@ -1,0 +1,201 @@
+//! Differential suite: the compressed-domain [`QueryEngine`] vs. the
+//! full-decode [`aggregate_stream`] baseline it replaces.
+//!
+//! Min/max must agree **bit for bit** on every range — the moment
+//! builders evaluate the decoder's exact floating-point expressions, so
+//! there is no tolerance to hide behind. Sums are accumulated in a
+//! different association order (per-interval prefix moments vs. one long
+//! left-to-right fold), so sum/avg get a 1e-9 relative tolerance.
+//! The contract must hold across error metrics, shift strategies, worker
+//! thread counts, and a persisted-then-recovered base-station index.
+
+use sbr_repro::core::query::aggregate_stream;
+use sbr_repro::core::{
+    codec, Aggregate, Decoder, QueryEngine, SbrConfig, SbrEncoder, ShiftStrategy, Transmission,
+};
+use sbr_repro::sensor_net::BaseStation;
+
+/// `n_signals` drifting signals chunked into `chunks` batches of `m`.
+fn chunked(n_signals: usize, m: usize, chunks: usize, seed: f64) -> Vec<Vec<Vec<f64>>> {
+    (0..chunks)
+        .map(|c| {
+            (0..n_signals)
+                .map(|s| {
+                    (0..m)
+                        .map(|i| {
+                            let t = (c * m + i) as f64;
+                            (t * 0.13 + s as f64 + seed).sin() * 6.0
+                                + (t * 0.011).cos() * 2.0
+                                + c as f64 * 0.4
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn encode_stream(files: &[Vec<Vec<f64>>], config: SbrConfig) -> Vec<Transmission> {
+    let n = files[0].len();
+    let m = files[0][0].len();
+    let mut enc = SbrEncoder::new(n, m, config).expect("config");
+    files
+        .iter()
+        .map(|rows| enc.encode(rows).expect("encode"))
+        .collect()
+}
+
+/// Assert the engine and the streaming baseline agree on `[t0, t1)`:
+/// count and min/max exact (bit for bit), sum/avg within 1e-9 relative.
+fn assert_agree(
+    engine: &mut QueryEngine,
+    txs: &[Transmission],
+    signal: usize,
+    t0: usize,
+    t1: usize,
+) {
+    let fast = engine.aggregate(signal, t0, t1).expect("engine aggregate");
+    let mut decoder = Decoder::new();
+    let slow = aggregate_stream(&mut decoder, txs, signal, t0, t1).expect("decode aggregate");
+    assert_eq!(fast.count, slow.count, "count [{t0}, {t1})");
+    assert_eq!(
+        fast.min.to_bits(),
+        slow.min.to_bits(),
+        "min differs on [{t0}, {t1}): {} vs {}",
+        fast.min,
+        slow.min
+    );
+    assert_eq!(
+        fast.max.to_bits(),
+        slow.max.to_bits(),
+        "max differs on [{t0}, {t1}): {} vs {}",
+        fast.max,
+        slow.max
+    );
+    let tol = 1e-9 * slow.sum.abs().max(1.0);
+    assert!(
+        (fast.sum - slow.sum).abs() <= tol,
+        "sum differs on [{t0}, {t1}): {} vs {}",
+        fast.sum,
+        slow.sum
+    );
+    let atol = 1e-9 * slow.avg.abs().max(1.0);
+    assert!(
+        (fast.avg - slow.avg).abs() <= atol,
+        "avg differs on [{t0}, {t1}): {} vs {}",
+        fast.avg,
+        slow.avg
+    );
+    // The scalar entry points agree with aggregate(): min/max share the
+    // full-moments plan (bit-exact); sum/avg come from the dedicated
+    // prefix-sum plan, a different association order again.
+    for (agg, want) in [(Aggregate::Min, fast.min), (Aggregate::Max, fast.max)] {
+        let got = engine.query(signal, t0, t1, agg).expect("engine query");
+        assert_eq!(got.to_bits(), want.to_bits(), "{agg:?} vs aggregate()");
+    }
+    for (agg, want) in [(Aggregate::Sum, fast.sum), (Aggregate::Avg, fast.avg)] {
+        let got = engine.query(signal, t0, t1, agg).expect("engine query");
+        assert!(
+            (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+            "{agg:?} vs aggregate(): {got} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn chunk_aligned_ranges_are_bit_exact() {
+    let m = 64;
+    let files = chunked(3, m, 6, 0.0);
+    let txs = encode_stream(&files, SbrConfig::new(80, 48));
+    let mut engine = QueryEngine::from_transmissions(&txs).expect("index");
+    for signal in 0..3 {
+        for c0 in 0..6 {
+            for c1 in (c0 + 1)..=6 {
+                assert_agree(&mut engine, &txs, signal, c0 * m, c1 * m);
+            }
+        }
+    }
+}
+
+#[test]
+fn split_ranges_agree_within_the_documented_bound() {
+    let m = 64;
+    let files = chunked(2, m, 5, 1.7);
+    let txs = encode_stream(&files, SbrConfig::new(60, 48));
+    let mut engine = QueryEngine::from_transmissions(&txs).expect("index");
+    let total = 5 * m;
+    // Deterministic unaligned ranges: single-sample, intra-chunk,
+    // boundary-straddling, and nearly-whole-log windows.
+    let ranges = [
+        (0, 1),
+        (m - 1, m + 1),
+        (7, 23),
+        (m / 2, 3 * m + 11),
+        (2 * m - 3, 2 * m + 3),
+        (1, total - 1),
+        (total - m - 7, total),
+    ];
+    for signal in 0..2 {
+        for &(t0, t1) in &ranges {
+            assert_agree(&mut engine, &txs, signal, t0, t1);
+        }
+    }
+}
+
+#[test]
+fn agreement_holds_across_metrics_strategies_and_threads() {
+    let m = 64;
+    let files = chunked(2, m, 4, 0.9);
+    let configs = [
+        SbrConfig::new(70, 48).with_metric(sbr_repro::core::ErrorMetric::relative()),
+        SbrConfig::new(70, 48).with_shift_strategy(ShiftStrategy::Direct),
+        SbrConfig::new(70, 48).with_shift_strategy(ShiftStrategy::Fft),
+        SbrConfig::new(70, 48).with_threads(1),
+        SbrConfig::new(70, 48).with_threads(4),
+        SbrConfig::new(70, 48).frozen_base(),
+    ];
+    for config in configs {
+        let txs = encode_stream(&files, config);
+        let mut engine = QueryEngine::from_transmissions(&txs).expect("index");
+        for &(t0, t1) in &[
+            (0, 4 * m),
+            (m, 3 * m),
+            (17, 2 * m + 5),
+            (3 * m - 1, 3 * m + 1),
+        ] {
+            assert_agree(&mut engine, &txs, 1, t0, t1);
+        }
+    }
+}
+
+#[test]
+fn station_index_agrees_after_recover() {
+    let dir = std::env::temp_dir().join(format!("sbr-query-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let m = 64;
+    let files = chunked(2, m, 4, 2.3);
+    let txs = encode_stream(&files, SbrConfig::new(64, 64));
+    {
+        let station = BaseStation::with_persistence(&dir);
+        for tx in &txs {
+            station.receive(9, codec::encode(tx)).expect("receive");
+        }
+    }
+    // A cold process: the log is re-ingested from disk and the chunk
+    // index rebuilt; the fast path must still match both the station's
+    // own decode path and the raw streaming baseline.
+    let station = BaseStation::load(&dir).expect("load");
+    for &(t0, t1) in &[(0, 4 * m), (m, 3 * m), (5, 2 * m + 9), (2 * m, 2 * m + 1)] {
+        let fast = station.aggregate_range(9, 0, t0, t1).expect("fast");
+        let slow = station.aggregate_range_decode(9, 0, t0, t1).expect("slow");
+        assert_eq!(fast.count, slow.count);
+        assert_eq!(fast.min.to_bits(), slow.min.to_bits());
+        assert_eq!(fast.max.to_bits(), slow.max.to_bits());
+        assert!((fast.sum - slow.sum).abs() <= 1e-9 * slow.sum.abs().max(1.0));
+        let mut decoder = Decoder::new();
+        let raw = aggregate_stream(&mut decoder, &txs, 0, t0, t1).expect("raw");
+        assert_eq!(fast.min.to_bits(), raw.min.to_bits());
+        assert_eq!(fast.max.to_bits(), raw.max.to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
