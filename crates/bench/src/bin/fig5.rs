@@ -23,13 +23,17 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sbr_bench::{
-    quick_mode, row, run_sbr_stream, BenchRecord, GetBaseStats, QueryStats, SearchStats, RATIOS,
+    quick_mode, row, run_sbr_stream, BenchRecord, GetBaseStats, QueryStats, SearchStats,
+    StorageStats, RATIOS,
 };
 use sbr_core::{
-    query::aggregate_stream, Aggregate, Decoder, QueryEngine, QueryObs, SbrConfig, SbrEncoder,
+    codec, query::aggregate_stream, Aggregate, Decoder, QueryEngine, QueryObs, SbrConfig,
+    SbrEncoder,
 };
 use sbr_obs::{MetricsRecorder, Recorder as _};
-use sensor_net::{EnergyModel, FaultPlan, LossyLink, Network, Strategy, Topology};
+use sensor_net::{
+    storage, BaseStation, EnergyModel, FaultPlan, LossyLink, Network, Strategy, Topology,
+};
 
 /// One small SBR dissemination run over a line topology, instrumented end
 /// to end; returns the record carrying per-node tx/rx counters. The run
@@ -84,6 +88,7 @@ fn network_sim_record(quick: bool) -> BenchRecord {
         get_base: None,
         recovery: None,
         query: None,
+        storage: None,
     }
     .with_metrics(rec.snapshot())
     .with_recovery(recovery)
@@ -204,9 +209,111 @@ fn query_sweep_record(quick: bool) -> BenchRecord {
         get_base: None,
         recovery: None,
         query: None,
+        storage: None,
     }
     .with_metrics(snapshot)
     .with_query(query)
+}
+
+/// Segmented-store recovery sweep: persist histories an order of
+/// magnitude apart into checkpointed segmented stores, then measure what
+/// a station restart costs. One record per history length, each carrying
+/// the v3 `storage` block. The headline shape: `replayed_records` and
+/// `wall_secs` stay flat while `records` grows 10x–100x, because a
+/// checkpointed load replays only the active tail; the
+/// `full_replay_wall_secs` control (hydrating the whole history) is what
+/// recovery would cost without checkpoints.
+fn storage_recovery_records(quick: bool) -> Vec<BenchRecord> {
+    let n_signals = 2usize;
+    let m = 64usize;
+    let histories: &[usize] = if quick { &[24, 240] } else { &[24, 240, 2400] };
+    let max_h = *histories.last().expect("non-empty sweep");
+    // One encoded stream, reused as prefixes: the continuity chain only
+    // constrains what came before, so history `h` ingests frames[..h].
+    let d = sbr_datasets::stock(11, n_signals, m * max_h);
+    let files = d.chunk(m);
+    let band = (n_signals * m) / 4;
+    let mut encoder =
+        SbrEncoder::new(n_signals, m, SbrConfig::new(band, m)).expect("storage sweep config");
+    let frames: Vec<_> = files
+        .iter()
+        .map(|rows| codec::encode(&encoder.encode(rows).expect("storage sweep encode")))
+        .collect();
+
+    // ~2 KiB segments: long histories seal many segments and write many
+    // checkpoints, so the sweep exercises the checkpoint ladder rather
+    // than a single open file.
+    const SEGMENT_BYTES: u64 = 2 * 1024;
+    let root = std::env::temp_dir().join(format!("sbr-bench-storage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut records = Vec::new();
+    for &h in histories {
+        let dir = root.join(format!("h{h}"));
+        {
+            let station = BaseStation::with_persistence(&dir).with_segment_size(SEGMENT_BYTES);
+            for f in &frames[..h] {
+                station.receive(1, f.clone()).expect("storage sweep ingest");
+            }
+        }
+        let report = storage::verify(&dir, 1).expect("persisted store verifies");
+        // Checkpointed load: directory scan + active-tail replay only.
+        let rec = Arc::new(MetricsRecorder::new());
+        let started = Instant::now();
+        let station =
+            BaseStation::load_with_recorder(&dir, rec.as_ref()).expect("checkpointed load");
+        let wall = started.elapsed().as_secs_f64();
+        let replayed = rec
+            .snapshot()
+            .counter("sensor_net.storage.segments.replayed_records")
+            .unwrap_or(0);
+        // Full-replay control: hydrating the cold prefix re-decodes the
+        // whole history.
+        let started = Instant::now();
+        let hydrated = station.frames(1).expect("full hydration");
+        let full_wall = started.elapsed().as_secs_f64();
+        assert_eq!(hydrated.len(), h, "hydration must recover every frame");
+        let stats = StorageStats {
+            records: report.records,
+            segments_sealed: u64::from(report.segments - u32::from(report.active)),
+            checkpoints: u64::from(report.checkpoints),
+            replayed_records: replayed,
+            wall_secs: wall,
+            full_replay_wall_secs: Some(full_wall),
+        };
+        println!(
+            "storage recovery: history {h} frames → load {:.2} ms replaying {replayed} \
+             record(s) ({} sealed segment(s), {} checkpoint(s)); full replay {:.2} ms",
+            wall * 1e3,
+            stats.segments_sealed,
+            stats.checkpoints,
+            full_wall * 1e3,
+        );
+        records.push(
+            BenchRecord {
+                experiment: "storage_recovery".to_string(),
+                params: vec![
+                    ("history".to_string(), h as f64),
+                    ("segment_bytes".to_string(), SEGMENT_BYTES as f64),
+                    ("n_signals".to_string(), n_signals as f64),
+                    ("samples_per_signal".to_string(), m as f64),
+                ],
+                avg_encode_secs: 0.0,
+                avg_sse: 0.0,
+                total_rel: 0.0,
+                transmissions: h,
+                inserted: Vec::new(),
+                metrics: None,
+                search: None,
+                get_base: None,
+                recovery: None,
+                query: None,
+                storage: None,
+            }
+            .with_storage(stats),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    records
 }
 
 fn main() {
@@ -280,6 +387,7 @@ fn main() {
     }
     records.push(network_sim_record(quick));
     records.push(query_sweep_record(quick));
+    records.extend(storage_recovery_records(quick));
     // Canonical artifact at the workspace root (what ROADMAP/ci.sh
     // promise), plus the schema-versioned copy archived under results/.
     sbr_bench::write_bench_json("BENCH_SBR.json", &records).expect("write BENCH_SBR.json");

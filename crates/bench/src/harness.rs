@@ -223,6 +223,47 @@ pub struct BenchRecord {
     /// records carrying it unchanged. `None` for records not produced by
     /// a query sweep; serialized as JSON `null` then.
     pub query: Option<QueryStats>,
+    /// Segmented-store recovery statistics: history size, sealed-segment
+    /// and checkpoint counts, how many records the checkpointed load
+    /// actually replayed, and the recovery wall times. Additive member of
+    /// the `sbr-bench/v3` schema: readers that ignore unknown members
+    /// parse records carrying it unchanged. `None` for records not
+    /// produced by a storage recovery sweep; serialized as JSON `null`
+    /// then.
+    pub storage: Option<StorageStats>,
+}
+
+/// The `storage` block of a `sbr-bench/v3` record: one segmented-store
+/// recovery measurement. The headline claim is `replayed_records ≪
+/// records`: a checkpointed load replays only the post-checkpoint tail,
+/// so `wall_secs` stays flat while `records` (the persisted history)
+/// grows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StorageStats {
+    /// Frames in the persisted history across all sensor stores.
+    pub records: u64,
+    /// Sealed segment files across all stores.
+    pub segments_sealed: u64,
+    /// Checkpoint files present after the run (post-compaction).
+    pub checkpoints: u64,
+    /// Records the checkpointed load replayed (active-tail frames only).
+    pub replayed_records: u64,
+    /// Wall time of the checkpointed load (scan + tail replay), seconds.
+    pub wall_secs: f64,
+    /// Wall time of a full-history replay of the same stores, seconds;
+    /// `None` when the control was not measured.
+    pub full_replay_wall_secs: Option<f64>,
+}
+
+impl StorageStats {
+    /// Checkpointed-load speedup over the full-history replay, when both
+    /// sides were measured.
+    pub fn speedup(&self) -> Option<f64> {
+        match self.full_replay_wall_secs {
+            Some(full) if self.wall_secs > 0.0 => Some(full / self.wall_secs),
+            _ => None,
+        }
+    }
 }
 
 /// The `search` block of a `sbr-bench/v3` record.
@@ -407,6 +448,7 @@ impl BenchRecord {
             get_base: None,
             recovery: None,
             query: None,
+            storage: None,
         }
     }
 
@@ -445,6 +487,13 @@ impl BenchRecord {
     /// from a compressed-domain query sweep.
     pub fn with_query(mut self, query: QueryStats) -> Self {
         self.query = Some(query);
+        self
+    }
+
+    /// Attach a `storage` block (builder style) — used by records scored
+    /// from a segmented-store recovery sweep.
+    pub fn with_storage(mut self, storage: StorageStats) -> Self {
+        self.storage = Some(storage);
         self
     }
 }
@@ -496,6 +545,11 @@ fn json_str(s: &str) -> String {
 /// a `"query"` member: query count, plan-cache traffic, interval
 /// fold/boundary counts and both engines' wall times (plus the derived
 /// per-query speedup), JSON `null` otherwise.
+/// Records produced by a segmented-store recovery sweep additionally
+/// carry a `"storage"` member: persisted-history size, sealed-segment and
+/// checkpoint counts, the records the checkpointed load replayed, and
+/// both recovery wall times (plus the derived speedup over a
+/// full-history replay), JSON `null` otherwise.
 /// All of these bumps are additive — v1/v2/v3 consumers that ignore
 /// unknown members parse the artifact unchanged and the schema string
 /// stays `sbr-bench/v3`.
@@ -606,6 +660,25 @@ pub fn bench_json(records: &[BenchRecord]) -> String {
                     q.decode_queries,
                     q.decode_wall_secs.map_or("null".into(), json_num),
                     q.speedup().map_or("null".into(), json_num),
+                ));
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"storage\": ");
+        match &r.storage {
+            Some(s) => {
+                out.push_str(&format!(
+                    "{{\"records\": {}, \"segments_sealed\": {}, \
+                     \"checkpoints\": {}, \"replayed_records\": {}, \
+                     \"wall_secs\": {}, \"full_replay_wall_secs\": {}, \
+                     \"speedup\": {}}}",
+                    s.records,
+                    s.segments_sealed,
+                    s.checkpoints,
+                    s.replayed_records,
+                    json_num(s.wall_secs),
+                    s.full_replay_wall_secs.map_or("null".into(), json_num),
+                    s.speedup().map_or("null".into(), json_num),
                 ));
             }
             None => out.push_str("null"),
@@ -875,6 +948,51 @@ mod tests {
         // Per-query: 0.5µs compressed vs 1ms decode → 2000x.
         let speedup = f("speedup").expect("speedup derived");
         assert!((speedup - 2000.0).abs() < 1e-9, "{speedup}");
+    }
+
+    #[test]
+    fn bench_json_storage_block_is_additive() {
+        // A reader that only knows the pre-storage v3 members must parse
+        // an artifact carrying the block unchanged.
+        let stream = run_sbr_stream(&files(), SbrConfig::new(40, 32));
+        let record = BenchRecord::from_stream("storage_recovery", &[("history", 240.0)], &stream)
+            .with_storage(StorageStats {
+                records: 240,
+                segments_sealed: 20,
+                checkpoints: 4,
+                replayed_records: 12,
+                wall_secs: 0.002,
+                full_replay_wall_secs: Some(0.04),
+            });
+        let json = bench_json(&[record]);
+        assert!(json.contains("\"schema\": \"sbr-bench/v3\""), "no bump");
+        let v = sbr_obs::json::parse(&json).expect("valid JSON");
+        let rec = &v
+            .get("records")
+            .and_then(sbr_obs::json::Value::as_arr)
+            .unwrap()[0];
+        // Existing members untouched…
+        assert!(rec.get("avg_encode_secs").is_some());
+        assert!(rec.get("search").is_some());
+        assert!(rec.get("query").is_some());
+        // …and the additive block carries the recovery statistics.
+        let s = rec.get("storage").expect("storage member");
+        let f = |k: &str| s.get(k).and_then(sbr_obs::json::Value::as_f64);
+        assert_eq!(f("records"), Some(240.0));
+        assert_eq!(f("segments_sealed"), Some(20.0));
+        assert_eq!(f("replayed_records"), Some(12.0));
+        let speedup = f("speedup").expect("speedup derived");
+        assert!((speedup - 20.0).abs() < 1e-9, "{speedup}");
+    }
+
+    #[test]
+    fn storage_stats_speedup_requires_both_sides() {
+        let s = StorageStats {
+            records: 100,
+            wall_secs: 0.1,
+            ..Default::default()
+        };
+        assert_eq!(s.speedup(), None, "no full-replay control measured");
     }
 
     #[test]

@@ -125,6 +125,11 @@ pub enum Command {
         crash_at: Option<(usize, u64)>,
         /// Write an `sbr-obs/v2` metrics snapshot (JSON) here after the run.
         metrics: Option<String>,
+        /// Persist the base station's logs as segmented stores under this
+        /// directory (see `sbr storage`).
+        store: Option<String>,
+        /// Segment size in bytes for `--store` (default 65536).
+        segment_bytes: Option<u64>,
     },
     /// `sbr trace`: filter and pretty-print a structured event log
     /// produced via `SBR_TRACE` or `compress --trace`.
@@ -153,6 +158,18 @@ pub enum Command {
         tolerance: f64,
         /// Also write the full diff report here.
         report: Option<String>,
+    },
+    /// `sbr storage inspect`: audit every sensor store under a directory
+    /// (segment CRCs, continuity chain, checkpoint snapshots).
+    StorageInspect {
+        /// Store directory (as written by `simulate --store`).
+        dir: String,
+    },
+    /// `sbr storage compact`: drop checkpoints superseded behind each
+    /// store's newest resync snapshot.
+    StorageCompact {
+        /// Store directory (as written by `simulate --store`).
+        dir: String,
     },
     /// `sbr help`.
     Help,
@@ -192,6 +209,9 @@ USAGE:
                  [--loss <p>] [--fault-seed <n>]
                  [--drop <p>] [--dup <p>] [--reorder <p>] [--corrupt <p>]
                  [--crash-at <node>:<chunk>] [--metrics <json>]
+                 [--store <dir>] [--segment-bytes <n>]
+  sbr storage inspect <dir>
+  sbr storage compact <dir>
   sbr trace      --input <log> [--filter <substring>]
                  [--frame <node>:<epoch>:<seq>] [--node <n>]
                  [--kind encoded|queued|tx|retx|dropped|dup|corrupt|
@@ -221,6 +241,16 @@ per-hop loss (`--loss`) and a seeded end-to-end fault schedule
 (`--drop`/`--dup`/`--reorder`/`--corrupt`, `--crash-at node:chunk`),
 then prints the recovery statistics.
 
+Durability: `simulate --store <dir>` persists every accepted frame into
+per-sensor segmented stores (CRC-framed records in fixed-size sealed
+segments, with a checkpoint written at each seal so recovery replays
+one segment instead of the whole history; `--segment-bytes` tunes the
+segment budget). `sbr storage inspect <dir>` audits every store end to
+end — record CRCs, the epoch/sequence continuity chain, and each
+checkpoint's snapshot against the walk — and exits 1 on any damage;
+`sbr storage compact <dir>` drops checkpoints superseded behind each
+store's newest resync snapshot.
+
 Performance: `--probe-cache off` disables the Search probe cache (the
 default shares base-prefix fit work across insertion-count probes), and
 `--fit-cache off` disables the incremental GetBase fit cache (the
@@ -241,12 +271,12 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
         });
     };
     let mut flags = std::collections::HashMap::new();
-    // `perf` takes positionals (`perf diff <baseline> <candidate>`)
-    // before its flags; every other subcommand is pure --flag value
-    // pairs.
+    // `perf` and `storage` take positionals (`perf diff <baseline>
+    // <candidate>`, `storage inspect <dir>`) before their flags; every
+    // other subcommand is pure --flag value pairs.
     let mut positionals: Vec<String> = Vec::new();
     let mut i = 1;
-    if sub == "perf" {
+    if sub == "perf" || sub == "storage" {
         while i < argv.len() && !argv[i].starts_with("--") {
             positionals.push(argv[i].clone());
             i += 1;
@@ -418,6 +448,20 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 }
                 None => None,
             };
+            let segment_bytes = match take_value(&mut flags, "segment-bytes") {
+                Some(v) => {
+                    let n = parse_u64(v, "segment-bytes")?;
+                    if n == 0 {
+                        return Err("--segment-bytes must be positive".into());
+                    }
+                    Some(n)
+                }
+                None => None,
+            };
+            let store = take_value(&mut flags, "store");
+            if segment_bytes.is_some() && store.is_none() {
+                return Err("--segment-bytes only makes sense with --store".into());
+            }
             Command::Simulate {
                 nodes,
                 signals,
@@ -432,6 +476,8 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 corrupt: parse_prob(take_value(&mut flags, "corrupt"), "corrupt")?,
                 crash_at,
                 metrics: take_value(&mut flags, "metrics"),
+                store,
+                segment_bytes,
             }
         }
         "trace" => {
@@ -495,6 +541,27 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 candidate,
                 tolerance,
                 report: take_value(&mut flags, "report"),
+            }
+        }
+        "storage" => {
+            let mut pos = positionals.into_iter();
+            let action = match pos.next() {
+                Some(a) => a,
+                None => return Err("usage: sbr storage inspect|compact <dir>".into()),
+            };
+            let (Some(dir), None) = (pos.next(), pos.next()) else {
+                return Err(format!(
+                    "storage {action} wants exactly one store directory"
+                ));
+            };
+            match action.as_str() {
+                "inspect" => Command::StorageInspect { dir },
+                "compact" => Command::StorageCompact { dir },
+                other => {
+                    return Err(format!(
+                        "unknown storage action '{other}' (expected 'inspect' or 'compact')"
+                    ))
+                }
             }
         }
         "help" | "--help" | "-h" => Command::Help,
@@ -799,8 +866,55 @@ mod tests {
                 corrupt: 0.0,
                 crash_at: None,
                 metrics: None,
+                store: None,
+                segment_bytes: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_simulate_store_flags() {
+        let cli = parse(&argv("simulate --store /tmp/s --segment-bytes 2048")).unwrap();
+        match cli.command {
+            Command::Simulate {
+                store,
+                segment_bytes,
+                ..
+            } => {
+                assert_eq!(store.as_deref(), Some("/tmp/s"));
+                assert_eq!(segment_bytes, Some(2048));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(
+            parse(&argv("simulate --segment-bytes 2048")).is_err(),
+            "--segment-bytes needs --store"
+        );
+        assert!(parse(&argv("simulate --store /tmp/s --segment-bytes 0")).is_err());
+    }
+
+    #[test]
+    fn parses_storage_actions() {
+        assert_eq!(
+            parse(&argv("storage inspect /tmp/store")).unwrap().command,
+            Command::StorageInspect {
+                dir: "/tmp/store".into()
+            }
+        );
+        assert_eq!(
+            parse(&argv("storage compact /tmp/store")).unwrap().command,
+            Command::StorageCompact {
+                dir: "/tmp/store".into()
+            }
+        );
+    }
+
+    #[test]
+    fn storage_rejects_bad_grammar() {
+        assert!(parse(&argv("storage")).is_err(), "wants an action");
+        assert!(parse(&argv("storage inspect")).is_err(), "wants a dir");
+        assert!(parse(&argv("storage shred /tmp/x")).is_err(), "bad action");
+        assert!(parse(&argv("storage inspect a b")).is_err(), "one dir");
     }
 
     #[test]

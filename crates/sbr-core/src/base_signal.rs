@@ -163,6 +163,48 @@ impl BaseSignal {
         }
     }
 
+    /// Decompose into raw parts for persistence: the slot width, the flat
+    /// values, and per-slot `(use_count, inserted_at)` bookkeeping. The
+    /// inverse of [`BaseSignal::from_raw`].
+    pub fn to_raw(&self) -> (usize, &[f64], Vec<(u64, u64)>) {
+        (
+            self.w,
+            &self.values,
+            self.meta
+                .iter()
+                .map(|m| (m.use_count, m.inserted_at))
+                .collect(),
+        )
+    }
+
+    /// Rebuild a buffer from parts produced by [`BaseSignal::to_raw`].
+    /// The values length must be exactly `meta.len() × w`.
+    pub fn from_raw(w: usize, values: Vec<f64>, meta: Vec<(u64, u64)>) -> Result<Self> {
+        if w == 0 {
+            return Err(SbrError::InvalidConfig(
+                "base interval width must be positive".to_string(),
+            ));
+        }
+        if values.len() != meta.len() * w {
+            return Err(SbrError::InvalidConfig(format!(
+                "base signal has {} values for {} slots of width {w}",
+                values.len(),
+                meta.len()
+            )));
+        }
+        Ok(BaseSignal {
+            w,
+            values,
+            meta: meta
+                .into_iter()
+                .map(|(use_count, inserted_at)| SlotMeta {
+                    use_count,
+                    inserted_at,
+                })
+                .collect(),
+        })
+    }
+
     /// The flat candidate signal `X ∥ cand₁ ∥ … ∥ cand_k` used while probing
     /// how many candidate intervals to insert (Algorithm 6). Reuses `buf`.
     pub fn flat_with_appended<'a>(&self, cands: &[&[f64]], buf: &'a mut Vec<f64>) -> &'a [f64] {

@@ -16,7 +16,7 @@
 //! stream at a higher epoch after unrecoverable loss or a node reboot.
 
 use std::collections::HashMap;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -25,8 +25,37 @@ use sbr_core::query::aggregate_stream;
 use sbr_core::{
     codec, ChunkSummary, Decoder, Frame, FrameKind, QueryEngine, QueryObs, SbrError, Transmission,
 };
+use sbr_obs::{Counter, Recorder};
 
+use crate::storage::{self, CheckpointState, SegmentWriter, DEFAULT_SEGMENT_BYTES};
 use crate::NodeId;
+
+/// Pre-registered handles for the segmented storage engine: sealed
+/// segments, checkpoints dropped by compaction, and records replayed at
+/// recovery (the post-checkpoint tail only — the number the flat-recovery
+/// acceptance gate watches). The default is fully disabled; attach a live
+/// recorder with [`StorageObs::new`] (or station-wide via
+/// [`BaseStation::with_recorder`] / [`BaseStation::load_with_recorder`]).
+#[derive(Clone, Debug, Default)]
+pub struct StorageObs {
+    /// Segments sealed (footer written).
+    pub sealed: Counter,
+    /// Checkpoint files removed by compaction.
+    pub compacted: Counter,
+    /// Records replayed while recovering a station from disk.
+    pub replayed_records: Counter,
+}
+
+impl StorageObs {
+    /// Register every storage metric on `recorder`.
+    pub fn new(r: &dyn Recorder) -> Self {
+        StorageObs {
+            sealed: r.counter("sensor_net.storage.segments.sealed"),
+            compacted: r.counter("sensor_net.storage.segments.compacted"),
+            replayed_records: r.counter("sensor_net.storage.segments.replayed_records"),
+        }
+    }
+}
 
 /// A periodic snapshot of the mirrored base-signal state, taken on ingest
 /// so historical queries replay at most `checkpoint_interval` chunks.
@@ -44,13 +73,28 @@ struct Checkpoint {
 /// One sensor's append-only log.
 #[derive(Debug)]
 struct SensorLog {
+    /// Every logged frame, in store order. A lazily-loaded station keeps
+    /// the first `cold` positions as empty placeholders until a
+    /// historical query forces [`BaseStation::hydrate_node`].
     frames: Vec<Bytes>,
+    /// Leading placeholder count (0 once hydrated, and always 0 for a
+    /// station that never restarted).
+    cold: usize,
+    /// Total frame bytes logged (maintained without hydration).
+    payload_bytes: u64,
     tracker: Decoder,
     checkpoints: Vec<Checkpoint>,
     /// Compressed-domain chunk index: one [`ChunkSummary`] per logged frame
     /// (aligned with `frames`; `None` marks a chunk whose summary could not
     /// be built — queries touching it fall back to the decode path).
     engine: QueryEngine,
+    /// Durable segment writer (persistent stations only). Owned by the
+    /// log so appends happen in arrival order under the same lock that
+    /// orders the in-memory log.
+    writer: Option<SegmentWriter>,
+    /// Store-wide record index of the newest resync frame seen — the
+    /// compaction horizon.
+    last_resync_at: Option<u64>,
 }
 
 impl SensorLog {
@@ -59,6 +103,8 @@ impl SensorLog {
         engine.set_obs(obs);
         SensorLog {
             frames: Vec::new(),
+            cold: 0,
+            payload_bytes: 0,
             tracker: Decoder::for_node(node as u64),
             checkpoints: vec![Checkpoint {
                 chunk: 0,
@@ -67,6 +113,8 @@ impl SensorLog {
                 epoch: 0,
             }],
             engine,
+            writer: None,
+            last_resync_at: None,
         }
     }
 }
@@ -108,8 +156,12 @@ pub struct BaseStation {
     logs: Mutex<HashMap<NodeId, SensorLog>>,
     checkpoint_interval: u64,
     persist_dir: Option<PathBuf>,
-    writers: Mutex<HashMap<NodeId, crate::storage::LogWriter>>,
+    /// Segment size budget before a seal (persistent stations).
+    segment_bytes: u64,
+    /// Whether seals opportunistically drop resync-superseded checkpoints.
+    compaction: bool,
     query_obs: QueryObs,
+    storage_obs: StorageObs,
 }
 
 impl Default for BaseStation {
@@ -118,8 +170,10 @@ impl Default for BaseStation {
             logs: Mutex::new(HashMap::new()),
             checkpoint_interval: 8,
             persist_dir: None,
-            writers: Mutex::new(HashMap::new()),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            compaction: true,
             query_obs: QueryObs::default(),
+            storage_obs: StorageObs::default(),
         }
     }
 }
@@ -149,54 +203,113 @@ impl BaseStation {
         }
     }
 
-    /// Attach pre-registered query metrics: every sensor's compressed-domain
+    /// Override the segment size budget (bytes before a seal). Chainable;
+    /// only meaningful for persistent stations.
+    pub fn with_segment_size(mut self, segment_bytes: u64) -> Self {
+        self.segment_bytes = segment_bytes.max(1);
+        self
+    }
+
+    /// Enable or disable opportunistic checkpoint compaction at seal
+    /// time (on by default). Compaction only ever removes checkpoint
+    /// *files* superseded by an in-stream resync snapshot, so recovered
+    /// station state is byte-identical either way.
+    pub fn with_compaction(mut self, compaction: bool) -> Self {
+        self.compaction = compaction;
+        self
+    }
+
+    /// Attach pre-registered metrics: every sensor's compressed-domain
     /// query engine records plan-cache hit/miss and interval-fold counters
-    /// on `recorder`. Chainable after any constructor.
-    pub fn with_recorder(mut self, recorder: &dyn sbr_obs::Recorder) -> Self {
+    /// on `recorder`, and the storage engine records seal/compaction
+    /// counters. Chainable after any constructor.
+    pub fn with_recorder(mut self, recorder: &dyn Recorder) -> Self {
         self.query_obs = QueryObs::new(recorder);
+        self.storage_obs = StorageObs::new(recorder);
         for log in self.logs.lock().values_mut() {
             log.engine.set_obs(self.query_obs.clone());
         }
         self
     }
 
-    /// Rebuild a station from the log files a persistent station wrote to
-    /// `dir`. Truncated tails (crash mid-append) are discarded; new frames
-    /// keep appending to the same files.
+    /// Rebuild a station from the segmented stores a persistent station
+    /// wrote to `dir`. Recovery is bounded: per sensor it loads the
+    /// newest checkpoint and replays only the records after it (at most
+    /// one segment's worth plus whatever sealed since the checkpoint) —
+    /// never the whole history. Torn tails (crash mid-append) are
+    /// truncated; new frames keep appending to the same store.
     pub fn load(dir: impl Into<PathBuf>) -> Result<Self, SbrError> {
-        let dir: PathBuf = dir.into();
-        let station = BaseStation::with_persistence(dir.clone());
-        let entries = std::fs::read_dir(&dir).map_err(|e| {
-            SbrError::Corrupt(format!("cannot read log directory {}: {e}", dir.display()))
-        })?;
-        for entry in entries {
-            let path = entry
-                .map_err(|e| SbrError::Corrupt(format!("directory walk failed: {e}")))?
-                .path();
-            let Some(node) = parse_log_node(&path) else {
-                continue;
-            };
-            let recovered = crate::storage::recover(&path)?;
-            for frame in &recovered.frames {
+        Self::load_impl(dir.into(), QueryObs::default(), StorageObs::default())
+    }
+
+    /// [`BaseStation::load`] with metrics: recovery increments
+    /// `sensor_net.storage.segments.replayed_records` per tail record
+    /// replayed, and the loaded station keeps recording query and
+    /// storage counters on `recorder`.
+    pub fn load_with_recorder(
+        dir: impl Into<PathBuf>,
+        recorder: &dyn Recorder,
+    ) -> Result<Self, SbrError> {
+        Self::load_impl(
+            dir.into(),
+            QueryObs::new(recorder),
+            StorageObs::new(recorder),
+        )
+    }
+
+    fn load_impl(
+        dir: PathBuf,
+        query_obs: QueryObs,
+        storage_obs: StorageObs,
+    ) -> Result<Self, SbrError> {
+        let station = BaseStation {
+            persist_dir: Some(dir.clone()),
+            query_obs,
+            storage_obs,
+            ..BaseStation::default()
+        };
+        for node in storage::nodes(&dir) {
+            let scanned = storage::scan(&dir, node)?;
+            let writer = SegmentWriter::resume(&dir, node, station.segment_bytes, &scanned)?;
+            let mut log = SensorLog::new(node, station.query_obs.clone());
+            if let Some(ck) = &scanned.checkpoint {
+                // Resume from the checkpoint snapshot; everything it
+                // covers stays cold (placeholder frames + unindexed
+                // chunks) until a historical query hydrates it.
+                let cold = ck.state.records as usize;
+                log.cold = cold;
+                log.frames = vec![Bytes::new(); cold];
+                for _ in 0..cold {
+                    log.engine.push_chunk(None);
+                }
+                log.tracker = Decoder::resume_v2(
+                    ck.state.base.clone(),
+                    ck.state.next_seq,
+                    ck.state.epoch,
+                    node as u64,
+                );
+                log.checkpoints = vec![Checkpoint {
+                    chunk: cold as u64,
+                    base: ck.state.base.clone(),
+                    next_seq: ck.state.next_seq,
+                    epoch: ck.state.epoch,
+                }];
+                log.payload_bytes = ck.state.payload_bytes;
+                log.last_resync_at = ck.state.resync_at;
+            }
+            log.writer = Some(writer);
+            station.logs.lock().insert(node, log);
+            for frame in scanned.tail_frames {
                 // Re-ingest the original bytes through the normal path
                 // (minus re-persisting), so the in-memory log is
-                // byte-identical to the file — v1 frames stay v1.
-                station.ingest(node, frame.clone(), false)?;
-            }
-            if recovered.truncated_tail > 0 {
-                // Cut the dead tail off the file, or frames appended later
-                // would land after junk and corrupt the stream.
-                let len = std::fs::metadata(&path)
-                    .map_err(|e| SbrError::Corrupt(format!("stat {}: {e}", path.display())))?
-                    .len();
-                let keep = len - recovered.truncated_tail as u64;
-                std::fs::OpenOptions::new()
-                    .write(true)
-                    .open(&path)
-                    .and_then(|f| f.set_len(keep))
-                    .map_err(|e| {
-                        SbrError::Corrupt(format!("cannot truncate {}: {e}", path.display()))
-                    })?;
+                // byte-identical to the store — v1 frames stay v1.
+                let receipt = station.ingest(node, frame, false)?;
+                if receipt == Receipt::Duplicate {
+                    return Err(SbrError::InconsistentState(format!(
+                        "sensor {node}: duplicate frame in the recovery tail"
+                    )));
+                }
+                station.storage_obs.replayed_records.inc();
             }
         }
         Ok(station)
@@ -289,6 +402,10 @@ impl BaseStation {
         log.engine
             .push_chunk(x_new.and_then(|x| ChunkSummary::from_transmission(&parsed.tx, x).ok()));
         log.frames.push(frame.clone());
+        log.payload_bytes += frame.len() as u64;
+        if receipt == Receipt::Resynced {
+            log.last_resync_at = Some(log.frames.len() as u64 - 1);
+        }
         if (log.frames.len() as u64).is_multiple_of(self.checkpoint_interval) {
             let (base, next_seq) = log.tracker.snapshot();
             log.checkpoints.push(Checkpoint {
@@ -298,25 +415,131 @@ impl BaseStation {
                 epoch: log.tracker.epoch(),
             });
         }
-        drop(logs);
         if persist {
             if let Some(dir) = &self.persist_dir {
-                let mut writers = self.writers.lock();
-                let writer = match writers.entry(node) {
-                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        let w = crate::storage::LogWriter::open(dir, node).map_err(|err| {
-                            SbrError::Corrupt(format!("cannot open log for sensor {node}: {err}"))
-                        })?;
-                        e.insert(w)
+                // Persist under the logs lock: the durable store sees
+                // appends in exactly the order the in-memory log does,
+                // and seal-boundary snapshots are taken at the precise
+                // record the checkpoint claims to cover.
+                if log.writer.is_none() {
+                    log.writer = Some(SegmentWriter::open(dir, node, self.segment_bytes)?);
+                }
+                if let Some(writer) = log.writer.as_mut() {
+                    if writer.append(&frame)?.is_some() {
+                        self.storage_obs.sealed.inc();
+                        let (base, next_seq) = log.tracker.snapshot();
+                        let state = CheckpointState {
+                            records: writer.records_total(),
+                            payload_bytes: writer.payload_total(),
+                            epoch: log.tracker.epoch(),
+                            next_seq,
+                            resync_at: log.last_resync_at,
+                            base,
+                        };
+                        writer.write_checkpoint(&state)?;
+                        if self.compaction {
+                            if let Some(resync_at) = log.last_resync_at {
+                                let dropped = storage::compact(dir, node, resync_at)?;
+                                self.storage_obs.compacted.add(dropped as u64);
+                            }
+                        }
                     }
-                };
-                writer.append(&frame).map_err(|e| {
-                    SbrError::Corrupt(format!("cannot append to sensor {node}'s log: {e}"))
-                })?;
+                }
             }
         }
         Ok(receipt)
+    }
+
+    /// Pull a sensor's checkpoint-covered history off disk into memory:
+    /// fill the placeholder frames, rebuild the compressed-domain chunk
+    /// index and the in-memory checkpoint ladder by a full replay, and
+    /// cross-check the replayed decoder state against the live tracker.
+    /// A no-op for fully-warm logs; historical queries call this on
+    /// demand.
+    fn hydrate_node(&self, node: NodeId) -> Result<(), SbrError> {
+        let Some(dir) = self.persist_dir.clone() else {
+            return Ok(());
+        };
+        let mut logs = self.logs.lock();
+        let Some(log) = logs.get_mut(&node) else {
+            return Ok(());
+        };
+        if log.cold == 0 {
+            return Ok(());
+        }
+        let covered = log
+            .writer
+            .as_ref()
+            .map(|w| w.sealed().len() as u32)
+            .unwrap_or(0);
+        let hydrated = storage::hydrate(&dir, node, covered)?;
+        if hydrated.frames.len() < log.cold {
+            return Err(SbrError::InconsistentState(format!(
+                "sensor {node}: store holds {} cold records but the checkpoint covers {}",
+                hydrated.frames.len(),
+                log.cold
+            )));
+        }
+        for (slot, frame) in log
+            .frames
+            .iter_mut()
+            .take(log.cold)
+            .zip(hydrated.frames.iter())
+        {
+            *slot = frame.clone();
+        }
+        // Full replay over the (now complete) log rebuilds the chunk
+        // index and the same checkpoint ladder a never-restarted station
+        // would have.
+        let mut engine = QueryEngine::new();
+        engine.set_obs(self.query_obs.clone());
+        let mut tracker = Decoder::for_node(node as u64);
+        let mut checkpoints = vec![Checkpoint {
+            chunk: 0,
+            base: None,
+            next_seq: 0,
+            epoch: 0,
+        }];
+        for (i, raw) in log.frames.iter().enumerate() {
+            let parsed = codec::decode_any(&mut raw.clone())?;
+            let x_new = match parsed.kind {
+                FrameKind::Data => tracker.peek_x_new(&parsed.tx).ok(),
+                FrameKind::Resync => {
+                    let mut x = parsed.snapshot.clone();
+                    for u in &parsed.tx.base_updates {
+                        x.extend_from_slice(&u.values);
+                    }
+                    Some(x)
+                }
+            };
+            tracker.apply_frame_updates_only(&parsed)?;
+            engine.push_chunk(
+                x_new.and_then(|x| ChunkSummary::from_transmission(&parsed.tx, x).ok()),
+            );
+            if ((i + 1) as u64).is_multiple_of(self.checkpoint_interval) {
+                let (base, next_seq) = tracker.snapshot();
+                checkpoints.push(Checkpoint {
+                    chunk: (i + 1) as u64,
+                    base,
+                    next_seq,
+                    epoch: tracker.epoch(),
+                });
+            }
+        }
+        if tracker.next_seq() != log.tracker.next_seq() || tracker.epoch() != log.tracker.epoch() {
+            return Err(SbrError::InconsistentState(format!(
+                "sensor {node}: hydrated replay ends at epoch {} seq {} but the live \
+                 tracker is at epoch {} seq {}",
+                tracker.epoch(),
+                tracker.next_seq(),
+                log.tracker.epoch(),
+                log.tracker.next_seq()
+            )));
+        }
+        log.engine = engine;
+        log.checkpoints = checkpoints;
+        log.cold = 0;
+        Ok(())
     }
 
     /// Sensors with at least one logged chunk.
@@ -331,12 +554,21 @@ impl BaseStation {
         self.logs.lock().get(&node).map_or(0, |l| l.frames.len())
     }
 
-    /// Total bytes logged for `node` (the on-disk footprint of its file).
+    /// Total frame bytes logged for `node` (the payload footprint of its
+    /// store, excluding framing overhead). Answered from accounting —
+    /// never forces a hydration.
     pub fn log_bytes(&self, node: NodeId) -> usize {
         self.logs
             .lock()
             .get(&node)
-            .map_or(0, |l| l.frames.iter().map(Bytes::len).sum())
+            .map_or(0, |l| l.payload_bytes as usize)
+    }
+
+    /// Leading chunks of `node` still cold on disk (0 once hydrated or
+    /// for a station that never restarted). Exposed so tests and tooling
+    /// can observe recovery laziness.
+    pub fn cold_chunks(&self, node: NodeId) -> usize {
+        self.logs.lock().get(&node).map_or(0, |l| l.cold)
     }
 
     /// Sequence number expected next from `node` (for cumulative ACKs).
@@ -353,8 +585,9 @@ impl BaseStation {
     }
 
     /// The raw logged frames of `node`, in arrival order (for differential
-    /// tests and external archival).
+    /// tests and external archival). Hydrates cold history first.
     pub fn raw_frames(&self, node: NodeId) -> Vec<Bytes> {
+        let _ = self.hydrate_node(node);
         self.logs
             .lock()
             .get(&node)
@@ -362,7 +595,9 @@ impl BaseStation {
     }
 
     /// Parse (without reconstructing) every logged frame of `node`.
+    /// Hydrates cold history first.
     pub fn frames(&self, node: NodeId) -> Result<Vec<Frame>, SbrError> {
+        self.hydrate_node(node)?;
         let logs = self.logs.lock();
         let log = logs
             .get(&node)
@@ -383,6 +618,11 @@ impl BaseStation {
     /// (a log position). Returns the decoder plus the log position it
     /// resumes at.
     fn decoder_at(&self, node: NodeId, chunk: usize) -> Result<(Decoder, usize), SbrError> {
+        // A request below the cold watermark needs the on-disk history.
+        let needs_history = self.logs.lock().get(&node).is_some_and(|l| chunk < l.cold);
+        if needs_history {
+            self.hydrate_node(node)?;
+        }
         let logs = self.logs.lock();
         let log = logs
             .get(&node)
@@ -558,13 +798,6 @@ impl BaseStation {
         }
         Ok(out)
     }
-}
-
-/// Extract the node id from a `sensor-<id>.sbrlog` path.
-fn parse_log_node(path: &Path) -> Option<NodeId> {
-    let name = path.file_name()?.to_str()?;
-    let id = name.strip_prefix("sensor-")?.strip_suffix(".sbrlog")?;
-    id.parse().ok()
 }
 
 #[cfg(test)]
@@ -927,8 +1160,8 @@ mod tests {
                 bs.receive(2, f.clone()).unwrap();
             }
         }
-        // Chop mid-frame.
-        let path = dir.join("sensor-2.sbrlog");
+        // Chop mid-record inside the active segment.
+        let path = dir.join("sensor-2").join("seg-00000000.sbrseg");
         let raw = std::fs::read(&path).unwrap();
         std::fs::write(&path, &raw[..raw.len() - 7]).unwrap();
         let bs = BaseStation::load(&dir).unwrap();
@@ -1058,6 +1291,110 @@ mod tests {
         assert_eq!(snap.counter("sbr_core.query.plan_cache.misses"), Some(1));
         assert_eq!(snap.counter("sbr_core.query.plan_cache.hits"), Some(1));
         assert!(snap.counter("sbr_core.query.intervals_folded").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn lazy_load_replays_only_the_tail_and_hydrates_on_demand() {
+        let dir = std::env::temp_dir().join(format!("sbr-bs-lazy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = frames(12);
+        {
+            // Tiny segments: every frame seals a segment + checkpoint.
+            let bs = BaseStation::with_persistence(&dir).with_segment_size(1);
+            for f in &fs {
+                bs.receive(6, f.clone()).unwrap();
+            }
+        } // "crash"
+        let rec = sbr_obs::MetricsRecorder::new();
+        let bs = BaseStation::load_with_recorder(&dir, &rec).unwrap();
+        assert_eq!(bs.chunk_count(6), 12);
+        // The newest checkpoint covers everything: nothing replayed, the
+        // whole history stays cold.
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counter("sensor_net.storage.segments.replayed_records"),
+            Some(0)
+        );
+        assert_eq!(bs.cold_chunks(6), 12);
+        // Accounting works without hydration.
+        assert_eq!(bs.log_bytes(6), fs.iter().map(Bytes::len).sum::<usize>());
+        assert_eq!(bs.cold_chunks(6), 12, "log_bytes must not hydrate");
+        // A historical query hydrates, and everything matches a
+        // never-restarted replay.
+        let all = bs.reconstruct_chunks(6, 0, 12).unwrap();
+        assert_eq!(bs.cold_chunks(6), 0, "historical query hydrated");
+        assert_eq!(bs.raw_frames(6), fs, "hydration restores original bytes");
+        let fresh = BaseStation::new();
+        for f in &fs {
+            fresh.receive(6, f.clone()).unwrap();
+        }
+        assert_eq!(fresh.reconstruct_chunks(6, 0, 12).unwrap(), all);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sealing_station_counts_segments_on_recorder() {
+        let dir = std::env::temp_dir().join(format!("sbr-bs-seals-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = sbr_obs::MetricsRecorder::new();
+        let bs = BaseStation::with_persistence(&dir)
+            .with_segment_size(1)
+            .with_recorder(&rec);
+        for f in frames(5) {
+            bs.receive(1, f).unwrap();
+        }
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counter("sensor_net.storage.segments.sealed"),
+            Some(5),
+            "1-byte budget seals every append"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_toggle_recovers_identical_state() {
+        let base = std::env::temp_dir().join(format!("sbr-bs-compact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let (fs, _) = v2_stream(8, 2);
+        let mut recovered = Vec::new();
+        for (tag, compaction) in [("on", true), ("off", false)] {
+            let dir = base.join(tag);
+            {
+                let bs = BaseStation::with_persistence(&dir)
+                    .with_segment_size(1)
+                    .with_compaction(compaction);
+                for f in &fs {
+                    bs.receive_frame(1, f.clone()).unwrap();
+                }
+            }
+            let bs = BaseStation::load(&dir).unwrap();
+            recovered.push((
+                bs.raw_frames(1),
+                bs.reconstruct_chunks(1, 0, fs.len()).unwrap(),
+                bs.next_seq(1),
+                bs.epoch(1),
+            ));
+        }
+        assert_eq!(
+            recovered[0], recovered[1],
+            "compaction must not change state"
+        );
+        // Compaction actually removed checkpoint files.
+        let count = |tag: &str| {
+            std::fs::read_dir(base.join(tag).join("sensor-1"))
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .ends_with(".sbrck")
+                })
+                .count()
+        };
+        assert!(count("on") < count("off"), "compaction drops checkpoints");
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod node;
 pub mod storage;
 pub mod topology;
 
-pub use base_station::{BaseStation, Receipt};
+pub use base_station::{BaseStation, Receipt, StorageObs};
 pub use energy::{Battery, EnergyLedger, EnergyModel};
 pub use fault::FaultPlan;
 pub use link::LossyLink;

@@ -364,8 +364,11 @@ impl Network {
     /// `sbr_core.*` pipeline metrics land in the same snapshot.
     pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
         let timeline = self.obs.timeline.clone();
-        self.obs = NetObs::new(recorder, self.topology.len());
+        self.obs = NetObs::new(recorder.clone(), self.topology.len());
         self.obs.timeline = timeline;
+        // The station records query/storage counters on the same sink.
+        let station = std::mem::take(&mut self.station);
+        self.station = station.with_recorder(recorder.as_ref());
     }
 
     /// Attach a frame-lifecycle timeline: every v2 frame's
@@ -384,6 +387,26 @@ impl Network {
     /// [`Network::set_timeline`] was called).
     pub fn timeline(&self) -> &Timeline {
         &self.obs.timeline
+    }
+
+    /// Persist the base station's per-sensor logs as segmented stores
+    /// under `dir` (see [`crate::storage`]): every accepted frame is
+    /// durably appended during the run, and
+    /// [`BaseStation::load`] rebuilds the station afterwards. Replaces
+    /// the station, so call before any `simulate`.
+    pub fn set_store_dir(
+        &mut self,
+        dir: impl Into<std::path::PathBuf>,
+        segment_bytes: Option<u64>,
+    ) {
+        let mut station = BaseStation::with_persistence(dir);
+        if let Some(bytes) = segment_bytes {
+            station = station.with_segment_size(bytes);
+        }
+        if let Some(recorder) = self.obs.recorder.clone() {
+            station = station.with_recorder(recorder.as_ref());
+        }
+        self.station = station;
     }
 
     /// The base station (for queries after a run).

@@ -89,6 +89,38 @@ for counter in sensor_net.recovery.acks sensor_net.recovery.resyncs; do
     || { echo "report missing $counter" >&2; exit 1; }
 done
 
+echo "==> storage recovery smoke (simulate --store, inspect audits clean)"
+# Guard: the segmented store must survive a real simulate run end to end —
+# every sensor directory audits clean, and a second simulate into the same
+# tree resumes from checkpoints instead of erroring.
+storedir="$(mktemp -d)"
+trap 'rm -rf "$storedir"' EXIT
+cargo run -p sbr-cli --release --offline --bin sbr -- simulate \
+  --nodes 2 --len 512 --batch 64 --store "$storedir/s" --segment-bytes 4096 \
+  > /dev/null
+insp="$(cargo run -p sbr-cli --release --offline --bin sbr -- storage inspect "$storedir/s")"
+echo "$insp" | grep -q "sensor" \
+  || { echo "storage inspect reported no sensor stores:"; echo "$insp"; exit 1; } >&2
+
+echo "==> storage corruption negative smoke (a flipped byte must exit nonzero)"
+# Guard: an auditor that passes damaged stores is worse than none. Flip one
+# byte in the middle of a sealed segment and require a nonzero exit.
+seg="$(find "$storedir/s" -name 'seg-00000000.sbrseg' | head -1)"
+test -n "$seg" || { echo "simulate --store produced no sealed segment" >&2; exit 1; }
+python3 - "$seg" <<'EOF'
+import sys
+p = sys.argv[1]
+raw = bytearray(open(p, "rb").read())
+raw[len(raw) // 2] ^= 0x10
+open(p, "wb").write(raw)
+EOF
+if cargo run -p sbr-cli --release --offline --bin sbr -- storage inspect "$storedir/s" \
+    > /dev/null 2>&1; then
+  echo "storage inspect passed a store with a flipped byte" >&2; exit 1
+fi
+rm -rf "$storedir"
+trap - EXIT
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --offline -- -D warnings
 
@@ -176,6 +208,29 @@ if [ "$run_bench" = 1 ]; then
     exit 1
   fi
   echo "    plan_cache_hits total: $qhits"
+  echo "==> perf smoke (storage block: checkpoint replay must stay bounded)"
+  # Guard: the storage_recovery records sweep history 10x; checkpointed
+  # recovery must replay only the tail segment, so replayed_records must
+  # NOT scale with total records — at the largest history it has to be
+  # under a tenth of the store.
+  grep -q '"storage": {' BENCH_SBR.json \
+    || { echo "BENCH_SBR.json missing storage block" >&2; exit 1; }
+  echo "$report" | grep -q "storage:" \
+    || { echo "report missing storage block" >&2; exit 1; }
+  grep -o '"storage": {[^}]*}' BENCH_SBR.json | awk '
+    {
+      match($0, /"records": [0-9]+/); n = substr($0, RSTART + 11, RLENGTH - 11)
+      match($0, /"replayed_records": [0-9]+/); m = substr($0, RSTART + 20, RLENGTH - 20)
+      if (n + 0 > maxn + 0) { maxn = n; maxm = m }
+    }
+    END {
+      if (maxn == "") { print "no storage records parsed" > "/dev/stderr"; exit 1 }
+      if (maxm * 10 > maxn) {
+        printf "replayed_records %d scales with history %d: checkpoint recovery is not engaging\n", maxm, maxn > "/dev/stderr"
+        exit 1
+      }
+    }' || exit 1
+
   test -s results/BENCH_SBR_v3.json \
     || { echo "results/BENCH_SBR_v3.json copy missing" >&2; exit 1; }
 

@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use sbr_repro::core::{codec, Decoder, FrameKind, SbrConfig, SbrEncoder, SbrError};
-use sbr_repro::sensor_net::storage::{recover, LogWriter};
+use sbr_repro::sensor_net::storage::{recover_stream, StreamWriter};
 use sbr_repro::sensor_net::{BaseStation, FaultPlan, SensorNode};
 
 fn stream(n_tx: usize) -> (Vec<sbr_repro::core::Transmission>, Vec<Bytes>) {
@@ -217,11 +217,12 @@ fn log_recovery_survives_any_tail_truncation() {
     let dir = std::env::temp_dir().join(format!("sbr-fi-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let (_, frames) = stream(3);
-    let mut w = LogWriter::open(&dir, 1).unwrap();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("node-1.sbr");
+    let mut w = StreamWriter::create(&path).unwrap();
     for f in &frames {
         w.append(f).unwrap();
     }
-    let path = w.path().to_path_buf();
     drop(w);
     let full = std::fs::read(&path).unwrap();
     let frame_bytes: Vec<usize> = frames.iter().map(|f| f.len() + 4).collect();
@@ -230,7 +231,7 @@ fn log_recovery_survives_any_tail_truncation() {
     let last_start = frame_bytes[0] + frame_bytes[1];
     for cut in last_start..full.len() {
         std::fs::write(&path, &full[..cut]).unwrap();
-        let rec = recover(&path).unwrap();
+        let rec = recover_stream(&path).unwrap();
         assert_eq!(rec.transmissions.len(), 2, "cut at {cut}");
     }
     std::fs::remove_dir_all(&dir).unwrap();
