@@ -72,12 +72,14 @@ pub fn build(values: &[f64], n_buckets: usize, policy: Bucketing) -> Vec<Bucket>
                     // one boundary per crossing but never duplicate
                     // positions.
                     while acc >= next_target && bounds.len() < n_buckets {
+                        // lint:allow(panic-reachability): bounds is seeded with 0 before the loop
                         if i + 1 > *bounds.last().expect("bounds never empty") {
                             bounds.push(i + 1);
                         }
                         next_target += per;
                     }
                 }
+                // lint:allow(panic-reachability): bounds is seeded with 0 before the loop
                 while *bounds.last().expect("non-empty") < n {
                     bounds.push(n);
                 }

@@ -169,6 +169,7 @@ pub fn build_greedy(values: &[f64], k: usize) -> Vec<Bucket> {
 
     let mut buckets = n;
     while buckets > k {
+        // lint:allow(panic-reachability): the heap holds one merge candidate per bucket boundary
         let c = heap.pop().expect("candidates exist while buckets > k");
         let l = c.left;
         let r = next[l];

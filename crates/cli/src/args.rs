@@ -259,7 +259,7 @@ compressed stream is byte-identical either way.
 
 Exit codes: 0 success, 1 runtime failure, 2 usage error.";
 
-fn take_value(args: &mut std::collections::HashMap<String, String>, key: &str) -> Option<String> {
+fn take_value(args: &mut std::collections::BTreeMap<String, String>, key: &str) -> Option<String> {
     args.remove(key)
 }
 
@@ -270,7 +270,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
             command: Command::Help,
         });
     };
-    let mut flags = std::collections::HashMap::new();
+    let mut flags = std::collections::BTreeMap::new();
     // `perf` and `storage` take positionals (`perf diff <baseline>
     // <candidate>`, `storage inspect <dir>`) before their flags; every
     // other subcommand is pure --flag value pairs.
@@ -292,7 +292,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
         flags.insert(key.to_string(), val.clone());
         i += 2;
     }
-    let required = |flags: &mut std::collections::HashMap<String, String>, k: &str| {
+    let required = |flags: &mut std::collections::BTreeMap<String, String>, k: &str| {
         take_value(flags, k).ok_or_else(|| format!("missing required --{k}"))
     };
     let parse_usize = |v: String, k: &str| {
@@ -408,7 +408,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, String> {
                 }
                 Ok(p)
             };
-            let opt_usize = |flags: &mut std::collections::HashMap<String, String>,
+            let opt_usize = |flags: &mut std::collections::BTreeMap<String, String>,
                              k: &str,
                              default: usize|
              -> Result<usize, String> {

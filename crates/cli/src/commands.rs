@@ -167,6 +167,9 @@ fn compress(
     let table = read_csv(input)?;
     let n_signals = table.columns.len();
     let total_rows = table.rows();
+    if total_rows == 0 {
+        return Err(CliError::Usage("input has no data rows".into()));
+    }
     let batch = match batch {
         Some(b) if b > total_rows => {
             return Err(CliError::Usage(format!(
@@ -177,6 +180,7 @@ fn compress(
         Some(b) => b,
         None => total_rows,
     };
+    // lint:allow(panic-reachability): batch is checked positive above
     let n_batches = total_rows / batch;
 
     // A recorder is built only when someone will read it: --metrics,
@@ -1068,6 +1072,7 @@ fn perf_diff(
                 out.push_str(&format!("  {label:<22} missing in candidate\n"));
                 continue;
             };
+            // lint:allow(panic-reachability): f64 division — cannot panic
             let delta = if bv > 0.0 { (cv - bv) / bv } else { 0.0 };
             let verdict = if bv < PERF_MIN_WALL_SECS && cv < PERF_MIN_WALL_SECS {
                 "ok (below noise floor)"

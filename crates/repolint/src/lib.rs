@@ -9,6 +9,10 @@
 //! |------|------------------|
 //! | `panic-free` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in the decode/network-facing zones |
 //! | `index` | no unguarded slice/array subscripts in those zones |
+//! | `panic-reachability` | zone fns must not *transitively* reach a panicking sink through the workspace call graph (reported with the call path) |
+//! | `cast-truncation` | `as u32/u64/usize` narrowing of length/offset-like values in the wire zones — `try_from` + `SbrError::Corrupt` instead |
+//! | `determinism` | hash-container iteration that can leak order into output; wall-clock reads outside `sbr-obs`/`bench` |
+//! | `lock-discipline` | Mutex guards in `sbr-obs::timeline`/`sensor-net` not held across recorder re-entry |
 //! | `float-eq` | no `==`/`!=` against float literals outside tests |
 //! | `atomics` | raw atomics confined to `sbr-obs` (facade elsewhere) |
 //! | `obs-gate` | `sbr_obs::` paths in `sbr-core` sit behind `cfg(feature = "obs")` |
@@ -18,11 +22,12 @@
 //!
 //! Inline escape hatch: `// lint:allow(<rule>): <reason>` on the
 //! offending line or the line above. Findings are emitted human-readable
-//! plus as `LINT_REPORT.json` (schema `repolint/v1`); the process exits
+//! plus as `LINT_REPORT.json` (schema `repolint/v2`); the process exits
 //! non-zero when any finding survives.
 
 use std::path::{Path, PathBuf};
 
+pub mod items;
 pub mod lexer;
 pub mod manifest;
 pub mod report;
@@ -40,6 +45,25 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable description.
     pub message: String,
+    /// For `panic-reachability`: the zone→sink call chain, each element
+    /// `name@path:line`. Empty for single-site findings.
+    pub call_path: Vec<String>,
+}
+
+/// The coarse family a rule belongs to (`repolint/v2` report field).
+pub fn rule_family(rule: &str) -> &'static str {
+    match rule {
+        "panic-free" | "index" | "panic-reachability" => "panic",
+        "cast-truncation" => "cast",
+        "determinism" => "determinism",
+        "lock-discipline" => "lock",
+        "float-eq" => "float",
+        "atomics" | "obs-gate" => "confinement",
+        "wire-drift" => "wire",
+        "manifest" => "manifest",
+        "bad-suppression" => "hygiene",
+        _ => "other",
+    }
 }
 
 /// A finding silenced by a reasoned `lint:allow`.
@@ -82,6 +106,62 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Lex one source file, run the token rules, and collect its fn items
+/// for the call-graph pass. Shared by [`run`] and [`run_sources`].
+fn scan_file(rel: &str, crate_name: &str, src: &str, rep: &mut Report) -> items::FileItems {
+    let ctx = rules::FileCtx {
+        path: rel,
+        crate_dir: crate_name,
+    };
+    // One lex per file, shared between the token rules and the
+    // item/call-graph pass.
+    let lexed = lexer::lex(src);
+    let regions = rules::find_regions(&lexed.tokens);
+    let scan = rules::scan_lexed(&ctx, &lexed, &regions);
+    rep.findings.extend(scan.findings);
+    rep.suppressed.extend(scan.suppressed);
+    let fns = items::collect(&ctx, &lexed, &regions.test, &mut rep.suppressed);
+    rep.files_scanned += 1;
+    items::FileItems {
+        path: rel.to_string(),
+        fns,
+        allows: lexed.allows,
+    }
+}
+
+/// Sort findings/suppressions, then dedupe by (rule, path, line): two
+/// detectors hitting the same site (or one allow silencing two same-line
+/// findings) must not double-report.
+fn finish(rep: &mut Report) {
+    rep.findings
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    rep.findings
+        .dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+    rep.suppressed
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    rep.suppressed
+        .dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+}
+
+/// Run the token rules and the cross-file call-graph pass over in-memory
+/// sources — `(workspace-relative path, source)` pairs. No filesystem,
+/// wire, or manifest checks; this is the golden-fixture entry point the
+/// linter's own tests drive the call-graph analysis through.
+pub fn run_sources(files: &[(&str, &str)]) -> Report {
+    let mut rep = Report::default();
+    let mut graph_files: Vec<items::FileItems> = Vec::new();
+    for (rel, src) in files {
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or_default();
+        graph_files.push(scan_file(rel, crate_name, src, &mut rep));
+    }
+    items::reachability(&graph_files, &mut rep.findings, &mut rep.suppressed);
+    finish(&mut rep);
+    rep
+}
+
 /// Run every rule against the workspace at `root`.
 pub fn run(root: &Path) -> Report {
     let mut rep = Report::default();
@@ -99,6 +179,7 @@ pub fn run(root: &Path) -> Report {
         })
         .unwrap_or_default();
     crate_dirs.sort();
+    let mut graph_files: Vec<items::FileItems> = Vec::new();
     for crate_dir in &crate_dirs {
         let crate_name = crate_dir
             .file_name()
@@ -115,22 +196,17 @@ pub fn run(root: &Path) -> Report {
                 .unwrap_or(&file)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let ctx = rules::FileCtx {
-                path: &rel,
-                crate_dir: &crate_name,
-            };
-            let scan = rules::scan_source(&ctx, &src);
-            rep.findings.extend(scan.findings);
-            rep.suppressed.extend(scan.suppressed);
-            rep.files_scanned += 1;
+            graph_files.push(scan_file(&rel, &crate_name, &src, &mut rep));
         }
     }
+
+    // Cross-file pass: the panic-reachability call-graph walk.
+    items::reachability(&graph_files, &mut rep.findings, &mut rep.suppressed);
 
     // Cross-artifact rules.
     rep.findings.extend(wire::check(root));
     rep.findings.extend(manifest::check(root));
 
-    rep.findings
-        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    finish(&mut rep);
     rep
 }

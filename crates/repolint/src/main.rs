@@ -12,7 +12,7 @@ USAGE:
   repolint [--root <dir>] [--json <path>] [--quiet]
 
   --root <dir>    workspace root to lint (default: .)
-  --json <path>   where to write the repolint/v1 report
+  --json <path>   where to write the repolint/v2 report
                   (default: <root>/LINT_REPORT.json)
   --quiet         suppress per-finding lines; print only the summary
 

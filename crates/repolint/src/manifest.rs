@@ -19,6 +19,7 @@ fn fail(path: String, message: String) -> Finding {
         path,
         line: 0,
         message,
+        call_path: Vec::new(),
     }
 }
 

@@ -1,16 +1,23 @@
 //! `LINT_REPORT.json` emission — hand-rolled JSON (the linter is
-//! dependency-free), schema `repolint/v1`:
+//! dependency-free), schema `repolint/v2`:
 //!
 //! ```text
 //! {
-//!   "schema": "repolint/v1",
+//!   "schema": "repolint/v2",
 //!   "files_scanned": <int>,
-//!   "findings": [ {"rule", "path", "line", "message"}, … ],
+//!   "findings": [ {"rule", "rule_family", "path", "line", "message",
+//!                  "call_path"?}, … ],
 //!   "suppressed": [ {"rule", "path", "line", "reason"}, … ]
 //! }
 //! ```
+//!
+//! v2 is additive over v1: findings gain `rule_family` (always) and
+//! `call_path` (panic-reachability only — the zone→sink chain as
+//! `name@path:line` strings), so v1 readers still parse the document.
+//! Findings and suppressions are deduplicated by (rule, path, line)
+//! upstream in [`crate::run`].
 
-use crate::Report;
+use crate::{rule_family, Report};
 
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -27,21 +34,31 @@ fn esc(s: &str) -> String {
     out
 }
 
-/// Render the report as the stable `repolint/v1` JSON document.
+/// Render the report as the stable `repolint/v2` JSON document.
 pub fn to_json(report: &Report) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"repolint/v1\",\n");
+    s.push_str("{\n  \"schema\": \"repolint/v2\",\n");
     s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
     s.push_str("  \"findings\": [");
     for (i, f) in report.findings.iter().enumerate() {
         s.push_str(if i == 0 { "\n" } else { ",\n" });
         s.push_str(&format!(
-            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            "    {{\"rule\": \"{}\", \"rule_family\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"",
             esc(&f.rule),
+            esc(rule_family(&f.rule)),
             esc(&f.path),
             f.line,
             esc(&f.message)
         ));
+        if !f.call_path.is_empty() {
+            let hops: Vec<String> = f
+                .call_path
+                .iter()
+                .map(|h| format!("\"{}\"", esc(h)))
+                .collect();
+            s.push_str(&format!(", \"call_path\": [{}]", hops.join(", ")));
+        }
+        s.push('}');
     }
     s.push_str("\n  ],\n  \"suppressed\": [");
     for (i, a) in report.suppressed.iter().enumerate() {

@@ -25,9 +25,19 @@ pub const PANIC_FREE_ZONES: &[&str] = &[
     "crates/cli/src/commands.rs",
 ];
 
+/// Files that parse or emit wire/storage bytes: `as` narrowing of
+/// length/offset/sequence values here silently truncates and corrupts
+/// streams instead of failing typed.
+pub const CAST_ZONES: &[&str] = &[
+    "crates/sbr-core/src/codec.rs",
+    "crates/sbr-core/src/decoder.rs",
+    "crates/sbr-core/src/transmission.rs",
+    "crates/sensor-net/src/storage.rs",
+];
+
 /// Keywords that can directly precede a `[` without it being an index
 /// expression (`return [..]`, `match [a, b] {..}`, …).
-const NON_INDEX_KEYWORDS: &[&str] = &[
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
     "let", "mut", "in", "if", "else", "match", "return", "break", "continue", "for", "as", "dyn",
     "where", "move", "ref", "pub", "use", "crate", "type", "const", "static", "enum", "struct",
     "trait", "fn", "impl", "mod", "unsafe", "loop", "while", "await", "box",
@@ -53,9 +63,9 @@ pub struct ScanOut {
 /// Line ranges (1-based, inclusive) covered by `#[cfg(test)]` / `#[test]`
 /// items, and separately by `#[cfg(feature = "obs")]` items.
 #[derive(Debug, Default)]
-struct Regions {
-    test: Vec<(u32, u32)>,
-    obs_gated: Vec<(u32, u32)>,
+pub(crate) struct Regions {
+    pub(crate) test: Vec<(u32, u32)>,
+    pub(crate) obs_gated: Vec<(u32, u32)>,
 }
 
 fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
@@ -90,7 +100,7 @@ fn item_span(toks: &[Tok], mut i: usize) -> (u32, u32) {
 
 /// Walk the token stream for `#[…]` attributes and record the regions the
 /// interesting ones cover.
-fn find_regions(toks: &[Tok]) -> Regions {
+pub(crate) fn find_regions(toks: &[Tok]) -> Regions {
     let mut regions = Regions::default();
     let mut i = 0;
     while i + 1 < toks.len() {
@@ -143,11 +153,26 @@ fn find_regions(toks: &[Tok]) -> Regions {
 pub fn scan_source(ctx: &FileCtx<'_>, src: &str) -> ScanOut {
     let lexed = lex(src);
     let regions = find_regions(&lexed.tokens);
+    scan_lexed(ctx, &lexed, &regions)
+}
+
+/// Run every token rule over an already-lexed file (the driver lexes each
+/// file once and shares the stream with the item/call-graph pass).
+pub(crate) fn scan_lexed(ctx: &FileCtx<'_>, lexed: &Lexed, regions: &Regions) -> ScanOut {
     let mut out = ScanOut::default();
     let zone = PANIC_FREE_ZONES.contains(&ctx.path);
 
     let mut raw: Vec<Finding> = Vec::new();
     let toks = &lexed.tokens;
+    if CAST_ZONES.contains(&ctx.path) {
+        cast_truncation(ctx, toks, &regions.test, &mut raw);
+    }
+    determinism(ctx, toks, &regions.test, &mut raw);
+    if ctx.path == "crates/sbr-obs/src/timeline.rs"
+        || ctx.path.starts_with("crates/sensor-net/src/")
+    {
+        lock_discipline(ctx, toks, &regions.test, &mut raw);
+    }
     for (i, t) in toks.iter().enumerate() {
         if in_ranges(&regions.test, t.line) {
             continue; // every rule here is production-code-only
@@ -164,7 +189,7 @@ pub fn scan_source(ctx: &FileCtx<'_>, src: &str) -> ScanOut {
             atomics(ctx, t, prev, next, &mut raw);
         }
         if ctx.crate_dir == "sbr-core" && ctx.path != "crates/sbr-core/src/obs.rs" {
-            obs_gate(ctx, t, &regions, &mut raw);
+            obs_gate(ctx, t, regions, &mut raw);
         }
     }
 
@@ -195,6 +220,7 @@ pub fn scan_source(ctx: &FileCtx<'_>, src: &str) -> ScanOut {
                     "lint:allow({}) without a reason — every escape hatch must say why",
                     a.rule
                 ),
+                call_path: Vec::new(),
             });
         }
     }
@@ -208,6 +234,7 @@ fn finding(ctx: &FileCtx<'_>, rule: &str, line: u32, message: String) -> Finding
         path: ctx.path.into(),
         line,
         message,
+        call_path: Vec::new(),
     }
 }
 
@@ -349,6 +376,501 @@ fn obs_gate(ctx: &FileCtx<'_>, t: &Tok, regions: &Regions, out: &mut Vec<Finding
             t.line,
             "direct sbr_obs:: path outside the obs facade without #[cfg(feature = \"obs\")] — breaks --no-default-features".into(),
         ));
+    }
+}
+
+/// Identifier fragments that suggest a length/offset/sequence quantity —
+/// the values whose silent truncation corrupts wire or storage bytes.
+const SUSPECT_SUBSTR: &[&str] = &[
+    "len",
+    "count",
+    "seq",
+    "offset",
+    "pos",
+    "size",
+    "total",
+    "ordinal",
+    "covered",
+    "record",
+    "slot",
+    "sample",
+    "signal",
+    "frame",
+    "byte",
+    "remaining",
+    "budget",
+    "idx",
+    "index",
+    "num",
+    "first",
+];
+
+/// Short identifiers that are length-like in this codebase (`w` is the
+/// paper's window width, `n`/`m` element counts, …) — exact match only.
+const SUSPECT_EXACT: &[&str] = &[
+    "w", "n", "m", "ns", "nu", "ni", "start", "chunk", "cold", "ord",
+];
+
+/// Cursor/byte reads whose result provably fits 32 bits: casting them to
+/// `usize`/`u64` widens and cannot truncate (the workspace targets
+/// 64-bit; DESIGN.md §7b records the assumption).
+const SMALL_SOURCES: &[&str] = &[
+    "u8",
+    "u16",
+    "u32",
+    "get_u8",
+    "get_u16",
+    "get_u16_le",
+    "get_u32",
+    "get_u32_le",
+    "take_u8",
+    "take_u16",
+    "take_u32",
+    "read_u16",
+    "read_u32",
+];
+
+/// `cast-truncation`: in the wire/storage zones, `expr as u32/u64/usize`
+/// where the source expression names a length/offset/seq-like value must
+/// become `try_from` + `SbrError::Corrupt` (or carry a reasoned allow) —
+/// `as` silently wraps, and a wrapped length is a corrupt stream that
+/// still parses.
+fn cast_truncation(ctx: &FileCtx<'_>, toks: &[Tok], test: &[(u32, u32)], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "as" || in_ranges(test, t.line) {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if target.kind != TokKind::Ident || !matches!(target.text.as_str(), "u32" | "u64" | "usize")
+        {
+            continue;
+        }
+        // Walk the source expression backwards (`as` binds tighter than
+        // binary operators, so stop at any depth-0 operator) collecting
+        // the identifiers it mentions.
+        let mut idents: Vec<&str> = Vec::new();
+        let mut depth = 0u32;
+        let mut j = i;
+        let mut steps = 0;
+        while j > 0 && steps < 24 {
+            j -= 1;
+            steps += 1;
+            let p = &toks[j];
+            match p.kind {
+                TokKind::Punct => match p.text.as_str() {
+                    ")" | "]" => depth += 1,
+                    "(" | "[" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    "." | "::" | "?" => {}
+                    _ if depth > 0 => {}
+                    _ => break,
+                },
+                TokKind::Ident if p.text == "as" => break,
+                TokKind::Ident => idents.push(p.text.as_str()),
+                TokKind::Num { .. } => {}
+                _ => break,
+            }
+        }
+        let suspect = idents.iter().any(|id| {
+            SUSPECT_EXACT.contains(id)
+                || SUSPECT_SUBSTR.iter().any(|s| id.to_lowercase().contains(s))
+        });
+        let widening = matches!(target.text.as_str(), "u64" | "usize")
+            && idents.iter().any(|id| SMALL_SOURCES.contains(id));
+        if suspect && !widening {
+            out.push(finding(
+                ctx,
+                "cast-truncation",
+                t.line,
+                format!(
+                    "`as {}` on a length/offset-like value in a wire zone — use {}::try_from + SbrError::Corrupt, or justify with lint:allow(cast-truncation)",
+                    target.text, target.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Hash-container methods whose visit order is the hasher's, not the
+/// data's.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// `determinism`: iteration over a `HashMap`/`HashSet` declared in the
+/// same file (order can leak into output, breaking byte-identity and
+/// seeded replay), and wall-clock reads (`Instant::now`, `SystemTime`)
+/// outside `sbr-obs`/`bench`.
+fn determinism(ctx: &FileCtx<'_>, toks: &[Tok], test: &[(u32, u32)], out: &mut Vec<Finding>) {
+    // Pass 1: names declared with a hash-container type or constructor
+    // (`pairs: HashMap<…>`, `let seen = HashSet::new()`, …).
+    let mut hash_names: Vec<&str> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Strip `path::` prefixes and wrapper generics (`Mutex<HashMap…`,
+        // `Arc<RwLock<HashMap…`), then expect `name :` or `name =`.
+        let mut j = i;
+        loop {
+            if j >= 2
+                && toks[j - 1].kind == TokKind::Punct
+                && matches!(toks[j - 1].text.as_str(), "::" | "<")
+                && toks[j - 2].kind == TokKind::Ident
+            {
+                j -= 2;
+                continue;
+            }
+            break;
+        }
+        if j >= 2
+            && toks[j - 1].kind == TokKind::Punct
+            && matches!(toks[j - 1].text.as_str(), ":" | "=")
+            && toks[j - 2].kind == TokKind::Ident
+        {
+            hash_names.push(toks[j - 2].text.as_str());
+        }
+    }
+    if !hash_names.is_empty() {
+        for (i, t) in toks.iter().enumerate() {
+            if in_ranges(test, t.line) {
+                continue;
+            }
+            // `name.iter()` and friends, walking the receiver chain back
+            // through `.lock()`-style adaptors.
+            let is_iter_call = t.kind == TokKind::Ident
+                && HASH_ITER_METHODS.contains(&t.text.as_str())
+                && i >= 2
+                && toks[i - 1].kind == TokKind::Punct
+                && toks[i - 1].text == "."
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+            if is_iter_call {
+                let mut depth = 0u32;
+                let mut j = i - 1;
+                let mut steps = 0;
+                let mut hit: Option<&str> = None;
+                while j > 0 && steps < 16 {
+                    j -= 1;
+                    steps += 1;
+                    let p = &toks[j];
+                    match p.kind {
+                        TokKind::Punct => match p.text.as_str() {
+                            ")" | "]" => depth += 1,
+                            "(" | "[" => {
+                                if depth == 0 {
+                                    break;
+                                }
+                                depth -= 1;
+                            }
+                            "." | "::" | "?" => {}
+                            _ if depth > 0 => {}
+                            _ => break,
+                        },
+                        TokKind::Ident if depth == 0 => {
+                            if hash_names.contains(&p.text.as_str()) {
+                                hit = Some(p.text.as_str());
+                                break;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                if let Some(name) = hit {
+                    out.push(finding(
+                        ctx,
+                        "determinism",
+                        t.line,
+                        format!(
+                            ".{}() on hash container `{}` — iteration order is nondeterministic; use BTreeMap/BTreeSet or sort, or justify with lint:allow(determinism)",
+                            t.text, name
+                        ),
+                    ));
+                }
+            }
+            // `for x in &name { … }` iterating the container directly.
+            if t.kind == TokKind::Ident && t.text == "in" {
+                let mut j = i + 1;
+                while toks
+                    .get(j)
+                    .is_some_and(|n| n.kind == TokKind::Punct && (n.text == "&" || n.text == "&&"))
+                    || toks
+                        .get(j)
+                        .is_some_and(|n| n.kind == TokKind::Ident && n.text == "mut")
+                {
+                    j += 1;
+                }
+                let named = toks
+                    .get(j)
+                    .filter(|n| n.kind == TokKind::Ident && hash_names.contains(&n.text.as_str()));
+                let then_brace = toks
+                    .get(j + 1)
+                    .is_some_and(|n| n.kind == TokKind::Punct && n.text == "{");
+                if let (Some(n), true) = (named, then_brace) {
+                    out.push(finding(
+                        ctx,
+                        "determinism",
+                        t.line,
+                        format!(
+                            "for-loop over hash container `{}` — iteration order is nondeterministic; use BTreeMap/BTreeSet or sort, or justify with lint:allow(determinism)",
+                            n.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    // Pass 2: wall-clock reads outside the observability/bench crates.
+    if ctx.crate_dir == "sbr-obs" || ctx.crate_dir == "bench" {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_ranges(test, t.line) {
+            continue;
+        }
+        let now_read = t.text == "Instant"
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct && n.text == "::")
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.kind == TokKind::Ident && n.text == "now");
+        if now_read || t.text == "SystemTime" {
+            out.push(finding(
+                ctx,
+                "determinism",
+                t.line,
+                format!(
+                    "wall-clock read ({}) outside sbr-obs/bench — breaks seeded replay; derive time from the simulation clock, or justify with lint:allow(determinism)",
+                    if now_read { "Instant::now" } else { "SystemTime" }
+                ),
+            ));
+        }
+    }
+}
+
+/// Methods that enter the recorder (and may take its internal locks).
+const RECORDER_METHODS: &[&str] = &[
+    "record",
+    "record_value",
+    "frame_event",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+];
+
+/// `lock-discipline`: in `sbr-obs::timeline` and `sensor-net`, a `Mutex`
+/// guard must not be held across a call that can re-enter the recorder —
+/// the recorder takes its own locks, and holding an unrelated guard
+/// across that boundary is how lock-order inversions are born.
+///
+/// Scope model (conservative, statement-shaped):
+/// - `let g = x.lock()…;` holds to the enclosing block's `}` or `drop(g)`;
+/// - `for … in x.lock()…` holds through the loop body (the temporary
+///   guard lives for the whole loop);
+/// - any other `x.lock()` temporary holds to the end of its statement.
+fn lock_discipline(ctx: &FileCtx<'_>, toks: &[Tok], test: &[(u32, u32)], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        let is_lock = t.kind == TokKind::Ident
+            && t.text == "lock"
+            && i >= 1
+            && toks[i - 1].kind == TokKind::Punct
+            && toks[i - 1].text == "."
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+        if !is_lock || in_ranges(test, t.line) {
+            continue;
+        }
+        // Statement start: the token after the previous `;`/`{`/`}`.
+        let mut s = i;
+        while s > 0 {
+            let p = &toks[s - 1];
+            if p.kind == TokKind::Punct && matches!(p.text.as_str(), ";" | "{" | "}") {
+                break;
+            }
+            s -= 1;
+        }
+        let stmt_is_let = toks
+            .get(s)
+            .is_some_and(|p| p.kind == TokKind::Ident && p.text == "let");
+        let stmt_is_for = toks[s..i]
+            .iter()
+            .any(|p| p.kind == TokKind::Ident && p.text == "for");
+        // Walk past the lock-call chain: `lock()` plus any
+        // unwrap/expect/unwrap_or_else(...) adaptors.
+        let mut j = i + 1; // at `(`
+        let mut close = j;
+        let mut depth = 0i32;
+        while close < toks.len() {
+            let p = &toks[close];
+            if p.kind == TokKind::Punct {
+                match p.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            close += 1;
+        }
+        j = close + 1;
+        loop {
+            let dot_adapt = toks
+                .get(j)
+                .is_some_and(|p| p.kind == TokKind::Punct && p.text == ".")
+                && toks.get(j + 1).is_some_and(|p| {
+                    p.kind == TokKind::Ident
+                        && matches!(p.text.as_str(), "unwrap" | "expect" | "unwrap_or_else")
+                });
+            if !dot_adapt {
+                break;
+            }
+            let mut k = j + 2; // at `(`
+            let mut d = 0i32;
+            while k < toks.len() {
+                let p = &toks[k];
+                if p.kind == TokKind::Punct {
+                    match p.text.as_str() {
+                        "(" => d += 1,
+                        ")" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        // Determine the guard's live token span [start, end).
+        let chain_ends_stmt = toks
+            .get(j)
+            .is_some_and(|p| p.kind == TokKind::Punct && p.text == ";");
+        let (start, end) = if stmt_is_let && chain_ends_stmt {
+            // Guard binding: to the enclosing block's `}` or `drop(g)`.
+            let guard = toks[s..i]
+                .iter()
+                .skip(1)
+                .find(|p| p.kind == TokKind::Ident && p.text != "mut")
+                .map(|p| p.text.as_str())
+                .unwrap_or("");
+            let mut e = j + 1;
+            let mut d = 0i32;
+            while e < toks.len() {
+                let p = &toks[e];
+                if p.kind == TokKind::Punct {
+                    match p.text.as_str() {
+                        "{" => d += 1,
+                        "}" => {
+                            if d == 0 {
+                                break;
+                            }
+                            d -= 1;
+                        }
+                        _ => {}
+                    }
+                }
+                let dropped = p.kind == TokKind::Ident
+                    && p.text == "drop"
+                    && toks
+                        .get(e + 2)
+                        .is_some_and(|g| g.kind == TokKind::Ident && g.text == guard);
+                if dropped {
+                    break;
+                }
+                e += 1;
+            }
+            (j + 1, e)
+        } else if stmt_is_for {
+            // Loop temporary: through the loop body.
+            let mut b = j;
+            while b < toks.len() && !(toks[b].kind == TokKind::Punct && toks[b].text == "{") {
+                b += 1;
+            }
+            let mut e = b;
+            let mut d = 0i32;
+            while e < toks.len() {
+                let p = &toks[e];
+                if p.kind == TokKind::Punct {
+                    match p.text.as_str() {
+                        "{" => d += 1,
+                        "}" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                e += 1;
+            }
+            (b, e)
+        } else {
+            // Statement temporary: to the statement's `;`.
+            let mut e = j;
+            let mut d = 0i32;
+            while e < toks.len() {
+                let p = &toks[e];
+                if p.kind == TokKind::Punct {
+                    match p.text.as_str() {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d -= 1,
+                        ";" if d <= 0 => break,
+                        _ => {}
+                    }
+                }
+                e += 1;
+            }
+            (j, e)
+        };
+        for k in start..end.min(toks.len()) {
+            let p = &toks[k];
+            let reenters = p.kind == TokKind::Ident
+                && RECORDER_METHODS.contains(&p.text.as_str())
+                && k >= 1
+                && toks[k - 1].kind == TokKind::Punct
+                && toks[k - 1].text == "."
+                && toks
+                    .get(k + 1)
+                    .is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+            if reenters {
+                out.push(finding(
+                    ctx,
+                    "lock-discipline",
+                    p.line,
+                    format!(
+                        "Mutex guard (locked on line {}) held across recorder call .{}() — release the guard first, or justify with lint:allow(lock-discipline)",
+                        t.line, p.text
+                    ),
+                ));
+            }
+        }
     }
 }
 

@@ -41,6 +41,7 @@ fn fail(path: &str, line: u32, message: String) -> Finding {
         path: path.into(),
         line,
         message,
+        call_path: Vec::new(),
     }
 }
 

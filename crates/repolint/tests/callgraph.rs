@@ -1,0 +1,196 @@
+//! Golden fixtures for the call-graph / panic-reachability pass: tiny
+//! in-memory workspaces fed through [`repolint::run_sources`], asserting
+//! how name-resolution-lite resolves calls (exact where it can, widened
+//! where it cannot) and how the reachability walk reports paths.
+
+fn reach(rep: &repolint::Report) -> Vec<&repolint::Finding> {
+    rep.findings
+        .iter()
+        .filter(|f| f.rule == "panic-reachability")
+        .collect()
+}
+
+#[test]
+fn cross_module_call_is_resolved_and_reported_with_the_path() {
+    // decoder.rs is a panic-freedom zone; util.rs is not, so the unwrap
+    // inside the helper is legal where it sits — but the zone fn must not
+    // reach it.
+    let rep = repolint::run_sources(&[
+        (
+            "crates/sbr-core/src/decoder.rs",
+            "pub fn decode_step(v: &[u32]) -> u32 {\n    helper(v)\n}\n",
+        ),
+        (
+            "crates/sbr-core/src/util.rs",
+            "pub fn helper(v: &[u32]) -> u32 {\n    v.first().copied().unwrap()\n}\n",
+        ),
+    ]);
+    let r = reach(&rep);
+    assert_eq!(r.len(), 1, "{:?}", rep.findings);
+    let f = r[0];
+    // Anchored at the zone fn's call site, with the full zone→sink chain.
+    assert_eq!(f.path, "crates/sbr-core/src/decoder.rs");
+    assert_eq!(f.line, 2);
+    // zone fn -> helper -> the sink itself.
+    assert_eq!(f.call_path.len(), 3, "{:?}", f.call_path);
+    assert!(f.call_path[0].starts_with("decode_step@crates/sbr-core/src/decoder.rs:"));
+    assert!(f.call_path[1].starts_with("helper@crates/sbr-core/src/util.rs:"));
+    assert!(f.call_path[2].starts_with("unwrap()@crates/sbr-core/src/util.rs:"));
+    assert!(f.message.contains("unwrap"), "{}", f.message);
+}
+
+#[test]
+fn clean_cross_module_call_stays_clean() {
+    let rep = repolint::run_sources(&[
+        (
+            "crates/sbr-core/src/decoder.rs",
+            "pub fn decode_step(v: &[u32]) -> u32 {\n    helper(v)\n}\n",
+        ),
+        (
+            "crates/sbr-core/src/util.rs",
+            "pub fn helper(v: &[u32]) -> u32 {\n    v.first().copied().unwrap_or(0)\n}\n",
+        ),
+    ]);
+    assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+}
+
+#[test]
+fn method_call_ambiguity_widens_to_every_candidate() {
+    // The receiver's type is unknowable without real name resolution, so
+    // `x.frob()` must widen to *every* workspace method named `frob` —
+    // including the one that panics in another crate.
+    let rep = repolint::run_sources(&[
+        (
+            "crates/sbr-core/src/decoder.rs",
+            "pub fn decode_step(x: &Thing) -> u32 {\n    x.frob()\n}\n",
+        ),
+        (
+            "crates/sbr-core/src/safe.rs",
+            "impl Safe {\n    pub fn frob(&self) -> u32 { 0 }\n}\n",
+        ),
+        (
+            "crates/baselines/src/risky.rs",
+            "impl Risky {\n    pub fn frob(&self) -> u32 { panic!(\"boom\") }\n}\n",
+        ),
+    ]);
+    let r = reach(&rep);
+    assert_eq!(r.len(), 1, "{:?}", rep.findings);
+    assert!(
+        r[0].call_path
+            .iter()
+            .any(|h| h.starts_with("frob@crates/baselines/src/risky.rs:")),
+        "{:?}",
+        r[0].call_path
+    );
+}
+
+#[test]
+fn method_call_does_not_resolve_to_self_less_free_fns() {
+    // `x.frob()` can only dispatch to a method taking `self`; a free
+    // `fn frob(x: u32)` is not a candidate, so the zone stays clean even
+    // though that free fn panics.
+    let rep = repolint::run_sources(&[
+        (
+            "crates/sbr-core/src/decoder.rs",
+            "pub fn decode_step(x: &Thing) -> u32 {\n    x.frob()\n}\n",
+        ),
+        (
+            "crates/baselines/src/risky.rs",
+            "pub fn frob(x: u32) -> u32 {\n    panic!(\"boom\")\n}\n",
+        ),
+    ]);
+    assert!(reach(&rep).is_empty(), "{:?}", rep.findings);
+}
+
+#[test]
+fn transitive_chain_two_calls_deep_reports_every_hop() {
+    let rep = repolint::run_sources(&[
+        (
+            "crates/sensor-net/src/storage.rs",
+            "pub fn zone_entry() {\n    mid();\n}\n",
+        ),
+        (
+            "crates/sensor-net/src/aux.rs",
+            "pub fn mid() {\n    inner();\n}\npub fn inner() {\n    let x: Option<u32> = None;\n    x.unwrap();\n}\n",
+        ),
+    ]);
+    let r = reach(&rep);
+    assert_eq!(r.len(), 1, "{:?}", rep.findings);
+    let hops = &r[0].call_path;
+    assert_eq!(hops.len(), 4, "{hops:?}");
+    assert!(hops[0].starts_with("zone_entry@"));
+    assert!(hops[1].starts_with("mid@"));
+    assert!(hops[2].starts_with("inner@"));
+    assert!(hops[3].starts_with("unwrap()@"));
+}
+
+#[test]
+fn call_site_allow_suppresses_the_reachability_finding() {
+    let rep = repolint::run_sources(&[
+        (
+            "crates/sbr-core/src/decoder.rs",
+            "pub fn decode_step(v: &[u32]) -> u32 {\n    // lint:allow(panic-reachability): fixture invariant makes v non-empty\n    helper(v)\n}\n",
+        ),
+        (
+            "crates/sbr-core/src/util.rs",
+            "pub fn helper(v: &[u32]) -> u32 {\n    v.first().copied().unwrap()\n}\n",
+        ),
+    ]);
+    assert!(reach(&rep).is_empty(), "{:?}", rep.findings);
+    assert!(
+        rep.suppressed
+            .iter()
+            .any(|s| s.rule == "panic-reachability"),
+        "{:?}",
+        rep.suppressed
+    );
+}
+
+#[test]
+fn non_zone_callers_of_panicking_helpers_stay_clean() {
+    // Reachability is a zone obligation — a non-zone fn may call into a
+    // panicking helper without a finding.
+    let rep = repolint::run_sources(&[
+        (
+            "crates/baselines/src/histogram.rs",
+            "pub fn caller(v: &[u32]) -> u32 {\n    helper(v)\n}\npub fn helper(v: &[u32]) -> u32 {\n    v.first().copied().unwrap()\n}\n",
+        ),
+    ]);
+    assert!(reach(&rep).is_empty(), "{:?}", rep.findings);
+}
+
+/// The full-pipeline seeded-mutation check: a scratch tree on disk whose
+/// zone fn reaches an unwrap two calls down must make `repolint::run`
+/// report the violation with its complete call path — this is what turns
+/// the binary's exit code to 1.
+#[test]
+fn seeded_scratch_tree_reports_the_transitive_unwrap() {
+    let dir = std::env::temp_dir().join(format!("repolint-callgraph-{}", std::process::id()));
+    let src_dir = dir.join("crates/sensor-net/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        src_dir.join("storage.rs"),
+        "pub fn seeded_zone() {\n    seeded_mid();\n}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        src_dir.join("seeded_aux.rs"),
+        "pub fn seeded_mid() {\n    seeded_inner();\n}\npub fn seeded_inner() {\n    let x: Option<u32> = None;\n    x.unwrap();\n}\n",
+    )
+    .unwrap();
+
+    let rep = repolint::run(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let r: Vec<_> = rep
+        .findings
+        .iter()
+        .filter(|f| f.rule == "panic-reachability")
+        .collect();
+    assert_eq!(r.len(), 1, "{:?}", rep.findings);
+    assert_eq!(r[0].path, "crates/sensor-net/src/storage.rs");
+    assert_eq!(r[0].call_path.len(), 4, "{:?}", r[0].call_path);
+    assert!(r[0].call_path[0].starts_with("seeded_zone@"));
+    assert!(r[0].call_path[2].starts_with("seeded_inner@"));
+    assert!(r[0].call_path[3].starts_with("unwrap()@"));
+}

@@ -287,6 +287,17 @@ fn report_json_escapes_and_carries_both_lists() {
         path: "crates/x/src/a.rs".into(),
         line: 7,
         message: "quote \" backslash \\ newline \n end".into(),
+        call_path: Vec::new(),
+    });
+    rep.findings.push(repolint::Finding {
+        rule: "panic-reachability".into(),
+        path: "crates/x/src/a.rs".into(),
+        line: 11,
+        message: "zone fn reaches a sink".into(),
+        call_path: vec![
+            "zone@crates/x/src/a.rs:11".into(),
+            "sink@crates/x/src/b.rs:3".into(),
+        ],
     });
     rep.suppressed.push(repolint::Suppressed {
         rule: "index".into(),
@@ -295,10 +306,228 @@ fn report_json_escapes_and_carries_both_lists() {
         reason: "tab\there".into(),
     });
     let json = repolint::report::to_json(&rep);
-    assert!(json.contains("\"schema\": \"repolint/v1\""));
+    assert!(json.contains("\"schema\": \"repolint/v2\""));
     assert!(json.contains("\"files_scanned\": 2"));
     assert!(json.contains("quote \\\" backslash \\\\ newline \\n end"));
     assert!(json.contains("tab\\there"));
     assert!(json.contains("\"line\": 7"));
     assert!(json.contains("\"line\": 9"));
+    // v2 additions: every finding carries its rule family; only the
+    // reachability finding carries a call_path.
+    assert!(json.contains("\"rule_family\": \"panic\""));
+    assert!(json
+        .contains("\"call_path\": [\"zone@crates/x/src/a.rs:11\", \"sink@crates/x/src/b.rs:3\"]"));
+    assert_eq!(json.matches("\"call_path\"").count(), 1);
+}
+
+#[test]
+fn rule_families_cover_every_rule() {
+    for (rule, family) in [
+        ("panic-free", "panic"),
+        ("index", "panic"),
+        ("panic-reachability", "panic"),
+        ("cast-truncation", "cast"),
+        ("determinism", "determinism"),
+        ("lock-discipline", "lock"),
+        ("float-eq", "float"),
+        ("atomics", "confinement"),
+        ("obs-gate", "confinement"),
+        ("wire-drift", "wire"),
+        ("manifest", "manifest"),
+        ("bad-suppression", "hygiene"),
+    ] {
+        assert_eq!(repolint::rule_family(rule), family, "{rule}");
+    }
+}
+
+// --- cast-truncation ---
+
+/// A wire-zone path (codec/decoder/transmission/storage).
+fn cast_zone() -> FileCtx<'static> {
+    FileCtx {
+        path: "crates/sensor-net/src/storage.rs",
+        crate_dir: "sensor-net",
+    }
+}
+
+#[test]
+fn cast_truncation_flags_narrowing_of_suspect_values() {
+    let src = "\
+fn f(v: &[u8], count: u64, offset: u64) -> u32 {
+    let a = count as u32;
+    let b = v.len() as u32;
+    let c = offset as usize;
+    a + b + c as u32
+}
+";
+    let hits = rules_hit(&cast_zone(), src);
+    assert!(
+        hits.contains(&("cast-truncation".to_string(), 2)),
+        "{hits:?}"
+    );
+    assert!(
+        hits.contains(&("cast-truncation".to_string(), 3)),
+        "{hits:?}"
+    );
+    assert!(
+        hits.contains(&("cast-truncation".to_string(), 4)),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn cast_truncation_skips_widening_small_sources_and_non_zones() {
+    // u8/u16 reads widened to usize/u64 cannot truncate; non-suspect
+    // names and non-zone files are out of scope.
+    let src = "\
+fn f(v: &[u8], flags: u8) -> usize {
+    let a = get_u16(v) as usize;
+    let b = flags as usize;
+    a + b
+}
+fn get_u16(_v: &[u8]) -> u16 { 0 }
+";
+    assert!(rules_hit(&cast_zone(), src).is_empty());
+    let narrowing = "fn f(count: u64) -> u32 { count as u32 }\n";
+    assert!(rules_hit(&non_zone(), narrowing).is_empty());
+}
+
+#[test]
+fn cast_truncation_allow_suppresses_with_reason() {
+    let src = "\
+fn f(v: &[u8]) -> u32 {
+    // lint:allow(cast-truncation): record length guarded by append
+    v.len() as u32
+}
+";
+    let out = scan_source(&cast_zone(), src);
+    assert!(out.findings.is_empty());
+    assert_eq!(out.suppressed.len(), 1);
+    assert_eq!(out.suppressed[0].rule, "cast-truncation");
+}
+
+// --- determinism ---
+
+#[test]
+fn determinism_flags_hash_iteration_and_wall_clock() {
+    let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> u64 {
+    let table: HashMap<u32, u32> = HashMap::new();
+    for (k, v) in table.iter() {
+        let _ = (k, v);
+    }
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}
+";
+    let hits = rules_hit(&non_zone(), src);
+    assert!(
+        hits.contains(&("determinism".to_string(), 4)),
+        "hash iteration not flagged: {hits:?}"
+    );
+    assert!(
+        hits.contains(&("determinism".to_string(), 7)),
+        "wall-clock read not flagged: {hits:?}"
+    );
+}
+
+#[test]
+fn determinism_tracks_wrapped_declarations_and_for_loops() {
+    let src = "\
+use std::collections::HashMap;
+use std::sync::Mutex;
+struct S { logs: Mutex<HashMap<u32, u32>> }
+fn f(s: &S, table: HashMap<u32, u32>) -> u32 {
+    for (k, _) in &table {
+        let _ = k;
+    }
+    0
+}
+";
+    let hits = rules_hit(&non_zone(), src);
+    assert!(
+        hits.contains(&("determinism".to_string(), 5)),
+        "for-loop over a hash container not flagged: {hits:?}"
+    );
+}
+
+#[test]
+fn determinism_spares_btree_obs_crates_and_tests() {
+    let btree = "\
+use std::collections::BTreeMap;
+fn f(table: BTreeMap<u32, u32>) -> u32 {
+    for (k, _) in table.iter() {
+        let _ = k;
+    }
+    0
+}
+";
+    assert!(rules_hit(&non_zone(), btree).is_empty());
+    // sbr-obs and bench own wall-clock reads by design.
+    let clock = "fn f() { let _ = std::time::Instant::now(); }\n";
+    let obs = FileCtx {
+        path: "crates/sbr-obs/src/recorder.rs",
+        crate_dir: "sbr-obs",
+    };
+    assert!(rules_hit(&obs, clock).is_empty());
+    let in_test = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let _ = std::time::Instant::now(); }
+}
+";
+    assert!(rules_hit(&non_zone(), in_test).is_empty());
+}
+
+// --- lock-discipline ---
+
+/// A path the lock-discipline rule watches.
+fn lock_zone() -> FileCtx<'static> {
+    FileCtx {
+        path: "crates/sensor-net/src/network.rs",
+        crate_dir: "sensor-net",
+    }
+}
+
+#[test]
+fn lock_discipline_flags_guard_held_across_recorder_reentry() {
+    let src = "\
+fn f(m: &std::sync::Mutex<u32>, obs: &Obs) {
+    let g = m.lock().unwrap();
+    obs.record(*g);
+}
+";
+    let hits = rules_hit(&lock_zone(), src);
+    assert!(
+        hits.contains(&("lock-discipline".to_string(), 3)),
+        "guard across recorder call not flagged: {hits:?}"
+    );
+}
+
+#[test]
+fn lock_discipline_accepts_drop_before_reentry_and_other_paths() {
+    let dropped = "\
+fn f(m: &std::sync::Mutex<u32>, obs: &Obs) {
+    let g = m.lock().unwrap();
+    let v = *g;
+    drop(g);
+    obs.record(v);
+}
+";
+    assert!(rules_hit(&lock_zone(), dropped)
+        .iter()
+        .all(|(r, _)| r != "lock-discipline"));
+    // Files outside timeline.rs / sensor-net are not watched.
+    let src = "\
+fn f(m: &std::sync::Mutex<u32>, obs: &Obs) {
+    let g = m.lock().unwrap();
+    obs.record(*g);
+}
+";
+    assert!(rules_hit(&non_zone(), src)
+        .iter()
+        .all(|(r, _)| r != "lock-discipline"));
 }

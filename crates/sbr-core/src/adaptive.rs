@@ -124,6 +124,7 @@ impl AdaptiveEncoder {
     pub fn encode(&mut self, rows: &[Vec<f64>]) -> Result<(Transmission, EncodeStats)> {
         self.encoder.set_update_base(self.updates_on);
         let tx = self.encoder.encode(rows)?;
+        // lint:allow(panic-reachability): encode() on the line above always records stats
         let stats = self.encoder.last_stats().expect("stats after encode");
 
         if self.updates_on {

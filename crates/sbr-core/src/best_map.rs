@@ -176,6 +176,7 @@ impl<'a> MapContext<'a> {
                 ShiftStrategy::Fft => self.xcorr.is_some(),
                 ShiftStrategy::Auto => {
                     self.xcorr.is_some() && {
+                        // lint:allow(panic-reachability): use_fft is only true when the FFT plan exists
                         let plan = self.xcorr.as_ref().expect("checked above");
                         xcorr::fft_beats_direct_span(hi - lo + 1, interval.length, plan.fft_len())
                     }
@@ -187,6 +188,7 @@ impl<'a> MapContext<'a> {
         };
         if use_fft {
             fft_ctr.inc();
+            // lint:allow(panic-reachability): use_fft is only true when the FFT plan exists
             let plan = self.xcorr.as_ref().expect("checked above");
             self.shift_loop_sse_fft(interval, yw, plan, lo, hi);
         } else {
@@ -211,6 +213,7 @@ impl<'a> MapContext<'a> {
         let hi = self.x.len() - interval.length;
         if use_fft {
             self.obs.fft_sweeps.inc();
+            // lint:allow(panic-reachability): use_fft is only true when the FFT plan exists
             let plan = self.xcorr.as_ref().expect("checked above");
             self.shift_loop_sse_fft(interval, yw, plan, 0, hi);
         } else {

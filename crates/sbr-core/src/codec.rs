@@ -130,8 +130,9 @@ pub fn encode(tx: &Transmission) -> Bytes {
     buf.put_u32_le(tx.n_signals);
     buf.put_u32_le(tx.samples_per_signal);
     buf.put_u32_le(tx.w);
+    // lint:allow(cast-truncation): counts are memory-bounded far below u32::MAX; encode is infallible by contract
     buf.put_u32_le(tx.base_updates.len() as u32);
-    buf.put_u32_le(tx.intervals.len() as u32);
+    buf.put_u32_le(tx.intervals.len() as u32); // lint:allow(cast-truncation): same bound as the update count above
     for u in &tx.base_updates {
         buf.put_u64_le(u.slot);
         for &v in &u.values {
@@ -180,11 +181,12 @@ fn decode_v1_body(buf: &mut impl Buf) -> Result<Transmission> {
     if w == 0 || n_signals == 0 || samples_per_signal == 0 {
         return Err(SbrError::Corrupt("zero dimension in header".into()));
     }
+    let w_us = usize::try_from(w).map_err(|_| SbrError::Corrupt("W overflows usize".into()))?;
     // Sanity: refuse frames whose declared sizes exceed the buffer (guards
     // against allocating on attacker-controlled lengths). All arithmetic is
     // checked — these counts come straight off the wire.
     let declared = nu
-        .checked_mul(8 + 8 * w as usize)
+        .checked_mul(8 + 8 * w_us)
         .and_then(|a| ni.checked_mul(32).and_then(|b| a.checked_add(b)))
         .ok_or_else(|| SbrError::Corrupt("declared payload size overflows".into()))?;
     need(buf, declared, "payload")?;
@@ -192,7 +194,7 @@ fn decode_v1_body(buf: &mut impl Buf) -> Result<Transmission> {
     let mut base_updates = Vec::with_capacity(nu);
     for _ in 0..nu {
         let slot = buf.get_u64_le();
-        let mut values = Vec::with_capacity(w as usize);
+        let mut values = Vec::with_capacity(w_us);
         for _ in 0..w {
             values.push(buf.get_f64_le());
         }
@@ -239,6 +241,7 @@ pub fn encoded_len_v2(frame: &Frame) -> usize {
 /// If the snapshot length is not a multiple of `tx.w`, or a data frame
 /// carries a snapshot — both are programmer errors, not wire conditions.
 pub fn encode_v2(frame: &Frame) -> Bytes {
+    // lint:allow(cast-truncation): u32 -> usize widens on this 64-bit target
     let w = frame.tx.w as usize;
     assert!(
         w > 0 && frame.snapshot.len().is_multiple_of(w),
@@ -260,9 +263,11 @@ pub fn encode_v2(frame: &Frame) -> Bytes {
     buf.put_u32_le(frame.tx.n_signals);
     buf.put_u32_le(frame.tx.samples_per_signal);
     buf.put_u32_le(frame.tx.w);
-    buf.put_u32_le((frame.snapshot.len() / w) as u32);
+    // lint:allow(panic-reachability): w asserted positive at function entry
+    buf.put_u32_le((frame.snapshot.len() / w) as u32); // lint:allow(cast-truncation): snapshot rows are memory-bounded below u32::MAX
+                                                       // lint:allow(cast-truncation): counts are memory-bounded far below u32::MAX; encode is infallible by contract
     buf.put_u32_le(frame.tx.base_updates.len() as u32);
-    buf.put_u32_le(frame.tx.intervals.len() as u32);
+    buf.put_u32_le(frame.tx.intervals.len() as u32); // lint:allow(cast-truncation): same bound as the update count above
     for &v in &frame.snapshot {
         buf.put_f64_le(v);
     }
@@ -362,28 +367,27 @@ fn decode_v2_body(buf: &mut impl Buf, mut crc: Crc32) -> Result<Frame> {
             "data frame declares a base-signal snapshot".into(),
         ));
     }
+    let w_us = usize::try_from(w).map_err(|_| SbrError::Corrupt("W overflows usize".into()))?;
     // Declared sizes come straight off the wire — checked arithmetic, and
     // the whole payload (incl. the CRC trailer) must fit the buffer before
     // any allocation happens.
     let declared = ns
-        .checked_mul(8 * w as usize)
-        .and_then(|s| {
-            nu.checked_mul(8 + 8 * w as usize)
-                .and_then(|u| s.checked_add(u))
-        })
+        .checked_mul(8 * w_us)
+        .and_then(|s| nu.checked_mul(8 + 8 * w_us).and_then(|u| s.checked_add(u)))
         .and_then(|su| ni.checked_mul(32).and_then(|i| su.checked_add(i)))
         .and_then(|p| p.checked_add(4))
         .ok_or_else(|| SbrError::Corrupt("declared payload size overflows".into()))?;
     need(buf, declared, "payload")?;
 
-    let mut snapshot = Vec::with_capacity(ns * w as usize);
-    for _ in 0..ns * w as usize {
+    // `declared` fitting the buffer bounds ns * w_us without overflow.
+    let mut snapshot = Vec::with_capacity(ns * w_us);
+    for _ in 0..ns * w_us {
         snapshot.push(take_f64(buf, &mut crc));
     }
     let mut base_updates = Vec::with_capacity(nu);
     for _ in 0..nu {
         let slot = take_u64(buf, &mut crc);
-        let mut values = Vec::with_capacity(w as usize);
+        let mut values = Vec::with_capacity(w_us);
         for _ in 0..w {
             values.push(take_f64(buf, &mut crc));
         }

@@ -78,6 +78,7 @@ impl Decoder {
         if tx.seq != self.next_seq {
             return Err(self.gap(tx.seq));
         }
+        // lint:allow(cast-truncation): u32 -> usize widens on this 64-bit target
         let w = tx.w as usize;
         let mut x_new = self
             .base
@@ -122,6 +123,7 @@ impl Decoder {
         if tx.seq != self.next_seq {
             return Err(self.gap(tx.seq));
         }
+        // lint:allow(cast-truncation): u32 -> usize widens on this 64-bit target
         let w = tx.w as usize;
         if w == 0 {
             return Err(SbrError::Corrupt("zero base-interval width".into()));
@@ -153,10 +155,12 @@ impl Decoder {
 
         // … then land the updates in their final slots for the next batch.
         for u in &tx.base_updates {
+            // lint:allow(cast-truncation): slot range-checked by validate_updates above
             base.apply_insert(u.slot as usize, &u.values, tx.seq)?;
         }
 
         self.next_seq += 1;
+        // lint:allow(cast-truncation): u32 -> usize widens on this 64-bit target
         let m = tx.samples_per_signal as usize;
         Ok(flat.chunks_exact(m).map(<[f64]>::to_vec).collect())
     }
@@ -168,6 +172,7 @@ impl Decoder {
         if tx.seq != self.next_seq {
             return Err(self.gap(tx.seq));
         }
+        // lint:allow(cast-truncation): u32 -> usize widens on this 64-bit target
         let w = tx.w as usize;
         if w == 0 {
             return Err(SbrError::Corrupt("zero base-interval width".into()));
@@ -181,6 +186,7 @@ impl Decoder {
         }
         Self::validate_updates(tx, base.num_slots(), w)?;
         for u in &tx.base_updates {
+            // lint:allow(cast-truncation): slot range-checked by validate_updates above
             base.apply_insert(u.slot as usize, &u.values, tx.seq)?;
         }
         self.next_seq += 1;
@@ -246,6 +252,7 @@ impl Decoder {
                 self.node, frame.epoch, self.epoch
             )));
         }
+        // lint:allow(cast-truncation): u32 -> usize widens on this 64-bit target
         let w = frame.tx.w as usize;
         if w == 0 {
             return Err(SbrError::Corrupt("zero base-interval width".into()));
@@ -285,7 +292,12 @@ impl Decoder {
                     u.values.len()
                 )));
             }
-            let slot = u.slot as usize;
+            let slot = usize::try_from(u.slot).map_err(|_| {
+                SbrError::InconsistentState(format!(
+                    "base update {k} targets slot {} beyond the address space",
+                    u.slot
+                ))
+            })?;
             if slot > slots {
                 return Err(SbrError::InconsistentState(format!(
                     "base update {k} targets slot {slot} but only {slots} slots exist"

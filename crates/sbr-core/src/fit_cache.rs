@@ -172,6 +172,7 @@ impl FitCache {
             return;
         }
         for &id in &dead {
+            // lint:allow(panic-reachability): dead ids were collected from occupied slots in this pass
             let slot = self.slots[id as usize].take().expect("checked above");
             if let Some(ids) = self.by_hash.get_mut(&slot.hash) {
                 ids.retain(|&i| i != id);
@@ -185,6 +186,7 @@ impl FitCache {
             self.free.push(id);
         }
         let alive = &self.slots;
+        // lint:allow(determinism): retain predicate is per-key; visit order cannot leak
         self.pairs.retain(|&(a, b), _| {
             alive.get(a as usize).is_some_and(Option::is_some)
                 && alive.get(b as usize).is_some_and(Option::is_some)
@@ -203,6 +205,7 @@ impl FitCache {
                         let known = slot.last_seen < self.generation;
                         self.slots[id as usize]
                             .as_mut()
+                            // lint:allow(panic-reachability): id came from by_hash, which only indexes live slots
                             .expect("checked above")
                             .last_seen = self.generation;
                         return (id, known);

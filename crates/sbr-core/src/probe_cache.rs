@@ -155,6 +155,7 @@ impl<'a> ProbeCache<'a> {
         let shiftable = len <= self.ctx.max_shift_len && len <= l_pos;
 
         let cell = {
+            // lint:allow(panic-reachability): poisoning requires a prior worker panic that already failed the run
             let mut map = self.entries.lock().expect("probe cache map poisoned");
             match map.get(&(start, len)) {
                 Some(cell) => {
@@ -174,6 +175,7 @@ impl<'a> ProbeCache<'a> {
                 }
             }
         };
+        // lint:allow(panic-reachability): poisoning requires a prior worker panic that already failed the run
         let mut entry = cell.lock().expect("probe cache entry poisoned");
         if !shiftable {
             // Matches the legacy `allow_linear_fallback || !shiftable`
@@ -226,10 +228,12 @@ impl<'a> ProbeCache<'a> {
     /// slack is approximated by capacities), exported to the
     /// `sbr_core.probe_cache.bytes` gauge by [`ProbeCache::publish`].
     pub fn footprint(&self) -> ProbeCacheFootprint {
+        // lint:allow(panic-reachability): poisoning requires a prior worker panic that already failed the run
         let map = self.entries.lock().expect("probe cache map poisoned");
         let mut folded = 0usize;
         let mut bytes = std::mem::size_of::<Self>();
         for cell in map.values() {
+            // lint:allow(panic-reachability): poisoning requires a prior worker panic that already failed the run
             let entry = cell.lock().expect("probe cache entry poisoned");
             folded += entry.folded.len();
             bytes += std::mem::size_of::<(usize, usize)>()

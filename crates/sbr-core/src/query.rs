@@ -834,6 +834,7 @@ impl QueryEngine {
     /// One aggregate of `signal` over `[t0, t1)`, entirely in the
     /// compressed domain.
     pub fn query(&mut self, signal: usize, t0: usize, t1: usize, agg: Aggregate) -> Result<f64> {
+        // lint:allow(determinism): obs-gated latency probe — timing never feeds query results
         let start = self.obs.enabled().then(std::time::Instant::now);
         let op = match agg {
             Aggregate::Sum | Aggregate::Avg => PlanOp::SumAvg,
@@ -855,6 +856,7 @@ impl QueryEngine {
     /// All four TAG aggregates of `signal` over `[t0, t1)` at once —
     /// drop-in for [`aggregate_stream`] without the replay.
     pub fn aggregate(&mut self, signal: usize, t0: usize, t1: usize) -> Result<StreamAggregate> {
+        // lint:allow(determinism): obs-gated latency probe — timing never feeds query results
         let start = self.obs.enabled().then(std::time::Instant::now);
         let agg = self.plan(signal, t0, t1, PlanOp::Full)?;
         if let Some(s) = start {

@@ -63,6 +63,7 @@ impl Transmission {
 
     /// Number of values in the batch this transmission encodes.
     pub fn batch_len(&self) -> usize {
+        // lint:allow(cast-truncation): both u32 factors widen to usize before the multiply
         self.n_signals as usize * self.samples_per_signal as usize
     }
 

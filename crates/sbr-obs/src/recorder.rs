@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Write};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use crate::handles::{Counter, Gauge, Histogram};
@@ -89,7 +89,14 @@ pub struct MetricsRecorder {
 impl fmt::Debug for MetricsRecorder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MetricsRecorder")
-            .field("metrics", &self.metrics.lock().unwrap().len())
+            .field(
+                "metrics",
+                &self
+                    .metrics
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .len(),
+            )
             .field("trace", &self.trace.is_some())
             .finish()
     }
@@ -154,9 +161,10 @@ impl MetricsRecorder {
         make: impl FnOnce() -> Metric,
         pick: impl Fn(&Metric) -> Option<T>,
     ) -> T {
-        let mut metrics = self.metrics.lock().unwrap();
+        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let entry = metrics.entry(name.to_string()).or_insert_with(make);
         pick(entry)
+            // lint:allow(panic-reachability): re-registering a metric name with a different type is a programming error, not runtime data
             .unwrap_or_else(|| panic!("metric '{name}' already registered with a different type"))
     }
 }
@@ -212,14 +220,14 @@ impl Recorder for MetricsRecorder {
             line.push_str(&format!(",{}:{}", json::escape(k), json::escape(v)));
         }
         line.push_str("}\n");
-        let mut w = sink.lock().unwrap();
+        let mut w = sink.lock().unwrap_or_else(PoisonError::into_inner);
         // Trace I/O is best-effort; a full disk must not take encoding down.
         let _ = w.write_all(line.as_bytes());
         let _ = w.flush();
     }
 
     fn snapshot(&self) -> Snapshot {
-        let metrics = self.metrics.lock().unwrap();
+        let metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         Snapshot {
             metrics: metrics
                 .iter()

@@ -15,7 +15,7 @@
 //! current replica), and it accepts resync frames that re-anchor a sensor's
 //! stream at a higher epoch after unrecoverable loss or a node reboot.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use bytes::Bytes;
@@ -153,7 +153,7 @@ pub struct RangeAggregate {
 /// The base station: per-sensor logs + reconstruction.
 #[derive(Debug)]
 pub struct BaseStation {
-    logs: Mutex<HashMap<NodeId, SensorLog>>,
+    logs: Mutex<BTreeMap<NodeId, SensorLog>>,
     checkpoint_interval: u64,
     persist_dir: Option<PathBuf>,
     /// Segment size budget before a seal (persistent stations).
@@ -167,7 +167,7 @@ pub struct BaseStation {
 impl Default for BaseStation {
     fn default() -> Self {
         BaseStation {
-            logs: Mutex::new(HashMap::new()),
+            logs: Mutex::new(BTreeMap::new()),
             checkpoint_interval: 8,
             persist_dir: None,
             segment_bytes: DEFAULT_SEGMENT_BYTES,
@@ -727,6 +727,7 @@ impl BaseStation {
         let m = frames
             .first()
             .map(|f| f.tx.samples_per_signal as usize)
+            .filter(|&m| m > 0)
             .ok_or_else(|| SbrError::InconsistentState(format!("sensor {node} has no chunks")))?;
         let plain = frames
             .iter()
@@ -735,6 +736,7 @@ impl BaseStation {
             // Sequence numbers equal log positions on a resync-free log,
             // which is exactly what the streaming aggregator indexes by.
             let txs: Vec<Transmission> = frames.into_iter().map(|f| f.tx).collect();
+            // lint:allow(panic-reachability): m is checked positive above
             let (mut decoder, _) = self.decoder_at(node, t0 / m)?;
             let agg = aggregate_stream(&mut decoder, &txs, signal, t0, t1)?;
             return Ok(RangeAggregate {
@@ -754,6 +756,7 @@ impl BaseStation {
         let sum: f64 = values.iter().sum();
         Ok(RangeAggregate {
             sum,
+            // lint:allow(panic-reachability): f64 division — cannot panic
             avg: sum / values.len() as f64,
             min: values.iter().copied().fold(f64::INFINITY, f64::min),
             max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
@@ -779,7 +782,9 @@ impl BaseStation {
         let m = frames
             .first()
             .map(|f| f.tx.samples_per_signal as usize)
+            .filter(|&m| m > 0)
             .ok_or_else(|| SbrError::InconsistentState(format!("sensor {node} has no chunks")))?;
+        // lint:allow(panic-reachability): m is checked positive above
         let first_chunk = t0 / m;
         let last_chunk = t1.div_ceil(m);
         let chunks = self.reconstruct_chunks(node, first_chunk, last_chunk)?;

@@ -155,6 +155,7 @@ impl FaultPlan {
     fn flip_one_byte(&mut self, frame: &Bytes) -> Bytes {
         let mut bytes = frame.to_vec();
         if !bytes.is_empty() {
+            // lint:allow(panic-reachability): bytes is checked non-empty above
             let i = (self.next_u64() % bytes.len() as u64) as usize;
             let bit = (self.next_u64() % 8) as u32;
             if let Some(b) = bytes.get_mut(i) {

@@ -6,7 +6,7 @@
 //! of the paper: sending the **raw** feed, classic per-batch **aggregation**
 //! (average/min/max), and **SBR** approximation.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -189,8 +189,8 @@ impl NetObs {
 struct ArqTrace {
     enabled: bool,
     round: u64,
-    attempts: HashMap<(u32, u64), u64>,
-    first_round: HashMap<(u32, u64), u64>,
+    attempts: BTreeMap<(u32, u64), u64>,
+    first_round: BTreeMap<(u32, u64), u64>,
 }
 
 impl ArqTrace {
@@ -613,6 +613,7 @@ impl Network {
                 continue; // a hop gave up; the frame stays pending
             }
             let arrivals = plan.channel(&bytes);
+            // lint:allow(determinism): obs-gated latency probe — timing never feeds decoded output
             let t0 = self.obs.decode_batch_ns.is_enabled().then(Instant::now);
             for arrival in arrivals {
                 self.deliver(node, arrival, stats)?;
@@ -879,6 +880,7 @@ impl Network {
                         for (frame, chunk) in frames.iter().zip(&chunks) {
                             let raw = truth
                                 .get(&(frame.epoch, frame.tx.seq))
+                                // lint:allow(panic-reachability): truth is populated for every frame the sensor emits
                                 .expect("every logged frame came from this sensor");
                             for (row, rec) in raw.iter().zip(chunk) {
                                 sse += ErrorMetric::Sse.score(row, rec);

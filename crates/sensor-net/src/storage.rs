@@ -245,6 +245,7 @@ fn encode_segment_header(ordinal: u32, first_record: u64) -> Vec<u8> {
 
 fn encode_record(frame: &[u8]) -> Vec<u8> {
     let mut r = Vec::with_capacity(frame.len() + RECORD_OVERHEAD);
+    // lint:allow(cast-truncation): append rejects frames at or above u32::MAX before encoding
     r.extend_from_slice(&(frame.len() as u32).to_le_bytes());
     r.extend_from_slice(frame);
     let crc = codec::crc32(&r);
@@ -433,7 +434,7 @@ fn walk_segment(
         let payload = body.get(4..).unwrap_or_default();
         cont.admit(payload, path)?;
         payloads.push(Bytes::copy_from_slice(payload));
-        payload_bytes += len as u64;
+        payload_bytes += len as u64; // lint:allow(cast-truncation): usize -> u64 widens
         let _ = c.take(4 + len + 4);
     }
 }
@@ -471,7 +472,11 @@ pub struct LoadedCheckpoint {
     pub index: Vec<SealedMeta>,
 }
 
-fn encode_checkpoint(covered: u32, state: &CheckpointState, index: &[SealedMeta]) -> Vec<u8> {
+fn encode_checkpoint(
+    covered: u32,
+    state: &CheckpointState,
+    index: &[SealedMeta],
+) -> Result<Vec<u8>, SbrError> {
     let mut b = Vec::with_capacity(CK_HEADER + index.len() * CK_INDEX_ENTRY + 64);
     b.extend_from_slice(&CK_MAGIC.to_le_bytes());
     b.extend_from_slice(&CK_VERSION.to_le_bytes());
@@ -482,7 +487,9 @@ fn encode_checkpoint(covered: u32, state: &CheckpointState, index: &[SealedMeta]
     b.extend_from_slice(&state.next_seq.to_le_bytes());
     b.push(state.resync_at.is_some() as u8);
     b.extend_from_slice(&state.resync_at.unwrap_or(0).to_le_bytes());
-    b.extend_from_slice(&(index.len() as u32).to_le_bytes());
+    let index_len = u32::try_from(index.len())
+        .map_err(|_| SbrError::Corrupt("checkpoint index length overflows u32".into()))?;
+    b.extend_from_slice(&index_len.to_le_bytes());
     for m in index {
         b.extend_from_slice(&m.ordinal.to_le_bytes());
         b.extend_from_slice(&m.records.to_le_bytes());
@@ -493,8 +500,12 @@ fn encode_checkpoint(covered: u32, state: &CheckpointState, index: &[SealedMeta]
         Some(base) => {
             b.push(1);
             let (w, values, meta) = base.to_raw();
-            b.extend_from_slice(&(w as u32).to_le_bytes());
-            b.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+            let w = u32::try_from(w)
+                .map_err(|_| SbrError::Corrupt("base width overflows u32".into()))?;
+            let meta_len = u32::try_from(meta.len())
+                .map_err(|_| SbrError::Corrupt("base meta length overflows u32".into()))?;
+            b.extend_from_slice(&w.to_le_bytes());
+            b.extend_from_slice(&meta_len.to_le_bytes());
             for v in values {
                 b.extend_from_slice(&v.to_bits().to_le_bytes());
             }
@@ -506,7 +517,7 @@ fn encode_checkpoint(covered: u32, state: &CheckpointState, index: &[SealedMeta]
     }
     let crc = codec::crc32(&b);
     b.extend_from_slice(&crc.to_le_bytes());
-    b
+    Ok(b)
 }
 
 fn decode_checkpoint(raw: &[u8], path: &Path) -> Result<LoadedCheckpoint, SbrError> {
@@ -533,6 +544,7 @@ fn decode_checkpoint(raw: &[u8], path: &Path) -> Result<LoadedCheckpoint, SbrErr
     let resync_flag = c.u8().ok_or_else(|| bad("truncated header"))?;
     let resync_raw = c.u64().ok_or_else(|| bad("truncated header"))?;
     let index_len = c.u32().ok_or_else(|| bad("truncated header"))? as usize;
+    // lint:allow(cast-truncation): u32 -> usize widens on this 64-bit target
     if index_len != covered as usize {
         return Err(bad("index length disagrees with covered count"));
     }
@@ -543,10 +555,11 @@ fn decode_checkpoint(raw: &[u8], path: &Path) -> Result<LoadedCheckpoint, SbrErr
         let ordinal = c.u32().ok_or_else(|| bad("truncated index"))?;
         let seg_records = c.u32().ok_or_else(|| bad("truncated index"))?;
         let seg_payload = c.u64().ok_or_else(|| bad("truncated index"))?;
+        // lint:allow(cast-truncation): u32 -> usize widens on this 64-bit target
         if ordinal as usize != i {
             return Err(bad("index ordinals out of order"));
         }
-        sum_records += seg_records as u64;
+        sum_records += seg_records as u64; // lint:allow(cast-truncation): u32 -> u64 widens
         sum_payload += seg_payload;
         index.push(SealedMeta {
             ordinal,
@@ -729,6 +742,7 @@ pub fn scan(dir: &Path, node: NodeId) -> Result<ScannedStore, SbrError> {
     // Segments must be contiguous from 0: compaction removes checkpoint
     // files only, never segment data.
     for (i, &ord) in segs.iter().enumerate() {
+        // lint:allow(cast-truncation): u32 -> usize widens on this 64-bit target
         if ord as usize != i {
             return Err(SbrError::Corrupt(format!(
                 "store {} is missing segment {i}",
@@ -828,6 +842,7 @@ pub fn scan(dir: &Path, node: NodeId) -> Result<ScannedStore, SbrError> {
 
 impl WalkedSegment {
     fn record_count(&self) -> u32 {
+        // lint:allow(cast-truncation): per-segment record count is bounded by the u32 footer field walk_segment validated
         self.payloads.len() as u32
     }
 }
@@ -909,6 +924,7 @@ pub fn verify(dir: &Path, node: NodeId) -> Result<StoreReport, SbrError> {
     }
     let (segs, cks) = list_store(&sdir)?;
     for (i, &ord) in segs.iter().enumerate() {
+        // lint:allow(cast-truncation): u32 -> usize widens on this 64-bit target
         if ord as usize != i {
             return Err(SbrError::Corrupt(format!(
                 "store {} is missing segment {i}",
@@ -946,6 +962,7 @@ pub fn verify(dir: &Path, node: NodeId) -> Result<StoreReport, SbrError> {
     }
     for &c in &cks {
         let ck = load_checkpoint(&checkpoint_path(&sdir, c))?;
+        // lint:allow(cast-truncation): u32 -> usize widens on this 64-bit target
         let Some(&(records, payload, epoch, next_seq)) = boundaries.get(ck.covered as usize) else {
             return Err(SbrError::Corrupt(format!(
                 "checkpoint {} covers {} segments but only {} are sealed",
@@ -954,6 +971,7 @@ pub fn verify(dir: &Path, node: NodeId) -> Result<StoreReport, SbrError> {
                 sealed.len()
             )));
         };
+        // lint:allow(cast-truncation): u32 -> usize widens on this 64-bit target
         let index_matches = ck.index.len() == ck.covered as usize
             && ck.index.iter().zip(sealed.iter()).all(|(a, b)| a == b);
         if ck.state.records != records
@@ -969,8 +987,10 @@ pub fn verify(dir: &Path, node: NodeId) -> Result<StoreReport, SbrError> {
         }
     }
     Ok(StoreReport {
-        segments: segs.len() as u32,
-        checkpoints: cks.len() as u32,
+        segments: u32::try_from(segs.len())
+            .map_err(|_| SbrError::Corrupt("segment count overflows u32".into()))?,
+        checkpoints: u32::try_from(cks.len())
+            .map_err(|_| SbrError::Corrupt("checkpoint count overflows u32".into()))?,
         records: cont.records,
         payload_bytes: payload_total,
         truncated_tail,
@@ -1094,6 +1114,7 @@ impl SegmentWriter {
     ) -> Result<Self, SbrError> {
         let sdir = sensor_dir(dir, node);
         std::fs::create_dir_all(&sdir).map_err(|e| io_corrupt(&sdir, "cannot create", e))?;
+        // lint:allow(cast-truncation): usize -> u64 widens
         let segment_bytes = segment_bytes.max((SEG_HEADER + RECORD_OVERHEAD + 1) as u64);
         let active = match scanned.active {
             None => None,
@@ -1148,6 +1169,7 @@ impl SegmentWriter {
     /// sealed it — the caller should follow up with
     /// [`SegmentWriter::write_checkpoint`].
     pub fn append(&mut self, frame: &Bytes) -> Result<Option<SealedMeta>, SbrError> {
+        // lint:allow(cast-truncation): usize -> u64 widens — this IS the length guard
         if frame.len() as u64 >= u32::MAX as u64 {
             return Err(SbrError::InvalidConfig(format!(
                 "frame of {} bytes exceeds the record size limit",
@@ -1155,7 +1177,9 @@ impl SegmentWriter {
             )));
         }
         if self.active.is_none() {
-            let ordinal = self.sealed.len() as u32;
+            let ordinal = u32::try_from(self.sealed.len()).map_err(|_| {
+                SbrError::Corrupt("sealed segment count overflows the u32 ordinal".into())
+            })?;
             let path = segment_path(&self.sdir, ordinal);
             let file = OpenOptions::new()
                 .create_new(true)
@@ -1188,10 +1212,11 @@ impl SegmentWriter {
             .and_then(|()| active.file.flush())
             .map_err(|e| io_corrupt(&active.path, "cannot append record", e))?;
         active.records += 1;
+        // lint:allow(cast-truncation): usize -> u64 widens
         active.payload_bytes += frame.len() as u64;
-        active.file_len += record.len() as u64;
+        active.file_len += record.len() as u64; // lint:allow(cast-truncation): usize -> u64 widens
         self.records_total += 1;
-        self.payload_total += frame.len() as u64;
+        self.payload_total += frame.len() as u64; // lint:allow(cast-truncation): usize -> u64 widens
         if active.file_len >= budget {
             let footer = encode_segment_footer(active.records, active.payload_bytes);
             active
@@ -1227,8 +1252,10 @@ impl SegmentWriter {
                 state.records, self.records_total
             )));
         }
-        let covered = self.sealed.len() as u32;
-        let bytes = encode_checkpoint(covered, state, &self.sealed);
+        let covered = u32::try_from(self.sealed.len()).map_err(|_| {
+            SbrError::Corrupt("sealed segment count overflows the u32 ordinal".into())
+        })?;
+        let bytes = encode_checkpoint(covered, state, &self.sealed)?;
         let path = checkpoint_path(&self.sdir, covered);
         let tmp = path.with_extension("sbrck.tmp");
         let mut f = File::create(&tmp).map_err(|e| io_corrupt(&tmp, "cannot create", e))?;
@@ -1280,7 +1307,13 @@ impl StreamWriter {
 
     /// Append one wire frame, length-prefixed, and flush.
     pub fn append(&mut self, frame: &Bytes) -> std::io::Result<()> {
-        self.file.write_all(&(frame.len() as u32).to_le_bytes())?;
+        let len = u32::try_from(frame.len()).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "frame exceeds the u32 length-prefix limit",
+            )
+        })?;
+        self.file.write_all(&len.to_le_bytes())?;
         self.file.write_all(frame)?;
         self.file.flush()?;
         self.frames += 1;

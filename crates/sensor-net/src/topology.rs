@@ -89,6 +89,7 @@ impl Topology {
                 .min_by(|&a, &b| {
                     dist(positions[i], positions[a]).total_cmp(&dist(positions[i], positions[b]))
                 })
+                // lint:allow(panic-reachability): connected starts with the base, so min_by has a candidate
                 .expect("base is always connected");
             parents[i] = Some(best);
             connected.push(i);

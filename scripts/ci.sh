@@ -134,8 +134,26 @@ echo "==> repolint (workspace static analysis, LINT_REPORT.json archived)"
 cargo run -p repolint --release --offline -- --json target/LINT_REPORT.json
 test -s target/LINT_REPORT.json \
   || { echo "LINT_REPORT.json missing or empty" >&2; exit 1; }
-grep -q '"schema": "repolint/v1"' target/LINT_REPORT.json \
+grep -q '"schema": "repolint/v2"' target/LINT_REPORT.json \
   || { echo "LINT_REPORT.json lost its schema tag" >&2; exit 1; }
+
+echo "==> repolint report drift check (committed LINT_REPORT.json vs fresh run)"
+# Guard: the committed report is documentation of the workspace's lint
+# state — it must match what the linter actually says, modulo the file
+# count (which moves with unrelated tree changes).
+python3 - <<'PYEOF'
+import json, sys
+
+def canon(path):
+    doc = json.load(open(path))
+    doc.pop("files_scanned", None)
+    return doc
+
+committed, fresh = canon("LINT_REPORT.json"), canon("target/LINT_REPORT.json")
+if committed != fresh:
+    sys.exit("committed LINT_REPORT.json is stale — regenerate with "
+             "'cargo run -p repolint --offline -- --json LINT_REPORT.json'")
+PYEOF
 
 echo "==> repolint negative smoke (a seeded violation must exit 1)"
 # Guard: a linter that silently passes everything is worse than none.
@@ -146,14 +164,29 @@ trap 'rm -rf "$smoke"' EXIT
 cp -r crates tests DESIGN.md Cargo.toml Cargo.lock "$smoke/"
 mkdir -p "$smoke/vendor"
 for v in vendor/*/; do mkdir "$smoke/$v"; done
+# Three seeds in one scratch zone file: a direct unwrap (token rule), a
+# narrowing cast on a length-like value (cast-truncation), and an unwrap
+# two calls below a zone function (panic-reachability, with call path).
 printf '\npub fn repolint_smoke() { let x: Option<u32> = None; x.unwrap(); }\n' \
+  >> "$smoke/crates/sensor-net/src/storage.rs"
+printf 'pub fn repolint_cast_smoke(count: u64) -> u32 { count as u32 }\n' \
+  >> "$smoke/crates/sensor-net/src/storage.rs"
+printf 'fn repolint_reach_inner() { let x: Option<u32> = None; x.unwrap(); }\n' \
+  >> "$smoke/crates/sensor-net/src/storage.rs"
+printf 'fn repolint_reach_mid() { repolint_reach_inner(); }\n' \
+  >> "$smoke/crates/sensor-net/src/storage.rs"
+printf 'pub fn repolint_reach_smoke() { repolint_reach_mid(); }\n' \
   >> "$smoke/crates/sensor-net/src/storage.rs"
 if cargo run -p repolint --release --offline -- \
     --root "$smoke" --quiet --json "$smoke/LINT_REPORT.json"; then
-  echo "repolint passed a tree with a seeded unwrap" >&2; exit 1
+  echo "repolint passed a tree with seeded violations" >&2; exit 1
 fi
-grep -q '"rule": "panic-free"' "$smoke/LINT_REPORT.json" \
-  || { echo "seeded violation missing from the scratch report" >&2; exit 1; }
+for rule in panic-free cast-truncation panic-reachability; do
+  grep -q "\"rule\": \"$rule\"" "$smoke/LINT_REPORT.json" \
+    || { echo "seeded $rule violation missing from the scratch report" >&2; exit 1; }
+done
+grep -q '"call_path"' "$smoke/LINT_REPORT.json" \
+  || { echo "panic-reachability finding carries no call path" >&2; exit 1; }
 rm -rf "$smoke"
 trap - EXIT
 
